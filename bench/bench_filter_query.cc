@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks of the filters' query paths:
+//   MX pair filter:      O(s·|A|)           with s = m/eps
+//   tuple filter (sort): O(r log r · |A|)   with r = m/sqrt(eps)
+//   tuple filter (hash): expected O(r·|A|)
+// This regenerates the query-time separation behind Table 1's T columns
+// and Theorem 1's query-time claims.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/mx_pair_filter.h"
+#include "core/tuple_sample_filter.h"
+#include "data/generators/tabular.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  std::unique_ptr<MxPairFilter> mx;
+  std::unique_ptr<TupleSampleFilter> ts_sort;
+  std::unique_ptr<TupleSampleFilter> ts_hash;
+  std::vector<AttributeSet> queries;
+};
+
+/// One shared data set per eps (covtype-like profile scaled to 100k
+/// rows), with both filters and a pool of fixed random queries.
+Fixture* GetFixture(double eps, size_t query_size) {
+  static std::map<std::pair<double, size_t>, std::unique_ptr<Fixture>> cache;
+  auto key = std::make_pair(eps, query_size);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second.get();
+
+  auto fx = std::make_unique<Fixture>();
+  Rng rng(2024);
+  TabularSpec spec = CovtypeLikeSpec();
+  spec.num_rows = 100000;
+  fx->dataset = MakeTabular(spec, &rng);
+  const size_t m = fx->dataset.num_attributes();
+
+  MxPairFilterOptions mx_opts;
+  mx_opts.eps = eps;
+  fx->mx = std::make_unique<MxPairFilter>(
+      MxPairFilter::Build(fx->dataset, mx_opts, &rng).ValueOrDie());
+
+  TupleSampleFilterOptions ts_opts;
+  ts_opts.eps = eps;
+  ts_opts.detection = DuplicateDetection::kSort;
+  fx->ts_sort = std::make_unique<TupleSampleFilter>(
+      TupleSampleFilter::Build(fx->dataset, ts_opts, &rng).ValueOrDie());
+  ts_opts.detection = DuplicateDetection::kHash;
+  fx->ts_hash = std::make_unique<TupleSampleFilter>(
+      TupleSampleFilter::Build(fx->dataset, ts_opts, &rng).ValueOrDie());
+
+  Rng qrng(7);
+  for (int i = 0; i < 32; ++i) {
+    fx->queries.push_back(AttributeSet::RandomOfSize(m, query_size, &qrng));
+  }
+  Fixture* out = fx.get();
+  cache[key] = std::move(fx);
+  return out;
+}
+
+double EpsFromRange(int64_t code) { return code == 0 ? 0.01 : 0.001; }
+
+void BM_MxPairQuery(benchmark::State& state) {
+  Fixture* fx = GetFixture(EpsFromRange(state.range(0)),
+                           static_cast<size_t>(state.range(1)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx->mx->Query(fx->queries[i++ % fx->queries.size()]));
+  }
+  state.SetLabel("s=" + std::to_string(fx->mx->sample_size()));
+}
+
+void BM_TupleSortQuery(benchmark::State& state) {
+  Fixture* fx = GetFixture(EpsFromRange(state.range(0)),
+                           static_cast<size_t>(state.range(1)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx->ts_sort->Query(fx->queries[i++ % fx->queries.size()]));
+  }
+  state.SetLabel("r=" + std::to_string(fx->ts_sort->sample_size()));
+}
+
+void BM_TupleHashQuery(benchmark::State& state) {
+  Fixture* fx = GetFixture(EpsFromRange(state.range(0)),
+                           static_cast<size_t>(state.range(1)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx->ts_hash->Query(fx->queries[i++ % fx->queries.size()]));
+  }
+  state.SetLabel("r=" + std::to_string(fx->ts_hash->sample_size()));
+}
+
+// Args: (eps code: 0 -> 0.01, 1 -> 0.001;  |A|)
+BENCHMARK(BM_MxPairQuery)
+    ->Args({0, 4})
+    ->Args({0, 16})
+    ->Args({1, 4})
+    ->Args({1, 16})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TupleSortQuery)
+    ->Args({0, 4})
+    ->Args({0, 16})
+    ->Args({1, 4})
+    ->Args({1, 16})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TupleHashQuery)
+    ->Args({0, 4})
+    ->Args({0, 16})
+    ->Args({1, 4})
+    ->Args({1, 16})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace qikey
+
+BENCHMARK_MAIN();

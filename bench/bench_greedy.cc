@@ -1,0 +1,116 @@
+// Proposition 1 / Appendix B: approximate minimum eps-separation key.
+//
+// Compares, on Adult-like and Covtype-like data:
+//   - this paper's pipeline: r = m/sqrt(eps) tuples + partition-refine
+//     greedy with the lookup-table gain (O(m^3/sqrt(eps)));
+//   - the same pipeline with the sort-based gain (the "simplest
+//     approach", O(m^3 log(..)/sqrt(eps)));
+//   - the Motwani–Xu pipeline: s = m/eps pairs + bitset greedy set
+//     cover (O(m^3/eps)).
+// Reports wall time, solution size, and the exact separation ratio of
+// each returned key, plus (small-m config) the exact optimum for the
+// approximation-quality check.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "core/bruteforce.h"
+#include "core/minkey.h"
+#include "core/separation.h"
+#include "data/generators/tabular.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace qikey {
+namespace {
+
+void RunConfig(const char* name, const TabularSpec& spec, double eps,
+               uint64_t seed, bool with_exact) {
+  Rng rng(seed);
+  Dataset d = MakeTabular(spec, &rng);
+  const uint32_t m = static_cast<uint32_t>(d.num_attributes());
+  std::printf("\n%s: n=%zu m=%u eps=%g\n", name, d.num_rows(), m, eps);
+  std::printf("  %-28s %10s %8s %12s %10s\n", "method", "sample", "|key|",
+              "time (s)", "sep-ratio");
+
+  auto report = [&](const char* method, const MinKeyResult& r, double secs) {
+    double ratio = SeparationRatio(d, r.key);
+    std::printf("  %-28s %10" PRIu64 " %8zu %12.3f %10.6f\n", method,
+                r.sample_size, r.key.size(), secs, ratio);
+  };
+
+  {
+    Rng run_rng(seed + 1);
+    MinKeyOptions opts;
+    opts.eps = eps;
+    opts.gain_strategy = GainStrategy::kLookupTable;
+    Timer timer;
+    auto r = FindApproxMinimumEpsKey(d, opts, &run_rng);
+    double secs = timer.ElapsedSeconds();
+    QIKEY_CHECK(r.ok());
+    report("tuples + refine (lookup)", *r, secs);
+  }
+  {
+    Rng run_rng(seed + 1);
+    MinKeyOptions opts;
+    opts.eps = eps;
+    opts.gain_strategy = GainStrategy::kSortPartition;
+    Timer timer;
+    auto r = FindApproxMinimumEpsKey(d, opts, &run_rng);
+    double secs = timer.ElapsedSeconds();
+    QIKEY_CHECK(r.ok());
+    report("tuples + refine (sort)", *r, secs);
+  }
+  {
+    Rng run_rng(seed + 2);
+    MinKeyOptions opts;
+    opts.eps = eps;
+    Timer timer;
+    auto r = FindApproxMinimumEpsKeyMx(d, opts, &run_rng);
+    double secs = timer.ElapsedSeconds();
+    QIKEY_CHECK(r.ok());
+    report("MX pairs + set cover", *r, secs);
+  }
+  if (with_exact) {
+    Timer timer;
+    auto exact = ExactMinimumEpsKey(d, eps, 6);
+    double secs = timer.ElapsedSeconds();
+    if (exact.ok()) {
+      std::printf("  %-28s %10s %8zu %12.3f %10s\n", "exact (brute force)",
+                  "-", exact->size(), secs, "-");
+    } else {
+      std::printf("  exact search found no eps-key of size <= 6\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qikey
+
+int main() {
+  std::printf("Proposition 1: approximate minimum eps-separation key — "
+              "engines and baselines\n");
+
+  qikey::TabularSpec adult = qikey::AdultLikeSpec();
+  qikey::RunConfig("Adult-like", adult, 0.001, 51, /*with_exact=*/true);
+
+  qikey::TabularSpec covtype = qikey::CovtypeLikeSpec();
+  covtype.num_rows = 200000;  // scaled: greedy cost is sample-bound anyway
+  qikey::RunConfig("Covtype-like (n=200k)", covtype, 0.001, 52,
+                   /*with_exact=*/false);
+
+  // eps sweep on the adult profile: smaller eps -> bigger samples; the
+  // lookup engine's advantage grows with the sample size.
+  qikey::TabularSpec sweep = qikey::AdultLikeSpec();
+  sweep.num_rows = 32561;
+  for (double eps : {0.01, 0.0001}) {
+    qikey::RunConfig("Adult-like (eps sweep)", sweep, eps, 53,
+                     /*with_exact=*/false);
+  }
+  std::printf("\nReading: lookup vs sort shows the Algorithm-3 speedup; "
+              "tuple methods match MX solution\nquality with ~sqrt(eps) "
+              "fewer samples and correspondingly faster cover phases.\n");
+  return 0;
+}

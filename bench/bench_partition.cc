@@ -1,0 +1,139 @@
+// Ablation for the Appendix B partitioning machinery:
+//   (1) per-round gain computation: Algorithm 3's lookup-table buckets
+//       (O(r) per attribute) vs sort-based partitioning
+//       (O(r log r) per attribute);
+//   (2) the data-layer PLI refinement used for exact Γ_A, vs the O(n²)
+//       brute-force pair scan it replaces.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "core/refine_engine.h"
+#include "util/thread_pool.h"
+#include "data/generators/tabular.h"
+#include "data/partition.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace qikey {
+namespace {
+
+uint64_t BruteForceGamma(const Dataset& d,
+                         const std::vector<AttributeIndex>& attrs) {
+  uint64_t count = 0;
+  for (RowIndex i = 0; i < d.num_rows(); ++i) {
+    for (RowIndex j = i + 1; j < d.num_rows(); ++j) {
+      count += d.RowsAgreeOn(i, j, attrs) ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+void GainStrategyAblation() {
+  std::printf("(1) Greedy gain computation per full round (all m "
+              "attributes), CPS-like profile\n");
+  std::printf("  %10s %6s %16s %14s %10s\n", "r (sample)", "m",
+              "lookup (ms)", "sort (ms)", "speedup");
+  Rng rng(31);
+  for (uint64_t r : {1000u, 4000u, 12000u}) {
+    TabularSpec spec = CpsLikeSpec(r);
+    Dataset sample = MakeTabular(spec, &rng);
+    const uint32_t m = static_cast<uint32_t>(sample.num_attributes());
+
+    RefineEngine lookup(sample, GainStrategy::kLookupTable);
+    RefineEngine sorted(sample, GainStrategy::kSortPartition);
+    // Refine once so blocks are non-trivial (the realistic state).
+    lookup.Apply(0);
+    sorted.Apply(0);
+
+    Timer t1;
+    uint64_t checksum1 = 0;
+    for (AttributeIndex a = 1; a < m; ++a) checksum1 += lookup.GainOf(a);
+    double ms_lookup = t1.ElapsedMillis();
+
+    Timer t2;
+    uint64_t checksum2 = 0;
+    for (AttributeIndex a = 1; a < m; ++a) checksum2 += sorted.GainOf(a);
+    double ms_sort = t2.ElapsedMillis();
+
+    QIKEY_CHECK(checksum1 == checksum2) << "strategies disagree";
+    std::printf("  %10" PRIu64 " %6u %16.2f %14.2f %9.2fx\n", r, m,
+                ms_lookup, ms_sort, ms_sort / std::max(ms_lookup, 1e-9));
+  }
+  std::printf("\n");
+}
+
+void ParallelGreedyAblation() {
+  std::printf("(3) Full greedy run, serial vs thread pool "
+              "(CPS-like profile, lookup gains)\n");
+  std::printf("  %10s %6s %14s %14s %10s\n", "r (sample)", "m",
+              "serial (ms)", "8 threads (ms)", "speedup");
+  Rng rng(33);
+  ThreadPool pool(8);
+  for (uint64_t r : {2000u, 8000u}) {
+    TabularSpec spec = CpsLikeSpec(r);
+    Dataset sample = MakeTabular(spec, &rng);
+
+    RefineEngine serial(sample);
+    Timer t1;
+    auto r1 = serial.RunGreedy();
+    double ms_serial = t1.ElapsedMillis();
+
+    RefineEngine parallel(sample);
+    parallel.set_thread_pool(&pool);
+    Timer t2;
+    auto r2 = parallel.RunGreedy();
+    double ms_parallel = t2.ElapsedMillis();
+
+    QIKEY_CHECK(r1.chosen == r2.chosen) << "parallel result diverged";
+    std::printf("  %10" PRIu64 " %6zu %14.1f %14.1f %9.2fx\n", r,
+                sample.num_attributes(), ms_serial, ms_parallel,
+                ms_serial / std::max(ms_parallel, 1e-9));
+  }
+  std::printf("\n");
+}
+
+void PartitionVsBruteForce() {
+  std::printf("(2) Exact Γ_A: PLI refinement vs O(n²) pair scan "
+              "(m=6 mixed-cardinality attrs)\n");
+  std::printf("  %10s %16s %16s %12s\n", "n", "PLI (ms)", "pairscan (ms)",
+              "speedup");
+  Rng rng(32);
+  for (uint64_t n : {2000u, 8000u, 20000u}) {
+    TabularSpec spec;
+    spec.num_rows = n;
+    spec.attributes = {{"a", 4, 0.5, -1, 0.0},  {"b", 16, 0.7, -1, 0.0},
+                       {"c", 3, 0.2, -1, 0.0},  {"d", 64, 0.9, -1, 0.0},
+                       {"e", 7, 0.0, -1, 0.0},  {"f", 128, 0.3, -1, 0.0}};
+    Dataset d = MakeTabular(spec, &rng);
+    std::vector<AttributeIndex> attrs{0, 1, 2, 3};
+
+    Timer t1;
+    uint64_t g1 = CountUnseparatedPairs(d, attrs);
+    double ms_pli = t1.ElapsedMillis();
+
+    Timer t2;
+    uint64_t g2 = BruteForceGamma(d, attrs);
+    double ms_brute = t2.ElapsedMillis();
+
+    QIKEY_CHECK(g1 == g2);
+    std::printf("  %10" PRIu64 " %16.2f %16.2f %11.0fx\n", n, ms_pli,
+                ms_brute, ms_brute / std::max(ms_pli, 1e-9));
+  }
+  std::printf("\nReading: the lookup-table gain is what makes the full "
+              "greedy O(m^3/sqrt(eps))\ninstead of carrying an extra log "
+              "factor; PLI makes exact verification practical.\n");
+}
+
+}  // namespace
+}  // namespace qikey
+
+int main() {
+  std::printf("Partition-refinement ablations (Appendix B, Algorithm 3)\n\n");
+  qikey::GainStrategyAblation();
+  qikey::ParallelGreedyAblation();
+  qikey::PartitionVsBruteForce();
+  return 0;
+}

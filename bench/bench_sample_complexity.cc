@@ -1,0 +1,88 @@
+// Validates the Theorem 1 upper bound: sampling r = Θ(m/√ε) tuples
+// suffices to reject bad attribute sets, on the hardest profile the KKT
+// analysis allows (the planted clique of Lemma 4). For each (m, eps) we
+// sweep the sample size around the paper's r = m/√ε and report the
+// empirical detection rate of the planted bad attribute together with
+// the closed-form prediction 1 - P_no-collision.
+//
+// Expected shape: detection ≈ 63% at the "half" budget, > 99.9% at the
+// paper budget for larger m, and the closed form tracks the empirical
+// rate within Monte-Carlo noise.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/sample_bounds.h"
+#include "core/tuple_sample_filter.h"
+#include "data/generators/planted_clique.h"
+#include "math/collision.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+void RunConfig(uint32_t m, double eps, uint64_t n, int trials, Rng* rng) {
+  PlantedCliqueOptions opts;
+  opts.num_rows = n;
+  opts.num_attributes = m;
+  opts.epsilon = eps;
+  Dataset d = MakePlantedClique(opts, rng);
+  AttributeSet bad = AttributeSet::FromIndices(m, {0});
+  uint64_t clique = PlantedCliqueSize(n, eps);
+  uint64_t r_paper = TupleSampleSizePaper(m, eps);
+
+  std::printf("\nm=%u eps=%g n=%" PRIu64 " planted-clique=%" PRIu64
+              "  (paper sample r=m/sqrt(eps)=%" PRIu64 ")\n",
+              m, eps, n, clique, r_paper);
+  std::printf("  %10s %12s %14s %14s\n", "r", "r/r_paper", "detect(empir)",
+              "detect(closed)");
+
+  std::vector<double> fractions{0.125, 0.25, 0.5, 1.0, 2.0};
+  for (double frac : fractions) {
+    uint64_t r = std::max<uint64_t>(
+        2, static_cast<uint64_t>(frac * static_cast<double>(r_paper)));
+    if (r > n) continue;
+    // Closed form for the (clique, 1, 1, ..., 1) profile, using the
+    // O(r) two-value evaluation.
+    double p_detect_closed =
+        1.0 - std::exp(LogNonCollisionWithoutReplacementTwoValue(
+                  static_cast<double>(clique), 1, 1.0, n - clique, r));
+
+    int detected = 0;
+    for (int t = 0; t < trials; ++t) {
+      TupleSampleFilterOptions fopt;
+      fopt.eps = eps;
+      fopt.sample_size = r;
+      auto f = TupleSampleFilter::Build(d, fopt, rng);
+      QIKEY_CHECK(f.ok());
+      detected += (f->Query(bad) == FilterVerdict::kReject);
+    }
+    std::printf("  %10" PRIu64 " %12.3f %13.1f%% %13.1f%%\n", r, frac,
+                100.0 * detected / trials, 100.0 * p_detect_closed);
+  }
+}
+
+}  // namespace
+}  // namespace qikey
+
+int main() {
+  std::printf("Theorem 1 upper bound: detection of a bad attribute vs "
+              "tuple-sample size\n(planted-clique hard instance of "
+              "Lemma 4)\n");
+  qikey::Rng rng(4242);
+  qikey::RunConfig(/*m=*/8, /*eps=*/0.01, /*n=*/50000, /*trials=*/400,
+                   &rng);
+  qikey::RunConfig(/*m=*/16, /*eps=*/0.01, /*n=*/50000, /*trials=*/400,
+                   &rng);
+  qikey::RunConfig(/*m=*/16, /*eps=*/0.001, /*n=*/200000, /*trials=*/200,
+                   &rng);
+  qikey::RunConfig(/*m=*/32, /*eps=*/0.001, /*n=*/200000, /*trials=*/100,
+                   &rng);
+  std::printf("\nReading: at r = r_paper the detection rate should be "
+              "effectively 1 and the\nclosed form should match the "
+              "empirical column within sampling noise.\n");
+  return 0;
+}

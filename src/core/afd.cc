@@ -1,0 +1,111 @@
+#include "core/afd.h"
+
+#include <algorithm>
+
+#include "data/partition.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+AfdError ComputeAfdError(const Dataset& dataset, const AttributeSet& lhs,
+                         AttributeIndex rhs) {
+  QIKEY_CHECK(!lhs.Contains(rhs)) << "rhs must not be part of lhs";
+  Partition by_lhs = PartitionByAttributes(dataset, lhs.ToIndices());
+  uint64_t gamma_lhs = by_lhs.UnseparatedPairs();
+  uint64_t gamma_both =
+      by_lhs.RefinedBy(dataset.column(rhs)).UnseparatedPairs();
+  AfdError err;
+  err.lhs_agree = gamma_lhs;
+  err.violating = gamma_lhs - gamma_both;
+  uint64_t total = dataset.num_pairs();
+  err.g2 = total > 0 ? static_cast<double>(err.violating) /
+                           static_cast<double>(total)
+                     : 0.0;
+  err.conditional = gamma_lhs > 0
+                        ? static_cast<double>(err.violating) /
+                              static_cast<double>(gamma_lhs)
+                        : 0.0;
+  return err;
+}
+
+bool HoldsApproxFd(const Dataset& dataset, const AttributeSet& lhs,
+                   AttributeIndex rhs, double max_g2) {
+  return ComputeAfdError(dataset, lhs, rhs).g2 <= max_g2;
+}
+
+Result<AfdError> EstimateAfdError(const NonSeparationSketch& sketch,
+                                  const AttributeSet& lhs,
+                                  AttributeIndex rhs) {
+  if (lhs.Contains(rhs)) {
+    return Status::InvalidArgument("rhs must not be part of lhs");
+  }
+  NonSeparationEstimate est_lhs = sketch.Estimate(lhs);
+  if (est_lhs.small) {
+    return Status::OutOfRange(
+        "Γ_lhs below the sketch's density cutoff; the FD is nearly exact");
+  }
+  AttributeSet both = lhs;
+  both.Add(rhs);
+  NonSeparationEstimate est_both = sketch.Estimate(both);
+  double gamma_both = est_both.small ? 0.0 : est_both.estimate;
+
+  AfdError err;
+  err.lhs_agree = static_cast<uint64_t>(est_lhs.estimate);
+  double violating = std::max(0.0, est_lhs.estimate - gamma_both);
+  err.violating = static_cast<uint64_t>(violating);
+  err.g2 = violating / static_cast<double>(sketch.total_pairs());
+  err.conditional = est_lhs.estimate > 0 ? violating / est_lhs.estimate : 0.0;
+  return err;
+}
+
+Result<std::vector<AfdCandidate>> DiscoverMinimalAfds(
+    const Dataset& dataset, AttributeIndex rhs,
+    double max_conditional_error, uint32_t max_size,
+    uint64_t max_candidates) {
+  const size_t m = dataset.num_attributes();
+  if (rhs >= m) return Status::InvalidArgument("rhs out of range");
+  max_size = std::min<uint32_t>(max_size, static_cast<uint32_t>(m - 1));
+
+  std::vector<AfdCandidate> found;
+  // Level k candidates (as sorted index vectors), built by extending
+  // level k-1 non-qualifying sets.
+  std::vector<std::vector<AttributeIndex>> frontier{{}};
+  uint64_t expansions = 0;
+
+  for (uint32_t level = 1; level <= max_size && !frontier.empty(); ++level) {
+    std::vector<std::vector<AttributeIndex>> next;
+    for (const auto& base : frontier) {
+      AttributeIndex start = base.empty() ? 0 : base.back() + 1;
+      for (AttributeIndex a = start; a < m; ++a) {
+        if (a == rhs) continue;
+        if (++expansions > max_candidates) {
+          return Status::OutOfRange(
+              "candidate budget exhausted; raise max_candidates or lower "
+              "max_size");
+        }
+        std::vector<AttributeIndex> candidate = base;
+        candidate.push_back(a);
+        AttributeSet lhs = AttributeSet::FromIndices(m, candidate);
+        // Superset pruning: skip candidates containing a found LHS.
+        bool contains_found = false;
+        for (const AfdCandidate& f : found) {
+          if (f.lhs.IsSubsetOf(lhs)) {
+            contains_found = true;
+            break;
+          }
+        }
+        if (contains_found) continue;
+        AfdError err = ComputeAfdError(dataset, lhs, rhs);
+        if (err.conditional <= max_conditional_error) {
+          found.push_back(AfdCandidate{std::move(lhs), err});
+        } else {
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return found;
+}
+
+}  // namespace qikey

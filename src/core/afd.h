@@ -1,0 +1,68 @@
+#ifndef QIKEY_CORE_AFD_H_
+#define QIKEY_CORE_AFD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "core/sketch.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief Approximate functional dependencies (Kivinen–Mannila), the
+/// application family the paper cites: quasi-identifiers are the
+/// special case `X -> all attributes`.
+///
+/// For `X -> y` we use the pair-based error measures derivable from
+/// non-separation counts:
+///   violating  = Γ_X - Γ_{X ∪ {y}}
+///              (pairs agreeing on X but differing on y),
+///   g2         = violating / C(n,2),
+///   conditional = violating / Γ_X   (error among X-agreeing pairs).
+struct AfdError {
+  uint64_t lhs_agree = 0;   ///< Γ_X
+  uint64_t violating = 0;   ///< Γ_X - Γ_{X ∪ {y}}
+  double g2 = 0.0;
+  double conditional = 0.0;
+};
+
+/// Exact error of the dependency `lhs -> rhs` via partition refinement.
+/// `O(n · |lhs|)`.
+AfdError ComputeAfdError(const Dataset& dataset, const AttributeSet& lhs,
+                         AttributeIndex rhs);
+
+/// True iff `lhs -> rhs` holds with `g2` error at most `max_g2`.
+bool HoldsApproxFd(const Dataset& dataset, const AttributeSet& lhs,
+                   AttributeIndex rhs, double max_g2);
+
+/// \brief Sketch-based estimate of the same error: two non-separation
+/// estimates (Theorem 2) give `Γ_X` and `Γ_{X∪{y}}`; valid when both
+/// are in the sketch's dense regime. Returns InvalidArgument when the
+/// sketch reports "small" for `Γ_X` (the dependency is then nearly
+/// exact anyway).
+Result<AfdError> EstimateAfdError(const NonSeparationSketch& sketch,
+                                  const AttributeSet& lhs,
+                                  AttributeIndex rhs);
+
+/// One discovered dependency.
+struct AfdCandidate {
+  AttributeSet lhs;
+  AfdError error;
+};
+
+/// \brief Levelwise discovery of all minimal LHS sets (up to
+/// `max_size`) such that `lhs -> rhs` holds with conditional error at
+/// most `max_conditional_error`. Minimality: no strict subset of a
+/// returned LHS qualifies. Standard Apriori-style lattice traversal
+/// with superset pruning; exponential worst case, bounded by
+/// `max_candidates` expansions.
+Result<std::vector<AfdCandidate>> DiscoverMinimalAfds(
+    const Dataset& dataset, AttributeIndex rhs,
+    double max_conditional_error, uint32_t max_size,
+    uint64_t max_candidates = 1u << 20);
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_AFD_H_

@@ -1,0 +1,66 @@
+#ifndef QIKEY_CORE_ANONYMITY_H_
+#define QIKEY_CORE_ANONYMITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief k-anonymity utilities (the ARX-style privacy layer on top of
+/// quasi-identifier discovery): a data set is k-anonymous w.r.t. a
+/// quasi-identifier `A` iff every equivalence class of `G_A` has size
+/// >= k.
+
+/// The anonymity level: the size of the smallest equivalence class of
+/// the rows under `attrs` (1 means some row is unique — fully
+/// re-identifiable).
+uint64_t AnonymityLevel(const Dataset& dataset, const AttributeSet& attrs);
+
+/// Fraction of rows in equivalence classes smaller than `k` (the
+/// population at risk under a k-anonymity policy).
+double RowsBelowK(const Dataset& dataset, const AttributeSet& attrs,
+                  uint64_t k);
+
+/// \brief Minimal row suppression for k-anonymity: the rows whose
+/// removal makes the remainder k-anonymous w.r.t. `attrs` (all rows in
+/// classes of size < k — this is exactly the optimal suppression set
+/// for record-level suppression).
+std::vector<RowIndex> SuppressForKAnonymity(const Dataset& dataset,
+                                            const AttributeSet& attrs,
+                                            uint64_t k);
+
+/// One audited quasi-identifier in a risk report.
+struct QuasiIdentifierRisk {
+  AttributeSet attrs;
+  double separation_ratio = 0.0;
+  uint64_t anonymity_level = 0;
+  double uniqueness = 0.0;  ///< fraction of rows unique under attrs
+  double suppression_for_k2 = 0.0;  ///< rows to drop for 2-anonymity
+};
+
+struct RiskReport {
+  /// Minimal ε-keys up to the audit size, most separating first.
+  std::vector<QuasiIdentifierRisk> quasi_identifiers;
+  /// True when the enumeration hit its candidate budget (report is then
+  /// a lower bound on the QI population).
+  bool truncated = false;
+};
+
+/// \brief End-to-end audit: enumerate minimal ε-separation keys up to
+/// `max_qi_size` on a `m/sqrt(eps)` tuple sample (the paper's regime),
+/// then score each on the full data set.
+Result<RiskReport> AuditQuasiIdentifiers(const Dataset& dataset, double eps,
+                                         uint32_t max_qi_size, Rng* rng);
+
+/// Renders a risk report as an aligned text table.
+std::string FormatRiskReport(const RiskReport& report, const Schema& schema);
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_ANONYMITY_H_

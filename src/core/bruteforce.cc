@@ -1,0 +1,79 @@
+#include "core/bruteforce.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/separation.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+
+/// Enumerates k-subsets of [0, m) in lexicographic order, invoking
+/// `visit` on each; stops early when `visit` returns true.
+bool ForEachCombination(
+    uint32_t m, uint32_t k,
+    const std::function<bool(const std::vector<AttributeIndex>&)>& visit) {
+  if (k > m) return false;
+  std::vector<AttributeIndex> combo(k);
+  for (uint32_t i = 0; i < k; ++i) combo[i] = i;
+  while (true) {
+    if (visit(combo)) return true;
+    // Advance to the next combination.
+    int32_t i = static_cast<int32_t>(k) - 1;
+    while (i >= 0 && combo[i] == m - k + static_cast<uint32_t>(i)) --i;
+    if (i < 0) return false;
+    ++combo[i];
+    for (uint32_t j = static_cast<uint32_t>(i) + 1; j < k; ++j) {
+      combo[j] = combo[j - 1] + 1;
+    }
+  }
+}
+
+Result<AttributeSet> SearchBySize(
+    const Dataset& dataset, uint32_t max_size,
+    const std::function<bool(const std::vector<AttributeIndex>&)>& good) {
+  const uint32_t m = static_cast<uint32_t>(dataset.num_attributes());
+  max_size = std::min(max_size, m);
+  for (uint32_t k = 0; k <= max_size; ++k) {
+    AttributeSet found;
+    bool hit = ForEachCombination(
+        m, k, [&](const std::vector<AttributeIndex>& combo) {
+          if (good(combo)) {
+            found = AttributeSet::FromIndices(m, combo);
+            return true;
+          }
+          return false;
+        });
+    if (hit) return found;
+  }
+  return Status::NotFound("no qualifying subset within the size bound");
+}
+
+}  // namespace
+
+Result<AttributeSet> ExactMinimumKey(const Dataset& dataset,
+                                     uint32_t max_size) {
+  return SearchBySize(dataset, max_size,
+                      [&](const std::vector<AttributeIndex>& combo) {
+                        return PartitionByAttributes(dataset, combo)
+                            .AllSingletons();
+                      });
+}
+
+Result<AttributeSet> ExactMinimumEpsKey(const Dataset& dataset, double eps,
+                                        uint32_t max_size) {
+  QIKEY_CHECK(eps >= 0.0 && eps < 1.0);
+  const double budget =
+      eps * static_cast<double>(dataset.num_pairs());
+  return SearchBySize(dataset, max_size,
+                      [&](const std::vector<AttributeIndex>& combo) {
+                        uint64_t gamma =
+                            CountUnseparatedPairs(dataset, combo);
+                        return static_cast<double>(gamma) <= budget;
+                      });
+}
+
+}  // namespace qikey

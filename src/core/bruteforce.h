@@ -1,0 +1,28 @@
+#ifndef QIKEY_CORE_BRUTEFORCE_H_
+#define QIKEY_CORE_BRUTEFORCE_H_
+
+#include <cstdint>
+
+#include "core/attribute_set.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief Exact minimum-key search by subset enumeration in increasing
+/// size (the `2^O(m)` route that attains `γ = 1`). Feasible only for
+/// small `m`; used to measure greedy's approximation quality.
+///
+/// Returns the lexicographically-first smallest key, or NotFound if no
+/// key of size <= `max_size` exists.
+Result<AttributeSet> ExactMinimumKey(const Dataset& dataset,
+                                     uint32_t max_size);
+
+/// Smallest subset whose unseparated-pair count is at most
+/// `eps * C(n,2)` (exact minimum ε-separation key).
+Result<AttributeSet> ExactMinimumEpsKey(const Dataset& dataset, double eps,
+                                        uint32_t max_size);
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_BRUTEFORCE_H_

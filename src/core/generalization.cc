@@ -1,0 +1,165 @@
+#include "core/generalization.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <set>
+
+#include "data/partition.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+
+/// k-anonymity check under a level vector, with row-suppression slack:
+/// rows in classes of size < k are suppressed; the node qualifies if
+/// their fraction is within budget.
+struct NodeEval {
+  bool qualifies = false;
+  double suppressed = 0.0;
+  uint64_t classes = 0;
+  uint64_t min_class = 0;
+};
+
+NodeEval EvaluateNode(const Dataset& dataset,
+                      const std::vector<AttributeIndex>& qi,
+                      const std::vector<GeneralizationHierarchy>& hierarchies,
+                      const GeneralizationVector& levels,
+                      const GeneralizationOptions& options) {
+  // Partition rows by the generalized QI projection.
+  Partition p = Partition::Trivial(dataset.num_rows());
+  for (size_t i = 0; i < qi.size(); ++i) {
+    Column generalized =
+        hierarchies[i].GeneralizeColumn(dataset.column(qi[i]), levels[i]);
+    p = p.RefinedBy(generalized);
+    // All rows merged into singleton-free classes can't happen early;
+    // no early exit here because generalization only merges.
+  }
+  NodeEval eval;
+  uint64_t below = 0;
+  uint64_t min_class = ~uint64_t{0};
+  for (uint32_t s : p.block_sizes()) {
+    if (s < options.k) below += s;
+    min_class = std::min<uint64_t>(min_class, s);
+  }
+  eval.suppressed = dataset.num_rows() > 0
+                        ? static_cast<double>(below) /
+                              static_cast<double>(dataset.num_rows())
+                        : 0.0;
+  eval.qualifies = eval.suppressed <= options.max_suppression + 1e-12;
+  eval.classes = p.num_blocks();
+  eval.min_class = p.num_blocks() > 0 ? min_class : 0;
+  return eval;
+}
+
+}  // namespace
+
+Result<Dataset> ApplyGeneralization(
+    const Dataset& dataset, const std::vector<AttributeIndex>& qi,
+    const std::vector<GeneralizationHierarchy>& hierarchies,
+    const GeneralizationVector& levels) {
+  if (qi.size() != hierarchies.size() || qi.size() != levels.size()) {
+    return Status::InvalidArgument(
+        "qi, hierarchies and levels must have equal length");
+  }
+  std::vector<Column> columns;
+  columns.reserve(dataset.num_attributes());
+  for (size_t j = 0; j < dataset.num_attributes(); ++j) {
+    columns.push_back(dataset.column(static_cast<AttributeIndex>(j)));
+  }
+  for (size_t i = 0; i < qi.size(); ++i) {
+    if (qi[i] >= dataset.num_attributes()) {
+      return Status::InvalidArgument("qi attribute out of range");
+    }
+    if (levels[i] >= hierarchies[i].levels()) {
+      return Status::InvalidArgument("generalization level out of range");
+    }
+    columns[qi[i]] =
+        hierarchies[i].GeneralizeColumn(dataset.column(qi[i]), levels[i]);
+  }
+  return Dataset(dataset.schema(), std::move(columns));
+}
+
+Result<GeneralizationResult> FindMinimalGeneralization(
+    const Dataset& dataset, const std::vector<AttributeIndex>& qi,
+    const std::vector<GeneralizationHierarchy>& hierarchies,
+    const GeneralizationOptions& options) {
+  if (qi.empty() || qi.size() != hierarchies.size()) {
+    return Status::InvalidArgument(
+        "need a non-empty qi with one hierarchy per attribute");
+  }
+  if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  const size_t d = qi.size();
+
+  // Bottom-up BFS over the lattice in level-sum order. Roll-up
+  // monotonicity: k-anonymity (with suppression slack) is upward
+  // closed, so the first qualifying node on each chain is minimal; we
+  // keep the best (smallest level-sum) qualifying node overall and
+  // prune ancestors of qualifying nodes.
+  std::queue<GeneralizationVector> frontier;
+  std::set<GeneralizationVector> seen;
+  std::vector<GeneralizationVector> qualifying;
+  frontier.push(GeneralizationVector(d, 0));
+  seen.insert(frontier.front());
+  uint64_t evaluated = 0;
+
+  GeneralizationResult best;
+  bool found = false;
+  uint32_t best_sum = ~uint32_t{0};
+
+  while (!frontier.empty()) {
+    GeneralizationVector node = frontier.front();
+    frontier.pop();
+    uint32_t sum = std::accumulate(node.begin(), node.end(), 0u);
+    if (found && sum >= best_sum) continue;  // BFS order: can't improve
+    // Prune ancestors of already-qualifying nodes (non-minimal).
+    bool dominated = false;
+    for (const GeneralizationVector& q : qualifying) {
+      bool geq_all = true;
+      for (size_t i = 0; i < d; ++i) geq_all &= (node[i] >= q[i]);
+      if (geq_all) {
+        dominated = true;
+        break;
+      }
+    }
+    // Every node <= a non-dominated node is itself non-dominated, so
+    // skipping a dominated node's subtree cannot hide minimal nodes.
+    if (dominated) continue;
+    {
+      if (++evaluated > options.max_nodes) {
+        return Status::OutOfRange("lattice budget exhausted");
+      }
+      NodeEval eval =
+          EvaluateNode(dataset, qi, hierarchies, node, options);
+      if (eval.qualifies) {
+        qualifying.push_back(node);
+        if (!found || sum < best_sum) {
+          found = true;
+          best_sum = sum;
+          best.levels = node;
+          best.suppressed = eval.suppressed;
+          best.classes = eval.classes;
+          best.anonymity_level = eval.min_class;
+        }
+        continue;  // children are ancestors: non-minimal
+      }
+    }
+    // Expand children (one level up in one coordinate).
+    for (size_t i = 0; i < d; ++i) {
+      if (node[i] + 1 >= hierarchies[i].levels()) continue;
+      GeneralizationVector child = node;
+      ++child[i];
+      if (seen.insert(child).second) frontier.push(child);
+    }
+  }
+  if (!found) {
+    return Status::NotFound(
+        "no generalization meets the k-anonymity target");
+  }
+  best.nodes_evaluated = evaluated;
+  return best;
+}
+
+}  // namespace qikey

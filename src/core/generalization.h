@@ -1,0 +1,68 @@
+#ifndef QIKEY_CORE_GENERALIZATION_H_
+#define QIKEY_CORE_GENERALIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "data/dataset.h"
+#include "data/hierarchy.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief Minimal k-anonymous generalization (the ARX problem): given a
+/// quasi-identifier and a generalization hierarchy per QI attribute,
+/// find the least-generalizing level vector under which every
+/// equivalence class of the QI has size >= k (optionally after
+/// suppressing a bounded fraction of outlier rows).
+///
+/// The search is the classic bottom-up lattice BFS with the roll-up
+/// monotonicity prune: if a node is k-anonymous, all of its ancestors
+/// are, so the minimal solutions form an antichain reachable by
+/// level-order traversal.
+
+/// A point in the generalization lattice: one level per QI attribute
+/// (indices aligned with the `qi` vector passed to the search).
+using GeneralizationVector = std::vector<uint32_t>;
+
+struct GeneralizationOptions {
+  uint64_t k = 2;
+  /// Rows allowed to be suppressed (as a fraction of n) after
+  /// generalizing; 0 = strict k-anonymity.
+  double max_suppression = 0.0;
+  /// Abort (OutOfRange) after visiting this many lattice nodes.
+  uint64_t max_nodes = 1u << 20;
+};
+
+struct GeneralizationResult {
+  /// A minimal (no coordinate can be lowered) k-anonymizing vector with
+  /// the smallest total level sum among those found.
+  GeneralizationVector levels;
+  /// Fraction of rows suppressed under `levels` (<= max_suppression).
+  double suppressed = 0.0;
+  /// Equivalence classes and minimum class size after applying it.
+  uint64_t classes = 0;
+  uint64_t anonymity_level = 0;
+  /// Lattice nodes evaluated (work measure).
+  uint64_t nodes_evaluated = 0;
+};
+
+/// Applies a level vector: returns a data set whose QI columns are
+/// generalized (non-QI columns unchanged).
+Result<Dataset> ApplyGeneralization(
+    const Dataset& dataset, const std::vector<AttributeIndex>& qi,
+    const std::vector<GeneralizationHierarchy>& hierarchies,
+    const GeneralizationVector& levels);
+
+/// \brief Finds a minimal k-anonymizing generalization by bottom-up
+/// lattice BFS. NotFound if even full generalization misses the target
+/// (possible only with max_suppression > 0 semantics edge cases).
+Result<GeneralizationResult> FindMinimalGeneralization(
+    const Dataset& dataset, const std::vector<AttributeIndex>& qi,
+    const std::vector<GeneralizationHierarchy>& hierarchies,
+    const GeneralizationOptions& options);
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_GENERALIZATION_H_

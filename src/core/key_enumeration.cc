@@ -1,0 +1,62 @@
+#include "core/key_enumeration.h"
+
+#include <algorithm>
+
+#include "data/partition.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+Result<std::vector<AttributeSet>> EnumerateMinimalKeys(
+    const Dataset& dataset, const KeyEnumerationOptions& options) {
+  if (options.eps < 0.0 || options.eps >= 1.0) {
+    return Status::InvalidArgument("eps must be in [0, 1)");
+  }
+  const size_t m = dataset.num_attributes();
+  const uint32_t max_size =
+      std::min<uint32_t>(options.max_size, static_cast<uint32_t>(m));
+  const double budget =
+      options.eps * static_cast<double>(dataset.num_pairs());
+
+  std::vector<AttributeSet> found;
+  std::vector<std::vector<AttributeIndex>> frontier{{}};
+  uint64_t evaluations = 0;
+
+  for (uint32_t level = 1; level <= max_size && !frontier.empty();
+       ++level) {
+    std::vector<std::vector<AttributeIndex>> next;
+    for (const auto& base : frontier) {
+      AttributeIndex start = base.empty() ? 0 : base.back() + 1;
+      for (AttributeIndex a = start; a < m; ++a) {
+        if (++evaluations > options.max_candidates) {
+          return Status::OutOfRange(
+              "candidate budget exhausted; raise max_candidates or lower "
+              "max_size");
+        }
+        std::vector<AttributeIndex> candidate = base;
+        candidate.push_back(a);
+        AttributeSet attrs = AttributeSet::FromIndices(m, candidate);
+        // Minimality pruning: all strict subsets were evaluated at
+        // earlier levels, so containing a found key means non-minimal.
+        bool contains_key = false;
+        for (const AttributeSet& key : found) {
+          if (key.IsSubsetOf(attrs)) {
+            contains_key = true;
+            break;
+          }
+        }
+        if (contains_key) continue;
+        uint64_t gamma = CountUnseparatedPairs(dataset, candidate);
+        if (static_cast<double>(gamma) <= budget) {
+          found.push_back(std::move(attrs));
+        } else {
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return found;
+}
+
+}  // namespace qikey

@@ -1,0 +1,38 @@
+#ifndef QIKEY_CORE_KEY_ENUMERATION_H_
+#define QIKEY_CORE_KEY_ENUMERATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief Enumeration of ALL minimal (ε-separation) keys — unique
+/// column combination (UCC) discovery in the dependency-discovery
+/// literature (Metanome-style), with the paper's ε relaxation.
+///
+/// Since `Γ_A` is monotone non-increasing under attribute insertion,
+/// "is an ε-key" is upward closed and Apriori levelwise search with
+/// superset pruning enumerates exactly the minimal ε-keys.
+struct KeyEnumerationOptions {
+  /// ε = 0 enumerates exact minimal keys; ε > 0 minimal ε-keys.
+  double eps = 0.0;
+  /// Do not consider keys larger than this.
+  uint32_t max_size = 8;
+  /// Abort (OutOfRange) after this many candidate evaluations.
+  uint64_t max_candidates = 1u << 20;
+};
+
+/// All minimal ε-separation keys of `dataset`, smallest-first (within a
+/// size, lexicographic). Runs on the full data set; combine with tuple
+/// sampling (`Dataset::SelectRows` of a `m/sqrt(eps)` sample) for the
+/// paper's sampled regime.
+Result<std::vector<AttributeSet>> EnumerateMinimalKeys(
+    const Dataset& dataset, const KeyEnumerationOptions& options);
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_KEY_ENUMERATION_H_

@@ -1,0 +1,62 @@
+#ifndef QIKEY_CORE_MASKING_H_
+#define QIKEY_CORE_MASKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief Masking quasi-identifiers — the companion problem of
+/// Motwani–Xu's "Efficient algorithms for masking and finding
+/// quasi-identifiers": choose a smallest set of attributes to suppress
+/// so that the remaining attributes no longer form an ε-separation key
+/// (then *no* subset of the released attributes is a quasi-identifier
+/// with separation ratio above 1-ε, since separation is monotone).
+struct MaskingOptions {
+  /// Release target: remaining attributes must separate at most
+  /// `(1 - eps)` of all pairs.
+  double eps = 0.01;
+  /// Tuple-sample size for the sampled variant; 0 = the paper's
+  /// `m/sqrt(eps)`.
+  uint64_t sample_size = 0;
+  /// Safety valve: stop after masking this many attributes.
+  size_t max_masked = ~size_t{0};
+};
+
+struct MaskingStep {
+  AttributeIndex masked = 0;
+  /// Pairs separated by the remaining attributes after this step
+  /// (on the evaluation data: sample or full set).
+  uint64_t separated_after = 0;
+};
+
+struct MaskingResult {
+  /// Attributes to suppress before release.
+  AttributeSet masked;
+  /// Whether the target was reached within `max_masked`.
+  bool achieved = false;
+  /// Separation ratio of the remaining attributes on the evaluation
+  /// data when the algorithm stopped.
+  double residual_separation = 1.0;
+  std::vector<MaskingStep> steps;
+  uint64_t sample_size = 0;
+};
+
+/// \brief Greedy masking on a tuple sample (scales to large n the same
+/// way the filter does): repeatedly mask the attribute whose removal
+/// destroys the most remaining separation, until the remaining set
+/// separates at most `(1-eps)` of the sample pairs.
+Result<MaskingResult> FindMaskingSet(const Dataset& dataset,
+                                     const MaskingOptions& options, Rng* rng);
+
+/// Exact greedy on the full data set (small inputs / verification).
+MaskingResult GreedyMaskingExact(const Dataset& dataset, double eps);
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_MASKING_H_

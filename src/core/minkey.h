@@ -1,0 +1,72 @@
+#ifndef QIKEY_CORE_MINKEY_H_
+#define QIKEY_CORE_MINKEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "core/refine_engine.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// Options for approximate minimum ε-separation key search.
+struct MinKeyOptions {
+  double eps = 0.001;
+  /// Override the sample size (tuples for the tuple-sampling method,
+  /// pairs for the MX method); 0 = the paper's Table-1 sizes.
+  uint64_t sample_size = 0;
+  /// Gain computation for the refine engine (tuple-sampling method).
+  GainStrategy gain_strategy = GainStrategy::kLookupTable;
+  /// Stop after this many attributes even if the sample is unseparated.
+  size_t max_attributes = ~size_t{0};
+};
+
+/// Outcome of an approximate minimum ε-separation key search.
+struct MinKeyResult {
+  /// The returned quasi-identifier. W.h.p. it is an ε-separation key of
+  /// size at most `γ|K*|` with `γ = O(ln m / ε)` (Proposition 1).
+  AttributeSet key;
+  /// Whether the key separates all retained sample pairs (if false, the
+  /// sample contains exact duplicates or `max_attributes` was hit, and
+  /// no attribute subset is a key of the sample).
+  bool covered_sample = false;
+  uint64_t sample_size = 0;
+  /// Greedy trace (attribute picked and pairs newly covered per round).
+  std::vector<RefineEngine::Step> steps;
+};
+
+/// \brief Proposition 1: sample `Θ(m/√ε)` tuples, then greedy set cover
+/// on `(R choose 2)` via partition refinement. `O(m³/√ε)` time with the
+/// lookup-table strategy.
+Result<MinKeyResult> FindApproxMinimumEpsKey(const Dataset& dataset,
+                                             const MinKeyOptions& options,
+                                             Rng* rng);
+
+/// \brief The Motwani–Xu baseline: sample `Θ(m/ε)` pairs, then greedy
+/// set cover with the pairs as ground set. `O(m³/ε)` time (each of up to
+/// `m` rounds scans `m` attribute sets of `Θ(m/ε)` bits).
+Result<MinKeyResult> FindApproxMinimumEpsKeyMx(const Dataset& dataset,
+                                               const MinKeyOptions& options,
+                                               Rng* rng);
+
+/// \brief Greedy minimum key of a complete (small) data set — no
+/// sampling; the classic reduction run on `(X choose 2)`.
+MinKeyResult GreedyMinimumKey(const Dataset& dataset,
+                              GainStrategy strategy = GainStrategy::kLookupTable);
+
+/// \brief The paper's γ = 1 route: sample `Θ(m/√ε)` tuples, build the
+/// explicit set cover instance over the *unseparated* ground set
+/// `(R choose 2)`, and solve it EXACTLY by branch and bound. Running
+/// time `2^{O(m)}` but on a ground set of size `O(m²/ε)` instead of
+/// `O(n²)` — feasible for small m. W.h.p. the result is an
+/// ε-separation key of minimum size among all ε-keys of the sample.
+Result<MinKeyResult> FindMinimumEpsKeyExact(const Dataset& dataset,
+                                            const MinKeyOptions& options,
+                                            Rng* rng);
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_MINKEY_H_

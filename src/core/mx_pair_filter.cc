@@ -1,0 +1,105 @@
+#include "core/mx_pair_filter.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+Result<MxPairFilter> MxPairFilter::Build(const Dataset& dataset,
+                                         const MxPairFilterOptions& options,
+                                         Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (dataset.num_rows() < 2) {
+    return Status::InvalidArgument("need at least two rows to sample pairs");
+  }
+  if (options.eps <= 0.0 || options.eps >= 1.0) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  uint64_t s = options.sample_size > 0
+                   ? options.sample_size
+                   : MxPairSampleSizePaper(
+                         static_cast<uint32_t>(dataset.num_attributes()),
+                         options.eps);
+  MxPairFilter filter;
+  filter.exhaustive_compare_ = options.exhaustive_compare;
+  filter.pairs_.reserve(s);
+  for (uint64_t i = 0; i < s; ++i) {
+    auto [a, b] = rng->SamplePair(dataset.num_rows());
+    filter.pairs_.emplace_back(static_cast<RowIndex>(a),
+                               static_cast<RowIndex>(b));
+  }
+  if (options.materialize) {
+    // Copy the union of sampled rows into a private table and re-index.
+    std::vector<RowIndex> rows;
+    rows.reserve(2 * filter.pairs_.size());
+    for (auto [a, b] : filter.pairs_) {
+      rows.push_back(a);
+      rows.push_back(b);
+    }
+    filter.materialized_ =
+        std::make_shared<Dataset>(dataset.SelectRows(rows));
+    for (size_t i = 0; i < filter.pairs_.size(); ++i) {
+      filter.pairs_[i] = {static_cast<RowIndex>(2 * i),
+                          static_cast<RowIndex>(2 * i + 1)};
+    }
+    filter.dataset_ = filter.materialized_.get();
+  } else {
+    filter.dataset_ = &dataset;
+  }
+  return filter;
+}
+
+Result<MxPairFilter> MxPairFilter::FromMaterializedPairs(Dataset pair_table) {
+  if (pair_table.num_rows() % 2 != 0) {
+    return Status::InvalidArgument("pair table must have an even row count");
+  }
+  MxPairFilter filter;
+  filter.materialized_ = std::make_shared<Dataset>(std::move(pair_table));
+  filter.dataset_ = filter.materialized_.get();
+  size_t s = filter.materialized_->num_rows() / 2;
+  filter.pairs_.reserve(s);
+  for (size_t i = 0; i < s; ++i) {
+    filter.pairs_.emplace_back(static_cast<RowIndex>(2 * i),
+                               static_cast<RowIndex>(2 * i + 1));
+  }
+  return filter;
+}
+
+FilterVerdict MxPairFilter::Query(const AttributeSet& attrs) const {
+  return QueryWitness(attrs).has_value() ? FilterVerdict::kReject
+                                         : FilterVerdict::kAccept;
+}
+
+std::optional<std::pair<RowIndex, RowIndex>> MxPairFilter::QueryWitness(
+    const AttributeSet& attrs) const {
+  std::vector<AttributeIndex> idx = attrs.ToIndices();
+  if (exhaustive_compare_) {
+    // Cost-model-faithful path: touch every attribute of every pair.
+    for (const auto& [a, b] : pairs_) {
+      uint32_t differing = 0;
+      for (AttributeIndex j : idx) {
+        differing += (dataset_->code(a, j) != dataset_->code(b, j)) ? 1 : 0;
+      }
+      if (differing == 0) return std::make_pair(a, b);
+    }
+    return std::nullopt;
+  }
+  for (const auto& [a, b] : pairs_) {
+    if (dataset_->RowsAgreeOn(a, b, idx)) {
+      return std::make_pair(a, b);
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t MxPairFilter::MemoryBytes() const {
+  uint64_t bytes = pairs_.size() * sizeof(std::pair<RowIndex, RowIndex>);
+  if (materialized_ != nullptr) {
+    bytes += materialized_->num_rows() * materialized_->num_attributes() *
+             sizeof(ValueCode);
+  }
+  return bytes;
+}
+
+}  // namespace qikey

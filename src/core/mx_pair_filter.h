@@ -1,0 +1,70 @@
+#ifndef QIKEY_CORE_MX_PAIR_FILTER_H_
+#define QIKEY_CORE_MX_PAIR_FILTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/filter.h"
+#include "core/sample_bounds.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// Options for `MxPairFilter::Build`.
+struct MxPairFilterOptions {
+  double eps = 0.001;
+  /// Override the sample size; 0 = use `MxPairSampleSizePaper(m, eps)`.
+  uint64_t sample_size = 0;
+  /// When true, the sampled pairs' values are copied out of the data set
+  /// (a true sketch). When false, only row indices are kept and queries
+  /// read through to the data set (cheaper to build; identical answers).
+  bool materialize = false;
+  /// When true, each pair comparison inspects every attribute of the
+  /// query (no early exit on the first differing attribute). Answers
+  /// are identical; the query then costs exactly the `O(s·|A|)` of the
+  /// paper's analysis — the cost model behind Table 1's T(*) column.
+  bool exhaustive_compare = false;
+};
+
+/// \brief The Motwani–Xu (2008) baseline filter: `Θ(m/ε)` uniform
+/// *pairs* of tuples; reject `A` iff some retained pair is unseparated.
+///
+/// Query time `O(s · |A|)` with `s` the pair count.
+class MxPairFilter : public SeparationFilter {
+ public:
+  /// Samples pairs from `dataset`. The data set must outlive the filter
+  /// unless `options.materialize` is set.
+  static Result<MxPairFilter> Build(const Dataset& dataset,
+                                    const MxPairFilterOptions& options,
+                                    Rng* rng);
+
+  /// Builds from an already-materialized pair table (streaming path):
+  /// rows `2i` and `2i+1` of `pair_table` form sampled pair `i`.
+  static Result<MxPairFilter> FromMaterializedPairs(Dataset pair_table);
+
+  FilterVerdict Query(const AttributeSet& attrs) const override;
+  std::optional<std::pair<RowIndex, RowIndex>> QueryWitness(
+      const AttributeSet& attrs) const override;
+
+  uint64_t sample_size() const override { return pairs_.size(); }
+  uint64_t MemoryBytes() const override;
+
+  const std::vector<std::pair<RowIndex, RowIndex>>& pairs() const {
+    return pairs_;
+  }
+
+ private:
+  MxPairFilter() = default;
+
+  // Pair row indices; when materialized, indices address rows of
+  // `materialized_` instead of the original data set.
+  std::vector<std::pair<RowIndex, RowIndex>> pairs_;
+  const Dataset* dataset_ = nullptr;
+  std::shared_ptr<Dataset> materialized_;
+  bool exhaustive_compare_ = false;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_MX_PAIR_FILTER_H_

@@ -1,0 +1,194 @@
+#include "core/refine_engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "math/combinatorics.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+RefineEngine::RefineEngine(const Dataset& sample, GainStrategy strategy)
+    : sample_(sample), strategy_(strategy) {
+  const size_t r = sample_.num_rows();
+  block_of_.assign(r, 0);
+  num_blocks_ = r > 0 ? 1 : 0;
+  block_sizes_.assign(num_blocks_, static_cast<uint32_t>(r));
+  RebuildBlockIndex();
+  for (size_t j = 0; j < sample_.num_attributes(); ++j) {
+    max_cardinality_ = std::max(
+        max_cardinality_,
+        sample_.column(static_cast<AttributeIndex>(j)).cardinality());
+  }
+  scratch_ = MakeScratch();
+}
+
+RefineEngine::GainScratch RefineEngine::MakeScratch() const {
+  GainScratch scratch;
+  scratch.code_count.assign(max_cardinality_, 0);
+  scratch.touched.reserve(64);
+  return scratch;
+}
+
+void RefineEngine::RebuildBlockIndex() {
+  const size_t r = block_of_.size();
+  block_begin_.assign(num_blocks_ + 1, 0);
+  for (size_t row = 0; row < r; ++row) ++block_begin_[block_of_[row] + 1];
+  for (uint32_t b = 0; b < num_blocks_; ++b) {
+    block_begin_[b + 1] += block_begin_[b];
+  }
+  rows_by_block_.resize(r);
+  std::vector<uint32_t> cursor(block_begin_.begin(), block_begin_.end() - 1);
+  for (size_t row = 0; row < r; ++row) {
+    rows_by_block_[cursor[block_of_[row]]++] = static_cast<RowIndex>(row);
+  }
+}
+
+uint64_t RefineEngine::unseparated_pairs() const {
+  uint64_t total = 0;
+  for (uint32_t s : block_sizes_) total += PairCount(s);
+  return total;
+}
+
+uint64_t RefineEngine::GainOf(AttributeIndex attribute) const {
+  return strategy_ == GainStrategy::kLookupTable
+             ? GainLookupTable(attribute, &scratch_)
+             : GainSortPartition(attribute);
+}
+
+uint64_t RefineEngine::GainLookupTable(AttributeIndex attribute,
+                                       GainScratch* scratch) const {
+  const Column& col = sample_.column(attribute);
+  // g = 1/2 * sum over blocks (|C|^2 - sum_a |D_a|^2), computed per block
+  // with a code-indexed counter array (Algorithm 3's bucket step; the
+  // dictionary codes are the precomputed lookup table P).
+  uint64_t delta = 0;  // sum over blocks of (|C|^2 - sum |D_a|^2)
+  for (uint32_t b = 0; b < num_blocks_; ++b) {
+    uint32_t begin = block_begin_[b];
+    uint32_t end = block_begin_[b + 1];
+    uint32_t size = end - begin;
+    if (size <= 1) continue;
+    scratch->touched.clear();
+    for (uint32_t i = begin; i < end; ++i) {
+      ValueCode c = col.code(rows_by_block_[i]);
+      if (scratch->code_count[c] == 0) scratch->touched.push_back(c);
+      ++scratch->code_count[c];
+    }
+    uint64_t sum_sq = 0;
+    for (ValueCode c : scratch->touched) {
+      uint64_t cnt = scratch->code_count[c];
+      sum_sq += cnt * cnt;
+      scratch->code_count[c] = 0;  // reset scratch for the next block
+    }
+    delta += static_cast<uint64_t>(size) * size - sum_sq;
+  }
+  return delta / 2;
+}
+
+uint64_t RefineEngine::GainSortPartition(AttributeIndex attribute) const {
+  const Column& col = sample_.column(attribute);
+  uint64_t delta = 0;
+  std::vector<ValueCode> scratch;
+  for (uint32_t b = 0; b < num_blocks_; ++b) {
+    uint32_t begin = block_begin_[b];
+    uint32_t end = block_begin_[b + 1];
+    uint32_t size = end - begin;
+    if (size <= 1) continue;
+    scratch.clear();
+    scratch.reserve(size);
+    for (uint32_t i = begin; i < end; ++i) {
+      scratch.push_back(col.code(rows_by_block_[i]));
+    }
+    std::sort(scratch.begin(), scratch.end());
+    uint64_t sum_sq = 0;
+    uint64_t run = 1;
+    for (size_t i = 1; i < scratch.size(); ++i) {
+      if (scratch[i] == scratch[i - 1]) {
+        ++run;
+      } else {
+        sum_sq += run * run;
+        run = 1;
+      }
+    }
+    sum_sq += run * run;
+    delta += static_cast<uint64_t>(size) * size - sum_sq;
+  }
+  return delta / 2;
+}
+
+uint64_t RefineEngine::Apply(AttributeIndex attribute) {
+  const Column& col = sample_.column(attribute);
+  uint64_t before = unseparated_pairs();
+  // Split every block by code, assigning dense new block ids.
+  std::vector<uint32_t> new_block_of(block_of_.size());
+  std::vector<uint32_t> new_sizes;
+  uint32_t next_block = 0;
+  std::vector<uint32_t> code_to_new(max_cardinality_, ~uint32_t{0});
+  std::vector<ValueCode> touched;
+  for (uint32_t b = 0; b < num_blocks_; ++b) {
+    uint32_t begin = block_begin_[b];
+    uint32_t end = block_begin_[b + 1];
+    touched.clear();
+    for (uint32_t i = begin; i < end; ++i) {
+      RowIndex row = rows_by_block_[i];
+      ValueCode c = col.code(row);
+      if (code_to_new[c] == ~uint32_t{0}) {
+        code_to_new[c] = next_block++;
+        new_sizes.push_back(0);
+        touched.push_back(c);
+      }
+      new_block_of[row] = code_to_new[c];
+      ++new_sizes[code_to_new[c]];
+    }
+    for (ValueCode c : touched) code_to_new[c] = ~uint32_t{0};
+  }
+  block_of_ = std::move(new_block_of);
+  block_sizes_ = std::move(new_sizes);
+  num_blocks_ = next_block;
+  RebuildBlockIndex();
+  return before - unseparated_pairs();
+}
+
+RefineEngine::GreedyResult RefineEngine::RunGreedy(size_t max_attributes) {
+  GreedyResult result;
+  result.chosen = AttributeSet(sample_.num_attributes());
+  const size_t m = sample_.num_attributes();
+  std::vector<uint64_t> gains(m, 0);
+  while (result.steps.size() < max_attributes &&
+         num_blocks_ < sample_.num_rows()) {
+    // Compute all gains (in parallel when a pool is attached), then
+    // reduce serially for a deterministic argmax.
+    ThreadPool::ParallelFor(
+        pool_, m, [&](size_t begin, size_t end) {
+          GainScratch scratch = MakeScratch();
+          for (size_t j = begin; j < end; ++j) {
+            AttributeIndex a = static_cast<AttributeIndex>(j);
+            if (result.chosen.Contains(a)) {
+              gains[j] = 0;
+              continue;
+            }
+            gains[j] = strategy_ == GainStrategy::kLookupTable
+                           ? GainLookupTable(a, &scratch)
+                           : GainSortPartition(a);
+          }
+        });
+    AttributeIndex best_attr = 0;
+    uint64_t best_gain = 0;
+    for (size_t j = 0; j < m; ++j) {
+      if (gains[j] > best_gain) {
+        best_gain = gains[j];
+        best_attr = static_cast<AttributeIndex>(j);
+      }
+    }
+    if (best_gain == 0) break;  // no attribute separates anything further
+    uint64_t applied = Apply(best_attr);
+    QIKEY_DCHECK(applied == best_gain);
+    result.chosen.Add(best_attr);
+    result.steps.push_back(Step{best_attr, applied, num_blocks_});
+  }
+  result.is_sample_key = num_blocks_ == sample_.num_rows();
+  result.remaining_unseparated = unseparated_pairs();
+  return result;
+}
+
+}  // namespace qikey

@@ -1,0 +1,110 @@
+#ifndef QIKEY_CORE_REFINE_ENGINE_H_
+#define QIKEY_CORE_REFINE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "data/dataset.h"
+#include "util/thread_pool.h"
+
+namespace qikey {
+
+/// How the per-attribute coverage gain `g_k` is computed each round.
+enum class GainStrategy {
+  /// Appendix B / Algorithm 3: bucket rows of each clique by their code
+  /// through the precomputed lookup table (here, the dictionary codes
+  /// themselves). `O(r)` per attribute per round -> `O(m² r)` total,
+  /// i.e. `O(m³/√ε)` at the paper's sample size.
+  kLookupTable,
+  /// The "simplest approach" the paper mentions: sort each clique by the
+  /// attribute's codes. `O(r log r)` comparisons per attribute per round
+  /// -> `O(m² r log r)` total. Kept for the ablation bench.
+  kSortPartition,
+};
+
+/// \brief Greedy minimum-key engine over a (sample) data set.
+///
+/// Implements Algorithm 2 specialized to the separation ground set
+/// `(R choose 2)` using partition refinement: the state after choosing
+/// `A` is the clique partition of `G_A` restricted to the sample, and
+/// the greedy coverage gain of attribute `k` is
+///   `g_k = ½ Σ_i (|C_i|² − Σ_a |D_a^{(i)}|²)`   (Appendix B),
+/// the number of newly separated sample pairs.
+class RefineEngine {
+ public:
+  explicit RefineEngine(const Dataset& sample,
+                        GainStrategy strategy = GainStrategy::kLookupTable);
+
+  struct Step {
+    AttributeIndex chosen = 0;
+    uint64_t gain = 0;            ///< newly separated sample pairs
+    uint32_t blocks_after = 0;    ///< cliques after this step
+  };
+
+  struct GreedyResult {
+    AttributeSet chosen;
+    std::vector<Step> steps;
+    /// True iff the chosen set separates all sample pairs (covers the
+    /// ground set); false when the sample has full duplicates or
+    /// `max_attributes` stopped the loop.
+    bool is_sample_key = false;
+    uint64_t remaining_unseparated = 0;
+  };
+
+  /// Runs greedy until all sample pairs are separated, no attribute
+  /// helps, or `max_attributes` were chosen.
+  GreedyResult RunGreedy(size_t max_attributes = ~size_t{0});
+
+  /// Optional worker pool: when set, each greedy round computes the
+  /// per-attribute gains in parallel (deterministic result — the
+  /// argmax reduction is serial with index tie-breaking).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Gain of refining the current partition by `attribute` (exposed for
+  /// tests). Does not modify state.
+  uint64_t GainOf(AttributeIndex attribute) const;
+
+  /// Applies `attribute` to the state; returns pairs newly separated.
+  uint64_t Apply(AttributeIndex attribute);
+
+  uint32_t num_blocks() const { return num_blocks_; }
+  uint64_t unseparated_pairs() const;
+
+ private:
+  /// Reusable per-thread buffers for the lookup-table gain.
+  struct GainScratch {
+    std::vector<uint32_t> code_count;
+    std::vector<ValueCode> touched;
+  };
+
+  uint64_t GainLookupTable(AttributeIndex attribute,
+                           GainScratch* scratch) const;
+  uint64_t GainSortPartition(AttributeIndex attribute) const;
+  GainScratch MakeScratch() const;
+  /// Rebuilds `rows_by_block_` / `block_begin_` from `block_of_`.
+  void RebuildBlockIndex();
+
+  const Dataset& sample_;
+  GainStrategy strategy_;
+  ThreadPool* pool_ = nullptr;
+
+  // Current partition state.
+  std::vector<uint32_t> block_of_;       // row -> block
+  uint32_t num_blocks_ = 0;
+  std::vector<uint32_t> block_sizes_;    // block -> size
+  // Rows grouped by block: rows_by_block_[block_begin_[b] ..
+  // block_begin_[b+1]) lists the rows of block b.
+  std::vector<RowIndex> rows_by_block_;
+  std::vector<uint32_t> block_begin_;
+
+  // Serial-path scratch (per-code counters plus a touched list),
+  // reused across blocks and attributes. Parallel rounds use
+  // per-thread `GainScratch` instances instead.
+  mutable GainScratch scratch_;
+  uint32_t max_cardinality_ = 1;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_REFINE_ENGINE_H_

@@ -1,0 +1,47 @@
+#include "core/separation.h"
+
+#include "math/combinatorics.h"
+
+namespace qikey {
+
+uint64_t ExactUnseparatedPairs(const Dataset& dataset,
+                               const AttributeSet& attrs) {
+  return CountUnseparatedPairs(dataset, attrs.ToIndices());
+}
+
+double SeparationRatio(const Dataset& dataset, const AttributeSet& attrs) {
+  uint64_t total = dataset.num_pairs();
+  if (total == 0) return 1.0;
+  uint64_t unseparated = ExactUnseparatedPairs(dataset, attrs);
+  return 1.0 - static_cast<double>(unseparated) / static_cast<double>(total);
+}
+
+bool IsKey(const Dataset& dataset, const AttributeSet& attrs) {
+  return SeparationPartition(dataset, attrs).AllSingletons();
+}
+
+bool IsEpsSeparationKey(const Dataset& dataset, const AttributeSet& attrs,
+                        double eps) {
+  uint64_t total = dataset.num_pairs();
+  uint64_t unseparated = ExactUnseparatedPairs(dataset, attrs);
+  return static_cast<double>(unseparated) <=
+         eps * static_cast<double>(total);
+}
+
+SeparationClass Classify(const Dataset& dataset, const AttributeSet& attrs,
+                         double eps) {
+  uint64_t total = dataset.num_pairs();
+  uint64_t unseparated = ExactUnseparatedPairs(dataset, attrs);
+  if (unseparated == 0) return SeparationClass::kKey;
+  if (static_cast<double>(unseparated) > eps * static_cast<double>(total)) {
+    return SeparationClass::kBad;
+  }
+  return SeparationClass::kIntermediate;
+}
+
+Partition SeparationPartition(const Dataset& dataset,
+                              const AttributeSet& attrs) {
+  return PartitionByAttributes(dataset, attrs.ToIndices());
+}
+
+}  // namespace qikey

@@ -1,0 +1,42 @@
+#ifndef QIKEY_CORE_SEPARATION_H_
+#define QIKEY_CORE_SEPARATION_H_
+
+#include <cstdint>
+
+#include "core/attribute_set.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+
+namespace qikey {
+
+/// Ground-truth classification of an attribute set (Section 1):
+/// a *key* separates all pairs; a *bad* set separates fewer than
+/// `(1-ε)C(n,2)`; everything else is in the gray zone where a filter may
+/// answer either way.
+enum class SeparationClass { kKey, kIntermediate, kBad };
+
+/// Exact number of pairs `attrs` fails to separate (`Γ_A`). `O(n·|A|)`.
+uint64_t ExactUnseparatedPairs(const Dataset& dataset,
+                               const AttributeSet& attrs);
+
+/// Exact fraction of pairs separated by `attrs` in `[0, 1]`.
+double SeparationRatio(const Dataset& dataset, const AttributeSet& attrs);
+
+/// True iff `attrs` separates every pair (is a key).
+bool IsKey(const Dataset& dataset, const AttributeSet& attrs);
+
+/// True iff `attrs` separates at least `(1-eps)` of all pairs.
+bool IsEpsSeparationKey(const Dataset& dataset, const AttributeSet& attrs,
+                        double eps);
+
+/// Classifies `attrs` against threshold `eps`.
+SeparationClass Classify(const Dataset& dataset, const AttributeSet& attrs,
+                         double eps);
+
+/// The auxiliary-graph partition `G_A` (disjoint cliques) for `attrs`.
+Partition SeparationPartition(const Dataset& dataset,
+                              const AttributeSet& attrs);
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_SEPARATION_H_

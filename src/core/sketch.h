@@ -1,0 +1,86 @@
+#ifndef QIKEY_CORE_SKETCH_H_
+#define QIKEY_CORE_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// Result of a non-separation estimate.
+struct NonSeparationEstimate {
+  /// True when the sketch declares `Γ_A < α·C(n,2)` ("small"); the
+  /// numeric estimate is then meaningless.
+  bool small = false;
+  /// Estimated `Γ_A` (number of unseparated pairs), valid when !small.
+  double estimate = 0.0;
+  /// Raw count of retained pairs the query failed to separate (`D_A`).
+  uint64_t hits = 0;
+};
+
+struct NonSeparationSketchOptions {
+  uint32_t k = 4;        ///< maximum query size |A|
+  double alpha = 0.1;    ///< density cutoff: guarantees apply when Γ_A >= α C(n,2)
+  double eps = 0.1;      ///< relative error of the estimate
+  double big_k = 1.0;    ///< the universal constant K of Theorem 2
+  /// Override the retained-pair count; 0 = `⌈K k ln m/(α ε²)⌉`.
+  uint64_t sample_size = 0;
+};
+
+/// \brief Theorem 2's uniform-sampling sketch for estimating `Γ_A`.
+///
+/// Retains `s = Θ(k log m / (α ε²))` uniform pairs of tuples, fully
+/// materialized (the sketch must answer without the data set). For any
+/// `|A| <= k` with `Γ_A >= α C(n,2)`, w.h.p. the estimate
+/// `D_A · C(n,2)/s` is within `(1±ε)Γ_A`; sets below the cutoff may be
+/// reported "small". Matching lower bound: any such sketch takes
+/// `Ω(mk log(1/ε))` bits (Section 3.2).
+class NonSeparationSketch {
+ public:
+  static Result<NonSeparationSketch> Build(
+      const Dataset& dataset, const NonSeparationSketchOptions& options,
+      Rng* rng);
+
+  /// Builds from already-materialized pair codes (streaming path):
+  /// `codes` holds `2*s*m` values laid out as in `codes_`. `total_pairs`
+  /// is `C(n,2)` of the stream.
+  static Result<NonSeparationSketch> FromMaterializedPairs(
+      uint32_t num_attributes, uint64_t total_pairs, uint64_t small_cutoff,
+      std::vector<ValueCode> codes);
+
+  /// Estimates `Γ_A`. Does not check |A| <= k (estimates for larger sets
+  /// are returned but carry no guarantee).
+  NonSeparationEstimate Estimate(const AttributeSet& attrs) const;
+
+  uint64_t sample_size() const { return num_pairs_; }
+  uint64_t total_pairs() const { return total_pairs_; }
+  uint64_t small_cutoff() const { return small_cutoff_; }
+
+  /// Serialized size in bytes (what the lower bound counts).
+  uint64_t SizeBytes() const;
+
+  /// Byte serialization (header + packed codes); `Deserialize` restores
+  /// a sketch that answers identically.
+  std::string Serialize() const;
+  static Result<NonSeparationSketch> Deserialize(const std::string& bytes);
+
+ private:
+  NonSeparationSketch() = default;
+
+  uint32_t num_attributes_ = 0;
+  uint64_t num_pairs_ = 0;
+  uint64_t total_pairs_ = 0;   ///< C(n,2) of the source data set
+  uint64_t small_cutoff_ = 0;  ///< D_A below this => "small"
+  /// Row-major codes: pair i's left tuple at [2i*m, ...), right at
+  /// [(2i+1)*m, ...).
+  std::vector<ValueCode> codes_;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_SKETCH_H_

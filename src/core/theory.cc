@@ -1,0 +1,74 @@
+#include "core/theory.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+uint64_t EncodingGammaClosedForm(uint32_t t, uint32_t k, uint32_t u) {
+  QIKEY_CHECK(u <= k);
+  // Γ = (t²-t+5/2)k² - (t-1/2)k + u² - 3ku
+  //   = [2(t²-t)k² + 5k² - (2t-1)k + 2u² - 6ku] / 2, which is integral
+  // (5k² + k is even for every k).
+  const int64_t T = t, K = k, U = u;
+  int64_t numerator = 2 * (T * T - T) * K * K + 5 * K * K - (2 * T - 1) * K +
+                      2 * U * U - 6 * K * U;
+  QIKEY_CHECK(numerator >= 0 && numerator % 2 == 0)
+      << "closed form must be a non-negative integer";
+  return static_cast<uint64_t>(numerator / 2);
+}
+
+double EncodingGoodGuessThreshold(uint32_t t, uint32_t k, double eps) {
+  return (1.0 + eps) *
+         static_cast<double>(EncodingGammaClosedForm(t, k, k));
+}
+
+uint32_t EncodingChooseT(double eps) {
+  QIKEY_CHECK(eps > 0.0 && eps < 1.0);
+  // Decoding needs 11 / (200 t² - 200 t + 11) > eps so the all-correct
+  // and not-all-correct Γ values stay separated despite the (1±eps)
+  // estimation ambiguity. The lower bound wants t as large as possible
+  // (t = Θ(1/√eps)), so return the largest t still satisfying it.
+  auto satisfied = [eps](uint64_t t) {
+    double dt = static_cast<double>(t);
+    return 11.0 / (200.0 * dt * dt - 200.0 * dt + 11.0) > eps;
+  };
+  uint64_t t = 2;
+  while (t < (1u << 20) && satisfied(t + 1)) ++t;
+  return static_cast<uint32_t>(t);
+}
+
+std::vector<uint8_t> DecodeEncodingColumn(
+    const std::function<NonSeparationEstimate(const AttributeSet&)>& oracle,
+    uint32_t column, uint32_t m, uint32_t n, uint32_t k, uint32_t t,
+    double eps) {
+  QIKEY_CHECK(k <= n);
+  const double threshold = EncodingGoodGuessThreshold(t, k, eps);
+  const size_t total_attrs = static_cast<size_t>(m) + n;
+  std::vector<uint32_t> guess(k);
+  for (uint32_t i = 0; i < k; ++i) guess[i] = i;
+  std::vector<uint8_t> reconstruction(n, 0);
+  while (true) {
+    AttributeSet attrs(total_attrs);
+    attrs.Add(column);
+    for (uint32_t r : guess) attrs.Add(m + r);
+    NonSeparationEstimate est = oracle(attrs);
+    if (!est.small && est.estimate <= threshold) {
+      for (uint32_t r : guess) reconstruction[r] = 1;
+      return reconstruction;
+    }
+    // Next k-combination of [0, n).
+    int32_t i = static_cast<int32_t>(k) - 1;
+    while (i >= 0 && guess[i] == n - k + static_cast<uint32_t>(i)) --i;
+    if (i < 0) break;
+    ++guess[i];
+    for (uint32_t j = static_cast<uint32_t>(i) + 1; j < k; ++j) {
+      guess[j] = guess[j - 1] + 1;
+    }
+  }
+  // No good guess found (estimation failure); return the all-zero column.
+  return reconstruction;
+}
+
+}  // namespace qikey

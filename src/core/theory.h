@@ -1,0 +1,48 @@
+#ifndef QIKEY_CORE_THEORY_H_
+#define QIKEY_CORE_THEORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "core/sketch.h"
+
+namespace qikey {
+
+/// \brief Closed forms from the paper's lower-bound machinery
+/// (Section 3.2 and Lemma 6).
+
+/// Lemma 6: for the encoding data set with `n = k·t`, querying
+/// `A = {c} ∪ {m + r_1..r_k}` where `u` of the `k` guessed rows are
+/// correct (are 1-entries of column `c`):
+///   `Γ_A = (t² - t + 5/2)·k² - (t - 1/2)·k + u² - 3ku`.
+/// The value is integral; computed exactly in 64-bit arithmetic.
+uint64_t EncodingGammaClosedForm(uint32_t t, uint32_t k, uint32_t u);
+
+/// Bob's acceptance threshold: a guess is declared good when
+/// `Γ̂_A <= (1+eps) * EncodingGammaClosedForm(t, k, u=k)`.
+double EncodingGoodGuessThreshold(uint32_t t, uint32_t k, double eps);
+
+/// The paper's choice `t = 1/(K√ε)`: returns the smallest `t` making the
+/// decoding gap exceed `(1+ε)/(1-ε)`, i.e. satisfying
+/// `11 / (200 t² - 200 t + 11) > ε` fails for smaller epsilon... solved
+/// numerically by scanning up from 2.
+uint32_t EncodingChooseT(double eps);
+
+/// \brief Bob's column decoder (Section 3.2): exhaustively tries all
+/// `C(n, k)` row guesses, queries the estimate oracle with
+/// `A = {column} ∪ {m + r_i}`, and returns the first good guess as a
+/// reconstructed 0/1 column of length `n`. Exponential in `k`; intended
+/// for small test instances.
+///
+/// `oracle` answers non-separation estimates over the encoding data set
+/// (2n rows, m+n attributes).
+std::vector<uint8_t> DecodeEncodingColumn(
+    const std::function<NonSeparationEstimate(const AttributeSet&)>& oracle,
+    uint32_t column, uint32_t m, uint32_t n, uint32_t k, uint32_t t,
+    double eps);
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_THEORY_H_

@@ -1,0 +1,40 @@
+#include "data/column.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+Column::Column(std::vector<ValueCode> codes, uint32_t cardinality,
+               std::shared_ptr<Dictionary> dictionary)
+    : codes_(std::move(codes)),
+      cardinality_(cardinality),
+      dictionary_(std::move(dictionary)) {
+  if (cardinality_ == 0) {
+    ValueCode max_code = 0;
+    for (ValueCode c : codes_) max_code = std::max(max_code, c);
+    cardinality_ = codes_.empty() ? 0 : max_code + 1;
+  } else {
+    for (ValueCode c : codes_) {
+      QIKEY_DCHECK(c < cardinality_);
+      (void)c;
+    }
+  }
+}
+
+uint32_t Column::CountDistinct() const {
+  if (distinct_ != 0 || codes_.empty()) return distinct_;
+  std::vector<bool> seen(cardinality_, false);
+  uint32_t count = 0;
+  for (ValueCode c : codes_) {
+    if (!seen[c]) {
+      seen[c] = true;
+      ++count;
+    }
+  }
+  distinct_ = count;
+  return distinct_;
+}
+
+}  // namespace qikey

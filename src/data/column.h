@@ -1,0 +1,49 @@
+#ifndef QIKEY_DATA_COLUMN_H_
+#define QIKEY_DATA_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "data/dictionary.h"
+
+namespace qikey {
+
+/// \brief One dictionary-encoded attribute: a dense vector of codes plus
+/// an optional dictionary (absent for synthetic data, where codes are the
+/// values).
+class Column {
+ public:
+  Column() = default;
+
+  /// Builds a column from codes. `cardinality` must exceed every code;
+  /// pass 0 to have it computed as `max(code)+1`.
+  explicit Column(std::vector<ValueCode> codes, uint32_t cardinality = 0,
+                  std::shared_ptr<Dictionary> dictionary = nullptr);
+
+  size_t size() const { return codes_.size(); }
+  ValueCode code(size_t row) const { return codes_[row]; }
+  const std::vector<ValueCode>& codes() const { return codes_; }
+
+  /// Upper bound on codes: all codes are in `[0, cardinality())`.
+  uint32_t cardinality() const { return cardinality_; }
+
+  /// Number of *observed* distinct codes (computed on demand, cached).
+  uint32_t CountDistinct() const;
+
+  /// Dictionary for rendering values; may be null for synthetic columns.
+  const Dictionary* dictionary() const { return dictionary_.get(); }
+  std::shared_ptr<Dictionary> shared_dictionary() const { return dictionary_; }
+
+ private:
+  std::vector<ValueCode> codes_;
+  uint32_t cardinality_ = 0;
+  mutable uint32_t distinct_ = 0;  // 0 = not yet computed (columns are
+                                   // non-empty in practice)
+  std::shared_ptr<Dictionary> dictionary_;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_COLUMN_H_

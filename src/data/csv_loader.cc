@@ -1,0 +1,71 @@
+#include "data/csv_loader.h"
+
+#include <fstream>
+#include <utility>
+
+#include "data/dataset_builder.h"
+
+namespace qikey {
+
+namespace {
+
+Result<Dataset> TableToDataset(CsvTable table) {
+  std::vector<std::string> names = std::move(table.header);
+  if (names.empty()) {
+    size_t width = table.rows.empty() ? 0 : table.rows[0].size();
+    names = Schema::Anonymous(width).names();
+  }
+  DatasetBuilder builder(std::move(names));
+  for (auto& row : table.rows) {
+    QIKEY_RETURN_NOT_OK(builder.AddRow(row));
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsvDataset(const std::string& path,
+                               const CsvOptions& options) {
+  Result<CsvTable> table = ReadCsvFile(path, options);
+  if (!table.ok()) return table.status();
+  return TableToDataset(std::move(table).ValueOrDie());
+}
+
+Result<Dataset> LoadCsvDatasetFromString(std::string_view text,
+                                         const CsvOptions& options) {
+  Result<CsvTable> table = ParseCsv(text, options);
+  if (!table.ok()) return table.status();
+  return TableToDataset(std::move(table).ValueOrDie());
+}
+
+std::string DatasetToCsv(const Dataset& dataset, const CsvOptions& options) {
+  CsvTable table;
+  table.header = dataset.schema().names();
+  table.rows.reserve(dataset.num_rows());
+  for (RowIndex r = 0; r < dataset.num_rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(dataset.num_attributes());
+    for (AttributeIndex j = 0; j < dataset.num_attributes(); ++j) {
+      const Column& col = dataset.column(j);
+      if (col.dictionary() != nullptr) {
+        row.push_back(col.dictionary()->Value(col.code(r)));
+      } else {
+        row.push_back(std::to_string(col.code(r)));
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return WriteCsv(table, options);
+}
+
+Status SaveCsvDataset(const Dataset& dataset, const std::string& path,
+                      const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  std::string text = DatasetToCsv(dataset, options);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace qikey

@@ -1,0 +1,37 @@
+#ifndef QIKEY_DATA_CSV_LOADER_H_
+#define QIKEY_DATA_CSV_LOADER_H_
+
+#include <string>
+#include <string_view>
+
+#include "data/dataset.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief Loads a CSV file into a dictionary-encoded `Dataset`.
+///
+/// Every column is treated categorically (dictionary-encoded strings),
+/// which is exactly what the separation problem needs. Missing header
+/// rows get anonymous attribute names.
+Result<Dataset> LoadCsvDataset(const std::string& path,
+                               const CsvOptions& options = {});
+
+/// In-memory variant for tests.
+Result<Dataset> LoadCsvDatasetFromString(std::string_view text,
+                                         const CsvOptions& options = {});
+
+/// \brief Renders a data set back to CSV text (dictionary values when
+/// present, otherwise decimal codes). Round trips through
+/// `LoadCsvDatasetFromString` with the identical separation structure.
+std::string DatasetToCsv(const Dataset& dataset,
+                         const CsvOptions& options = {});
+
+/// Writes `DatasetToCsv` output to `path`.
+Status SaveCsvDataset(const Dataset& dataset, const std::string& path,
+                      const CsvOptions& options = {});
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_CSV_LOADER_H_

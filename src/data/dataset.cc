@@ -1,0 +1,106 @@
+#include "data/dataset.h"
+
+#include <sstream>
+
+#include "math/combinatorics.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+
+// 64-bit mixer (SplitMix64 finalizer) for hash combining.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Dataset::Dataset(Schema schema, std::vector<Column> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {
+  num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+  QIKEY_CHECK(schema_.num_attributes() == columns_.size())
+      << "schema arity " << schema_.num_attributes() << " != column count "
+      << columns_.size();
+  for (const Column& c : columns_) {
+    QIKEY_CHECK(c.size() == num_rows_) << "ragged columns";
+  }
+}
+
+Result<Dataset> Dataset::Make(Schema schema, std::vector<Column> columns) {
+  if (schema.num_attributes() != columns.size()) {
+    return Status::InvalidArgument("schema arity does not match column count");
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (const Column& c : columns) {
+    if (c.size() != rows) {
+      return Status::InvalidArgument("columns have differing lengths");
+    }
+  }
+  return Dataset(std::move(schema), std::move(columns));
+}
+
+uint64_t Dataset::num_pairs() const { return PairCount(num_rows_); }
+
+bool Dataset::RowsAgreeOn(RowIndex i, RowIndex j,
+                          const std::vector<AttributeIndex>& attrs) const {
+  for (AttributeIndex a : attrs) {
+    if (columns_[a].code(i) != columns_[a].code(j)) return false;
+  }
+  return true;
+}
+
+int Dataset::CompareProjections(
+    RowIndex i, RowIndex j, const std::vector<AttributeIndex>& attrs) const {
+  for (AttributeIndex a : attrs) {
+    ValueCode ci = columns_[a].code(i);
+    ValueCode cj = columns_[a].code(j);
+    if (ci < cj) return -1;
+    if (ci > cj) return 1;
+  }
+  return 0;
+}
+
+uint64_t Dataset::HashProjection(
+    RowIndex i, const std::vector<AttributeIndex>& attrs) const {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (AttributeIndex a : attrs) {
+    h = Mix64(h ^ (static_cast<uint64_t>(columns_[a].code(i)) +
+                   0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+  }
+  return h;
+}
+
+std::string Dataset::FormatRow(RowIndex i) const {
+  std::ostringstream out;
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    if (j > 0) out << "|";
+    const Column& c = columns_[j];
+    if (c.dictionary() != nullptr) {
+      out << c.dictionary()->Value(c.code(i));
+    } else {
+      out << c.code(i);
+    }
+  }
+  return out.str();
+}
+
+Dataset Dataset::SelectRows(const std::vector<RowIndex>& rows) const {
+  std::vector<Column> new_columns;
+  new_columns.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    std::vector<ValueCode> codes;
+    codes.reserve(rows.size());
+    for (RowIndex r : rows) {
+      QIKEY_DCHECK(r < num_rows_);
+      codes.push_back(c.code(r));
+    }
+    new_columns.emplace_back(std::move(codes), c.cardinality(),
+                             c.shared_dictionary());
+  }
+  return Dataset(schema_, std::move(new_columns));
+}
+
+}  // namespace qikey

@@ -1,0 +1,71 @@
+#ifndef QIKEY_DATA_DATASET_H_
+#define QIKEY_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+#include "data/schema.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// Index of a tuple (row) within a data set; `[0, n)`.
+using RowIndex = uint32_t;
+
+/// \brief Immutable columnar data set of `n` tuples over `m` attributes.
+///
+/// This is the object the paper calls `X = {x_1, ..., x_n} ⊆ U^m`.
+/// Values are dictionary codes; two tuples agree on attribute `j` iff
+/// their codes in column `j` are equal, which is all the separation
+/// machinery needs.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Schema schema, std::vector<Column> columns);
+
+  /// Validates shape invariants (equal column lengths, schema arity).
+  static Result<Dataset> Make(Schema schema, std::vector<Column> columns);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_attributes() const { return columns_.size(); }
+  uint64_t num_pairs() const;
+
+  const Schema& schema() const { return schema_; }
+  const Column& column(AttributeIndex j) const { return columns_[j]; }
+
+  ValueCode code(RowIndex row, AttributeIndex attribute) const {
+    return columns_[attribute].code(row);
+  }
+
+  /// True iff rows `i` and `j` agree on *every* attribute in `attrs`
+  /// (i.e. `attrs` fails to separate them).
+  bool RowsAgreeOn(RowIndex i, RowIndex j,
+                   const std::vector<AttributeIndex>& attrs) const;
+
+  /// Three-way comparison of the projections of rows `i` and `j` onto
+  /// `attrs` (lexicographic in code order). Used for sort-based duplicate
+  /// detection; O(|attrs|).
+  int CompareProjections(RowIndex i, RowIndex j,
+                         const std::vector<AttributeIndex>& attrs) const;
+
+  /// 64-bit hash of row `i`'s projection onto `attrs`.
+  uint64_t HashProjection(RowIndex i,
+                          const std::vector<AttributeIndex>& attrs) const;
+
+  /// Renders row `i` as "v0|v1|..." using dictionaries when present.
+  std::string FormatRow(RowIndex i) const;
+
+  /// A new data set containing only the given rows (in order).
+  Dataset SelectRows(const std::vector<RowIndex>& rows) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_DATASET_H_

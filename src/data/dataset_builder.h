@@ -1,0 +1,46 @@
+#ifndef QIKEY_DATA_DATASET_BUILDER_H_
+#define QIKEY_DATA_DATASET_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief Row-at-a-time builder for `Dataset` with per-column
+/// dictionary encoding.
+///
+/// Used by the CSV loader and by tests that write small literal tables:
+///
+///     DatasetBuilder b({"city", "zip"});
+///     b.AddRow({"SF", "94103"});
+///     b.AddRow({"SD", "92115"});
+///     Dataset d = std::move(b).Finish();
+class DatasetBuilder {
+ public:
+  explicit DatasetBuilder(std::vector<std::string> attribute_names);
+
+  /// Appends one tuple. Must have exactly `num_attributes` fields.
+  Status AddRow(const std::vector<std::string>& fields);
+  Status AddRow(std::initializer_list<std::string_view> fields);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_attributes() const { return dictionaries_.size(); }
+
+  /// Finalizes the data set; the builder is left empty.
+  Dataset Finish() &&;
+
+ private:
+  Schema schema_;
+  std::vector<std::shared_ptr<Dictionary>> dictionaries_;
+  std::vector<std::vector<ValueCode>> codes_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_DATASET_BUILDER_H_

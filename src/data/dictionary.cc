@@ -1,0 +1,23 @@
+#include "data/dictionary.h"
+
+#include "util/logging.h"
+
+namespace qikey {
+
+ValueCode Dictionary::GetOrAdd(std::string_view value) {
+  auto it = index_.find(std::string(value));
+  if (it != index_.end()) return it->second;
+  QIKEY_CHECK(values_.size() < kNotFound) << "dictionary overflow";
+  ValueCode code = static_cast<ValueCode>(values_.size());
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), code);
+  return code;
+}
+
+ValueCode Dictionary::Find(std::string_view value) const {
+  auto it = index_.find(std::string(value));
+  if (it == index_.end()) return kNotFound;
+  return it->second;
+}
+
+}  // namespace qikey

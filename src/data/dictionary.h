@@ -1,0 +1,47 @@
+#ifndef QIKEY_DATA_DICTIONARY_H_
+#define QIKEY_DATA_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace qikey {
+
+/// Dictionary code for a value within one column. Codes are dense:
+/// a column with cardinality `c` uses codes `0..c-1`.
+using ValueCode = uint32_t;
+
+/// \brief Per-column value dictionary (string <-> dense code).
+///
+/// The library operates on dictionary codes everywhere: the separation
+/// structure of a data set depends only on equality of values, so any
+/// universe `U` with a total order can be encoded this way (Section 1's
+/// "mild assumption"). The dictionary is only consulted when loading
+/// text data or rendering results.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the code of `value`, inserting it if new.
+  ValueCode GetOrAdd(std::string_view value);
+
+  /// Returns the code of `value` or `kNotFound` if absent.
+  static constexpr ValueCode kNotFound = ~ValueCode{0};
+  ValueCode Find(std::string_view value) const;
+
+  /// The string for a code. Code must be valid.
+  const std::string& Value(ValueCode code) const { return values_[code]; }
+
+  /// Number of distinct values.
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, ValueCode> index_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_DICTIONARY_H_

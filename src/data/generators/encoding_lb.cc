@@ -1,0 +1,62 @@
+#include "data/generators/encoding_lb.h"
+
+#include "util/logging.h"
+
+namespace qikey {
+
+BitMatrix MakeRandomColumnSparseMatrix(uint32_t k, uint32_t t, uint32_t m,
+                                       Rng* rng) {
+  QIKEY_CHECK(rng != nullptr);
+  QIKEY_CHECK(k >= 1 && t >= 1 && m >= 1);
+  BitMatrix c;
+  c.rows = static_cast<size_t>(k) * t;
+  c.cols = m;
+  c.bits.assign(c.rows * c.cols, 0);
+  for (uint32_t col = 0; col < m; ++col) {
+    std::vector<uint64_t> ones = rng->SampleWithoutReplacement(c.rows, k);
+    for (uint64_t r : ones) c.set(static_cast<size_t>(r), col, 1);
+  }
+  return c;
+}
+
+Dataset MakeEncodingDataset(const BitMatrix& c) {
+  const size_t n = c.rows;
+  const size_t m = c.cols;
+  const size_t total_rows = 2 * n;
+  const size_t total_cols = m + n;
+  std::vector<Column> columns;
+  columns.reserve(total_cols);
+  // First m attributes: column j of C on top, ones below.
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<ValueCode> codes(total_rows);
+    for (size_t r = 0; r < n; ++r) codes[r] = c.at(r, j);
+    for (size_t r = n; r < total_rows; ++r) codes[r] = 1;
+    columns.emplace_back(std::move(codes), 2);
+  }
+  // Next n attributes: canonical vector 1_i on top, zeros below.
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<ValueCode> codes(total_rows, 0);
+    codes[i] = 1;
+    columns.emplace_back(std::move(codes), 2);
+  }
+  return Dataset(Schema::Anonymous(total_cols), std::move(columns));
+}
+
+std::vector<AttributeIndex> EncodingQueryAttributes(
+    uint32_t column, const std::vector<uint32_t>& guessed_rows, uint32_t m) {
+  std::vector<AttributeIndex> attrs;
+  attrs.reserve(guessed_rows.size() + 1);
+  attrs.push_back(column);
+  for (uint32_t r : guessed_rows) attrs.push_back(m + r);
+  return attrs;
+}
+
+uint64_t HammingDistance(const std::vector<uint8_t>& a,
+                         const std::vector<uint8_t>& b) {
+  QIKEY_CHECK(a.size() == b.size());
+  uint64_t d = 0;
+  for (size_t i = 0; i < a.size(); ++i) d += (a[i] != b[i]) ? 1 : 0;
+  return d;
+}
+
+}  // namespace qikey

@@ -1,0 +1,56 @@
+#ifndef QIKEY_DATA_GENERATORS_ENCODING_LB_H_
+#define QIKEY_DATA_GENERATORS_ENCODING_LB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace qikey {
+
+/// \brief The Section 3.2 encoding construction behind the
+/// `Ω(mk log(1/ε))` sketch-size lower bound (Lemmas 5 and 6).
+///
+/// Alice holds a `(kt) x m` bit matrix `C` with exactly `k` ones per
+/// column. With `n = kt`, the `2n x (m+n)` data set is
+///
+///     M = [ C  I_n ]
+///         [ D   0  ]
+///
+/// where `D` is the all-ones `n x m` block and the right block of the
+/// top half holds the canonical vectors `1_1, ..., 1_n`. Bob recovers
+/// each column of `C` from non-separation estimates `Γ̂_A` for
+/// `A = {c, m+r_1, ..., m+r_k}`, using the closed form of Lemma 6.
+
+/// A bit matrix stored row-major; entries 0/1.
+struct BitMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<uint8_t> bits;  // rows*cols entries
+
+  uint8_t at(size_t r, size_t c) const { return bits[r * cols + c]; }
+  void set(size_t r, size_t c, uint8_t v) { bits[r * cols + c] = v; }
+};
+
+/// \brief Random `C`: `(k*t) x m`, exactly `k` ones per column placed
+/// uniformly at random (the hard distribution `D` of Lemma 5's proof).
+BitMatrix MakeRandomColumnSparseMatrix(uint32_t k, uint32_t t, uint32_t m,
+                                       Rng* rng);
+
+/// \brief Builds the data set `M` from `C`. Result has `2*C.rows` rows
+/// and `C.cols + C.rows` attributes; binary values (codes 0/1).
+Dataset MakeEncodingDataset(const BitMatrix& c);
+
+/// \brief The attribute set Bob queries for column `c` and guessed rows
+/// `r_1..r_k` (indices into `[0, n)`): `{c} ∪ {m + r_i}`.
+std::vector<AttributeIndex> EncodingQueryAttributes(
+    uint32_t column, const std::vector<uint32_t>& guessed_rows, uint32_t m);
+
+/// \brief Hamming distance between two equal-length bit vectors.
+uint64_t HammingDistance(const std::vector<uint8_t>& a,
+                         const std::vector<uint8_t>& b);
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_GENERATORS_ENCODING_LB_H_

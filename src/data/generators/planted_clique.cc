@@ -1,0 +1,64 @@
+#include "data/generators/planted_clique.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+uint64_t PlantedCliqueSize(uint64_t n, double eps) {
+  return static_cast<uint64_t>(
+      std::ceil(std::sqrt(2.0 * eps) * static_cast<double>(n)));
+}
+
+Dataset MakePlantedClique(const PlantedCliqueOptions& options, Rng* rng) {
+  QIKEY_CHECK(rng != nullptr);
+  const uint64_t n = options.num_rows;
+  const uint32_t m = options.num_attributes;
+  QIKEY_CHECK(n >= 2 && m >= 2);
+  uint64_t clique = PlantedCliqueSize(n, options.epsilon);
+  QIKEY_CHECK(clique >= 2 && clique <= n)
+      << "epsilon/n combination yields degenerate clique size " << clique;
+
+  // Random row permutation (identity if shuffling disabled).
+  std::vector<RowIndex> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  if (options.shuffle_rows) rng->Shuffle(&perm);
+
+  std::vector<Column> columns;
+  columns.reserve(m);
+
+  // Attribute 1: value 0 on the planted block, distinct values elsewhere.
+  {
+    std::vector<ValueCode> codes(n);
+    ValueCode next = 1;
+    for (uint64_t i = 0; i < n; ++i) {
+      codes[perm[i]] = (i < clique) ? 0 : next++;
+    }
+    columns.emplace_back(std::move(codes),
+                         static_cast<uint32_t>(n - clique + 1));
+  }
+
+  // Attributes 2..m: base-q digits of the row index with
+  // q = ceil(n^(1/(m-1))), so together they separate everything (a key
+  // exists, as Lemma 4's construction requires).
+  uint32_t digits = m - 1;
+  uint64_t q = static_cast<uint64_t>(
+      std::ceil(std::pow(static_cast<double>(n), 1.0 / digits)));
+  q = std::max<uint64_t>(q, 2);
+  uint64_t period = 1;
+  for (uint32_t d = 0; d < digits; ++d) {
+    std::vector<ValueCode> codes(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      codes[perm[i]] = static_cast<ValueCode>((i / period) % q);
+    }
+    columns.emplace_back(std::move(codes), static_cast<uint32_t>(q));
+    period *= q;
+  }
+
+  return Dataset(Schema::Anonymous(m), std::move(columns));
+}
+
+}  // namespace qikey

@@ -1,0 +1,34 @@
+#ifndef QIKEY_DATA_GENERATORS_PLANTED_CLIQUE_H_
+#define QIKEY_DATA_GENERATORS_PLANTED_CLIQUE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace qikey {
+
+/// \brief The hard instance of Lemma 4 (the `Ω(m/√ε)` lower bound).
+///
+/// Attribute 1 takes the value 0 on a planted block of `⌈√(2ε)·n⌉` rows
+/// and a distinct value on every other row, so `G_{{1}}` has one clique of
+/// size `√(2ε)n` plus isolated vertices — attribute `{1}` is bad, but a
+/// uniform sample only detects this once it draws two rows from the
+/// planted block, which needs `Ω(m/√ε)` samples for failure `e^{-m}`.
+/// The remaining `m-1` attributes jointly encode the row index, so the
+/// full attribute set is a key.
+struct PlantedCliqueOptions {
+  uint64_t num_rows = 0;       ///< n
+  uint32_t num_attributes = 2; ///< m (>= 2)
+  double epsilon = 0.01;       ///< clique size = ceil(sqrt(2*eps)*n)
+  bool shuffle_rows = true;    ///< permute rows so the block is not a prefix
+};
+
+Dataset MakePlantedClique(const PlantedCliqueOptions& options, Rng* rng);
+
+/// The planted clique size for given `n`, `eps`: `⌈√(2ε)·n⌉`.
+uint64_t PlantedCliqueSize(uint64_t n, double eps);
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_GENERATORS_PLANTED_CLIQUE_H_

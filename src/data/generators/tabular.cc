@@ -1,0 +1,163 @@
+#include "data/generators/tabular.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+ZipfSampler::ZipfSampler(uint32_t cardinality, double exponent) {
+  QIKEY_CHECK(cardinality >= 1);
+  cumulative_.resize(cardinality);
+  double acc = 0.0;
+  for (uint32_t i = 0; i < cardinality; ++i) {
+    acc += (exponent == 0.0)
+               ? 1.0
+               : std::pow(static_cast<double>(i + 1), -exponent);
+    cumulative_[i] = acc;
+  }
+  for (double& c : cumulative_) c /= acc;
+}
+
+ValueCode ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<ValueCode>(it - cumulative_.begin());
+}
+
+Dataset MakeTabular(const TabularSpec& spec, Rng* rng) {
+  QIKEY_CHECK(rng != nullptr);
+  const uint64_t n = spec.num_rows;
+  const size_t m = spec.attributes.size();
+  QIKEY_CHECK(m >= 1);
+
+  std::vector<std::string> names;
+  names.reserve(m);
+  for (const AttributeSpec& a : spec.attributes) names.push_back(a.name);
+
+  std::vector<std::vector<ValueCode>> codes(m);
+  for (size_t j = 0; j < m; ++j) {
+    const AttributeSpec& a = spec.attributes[j];
+    QIKEY_CHECK(a.cardinality >= 1) << "attribute " << a.name;
+    codes[j].resize(n);
+    if (a.derived_from >= 0) {
+      // Noisy deterministic remapping of an earlier column.
+      size_t src = static_cast<size_t>(a.derived_from);
+      QIKEY_CHECK(src < j) << "derived_from must reference an earlier column";
+      // A fixed pseudo-random bijection-ish remap: multiply by an odd
+      // constant mod cardinality.
+      uint64_t mult = 2 * rng->Uniform(a.cardinality) + 1;
+      ZipfSampler fresh(a.cardinality, a.zipf_exponent);
+      for (uint64_t r = 0; r < n; ++r) {
+        if (a.noise > 0.0 && rng->Bernoulli(a.noise)) {
+          codes[j][r] = fresh.Sample(rng);
+        } else {
+          codes[j][r] = static_cast<ValueCode>(
+              (static_cast<uint64_t>(codes[src][r]) * mult) % a.cardinality);
+        }
+      }
+    } else {
+      ZipfSampler sampler(a.cardinality, a.zipf_exponent);
+      for (uint64_t r = 0; r < n; ++r) {
+        codes[j][r] = sampler.Sample(rng);
+      }
+    }
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    columns.emplace_back(std::move(codes[j]), spec.attributes[j].cardinality);
+  }
+  return Dataset(Schema(std::move(names)), std::move(columns));
+}
+
+TabularSpec AdultLikeSpec() {
+  TabularSpec spec;
+  spec.num_rows = 32561;
+  spec.attributes = {
+      {"age", 73, 0.6, -1, 0.0},
+      {"workclass", 9, 1.2, -1, 0.0},
+      {"fnlwgt", 21648, 0.3, -1, 0.0},
+      {"education", 16, 0.8, -1, 0.0},
+      {"education_num", 16, 0.0, 3, 0.02},  // tracks education
+      {"marital_status", 7, 1.0, -1, 0.0},
+      {"occupation", 15, 0.7, -1, 0.0},
+      {"relationship", 6, 0.9, -1, 0.0},
+      {"race", 5, 1.8, -1, 0.0},
+      {"sex", 2, 0.4, -1, 0.0},
+      {"capital_gain", 119, 2.5, -1, 0.0},
+      {"capital_loss", 92, 2.5, -1, 0.0},
+      {"hours_per_week", 94, 1.5, -1, 0.0},
+      {"native_country", 42, 2.2, -1, 0.0},
+  };
+  return spec;
+}
+
+TabularSpec CovtypeLikeSpec() {
+  TabularSpec spec;
+  spec.num_rows = 581012;
+  spec.attributes = {
+      {"elevation", 1978, 0.2, -1, 0.0},
+      {"aspect", 361, 0.1, -1, 0.0},
+      {"slope", 67, 0.8, -1, 0.0},
+      {"horiz_dist_hydrology", 551, 0.5, -1, 0.0},
+      {"vert_dist_hydrology", 700, 0.7, -1, 0.0},
+      {"horiz_dist_roadways", 5785, 0.3, -1, 0.0},
+      {"hillshade_9am", 207, 0.4, -1, 0.0},
+      {"hillshade_noon", 185, 0.4, -1, 0.0},
+      {"hillshade_3pm", 255, 0.4, -1, 0.0},
+      {"horiz_dist_fire", 5827, 0.3, -1, 0.0},
+  };
+  // 4 wilderness-area indicators + 40 soil-type indicators: heavily
+  // skewed binary columns.
+  for (int i = 0; i < 4; ++i) {
+    spec.attributes.push_back(
+        {"wilderness_" + std::to_string(i), 2, 1.6, -1, 0.0});
+  }
+  for (int i = 0; i < 40; ++i) {
+    spec.attributes.push_back({"soil_" + std::to_string(i), 2, 2.4, -1, 0.0});
+  }
+  spec.attributes.push_back({"cover_type", 7, 0.9, -1, 0.0});
+  return spec;
+}
+
+TabularSpec CpsLikeSpec(uint64_t num_rows) {
+  TabularSpec spec;
+  spec.num_rows = num_rows;
+  // 372 attributes: survey codebooks are dominated by small categorical
+  // codes with a tail of detailed numeric fields. Cardinalities are
+  // drawn deterministically from that mixture.
+  const uint32_t kNumAttributes = 372;
+  Rng layout_rng(0xC0FFEE);  // layout is part of the spec, hence fixed seed
+  for (uint32_t j = 0; j < kNumAttributes; ++j) {
+    AttributeSpec a;
+    a.name = "v" + std::to_string(j);
+    double u = layout_rng.UniformDouble();
+    if (u < 0.55) {
+      a.cardinality = static_cast<uint32_t>(2 + layout_rng.Uniform(6));
+      a.zipf_exponent = 1.2;
+    } else if (u < 0.85) {
+      a.cardinality = static_cast<uint32_t>(8 + layout_rng.Uniform(43));
+      a.zipf_exponent = 0.9;
+    } else if (u < 0.97) {
+      a.cardinality = static_cast<uint32_t>(51 + layout_rng.Uniform(450));
+      a.zipf_exponent = 0.6;
+    } else {
+      a.cardinality = static_cast<uint32_t>(501 + layout_rng.Uniform(4500));
+      a.zipf_exponent = 0.3;
+    }
+    // A fifth of the columns echo an earlier column with noise
+    // (survey recodes).
+    if (j > 0 && layout_rng.UniformDouble() < 0.2) {
+      a.derived_from = static_cast<int32_t>(layout_rng.Uniform(j));
+      a.noise = 0.05;
+    }
+    spec.attributes.push_back(std::move(a));
+  }
+  return spec;
+}
+
+}  // namespace qikey

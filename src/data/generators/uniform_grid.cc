@@ -1,0 +1,51 @@
+#include "data/generators/uniform_grid.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+Result<Dataset> MakeFullUniformGrid(uint32_t m, uint32_t q,
+                                    uint64_t max_rows) {
+  if (m == 0 || q == 0) {
+    return Status::InvalidArgument("grid needs m >= 1 and q >= 1");
+  }
+  uint64_t rows = 1;
+  for (uint32_t j = 0; j < m; ++j) {
+    if (rows > max_rows / q) {
+      return Status::OutOfRange("q^m exceeds max_rows; use the sampled form");
+    }
+    rows *= q;
+  }
+  std::vector<Column> columns;
+  columns.reserve(m);
+  // Row r encodes the tuple (digits of r in base q); column j cycles with
+  // period q^(j+1).
+  uint64_t period = 1;
+  for (uint32_t j = 0; j < m; ++j) {
+    std::vector<ValueCode> codes(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      codes[r] = static_cast<ValueCode>((r / period) % q);
+    }
+    columns.emplace_back(std::move(codes), q);
+    period *= q;
+  }
+  return Dataset(Schema::Anonymous(m), std::move(columns));
+}
+
+Dataset MakeUniformGridSample(uint32_t m, uint32_t q, uint64_t n, Rng* rng) {
+  QIKEY_CHECK(m >= 1 && q >= 1 && rng != nullptr);
+  std::vector<Column> columns;
+  columns.reserve(m);
+  for (uint32_t j = 0; j < m; ++j) {
+    std::vector<ValueCode> codes(n);
+    for (uint64_t r = 0; r < n; ++r) {
+      codes[r] = static_cast<ValueCode>(rng->Uniform(q));
+    }
+    columns.emplace_back(std::move(codes), q);
+  }
+  return Dataset(Schema::Anonymous(m), std::move(columns));
+}
+
+}  // namespace qikey

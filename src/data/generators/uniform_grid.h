@@ -1,0 +1,29 @@
+#ifndef QIKEY_DATA_GENERATORS_UNIFORM_GRID_H_
+#define QIKEY_DATA_GENERATORS_UNIFORM_GRID_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace qikey {
+
+/// \brief Data sets for the constant-failure-probability lower bound
+/// (Lemma 3): the grid `D = {1, ..., q}^m`.
+///
+/// In `D`, every singleton attribute set is bad (separates fewer than
+/// `(1-ε)C(n,2)` pairs for `1/ε ≈ q`), and sampling a tuple uniformly
+/// from `D` draws each coordinate i.i.d. uniform on `[q]`.
+
+/// \brief The full grid, materialized: `q^m` rows. Only for small `q^m`
+/// (tests); checks the product does not exceed `max_rows`.
+Result<Dataset> MakeFullUniformGrid(uint32_t m, uint32_t q,
+                                    uint64_t max_rows = 1u << 22);
+
+/// \brief `n` tuples drawn i.i.d. uniformly from the grid `[q]^m`
+/// (the sampling-equivalent form used to run experiments at scale).
+Dataset MakeUniformGridSample(uint32_t m, uint32_t q, uint64_t n, Rng* rng);
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_GENERATORS_UNIFORM_GRID_H_

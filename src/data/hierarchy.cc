@@ -1,0 +1,95 @@
+#include "data/hierarchy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+Result<GeneralizationHierarchy> GeneralizationHierarchy::Make(
+    uint32_t base_cardinality, std::vector<std::vector<ValueCode>> maps) {
+  GeneralizationHierarchy h;
+  h.base_cardinality_ = base_cardinality;
+  h.level_cardinality_.push_back(base_cardinality);
+  uint32_t current = base_cardinality;
+  for (size_t l = 0; l < maps.size(); ++l) {
+    if (maps[l].size() != current) {
+      return Status::InvalidArgument(
+          "level map size does not match the previous level's domain");
+    }
+    ValueCode max_code = 0;
+    for (ValueCode c : maps[l]) max_code = std::max(max_code, c);
+    uint32_t next = max_code + 1;
+    if (next > current) {
+      return Status::InvalidArgument(
+          "generalization must not grow the domain");
+    }
+    h.level_cardinality_.push_back(next);
+    current = next;
+  }
+  h.maps_ = std::move(maps);
+  return h;
+}
+
+GeneralizationHierarchy GeneralizationHierarchy::Intervals(
+    uint32_t cardinality, uint32_t branching) {
+  QIKEY_CHECK(cardinality >= 1 && branching >= 2);
+  std::vector<std::vector<ValueCode>> maps;
+  uint32_t current = cardinality;
+  while (current > 1) {
+    std::vector<ValueCode> map(current);
+    for (uint32_t c = 0; c < current; ++c) {
+      map[c] = static_cast<ValueCode>(c / branching);
+    }
+    maps.push_back(std::move(map));
+    current = (current + branching - 1) / branching;
+  }
+  Result<GeneralizationHierarchy> h = Make(cardinality, std::move(maps));
+  QIKEY_CHECK(h.ok());
+  return std::move(h).ValueOrDie();
+}
+
+GeneralizationHierarchy GeneralizationHierarchy::KeepOrSuppress(
+    uint32_t cardinality) {
+  QIKEY_CHECK(cardinality >= 1);
+  std::vector<std::vector<ValueCode>> maps{
+      std::vector<ValueCode>(cardinality, 0)};
+  Result<GeneralizationHierarchy> h = Make(cardinality, std::move(maps));
+  QIKEY_CHECK(h.ok());
+  return std::move(h).ValueOrDie();
+}
+
+uint32_t GeneralizationHierarchy::CardinalityAt(uint32_t level) const {
+  QIKEY_CHECK(level < levels());
+  return level_cardinality_[level];
+}
+
+ValueCode GeneralizationHierarchy::Generalize(ValueCode code,
+                                              uint32_t level) const {
+  QIKEY_DCHECK(code < base_cardinality_);
+  QIKEY_CHECK(level < levels());
+  ValueCode c = code;
+  for (uint32_t l = 0; l < level; ++l) c = maps_[l][c];
+  return c;
+}
+
+Column GeneralizationHierarchy::GeneralizeColumn(const Column& column,
+                                                 uint32_t level) const {
+  QIKEY_CHECK(column.cardinality() <= base_cardinality_)
+      << "column domain exceeds the hierarchy's base domain";
+  QIKEY_CHECK(level < levels());
+  if (level == 0) return column;
+  // Precompute the base -> level map once, then remap the codes.
+  std::vector<ValueCode> direct(base_cardinality_);
+  for (uint32_t c = 0; c < base_cardinality_; ++c) {
+    direct[c] = Generalize(static_cast<ValueCode>(c), level);
+  }
+  std::vector<ValueCode> codes;
+  codes.reserve(column.size());
+  for (size_t r = 0; r < column.size(); ++r) {
+    codes.push_back(direct[column.code(r)]);
+  }
+  return Column(std::move(codes), CardinalityAt(level));
+}
+
+}  // namespace qikey

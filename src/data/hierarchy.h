@@ -1,0 +1,66 @@
+#ifndef QIKEY_DATA_HIERARCHY_H_
+#define QIKEY_DATA_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/column.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief A value generalization hierarchy for one attribute
+/// (ARX-style): level 0 is the original domain; each level maps the
+/// previous level's codes onto a coarser domain; the top level is a
+/// single value ("*", full suppression).
+///
+/// Generalizing a column to level L replaces each code by its level-L
+/// ancestor, which merges equivalence classes — the mechanism used to
+/// reach k-anonymity without deleting rows.
+class GeneralizationHierarchy {
+ public:
+  /// Builds from explicit per-level maps. `maps[l][code]` is the
+  /// level-(l+1) code of a level-l `code`; `maps[l]` has the level-l
+  /// domain size and values < the level-(l+1) domain size.
+  static Result<GeneralizationHierarchy> Make(
+      uint32_t base_cardinality, std::vector<std::vector<ValueCode>> maps);
+
+  /// \brief A numeric-style hierarchy over `[0, cardinality)`: level l
+  /// groups values into buckets of width `branching^l` (plus a final
+  /// all-in-one level). The standard interval hierarchy for ages,
+  /// zip codes, etc.
+  static GeneralizationHierarchy Intervals(uint32_t cardinality,
+                                           uint32_t branching);
+
+  /// \brief The trivial two-level hierarchy: keep or fully suppress.
+  static GeneralizationHierarchy KeepOrSuppress(uint32_t cardinality);
+
+  /// Number of levels (0 = original, levels() - 1 = fully suppressed
+  /// only when the hierarchy's top merges everything).
+  uint32_t levels() const {
+    return static_cast<uint32_t>(maps_.size()) + 1;
+  }
+
+  uint32_t base_cardinality() const { return base_cardinality_; }
+
+  /// Domain size at `level` (level 0 = base cardinality).
+  uint32_t CardinalityAt(uint32_t level) const;
+
+  /// Level-`level` ancestor of a base-domain `code`.
+  ValueCode Generalize(ValueCode code, uint32_t level) const;
+
+  /// Generalizes a whole column to `level` (codes remapped, cardinality
+  /// adjusted). The column's length is preserved.
+  Column GeneralizeColumn(const Column& column, uint32_t level) const;
+
+ private:
+  GeneralizationHierarchy() = default;
+
+  uint32_t base_cardinality_ = 0;
+  std::vector<std::vector<ValueCode>> maps_;
+  std::vector<uint32_t> level_cardinality_;  // per level, incl. level 0
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_HIERARCHY_H_

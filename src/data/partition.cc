@@ -1,0 +1,115 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "math/combinatorics.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+Partition Partition::Trivial(size_t num_rows) {
+  Partition p;
+  p.block_of_.assign(num_rows, 0);
+  p.block_sizes_.assign(num_rows > 0 ? 1 : 0,
+                        static_cast<uint32_t>(num_rows));
+  p.num_blocks_ = num_rows > 0 ? 1 : 0;
+  return p;
+}
+
+Partition Partition::ByColumn(const Column& column) {
+  // Dense counting by code: block ids are assigned in order of first
+  // appearance so they are dense even when some codes are unused.
+  Partition p;
+  const size_t n = column.size();
+  p.block_of_.resize(n);
+  std::vector<uint32_t> code_to_block(column.cardinality(), ~uint32_t{0});
+  uint32_t next_block = 0;
+  for (size_t row = 0; row < n; ++row) {
+    ValueCode c = column.code(row);
+    if (code_to_block[c] == ~uint32_t{0}) {
+      code_to_block[c] = next_block++;
+      p.block_sizes_.push_back(0);
+    }
+    uint32_t b = code_to_block[c];
+    p.block_of_[row] = b;
+    ++p.block_sizes_[b];
+  }
+  p.num_blocks_ = next_block;
+  return p;
+}
+
+Partition Partition::RefinedBy(const Column& column) const {
+  QIKEY_CHECK(column.size() == block_of_.size())
+      << "column length mismatch in refinement";
+  Partition out;
+  const size_t n = block_of_.size();
+  out.block_of_.resize(n);
+  // Key = old_block * cardinality + code fits in 64 bits for all
+  // realistic sizes (blocks, cardinality <= 2^32).
+  std::unordered_map<uint64_t, uint32_t> remap;
+  remap.reserve(n / 4 + 8);
+  uint64_t card = std::max<uint64_t>(column.cardinality(), 1);
+  uint32_t next_block = 0;
+  for (size_t row = 0; row < n; ++row) {
+    uint64_t key = static_cast<uint64_t>(block_of_[row]) * card +
+                   column.code(row);
+    auto [it, inserted] = remap.emplace(key, next_block);
+    if (inserted) {
+      ++next_block;
+      out.block_sizes_.push_back(0);
+    }
+    out.block_of_[row] = it->second;
+    ++out.block_sizes_[it->second];
+  }
+  out.num_blocks_ = next_block;
+  return out;
+}
+
+uint64_t Partition::UnseparatedPairs() const {
+  uint64_t total = 0;
+  for (uint32_t s : block_sizes_) total += PairCount(s);
+  return total;
+}
+
+uint64_t Partition::RefinementGain(const Column& column) const {
+  QIKEY_CHECK(column.size() == block_of_.size());
+  // gain = 1/2 * sum_i (|C_i|^2 - sum_a |D_a^{(i)}|^2)  (Appendix B)
+  //      = Γ(this) - Γ(refined)
+  std::unordered_map<uint64_t, uint32_t> counts;
+  counts.reserve(block_of_.size() / 4 + 8);
+  uint64_t card = std::max<uint64_t>(column.cardinality(), 1);
+  for (size_t row = 0; row < block_of_.size(); ++row) {
+    uint64_t key = static_cast<uint64_t>(block_of_[row]) * card +
+                   column.code(row);
+    ++counts[key];
+  }
+  uint64_t sum_sq_blocks = 0;
+  for (uint32_t s : block_sizes_) {
+    sum_sq_blocks += static_cast<uint64_t>(s) * s;
+  }
+  uint64_t sum_sq_cells = 0;
+  for (const auto& [key, cnt] : counts) {
+    (void)key;
+    sum_sq_cells += static_cast<uint64_t>(cnt) * cnt;
+  }
+  return (sum_sq_blocks - sum_sq_cells) / 2;
+}
+
+Partition PartitionByAttributes(const Dataset& dataset,
+                                const std::vector<AttributeIndex>& attrs) {
+  if (attrs.empty()) return Partition::Trivial(dataset.num_rows());
+  Partition p = Partition::ByColumn(dataset.column(attrs[0]));
+  for (size_t i = 1; i < attrs.size(); ++i) {
+    if (p.AllSingletons()) break;  // cannot refine further
+    p = p.RefinedBy(dataset.column(attrs[i]));
+  }
+  return p;
+}
+
+uint64_t CountUnseparatedPairs(const Dataset& dataset,
+                               const std::vector<AttributeIndex>& attrs) {
+  return PartitionByAttributes(dataset, attrs).UnseparatedPairs();
+}
+
+}  // namespace qikey

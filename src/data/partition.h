@@ -1,0 +1,66 @@
+#ifndef QIKEY_DATA_PARTITION_H_
+#define QIKEY_DATA_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace qikey {
+
+/// \brief Partition of the rows of a data set into equivalence classes
+/// (the "disjoint cliques" of the auxiliary graph `G_A` in Section 2.1).
+///
+/// Two rows are in the same block iff they agree on every attribute of
+/// the generating set `A`. `Γ_A`, the number of unseparated pairs, is
+/// `sum over blocks of C(|block|, 2)`. This is the position-list-index
+/// (PLI) representation standard in dependency-discovery systems.
+class Partition {
+ public:
+  /// The partition with a single block containing all `n` rows
+  /// (`A = ∅`: nothing is separated).
+  static Partition Trivial(size_t num_rows);
+
+  /// Partition induced by a single attribute. `O(n)` counting by code.
+  static Partition ByColumn(const Column& column);
+
+  /// \brief This partition refined by `column`: rows stay together iff
+  /// they were together and agree on `column`. `O(n)` expected.
+  Partition RefinedBy(const Column& column) const;
+
+  size_t num_rows() const { return block_of_.size(); }
+  uint32_t num_blocks() const { return num_blocks_; }
+  uint32_t block_of(RowIndex row) const { return block_of_[row]; }
+  const std::vector<uint32_t>& block_sizes() const { return block_sizes_; }
+
+  /// `Γ` of this partition: number of unordered pairs within blocks.
+  uint64_t UnseparatedPairs() const;
+
+  /// True iff every block has size one (the generating set is a key).
+  bool AllSingletons() const { return num_blocks_ == block_of_.size(); }
+
+  /// \brief Number of additional pairs that refining by `column` would
+  /// separate, i.e. `Γ(this) - Γ(this refined by column)`, computed
+  /// without materializing the refinement (the `g_k` of Appendix B).
+  uint64_t RefinementGain(const Column& column) const;
+
+ private:
+  Partition() = default;
+
+  std::vector<uint32_t> block_of_;   // row -> block id (dense, 0-based)
+  std::vector<uint32_t> block_sizes_;  // block id -> size
+  uint32_t num_blocks_ = 0;
+};
+
+/// Partition of `dataset` by the attribute set `attrs` (fold of
+/// `RefinedBy`). An empty `attrs` yields the trivial partition.
+Partition PartitionByAttributes(const Dataset& dataset,
+                                const std::vector<AttributeIndex>& attrs);
+
+/// Exact `Γ_A` for the data set: pairs not separated by `attrs`.
+uint64_t CountUnseparatedPairs(const Dataset& dataset,
+                               const std::vector<AttributeIndex>& attrs);
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_PARTITION_H_

@@ -1,0 +1,21 @@
+#include "data/schema.h"
+
+namespace qikey {
+
+Schema Schema::Anonymous(size_t num_attributes) {
+  std::vector<std::string> names;
+  names.reserve(num_attributes);
+  for (size_t i = 0; i < num_attributes; ++i) {
+    names.push_back("a" + std::to_string(i));
+  }
+  return Schema(std::move(names));
+}
+
+int Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace qikey

@@ -1,0 +1,35 @@
+#ifndef QIKEY_DATA_SCHEMA_H_
+#define QIKEY_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qikey {
+
+/// Index of an attribute (coordinate) within a data set; `[0, m)`.
+using AttributeIndex = uint32_t;
+
+/// \brief Names of the attributes of a data set.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  /// A schema with attributes named "a0", "a1", ... (for synthetic data).
+  static Schema Anonymous(size_t num_attributes);
+
+  size_t num_attributes() const { return names_.size(); }
+  const std::string& name(AttributeIndex i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Returns the index of the attribute called `name`, or -1 if absent.
+  int Find(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_SCHEMA_H_

@@ -1,0 +1,162 @@
+#include "data/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'I', 'K', 'D'};
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  void Raw(const void* src, size_t n) {
+    size_t at = out_.size();
+    out_.resize(at + n);
+    std::memcpy(out_.data() + at, src, n);
+  }
+  void U8(uint8_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool Raw(void* dst, size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (pos_ + len > bytes_.size()) return false;
+    s->assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeDataset(const Dataset& dataset) {
+  Writer w;
+  w.Raw(kMagic, sizeof(kMagic));
+  w.U32(kVersion);
+  w.U32(static_cast<uint32_t>(dataset.num_attributes()));
+  w.U64(dataset.num_rows());
+  for (size_t j = 0; j < dataset.num_attributes(); ++j) {
+    const Column& col = dataset.column(static_cast<AttributeIndex>(j));
+    w.Str(dataset.schema().name(static_cast<AttributeIndex>(j)));
+    w.U32(col.cardinality());
+    const Dictionary* dict = col.dictionary();
+    w.U8(dict != nullptr ? 1 : 0);
+    if (dict != nullptr) {
+      w.U32(static_cast<uint32_t>(dict->size()));
+      for (ValueCode c = 0; c < dict->size(); ++c) w.Str(dict->Value(c));
+    }
+    w.Raw(col.codes().data(), col.codes().size() * sizeof(ValueCode));
+  }
+  return std::move(w).Take();
+}
+
+Result<Dataset> DeserializeDataset(std::string_view bytes) {
+  Reader r(bytes);
+  char magic[4];
+  uint32_t version = 0, m = 0;
+  uint64_t n = 0;
+  if (!r.Raw(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a qikey dataset payload");
+  }
+  if (!r.U32(&version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported dataset payload version");
+  }
+  if (!r.U32(&m) || !r.U64(&n)) {
+    return Status::InvalidArgument("truncated dataset header");
+  }
+  std::vector<std::string> names;
+  std::vector<Column> columns;
+  names.reserve(m);
+  columns.reserve(m);
+  for (uint32_t j = 0; j < m; ++j) {
+    std::string name;
+    uint32_t cardinality = 0;
+    uint8_t has_dict = 0;
+    if (!r.Str(&name) || !r.U32(&cardinality) || !r.U8(&has_dict)) {
+      return Status::InvalidArgument("truncated column header");
+    }
+    names.push_back(std::move(name));
+    std::shared_ptr<Dictionary> dict;
+    if (has_dict) {
+      uint32_t entries = 0;
+      if (!r.U32(&entries)) {
+        return Status::InvalidArgument("truncated dictionary");
+      }
+      dict = std::make_shared<Dictionary>();
+      for (uint32_t e = 0; e < entries; ++e) {
+        std::string value;
+        if (!r.Str(&value)) {
+          return Status::InvalidArgument("truncated dictionary entry");
+        }
+        dict->GetOrAdd(value);
+      }
+    }
+    std::vector<ValueCode> codes(n);
+    if (!r.Raw(codes.data(), n * sizeof(ValueCode))) {
+      return Status::InvalidArgument("truncated column codes");
+    }
+    for (ValueCode c : codes) {
+      if (c >= cardinality) {
+        return Status::InvalidArgument("code out of declared cardinality");
+      }
+    }
+    columns.emplace_back(std::move(codes), cardinality, std::move(dict));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after dataset payload");
+  }
+  return Dataset::Make(Schema(std::move(names)), std::move(columns));
+}
+
+Status WriteDatasetFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  std::string bytes = SerializeDataset(dataset);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadDatasetFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeDataset(bytes);
+}
+
+}  // namespace qikey

@@ -1,0 +1,31 @@
+#ifndef QIKEY_DATA_SERIALIZE_H_
+#define QIKEY_DATA_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief Compact binary serialization of a `Dataset` (schema names,
+/// per-column cardinality, optional dictionary strings, packed codes).
+///
+/// Used to persist filter samples and sketches to disk so a filter
+/// built once can serve queries in later processes — the "sketch"
+/// deployment mode of the paper. The format is versioned and
+/// little-endian (asserted at build time for the supported targets).
+std::string SerializeDataset(const Dataset& dataset);
+
+/// Restores a data set serialized by `SerializeDataset`. Answers to all
+/// separation queries are identical to the original's.
+Result<Dataset> DeserializeDataset(std::string_view bytes);
+
+/// Convenience: file-backed variants.
+Status WriteDatasetFile(const Dataset& dataset, const std::string& path);
+Result<Dataset> ReadDatasetFile(const std::string& path);
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_SERIALIZE_H_

@@ -1,0 +1,78 @@
+#include "data/statistics.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "math/combinatorics.h"
+
+namespace qikey {
+
+ColumnStats ComputeColumnStats(const Dataset& dataset, AttributeIndex j) {
+  const Column& col = dataset.column(j);
+  const size_t n = col.size();
+  ColumnStats stats;
+  stats.name = dataset.schema().name(j);
+  stats.cardinality = col.cardinality();
+
+  std::vector<uint64_t> counts(col.cardinality(), 0);
+  for (size_t r = 0; r < n; ++r) ++counts[col.code(r)];
+
+  uint64_t top = 0;
+  uint64_t unseparated = 0;
+  uint64_t unique_rows = 0;
+  double entropy = 0.0;
+  uint32_t distinct = 0;
+  for (uint64_t c : counts) {
+    if (c == 0) continue;
+    ++distinct;
+    if (c > top) top = c;
+    if (c == 1) ++unique_rows;
+    unseparated += PairCount(c);
+    double p = static_cast<double>(c) / static_cast<double>(n);
+    entropy -= p * std::log2(p);
+  }
+  stats.distinct = distinct;
+  stats.entropy_bits = entropy;
+  stats.top_frequency =
+      n > 0 ? static_cast<double>(top) / static_cast<double>(n) : 0.0;
+  stats.unseparated_pairs = unseparated;
+  uint64_t total_pairs = dataset.num_pairs();
+  stats.separation_ratio =
+      total_pairs > 0
+          ? 1.0 - static_cast<double>(unseparated) /
+                      static_cast<double>(total_pairs)
+          : 1.0;
+  stats.uniqueness =
+      n > 0 ? static_cast<double>(unique_rows) / static_cast<double>(n)
+            : 0.0;
+  return stats;
+}
+
+std::vector<ColumnStats> ProfileDataset(const Dataset& dataset) {
+  std::vector<ColumnStats> out;
+  out.reserve(dataset.num_attributes());
+  for (size_t j = 0; j < dataset.num_attributes(); ++j) {
+    out.push_back(ComputeColumnStats(dataset, static_cast<AttributeIndex>(j)));
+  }
+  return out;
+}
+
+std::string FormatProfileTable(const std::vector<ColumnStats>& stats) {
+  std::ostringstream out;
+  out << std::left << std::setw(22) << "column" << std::right
+      << std::setw(10) << "distinct" << std::setw(10) << "entropy"
+      << std::setw(10) << "top-freq" << std::setw(12) << "sep-ratio"
+      << std::setw(12) << "uniqueness" << "\n";
+  for (const ColumnStats& s : stats) {
+    out << std::left << std::setw(22) << s.name << std::right
+        << std::setw(10) << s.distinct << std::setw(10) << std::fixed
+        << std::setprecision(2) << s.entropy_bits << std::setw(10)
+        << std::setprecision(3) << s.top_frequency << std::setw(12)
+        << std::setprecision(6) << s.separation_ratio << std::setw(12)
+        << std::setprecision(3) << s.uniqueness << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace qikey

@@ -1,0 +1,41 @@
+#ifndef QIKEY_DATA_STATISTICS_H_
+#define QIKEY_DATA_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace qikey {
+
+/// \brief Per-column profile used by auditors, the CLI, and generator
+/// validation.
+struct ColumnStats {
+  std::string name;
+  uint32_t cardinality = 0;    ///< declared code space
+  uint32_t distinct = 0;       ///< observed distinct values
+  /// Shannon entropy of the empirical value distribution, in bits.
+  double entropy_bits = 0.0;
+  /// Frequency of the most common value, in [0, 1].
+  double top_frequency = 0.0;
+  /// Number of pairs of rows agreeing on this column (`Γ_{j}`).
+  uint64_t unseparated_pairs = 0;
+  /// 1 - Γ_j / C(n,2): how much of the pair space this column separates.
+  double separation_ratio = 0.0;
+  /// Fraction of rows whose value is unique in the column.
+  double uniqueness = 0.0;
+};
+
+/// Computes the profile of one column. `O(n)`.
+ColumnStats ComputeColumnStats(const Dataset& dataset, AttributeIndex j);
+
+/// Profiles of every column, in schema order.
+std::vector<ColumnStats> ProfileDataset(const Dataset& dataset);
+
+/// Renders the profiles as an aligned text table (for CLI/examples).
+std::string FormatProfileTable(const std::vector<ColumnStats>& stats);
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_STATISTICS_H_

@@ -1,0 +1,40 @@
+#include "math/birthday.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+double UniformNonCollisionProbability(uint64_t bins, uint64_t balls) {
+  if (balls > bins) return 0.0;
+  double log_p = 0.0;
+  for (uint64_t i = 1; i < balls; ++i) {
+    log_p += std::log1p(-static_cast<double>(i) / static_cast<double>(bins));
+  }
+  return std::exp(log_p);
+}
+
+double CollisionProbabilityLowerBound(uint64_t bins, uint64_t balls) {
+  if (balls < 2) return 0.0;
+  double q = static_cast<double>(balls);
+  double n = static_cast<double>(bins);
+  return 1.0 - std::exp(-q * (q - 1.0) / (2.0 * n));
+}
+
+uint64_t BallsForCollision(uint64_t bins, double delta_star) {
+  QIKEY_CHECK(delta_star > 0.0 && delta_star < 1.0);
+  double n = static_cast<double>(bins);
+  double t = std::log(1.0 / delta_star);
+  double q = 0.5 * (1.0 + std::sqrt(8.0 * n * t + 1.0));
+  return static_cast<uint64_t>(std::ceil(q));
+}
+
+uint64_t BallsForCollisionSimple(uint64_t bins, double delta_star) {
+  QIKEY_CHECK(delta_star > 0.0 && delta_star < 1.0);
+  double n = static_cast<double>(bins);
+  double t = std::log(1.0 / delta_star);
+  return static_cast<uint64_t>(std::ceil(4.0 * std::sqrt(n * t)));
+}
+
+}  // namespace qikey

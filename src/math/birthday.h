@@ -1,0 +1,32 @@
+#ifndef QIKEY_MATH_BIRTHDAY_H_
+#define QIKEY_MATH_BIRTHDAY_H_
+
+#include <cstdint>
+
+namespace qikey {
+
+/// \brief Birthday-problem bounds (Theorem 4 of the paper).
+///
+/// Throwing `q` balls into `N` bins uniformly at random, collision
+/// probability `C(N, q) >= 1 - exp(-q(q-1)/(2N))`.
+
+/// Exact non-collision probability for `q` balls into `N` uniform bins:
+/// `prod_{i=0}^{q-1} (1 - i/N)`. Returns 0 if `q > N`.
+double UniformNonCollisionProbability(uint64_t bins, uint64_t balls);
+
+/// The paper's lower bound on the collision probability:
+/// `1 - exp(-q(q-1)/(2N))`.
+double CollisionProbabilityLowerBound(uint64_t bins, uint64_t balls);
+
+/// \brief Number of balls sufficient for the non-collision probability to
+/// drop below `delta_star` (Theorem 4):
+/// `q >= (1 + sqrt(8 N ln(1/delta*) + 1)) / 2`, and the paper's simpler
+/// sufficient value `4 sqrt(N ln(1/delta*))`.
+uint64_t BallsForCollision(uint64_t bins, double delta_star);
+
+/// The paper's simplified sufficient count `ceil(4 sqrt(N ln(1/delta*)))`.
+uint64_t BallsForCollisionSimple(uint64_t bins, double delta_star);
+
+}  // namespace qikey
+
+#endif  // QIKEY_MATH_BIRTHDAY_H_

@@ -1,0 +1,32 @@
+#include "math/chernoff.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+double ChernoffTwoSidedBound(double mu, double eps) {
+  QIKEY_DCHECK(mu >= 0.0 && eps > 0.0);
+  double exponent = (eps >= 2.0) ? (eps * mu / 2.0)
+                                 : (eps * eps * mu / (2.0 + eps));
+  double bound = 2.0 * std::exp(-exponent);
+  return bound > 1.0 ? 1.0 : bound;
+}
+
+double ChernoffLowerHalfBound(double mu) {
+  double bound = 2.0 * std::exp(-0.1 * mu);
+  return bound > 1.0 ? 1.0 : bound;
+}
+
+uint64_t TrialsForRelativeError(double p, double eps, double delta) {
+  QIKEY_CHECK(p > 0.0 && p <= 1.0);
+  QIKEY_CHECK(eps > 0.0);
+  QIKEY_CHECK(delta > 0.0 && delta < 1.0);
+  // Solve 2 exp(-eps^2 pN/(2+eps)) <= delta for N.
+  double ln_term = std::log(2.0 / delta);
+  double n = (2.0 + eps) * ln_term / (eps * eps * p);
+  return static_cast<uint64_t>(std::ceil(n));
+}
+
+}  // namespace qikey

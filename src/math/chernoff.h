@@ -1,0 +1,27 @@
+#ifndef QIKEY_MATH_CHERNOFF_H_
+#define QIKEY_MATH_CHERNOFF_H_
+
+#include <cstdint>
+
+namespace qikey {
+
+/// \brief Chernoff-bound helpers (Theorem 3 of the paper).
+///
+/// For `X = sum of N` i.i.d. Bernoulli(p), `mu = pN`:
+///   P(|X - mu| >= eps * mu) <= 2 exp(-eps^2 mu / (2 + eps)),
+/// and for eps >= 2: P(|X - mu| >= eps*mu) <= 2 exp(-eps*mu/2),
+/// and P(X <= mu/2) <= 2 exp(-0.1 mu).
+
+/// Upper bound on `P(|X - mu| >= eps*mu)` from Theorem 3.
+double ChernoffTwoSidedBound(double mu, double eps);
+
+/// Upper bound on `P(X <= mu/2)`: `2 exp(-0.1 mu)`.
+double ChernoffLowerHalfBound(double mu);
+
+/// \brief Smallest number of Bernoulli(p) trials such that
+/// `ChernoffTwoSidedBound(p*N, eps) <= delta`.
+uint64_t TrialsForRelativeError(double p, double eps, double delta);
+
+}  // namespace qikey
+
+#endif  // QIKEY_MATH_CHERNOFF_H_

@@ -1,0 +1,105 @@
+#include "math/collision.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "math/combinatorics.h"
+#include "math/sympoly.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double ProfileSum(const std::vector<double>& profile) {
+  return std::accumulate(profile.begin(), profile.end(), 0.0);
+}
+
+}  // namespace
+
+double LogNonCollisionWithReplacement(const std::vector<double>& profile,
+                                      uint64_t r) {
+  double n = ProfileSum(profile);
+  if (n <= 0.0) return kNegInf;
+  double log_e = LogElementarySymmetric(profile, r);
+  if (log_e == kNegInf) return kNegInf;
+  return LogFactorial(r) - static_cast<double>(r) * std::log(n) + log_e;
+}
+
+double LogNonCollisionWithoutReplacement(const std::vector<double>& profile,
+                                         uint64_t r) {
+  double n = ProfileSum(profile);
+  uint64_t n_int = static_cast<uint64_t>(std::llround(n));
+  if (r > n_int) return kNegInf;
+  double log_e = LogElementarySymmetric(profile, r);
+  if (log_e == kNegInf) return kNegInf;
+  return LogFactorial(r) - LogFallingFactorial(n_int, r) + log_e;
+}
+
+double LogNonCollisionWithReplacementTwoValue(double a, uint64_t ka, double b,
+                                              uint64_t kb, uint64_t r) {
+  double n = a * static_cast<double>(ka) + b * static_cast<double>(kb);
+  if (n <= 0.0) return kNegInf;
+  double log_e = LogElementarySymmetricTwoValue(a, ka, b, kb, r);
+  if (log_e == kNegInf) return kNegInf;
+  return LogFactorial(r) - static_cast<double>(r) * std::log(n) + log_e;
+}
+
+double LogNonCollisionWithoutReplacementTwoValue(double a, uint64_t ka,
+                                                 double b, uint64_t kb,
+                                                 uint64_t r) {
+  double n = a * static_cast<double>(ka) + b * static_cast<double>(kb);
+  uint64_t n_int = static_cast<uint64_t>(std::llround(n));
+  if (r > n_int) return kNegInf;
+  double log_e = LogElementarySymmetricTwoValue(a, ka, b, kb, r);
+  if (log_e == kNegInf) return kNegInf;
+  return LogFactorial(r) - LogFallingFactorial(n_int, r) + log_e;
+}
+
+double EstimateNonCollisionMonteCarlo(const std::vector<uint64_t>& profile,
+                                      uint64_t r, uint64_t trials, Rng* rng) {
+  QIKEY_CHECK(rng != nullptr);
+  uint64_t n = std::accumulate(profile.begin(), profile.end(), uint64_t{0});
+  QIKEY_CHECK(n > 0);
+  // Build the cumulative distribution once.
+  std::vector<uint64_t> cum(profile.size());
+  uint64_t acc = 0;
+  for (size_t i = 0; i < profile.size(); ++i) {
+    acc += profile[i];
+    cum[i] = acc;
+  }
+  uint64_t no_collision = 0;
+  std::unordered_set<size_t> seen;
+  for (uint64_t t = 0; t < trials; ++t) {
+    seen.clear();
+    bool collided = false;
+    for (uint64_t b = 0; b < r && !collided; ++b) {
+      uint64_t u = rng->Uniform(n);
+      // Binary search for the color of ball value u.
+      size_t lo = 0, hi = cum.size();
+      while (lo + 1 < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (u < cum[mid - 1]) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      size_t color = (u < cum[0]) ? 0 : lo;
+      if (!seen.insert(color).second) collided = true;
+    }
+    if (!collided) ++no_collision;
+  }
+  return static_cast<double>(no_collision) / static_cast<double>(trials);
+}
+
+double LogWithoutToWithRatio(uint64_t n, uint64_t r) {
+  return static_cast<double>(r) * std::log(static_cast<double>(n)) -
+         LogFallingFactorial(n, r);
+}
+
+}  // namespace qikey

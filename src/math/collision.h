@@ -1,0 +1,53 @@
+#ifndef QIKEY_MATH_COLLISION_H_
+#define QIKEY_MATH_COLLISION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace qikey {
+
+/// \brief Non-collision probabilities for the constrained balls-into-bins
+/// problem at the heart of the paper's analysis (Section 2.1).
+///
+/// A clique-size profile `s = (s_1, ..., s_n)` (non-negative, summing to
+/// `n`) induces the color distribution `D_s = (s_1/n, ..., s_n/n)`.
+/// Drawing `r` balls, the probability that no two share a color is
+///   with replacement:    P = r!/n^r * e_r(s)            (paper: P_{r,D_s})
+///   without replacement: P = r! * e_r(s) / (n)_r        (paper: P_{r,D_s,<>})
+/// For integer profiles the without-replacement value is the exact
+/// probability of sampling `r` distinct tuples no two of which fall in the
+/// same clique of the auxiliary graph `G_A`.
+
+/// `log` of the with-replacement non-collision probability.
+double LogNonCollisionWithReplacement(const std::vector<double>& profile,
+                                      uint64_t r);
+
+/// `log` of the without-replacement non-collision probability. The profile
+/// must sum to `n >= r` (entries may be real for the relaxed problem).
+double LogNonCollisionWithoutReplacement(const std::vector<double>& profile,
+                                         uint64_t r);
+
+/// Two-valued profile versions (`ka` entries of `a`, `kb` of `b`; the sum
+/// `ka*a + kb*b` plays the role of `n`).
+double LogNonCollisionWithReplacementTwoValue(double a, uint64_t ka, double b,
+                                              uint64_t kb, uint64_t r);
+double LogNonCollisionWithoutReplacementTwoValue(double a, uint64_t ka,
+                                                 double b, uint64_t kb,
+                                                 uint64_t r);
+
+/// \brief Monte-Carlo estimate of the with-replacement non-collision
+/// probability for an integer profile; used to cross-check the closed
+/// forms in tests.
+double EstimateNonCollisionMonteCarlo(const std::vector<uint64_t>& profile,
+                                      uint64_t r, uint64_t trials, Rng* rng);
+
+/// \brief Claim 1 of the paper: for `n > r(r-1)/m + r - 1`,
+/// `P_without < e^m * P_with`. Returns the exact ratio bound
+/// `n^r / (n)_r` in log space.
+double LogWithoutToWithRatio(uint64_t n, uint64_t r);
+
+}  // namespace qikey
+
+#endif  // QIKEY_MATH_COLLISION_H_

@@ -1,0 +1,55 @@
+#include "math/combinatorics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+double LogFactorial(uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(uint64_t n, uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double BinomialDouble(uint64_t n, uint64_t k) {
+  if (k > n) return 0.0;
+  return std::exp(LogBinomial(n, k));
+}
+
+uint64_t PairCount(uint64_t n) {
+  if (n < 2) return 0;
+  // n or n-1 is even, so the division is exact with no overflow for
+  // n < 2^32.
+  QIKEY_DCHECK(n <= (uint64_t{1} << 32));
+  return (n % 2 == 0) ? (n / 2) * (n - 1) : n * ((n - 1) / 2);
+}
+
+double LogFallingFactorial(uint64_t n, uint64_t r) {
+  if (r > n) return -std::numeric_limits<double>::infinity();
+  return LogFactorial(n) - LogFactorial(n - r);
+}
+
+double LogSumExp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  double hi = a > b ? a : b;
+  double lo = a > b ? b : a;
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double Log1mExp(double x) {
+  QIKEY_DCHECK(x <= 0.0);
+  if (x == 0.0) return -std::numeric_limits<double>::infinity();
+  // Mächler's rule: use log(-expm1(x)) for x > -ln 2, log1p(-exp(x)) else.
+  if (x > -0.6931471805599453) {
+    return std::log(-std::expm1(x));
+  }
+  return std::log1p(-std::exp(x));
+}
+
+}  // namespace qikey

@@ -1,0 +1,32 @@
+#ifndef QIKEY_MATH_COMBINATORICS_H_
+#define QIKEY_MATH_COMBINATORICS_H_
+
+#include <cstdint>
+
+namespace qikey {
+
+/// Natural log of `n!` via lgamma; exact to double precision.
+double LogFactorial(uint64_t n);
+
+/// Natural log of the binomial coefficient `C(n, k)`; -inf if `k > n`.
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// `C(n, k)` as a double (may overflow to +inf for huge arguments).
+double BinomialDouble(uint64_t n, uint64_t k);
+
+/// Exact `C(n, 2) = n(n-1)/2` for pair counting. `n` up to 2^32 is safe.
+uint64_t PairCount(uint64_t n);
+
+/// Natural log of the falling factorial `n·(n-1)···(n-r+1)`;
+/// -inf if `r > n`.
+double LogFallingFactorial(uint64_t n, uint64_t r);
+
+/// Numerically stable `log(exp(a) + exp(b))`.
+double LogSumExp(double a, double b);
+
+/// Numerically stable `log(1 - exp(x))` for `x < 0`.
+double Log1mExp(double x);
+
+}  // namespace qikey
+
+#endif  // QIKEY_MATH_COMBINATORICS_H_

@@ -1,0 +1,138 @@
+#include "math/kkt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "math/collision.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<double> TwoValueProfile::ToVector(uint64_t n) const {
+  QIKEY_CHECK(ka + kb <= n);
+  std::vector<double> s;
+  s.reserve(n);
+  s.insert(s.end(), ka, a);
+  s.insert(s.end(), kb, b);
+  s.insert(s.end(), n - ka - kb, 0.0);
+  return s;
+}
+
+double TwoValueProfile::Sum() const {
+  return a * static_cast<double>(ka) + b * static_cast<double>(kb);
+}
+
+double TwoValueProfile::SumSquares() const {
+  return a * a * static_cast<double>(ka) + b * b * static_cast<double>(kb);
+}
+
+TwoValueProfile PaperTildeProfile(uint64_t n, double eps) {
+  TwoValueProfile p;
+  double dn = static_cast<double>(n);
+  p.a = std::sqrt(eps) * dn / 2.0;
+  p.ka = 1;
+  p.b = 1.0;
+  p.kb = static_cast<uint64_t>(std::llround((1.0 - std::sqrt(eps) / 2.0) * dn));
+  return p;
+}
+
+TwoValueProfile UniformIntuitionProfile(uint64_t n, double eps) {
+  TwoValueProfile p;
+  double dn = static_cast<double>(n);
+  uint64_t support = static_cast<uint64_t>(std::floor(4.0 / eps));
+  support = std::min<uint64_t>(std::max<uint64_t>(support, 1), n);
+  p.a = dn / static_cast<double>(support);
+  p.ka = support;
+  p.b = 0.0;
+  p.kb = 0;
+  return p;
+}
+
+TwoValueProfile FindWorstCaseProfile(uint64_t n, double eps, uint64_t r,
+                                     uint64_t support_grid) {
+  QIKEY_CHECK(n >= 2);
+  QIKEY_CHECK(eps > 0.0 && eps <= 1.0);
+  double dn = static_cast<double>(n);
+  double target_sq = eps * dn * dn / 4.0;  // constraint (1), held tight
+
+  TwoValueProfile best;
+  best.log_non_collision = kNegInf;
+
+  auto consider = [&](double a, uint64_t ka, double b, uint64_t kb) {
+    if (a < 0.0 || b < 0.0) return;
+    if (ka + kb > n || ka + kb == 0) return;
+    TwoValueProfile cand{a, ka, b, kb, 0.0};
+    // Allow small numeric slack on the constraints.
+    if (std::abs(cand.Sum() - dn) > 1e-6 * dn) return;
+    if (cand.SumSquares() < target_sq * (1.0 - 1e-9)) return;
+    cand.log_non_collision =
+        LogNonCollisionWithReplacementTwoValue(a, ka, b, kb, r);
+    if (cand.log_non_collision > best.log_non_collision) best = cand;
+  };
+
+  // Log-spaced candidate support sizes in [1, n].
+  std::vector<uint64_t> supports;
+  for (uint64_t g = 0; g <= support_grid; ++g) {
+    double f = static_cast<double>(g) / static_cast<double>(support_grid);
+    uint64_t k = static_cast<uint64_t>(std::llround(std::pow(dn, f)));
+    k = std::min<uint64_t>(std::max<uint64_t>(k, 1), n);
+    if (supports.empty() || supports.back() != k) supports.push_back(k);
+  }
+
+  // One-value candidates: support k, value n/k; feasible iff n^2/k >= S.
+  for (uint64_t k : supports) {
+    double a = dn / static_cast<double>(k);
+    if (a * a * static_cast<double>(k) >= target_sq * (1.0 - 1e-12)) {
+      consider(a, k, 0.0, 0);
+    }
+  }
+
+  // Two-value candidates with constraint (1) tight: for (ka, kb), solve
+  //   ka*a + kb*b = n,  ka*a^2 + kb*b^2 = S
+  // Substituting b = (n - ka*a)/kb gives the quadratic
+  //   ka*(ka+kb)*a^2 - 2*n*ka*a + (n^2 - S*kb) = 0.
+  for (uint64_t ka : supports) {
+    for (uint64_t kb : supports) {
+      if (ka + kb > n) continue;
+      double dka = static_cast<double>(ka);
+      double dkb = static_cast<double>(kb);
+      double qa = dka * (dka + dkb);
+      double qb = -2.0 * dn * dka;
+      double qc = dn * dn - target_sq * dkb;
+      double disc = qb * qb - 4.0 * qa * qc;
+      if (disc < 0.0) continue;
+      double sq = std::sqrt(disc);
+      for (double root : {(-qb + sq) / (2.0 * qa), (-qb - sq) / (2.0 * qa)}) {
+        double a = root;
+        double b = (dn - dka * a) / dkb;
+        if (a >= 0.0 && b >= 0.0) consider(a, ka, b, kb);
+      }
+    }
+  }
+
+  // Always include the paper's witness profile.
+  TwoValueProfile tilde = PaperTildeProfile(n, eps);
+  if (tilde.ka + tilde.kb <= n) {
+    // Its sum may differ from n by rounding; rescale b-count weighting by
+    // adjusting the big entry so the sum is exactly n.
+    tilde.a = dn - static_cast<double>(tilde.kb);
+    if (tilde.a > 0.0 &&
+        tilde.SumSquares() >= target_sq * (1.0 - 1e-9)) {
+      tilde.log_non_collision = LogNonCollisionWithReplacementTwoValue(
+          tilde.a, tilde.ka, tilde.b, tilde.kb, r);
+      if (tilde.log_non_collision > best.log_non_collision) best = tilde;
+    }
+  }
+
+  QIKEY_CHECK(best.log_non_collision != kNegInf)
+      << "no feasible two-value profile found (n=" << n << ", eps=" << eps
+      << ", r=" << r << ")";
+  return best;
+}
+
+}  // namespace qikey

@@ -1,0 +1,58 @@
+#ifndef QIKEY_MATH_KKT_H_
+#define QIKEY_MATH_KKT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qikey {
+
+/// \brief Numeric companion to Lemma 1 (KKT worst case).
+///
+/// The paper proves that the clique-size profile maximizing the
+/// non-collision probability, subject to
+///   (1) sum s_i^2 >= eps * n^2 / 4,
+///   (2) sum s_i = n,
+///   (3) s_i >= 0,
+/// has at most two distinct non-zero values. This module searches that
+/// two-value family numerically to (a) exhibit the worst case for a given
+/// `(n, eps, r)` and (b) reproduce the Appendix C.3 counterexample showing
+/// the uniform profile is *not* the maximizer.
+
+/// A two-valued profile: `ka` entries of value `a`, `kb` entries of `b`,
+/// remaining `n - ka - kb` entries zero.
+struct TwoValueProfile {
+  double a = 0.0;
+  uint64_t ka = 0;
+  double b = 0.0;
+  uint64_t kb = 0;
+  /// log of the with-replacement non-collision probability for `r` draws.
+  double log_non_collision = 0.0;
+
+  /// Materializes the profile as an explicit vector of length `n`.
+  std::vector<double> ToVector(uint64_t n) const;
+  double Sum() const;
+  double SumSquares() const;
+};
+
+/// \brief The feasible witness profile from Eq. (5) of the paper:
+/// one entry `sqrt(eps)*n/2` plus `(1 - sqrt(eps)/2) * n` unit entries.
+TwoValueProfile PaperTildeProfile(uint64_t n, double eps);
+
+/// \brief The uniform intuition profile: `4/eps` entries of value
+/// `eps*n/4` (constraint (1) tight, all non-zero entries equal).
+TwoValueProfile UniformIntuitionProfile(uint64_t n, double eps);
+
+/// \brief Grid search over two-value profiles satisfying constraints
+/// (1)-(3) with (1) tight, maximizing the non-collision probability of
+/// `r` with-replacement draws. `support_grid` controls how many (ka, kb)
+/// combinations are tried.
+///
+/// Returns the best profile found (its `log_non_collision` is exact for
+/// the returned parameters, computed with the closed-form two-value
+/// elementary symmetric polynomial).
+TwoValueProfile FindWorstCaseProfile(uint64_t n, double eps, uint64_t r,
+                                     uint64_t support_grid = 64);
+
+}  // namespace qikey
+
+#endif  // QIKEY_MATH_KKT_H_

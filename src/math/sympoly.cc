@@ -1,0 +1,71 @@
+#include "math/sympoly.h"
+
+#include <cmath>
+#include <limits>
+
+#include "math/combinatorics.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<double> ElementarySymmetricAll(const std::vector<double>& s,
+                                           uint64_t r) {
+  std::vector<double> e(r + 1, 0.0);
+  e[0] = 1.0;
+  for (double x : s) {
+    uint64_t hi = r;
+    for (uint64_t j = hi; j >= 1; --j) {
+      e[j] += x * e[j - 1];
+    }
+  }
+  return e;
+}
+
+double ElementarySymmetric(const std::vector<double>& s, uint64_t r) {
+  if (r > s.size()) return 0.0;
+  return ElementarySymmetricAll(s, r)[r];
+}
+
+double LogElementarySymmetric(const std::vector<double>& s, uint64_t r) {
+  std::vector<double> loge(r + 1, kNegInf);
+  loge[0] = 0.0;
+  for (double x : s) {
+    QIKEY_DCHECK(x >= 0.0);
+    if (x <= 0.0) continue;
+    double lx = std::log(x);
+    for (uint64_t j = r; j >= 1; --j) {
+      loge[j] = LogSumExp(loge[j], lx + loge[j - 1]);
+    }
+  }
+  return loge[r];
+}
+
+double LogElementarySymmetricTwoValue(double a, uint64_t ka, double b,
+                                      uint64_t kb, uint64_t r) {
+  QIKEY_DCHECK(a >= 0.0 && b >= 0.0);
+  double log_a = a > 0.0 ? std::log(a) : kNegInf;
+  double log_b = b > 0.0 ? std::log(b) : kNegInf;
+  double acc = kNegInf;
+  // e_r = sum_{i=max(0,r-kb)}^{min(r,ka)} C(ka,i) a^i C(kb,r-i) b^{r-i}.
+  uint64_t lo = (r > kb) ? r - kb : 0;
+  uint64_t hi = std::min(r, ka);
+  for (uint64_t i = lo; i <= hi; ++i) {
+    double term = LogBinomial(ka, i) + LogBinomial(kb, r - i);
+    if (i > 0) {
+      if (log_a == kNegInf) continue;
+      term += static_cast<double>(i) * log_a;
+    }
+    if (r - i > 0) {
+      if (log_b == kNegInf) continue;
+      term += static_cast<double>(r - i) * log_b;
+    }
+    acc = LogSumExp(acc, term);
+  }
+  return acc;
+}
+
+}  // namespace qikey

@@ -1,0 +1,43 @@
+#ifndef QIKEY_MATH_SYMPOLY_H_
+#define QIKEY_MATH_SYMPOLY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qikey {
+
+/// \brief Elementary symmetric polynomials.
+///
+/// `e_r(s) = sum over all r-subsets J of prod_{j in J} s_j`. This is the
+/// quantity `f_r(s)` in the paper's non-collision analysis (Section 2.1):
+/// the non-collision probability when sampling `r` colored balls is
+/// `r!/n^r * e_r(s)` (with replacement) and `r! e_r(s) / (n)_r` (without).
+
+/// \brief Exact DP evaluation of `e_r(s)` in double precision.
+///
+/// `O(|s| * r)` time. Values can overflow for large inputs; use
+/// `LogElementarySymmetric` for those.
+double ElementarySymmetric(const std::vector<double>& s, uint64_t r);
+
+/// \brief All of `e_0..e_r` at once (same DP, returns the whole row).
+std::vector<double> ElementarySymmetricAll(const std::vector<double>& s,
+                                           uint64_t r);
+
+/// \brief `log e_r(s)` computed with a log-space DP (log-sum-exp).
+///
+/// Entries of `s` must be non-negative; zero entries are skipped.
+/// Returns -inf when `r` exceeds the number of positive entries.
+double LogElementarySymmetric(const std::vector<double>& s, uint64_t r);
+
+/// \brief `log e_r` of a two-valued multiset: `ka` copies of `a` and `kb`
+/// copies of `b` (either count may be zero).
+///
+/// Uses the closed form `e_r = sum_i C(ka,i) a^i C(kb,r-i) b^{r-i}`,
+/// evaluated in log space; `O(r)` time. This is the shape the KKT analysis
+/// (Lemma 1) proves sufficient for the worst case.
+double LogElementarySymmetricTwoValue(double a, uint64_t ka, double b,
+                                      uint64_t kb, uint64_t r);
+
+}  // namespace qikey
+
+#endif  // QIKEY_MATH_SYMPOLY_H_

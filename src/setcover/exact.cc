@@ -1,0 +1,55 @@
+#include <algorithm>
+#include <bit>
+
+#include "setcover/set_cover.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+
+/// Depth-limited search: returns true and fills `chosen` if a cover of
+/// size <= budget exists extending the current coverage.
+bool Search(const SetCoverInstance& instance, std::vector<uint64_t>* covered,
+            uint32_t budget, std::vector<uint32_t>* chosen) {
+  // Find the first uncovered element.
+  size_t uncovered_element = instance.universe_size();
+  for (size_t w = 0; w < covered->size(); ++w) {
+    uint64_t missing = ~(*covered)[w];
+    if (w == covered->size() - 1 && instance.universe_size() % 64 != 0) {
+      missing &= (uint64_t{1} << (instance.universe_size() % 64)) - 1;
+    }
+    if (missing != 0) {
+      uncovered_element = w * 64 + static_cast<size_t>(std::countr_zero(missing));
+      break;
+    }
+  }
+  if (uncovered_element >= instance.universe_size()) return true;  // covered
+  if (budget == 0) return false;
+  // Branch on the sets that contain the uncovered element.
+  for (size_t s = 0; s < instance.num_sets(); ++s) {
+    if (!instance.Contains(s, uncovered_element)) continue;
+    std::vector<uint64_t> next = *covered;
+    instance.CoverWith(s, &next);
+    chosen->push_back(static_cast<uint32_t>(s));
+    if (Search(instance, &next, budget - 1, chosen)) return true;
+    chosen->pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> ExactSetCover(const SetCoverInstance& instance,
+                                            uint32_t max_size) {
+  for (uint32_t budget = 0; budget <= max_size; ++budget) {
+    std::vector<uint64_t> covered(instance.words_per_set(), 0);
+    std::vector<uint32_t> chosen;
+    if (Search(instance, &covered, budget, &chosen)) {
+      return chosen;
+    }
+  }
+  return Status::NotFound("no set cover within the requested size bound");
+}
+
+}  // namespace qikey

@@ -1,0 +1,77 @@
+#include <bit>
+
+#include "setcover/set_cover.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+SetCoverInstance::SetCoverInstance(size_t universe_size, size_t num_sets)
+    : universe_size_(universe_size),
+      words_((universe_size + 63) / 64),
+      sets_(num_sets, std::vector<uint64_t>(words_, 0)) {}
+
+void SetCoverInstance::Add(size_t set, size_t element) {
+  QIKEY_DCHECK(set < sets_.size() && element < universe_size_);
+  sets_[set][element / 64] |= uint64_t{1} << (element % 64);
+}
+
+bool SetCoverInstance::Contains(size_t set, size_t element) const {
+  return (sets_[set][element / 64] >> (element % 64)) & 1;
+}
+
+uint64_t SetCoverInstance::CountUncovered(
+    size_t set, const std::vector<uint64_t>& covered) const {
+  const std::vector<uint64_t>& bits = sets_[set];
+  uint64_t count = 0;
+  for (size_t w = 0; w < words_; ++w) {
+    count += static_cast<uint64_t>(std::popcount(bits[w] & ~covered[w]));
+  }
+  return count;
+}
+
+void SetCoverInstance::CoverWith(size_t set,
+                                 std::vector<uint64_t>* covered) const {
+  const std::vector<uint64_t>& bits = sets_[set];
+  for (size_t w = 0; w < words_; ++w) (*covered)[w] |= bits[w];
+}
+
+namespace {
+
+uint64_t CountCovered(const std::vector<uint64_t>& covered) {
+  uint64_t count = 0;
+  for (uint64_t w : covered) count += static_cast<uint64_t>(std::popcount(w));
+  return count;
+}
+
+}  // namespace
+
+SetCoverResult GreedySetCover(const SetCoverInstance& instance) {
+  SetCoverResult result;
+  const size_t universe = instance.universe_size();
+  std::vector<uint64_t> covered(instance.words_per_set(), 0);
+  uint64_t covered_count = 0;
+  std::vector<bool> used(instance.num_sets(), false);
+  while (covered_count < universe) {
+    size_t best_set = instance.num_sets();
+    uint64_t best_gain = 0;
+    for (size_t s = 0; s < instance.num_sets(); ++s) {
+      if (used[s]) continue;
+      uint64_t gain = instance.CountUncovered(s, covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_set = s;
+      }
+    }
+    if (best_set == instance.num_sets()) break;  // nothing else coverable
+    used[best_set] = true;
+    instance.CoverWith(best_set, &covered);
+    covered_count += best_gain;
+    result.chosen.push_back(static_cast<uint32_t>(best_set));
+  }
+  covered_count = CountCovered(covered);
+  result.complete = covered_count >= universe;
+  result.uncovered = universe - covered_count;
+  return result;
+}
+
+}  // namespace qikey

@@ -1,0 +1,70 @@
+#ifndef QIKEY_SETCOVER_SET_COVER_H_
+#define QIKEY_SETCOVER_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief A set cover instance over a ground set `{0, ..., N-1}`.
+///
+/// Sets are stored as bitsets (packed 64-bit words) for fast
+/// coverage-count updates — the reduction of minimum-key finding
+/// (Motwani–Xu) produces one set per attribute whose elements are the
+/// sampled pairs that attribute separates.
+class SetCoverInstance {
+ public:
+  SetCoverInstance(size_t universe_size, size_t num_sets);
+
+  size_t universe_size() const { return universe_size_; }
+  size_t num_sets() const { return sets_.size(); }
+
+  /// Adds element `e` to set `s`.
+  void Add(size_t set, size_t element);
+  bool Contains(size_t set, size_t element) const;
+
+  /// Number of elements of `set` not yet covered, given `covered` (a
+  /// bitset of the same word count as the universe).
+  uint64_t CountUncovered(size_t set,
+                          const std::vector<uint64_t>& covered) const;
+
+  /// ORs `set` into `covered`.
+  void CoverWith(size_t set, std::vector<uint64_t>* covered) const;
+
+  size_t words_per_set() const { return words_; }
+  const std::vector<uint64_t>& set_bits(size_t set) const {
+    return sets_[set];
+  }
+
+ private:
+  size_t universe_size_;
+  size_t words_;
+  std::vector<std::vector<uint64_t>> sets_;
+};
+
+struct SetCoverResult {
+  /// Chosen set indices in selection order.
+  std::vector<uint32_t> chosen;
+  /// Whether the union of all sets covers the universe (if not, `chosen`
+  /// covers as much as possible and `uncovered > 0`).
+  bool complete = false;
+  uint64_t uncovered = 0;
+};
+
+/// \brief Greedy set cover (Algorithm 2): repeatedly picks the set
+/// covering the most uncovered elements. `(ln N + 1)`-approximate;
+/// `O(num_sets^2 * N / 64)` worst case with the bitset representation.
+SetCoverResult GreedySetCover(const SetCoverInstance& instance);
+
+/// \brief Exact minimum set cover by iterative-deepening branch and
+/// bound (branches on an uncovered element, tries only sets containing
+/// it). Exponential; intended for small instances (tests, γ=1 studies).
+/// Fails with NotFound if no cover of size <= `max_size` exists.
+Result<std::vector<uint32_t>> ExactSetCover(const SetCoverInstance& instance,
+                                            uint32_t max_size);
+
+}  // namespace qikey
+
+#endif  // QIKEY_SETCOVER_SET_COVER_H_

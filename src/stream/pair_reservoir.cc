@@ -1,0 +1,65 @@
+#include "stream/pair_reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+// Replacement counts beyond this are treated as "never" (no stream of
+// that length fits in memory anyway; the slot is simply re-queued).
+constexpr uint64_t kNever = uint64_t{1} << 62;
+}  // namespace
+
+PairReservoir::PairReservoir(size_t num_slots, Rng* rng)
+    : slots_(num_slots, {0, 0}), rng_(rng) {
+  QIKEY_CHECK(rng != nullptr);
+}
+
+uint64_t PairReservoir::NextReplacementCount(uint64_t t) {
+  // P(next replacement count > c) = t(t-1) / (c(c-1)) for c >= t.
+  // Inversion: c = smallest integer with c(c-1) >= t(t-1)/U.
+  double u = std::max(rng_->UniformDouble(), 1e-300);
+  double k = static_cast<double>(t) * static_cast<double>(t - 1) / u;
+  if (k >= static_cast<double>(kNever) * static_cast<double>(kNever)) {
+    return kNever;
+  }
+  double c = std::ceil((1.0 + std::sqrt(1.0 + 4.0 * k)) / 2.0);
+  uint64_t count = static_cast<uint64_t>(c);
+  if (count <= t) count = t + 1;
+  return std::min(count, kNever);
+}
+
+bool PairReservoir::Offer() {
+  uint64_t pos = seen_++;
+  uint64_t count = pos + 1;  // 1-based item count after this arrival
+  if (pos == 0) {
+    for (auto& slot : slots_) slot.first = 0;
+    return !slots_.empty();
+  }
+  if (pos == 1) {
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].second = 1;
+      heap_.emplace(NextReplacementCount(2), i);
+    }
+    return !slots_.empty();
+  }
+  bool referenced = false;
+  while (!heap_.empty() && heap_.top().first <= count) {
+    auto [due, slot] = heap_.top();
+    heap_.pop();
+    QIKEY_DCHECK(due == count);
+    if (rng_->Uniform(2) == 0) {
+      slots_[slot].first = pos;
+    } else {
+      slots_[slot].second = pos;
+    }
+    referenced = true;
+    heap_.emplace(NextReplacementCount(count), slot);
+  }
+  return referenced;
+}
+
+}  // namespace qikey

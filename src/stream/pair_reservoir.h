@@ -1,0 +1,58 @@
+#ifndef QIKEY_STREAM_PAIR_RESERVOIR_H_
+#define QIKEY_STREAM_PAIR_RESERVOIR_H_
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace qikey {
+
+/// \brief One-pass uniform sampling of `s` independent pairs of stream
+/// positions (the streaming form of Motwani–Xu's "sample Θ(m/ε) pairs
+/// of tuples").
+///
+/// Each slot is an independent size-2 reservoir (Algorithm R with
+/// k = 2): after `t` items, slot `i` holds a uniform 2-subset of
+/// `[0, t)`. Instead of flipping a coin per slot per item (O(s·n)
+/// total), each slot's next replacement time is drawn directly from its
+/// closed-form distribution — the survival probability from item count
+/// `t` to `c` telescopes to `t(t-1)/(c(c-1))`, so inversion sampling
+/// gives the next replacement in O(1) — and slots are kept in a
+/// min-heap keyed by that time. Total work is
+/// `O(n + s·log s·log n)` expected.
+class PairReservoir {
+ public:
+  PairReservoir(size_t num_slots, Rng* rng);
+
+  /// Advances the stream by one item (position `seen()`); returns true
+  /// if any slot now references this position (the caller must retain
+  /// the tuple's payload).
+  bool Offer();
+
+  uint64_t seen() const { return seen_; }
+  size_t num_slots() const { return slots_.size(); }
+
+  /// The sampled pairs as stream positions; valid once `seen() >= 2`.
+  const std::vector<std::pair<uint64_t, uint64_t>>& pairs() const {
+    return slots_;
+  }
+
+ private:
+  /// Draws the item count (1-based) of the slot's next replacement,
+  /// given the current count `t >= 2`.
+  uint64_t NextReplacementCount(uint64_t t);
+
+  std::vector<std::pair<uint64_t, uint64_t>> slots_;
+  Rng* rng_;
+  uint64_t seen_ = 0;
+  // Min-heap of (next replacement item count, slot index).
+  using Entry = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_STREAM_PAIR_RESERVOIR_H_

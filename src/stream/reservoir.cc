@@ -1,0 +1,13 @@
+// ReservoirSampler is a header-only template (see reservoir.h). This
+// translation unit exists to anchor the module in the build and to
+// instantiate the common specializations once for faster client builds.
+
+#include "stream/reservoir.h"
+
+namespace qikey {
+
+template class ReservoirSampler<uint32_t>;
+template class ReservoirSampler<uint64_t>;
+template class ReservoirSampler<std::vector<uint32_t>>;
+
+}  // namespace qikey

@@ -1,0 +1,179 @@
+#include "stream/stream_builder.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+
+Dataset RowsToDataset(const Schema& schema,
+                      const std::vector<uint32_t>& cardinalities,
+                      const std::vector<std::vector<ValueCode>>& rows) {
+  const size_t m = schema.num_attributes();
+  std::vector<Column> columns;
+  columns.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<ValueCode> codes;
+    codes.reserve(rows.size());
+    for (const auto& row : rows) codes.push_back(row[j]);
+    columns.emplace_back(std::move(codes), cardinalities[j]);
+  }
+  return Dataset(schema, std::move(columns));
+}
+
+}  // namespace
+
+StreamingSketchBuilder::StreamingSketchBuilder(
+    Schema schema, std::vector<uint32_t> cardinalities, uint64_t num_pairs,
+    uint64_t small_cutoff, Rng* rng)
+    : schema_(std::move(schema)),
+      cardinalities_(std::move(cardinalities)),
+      reservoir_(num_pairs, rng),
+      small_cutoff_(small_cutoff) {
+  QIKEY_CHECK(schema_.num_attributes() == cardinalities_.size());
+}
+
+Status StreamingSketchBuilder::Offer(const std::vector<ValueCode>& row) {
+  if (row.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  uint64_t pos = reservoir_.seen();
+  if (reservoir_.Offer()) {
+    payloads_[pos] = row;
+  }
+  if (payloads_.size() >= next_gc_) {
+    CollectGarbage();
+    next_gc_ = std::max<uint64_t>(4 * reservoir_.num_slots(), 1024);
+    next_gc_ += payloads_.size();
+  }
+  return Status::OK();
+}
+
+void StreamingSketchBuilder::CollectGarbage() {
+  std::unordered_set<uint64_t> live;
+  live.reserve(2 * reservoir_.num_slots());
+  for (const auto& [a, b] : reservoir_.pairs()) {
+    live.insert(a);
+    live.insert(b);
+  }
+  for (auto it = payloads_.begin(); it != payloads_.end();) {
+    if (live.count(it->first) == 0) {
+      it = payloads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<NonSeparationSketch> StreamingSketchBuilder::Finish() && {
+  if (reservoir_.seen() < 2) {
+    return Status::InvalidArgument("stream had fewer than two rows");
+  }
+  CollectGarbage();
+  const uint32_t m = static_cast<uint32_t>(schema_.num_attributes());
+  std::vector<ValueCode> codes;
+  codes.reserve(2 * reservoir_.num_slots() * m);
+  for (const auto& [a, b] : reservoir_.pairs()) {
+    auto ia = payloads_.find(a);
+    auto ib = payloads_.find(b);
+    QIKEY_CHECK(ia != payloads_.end() && ib != payloads_.end())
+        << "payload lost for a sampled position";
+    codes.insert(codes.end(), ia->second.begin(), ia->second.end());
+    codes.insert(codes.end(), ib->second.begin(), ib->second.end());
+  }
+  uint64_t n = reservoir_.seen();
+  uint64_t total_pairs = (n % 2 == 0) ? (n / 2) * (n - 1) : n * ((n - 1) / 2);
+  return NonSeparationSketch::FromMaterializedPairs(
+      m, total_pairs, small_cutoff_, std::move(codes));
+}
+
+StreamingTupleFilterBuilder::StreamingTupleFilterBuilder(
+    Schema schema, std::vector<uint32_t> cardinalities, uint64_t sample_size,
+    Rng* rng)
+    : schema_(std::move(schema)),
+      cardinalities_(std::move(cardinalities)),
+      reservoir_(sample_size, rng) {
+  QIKEY_CHECK(schema_.num_attributes() == cardinalities_.size());
+}
+
+Status StreamingTupleFilterBuilder::Offer(const std::vector<ValueCode>& row) {
+  if (row.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  reservoir_.Offer(row);
+  return Status::OK();
+}
+
+Result<TupleSampleFilter> StreamingTupleFilterBuilder::Finish(
+    DuplicateDetection detection) && {
+  if (reservoir_.seen() < 2) {
+    return Status::InvalidArgument("stream had fewer than two rows");
+  }
+  Dataset sample =
+      RowsToDataset(schema_, cardinalities_, reservoir_.items());
+  return TupleSampleFilter::FromSample(std::move(sample), {}, detection);
+}
+
+StreamingPairFilterBuilder::StreamingPairFilterBuilder(
+    Schema schema, std::vector<uint32_t> cardinalities, uint64_t num_pairs,
+    Rng* rng)
+    : schema_(std::move(schema)),
+      cardinalities_(std::move(cardinalities)),
+      reservoir_(num_pairs, rng) {
+  QIKEY_CHECK(schema_.num_attributes() == cardinalities_.size());
+}
+
+Status StreamingPairFilterBuilder::Offer(const std::vector<ValueCode>& row) {
+  if (row.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  uint64_t pos = reservoir_.seen();  // position this row will occupy
+  if (reservoir_.Offer()) {
+    payloads_[pos] = row;
+  }
+  if (payloads_.size() >= next_gc_) {
+    CollectGarbage();
+    next_gc_ = std::max<uint64_t>(2 * reservoir_.num_slots() * 2, 1024);
+    next_gc_ += payloads_.size();
+  }
+  return Status::OK();
+}
+
+void StreamingPairFilterBuilder::CollectGarbage() {
+  std::unordered_set<uint64_t> live;
+  live.reserve(2 * reservoir_.num_slots());
+  for (const auto& [a, b] : reservoir_.pairs()) {
+    live.insert(a);
+    live.insert(b);
+  }
+  for (auto it = payloads_.begin(); it != payloads_.end();) {
+    if (live.count(it->first) == 0) {
+      it = payloads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<MxPairFilter> StreamingPairFilterBuilder::Finish() && {
+  if (reservoir_.seen() < 2) {
+    return Status::InvalidArgument("stream had fewer than two rows");
+  }
+  CollectGarbage();
+  std::vector<std::vector<ValueCode>> rows;
+  rows.reserve(2 * reservoir_.num_slots());
+  for (const auto& [a, b] : reservoir_.pairs()) {
+    auto ia = payloads_.find(a);
+    auto ib = payloads_.find(b);
+    QIKEY_CHECK(ia != payloads_.end() && ib != payloads_.end())
+        << "payload lost for a sampled position";
+    rows.push_back(ia->second);
+    rows.push_back(ib->second);
+  }
+  Dataset pair_table = RowsToDataset(schema_, cardinalities_, rows);
+  return MxPairFilter::FromMaterializedPairs(std::move(pair_table));
+}
+
+}  // namespace qikey

@@ -1,0 +1,152 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace qikey {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+bool NeedsQuoting(std::string_view field, const CsvOptions& options) {
+  for (char c : field) {
+    if (c == options.delimiter || c == options.quote || c == '\n' || c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(std::string_view line,
+                                      const CsvOptions& options) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  size_t i = 0;
+  auto flush = [&]() {
+    if (options.trim_whitespace && !was_quoted) {
+      std::string_view t = Trim(current);
+      fields.emplace_back(t);
+    } else {
+      fields.push_back(current);
+    }
+    current.clear();
+    was_quoted = false;
+  };
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == options.quote) {
+        if (i + 1 < line.size() && line[i + 1] == options.quote) {
+          current.push_back(options.quote);  // doubled quote -> literal
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == options.quote && current.empty()) {
+      in_quotes = true;
+      was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == options.delimiter) {
+      flush();
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  flush();
+  return fields;
+}
+
+Result<CsvTable> ParseCsv(std::string_view text, const CsvOptions& options) {
+  CsvTable table;
+  size_t expected_fields = 0;
+  bool saw_first_row = false;
+  bool header_pending = options.has_header;
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line = (nl == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, nl - pos);
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line, options);
+    if (header_pending) {
+      table.header = std::move(fields);
+      expected_fields = table.header.size();
+      header_pending = false;
+      continue;
+    }
+    if (!saw_first_row && expected_fields == 0) {
+      expected_fields = fields.size();
+    }
+    saw_first_row = true;
+    if (fields.size() != expected_fields) {
+      std::ostringstream msg;
+      msg << "CSV line " << line_no << " has " << fields.size()
+          << " fields, expected " << expected_fields;
+      return Status::InvalidArgument(msg.str());
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string WriteCsv(const CsvTable& table, const CsvOptions& options) {
+  std::string out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      if (NeedsQuoting(row[i], options)) {
+        out.push_back(options.quote);
+        for (char c : row[i]) {
+          if (c == options.quote) out.push_back(options.quote);
+          out.push_back(c);
+        }
+        out.push_back(options.quote);
+      } else {
+        out += row[i];
+      }
+    }
+    out.push_back('\n');
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out;
+}
+
+}  // namespace qikey

@@ -1,0 +1,50 @@
+#ifndef QIKEY_UTIL_CSV_H_
+#define QIKEY_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qikey {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  char quote = '"';
+  /// Whether the first non-empty line is a header row.
+  bool has_header = true;
+  /// Whether surrounding whitespace of unquoted fields is trimmed.
+  bool trim_whitespace = true;
+};
+
+/// \brief Splits one CSV record into fields, honoring quotes.
+///
+/// Handles RFC-4180 style quoting including embedded delimiters and
+/// doubled quotes. Does not handle embedded newlines (records must be
+/// one physical line, which holds for the tabular data this library
+/// targets).
+std::vector<std::string> SplitCsvLine(std::string_view line,
+                                      const CsvOptions& options = {});
+
+/// Parsed CSV content: optional header plus rows of string fields.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Parses CSV text. Rows with a field count differing from the
+/// first data row produce an InvalidArgument error.
+Result<CsvTable> ParseCsv(std::string_view text, const CsvOptions& options = {});
+
+/// \brief Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// \brief Serializes rows to CSV text (quoting fields when needed).
+std::string WriteCsv(const CsvTable& table, const CsvOptions& options = {});
+
+}  // namespace qikey
+
+#endif  // QIKEY_UTIL_CSV_H_

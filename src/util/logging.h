@@ -1,0 +1,62 @@
+#ifndef QIKEY_UTIL_LOGGING_H_
+#define QIKEY_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qikey {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Minimal stream-style logger.
+///
+/// Usage: `QIKEY_LOG(INFO) << "built filter with " << r << " samples";`
+/// Messages below the global threshold (default: kInfo) are dropped.
+/// kFatal aborts the process after emitting the message.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+  /// Sets the global minimum severity that is emitted.
+  static void SetThreshold(LogLevel level);
+  static LogLevel threshold();
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Internal: expands to a LogMessage for the given severity name.
+#define QIKEY_LOG(severity)                                               \
+  ::qikey::LogMessage(::qikey::LogLevel::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+/// Checks a condition in all build modes; logs and aborts on failure.
+#define QIKEY_CHECK(cond)                                      \
+  if (!(cond)) QIKEY_LOG(Fatal) << "Check failed: " #cond " "
+
+#define QIKEY_CHECK_OK(expr)                                        \
+  do {                                                              \
+    ::qikey::Status _st = (expr);                                   \
+    if (!_st.ok()) QIKEY_LOG(Fatal) << "Status not OK: " << _st.ToString(); \
+  } while (false)
+
+#ifndef NDEBUG
+#define QIKEY_DCHECK(cond) QIKEY_CHECK(cond)
+#else
+#define QIKEY_DCHECK(cond) \
+  if (false) QIKEY_LOG(Fatal)
+#endif
+
+}  // namespace qikey
+
+#endif  // QIKEY_UTIL_LOGGING_H_

@@ -1,0 +1,119 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(&sm);
+  // Avoid the all-zero state (cannot happen with SplitMix64 in practice,
+  // but cheap to guard).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  QIKEY_DCHECK(bound > 0);
+  // Lemire's method with rejection to remove modulo bias.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  QIKEY_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Exponential() {
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -std::log(u);
+}
+
+uint64_t Rng::Geometric(double p) {
+  QIKEY_DCHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  QIKEY_CHECK(k <= n) << "cannot sample " << k << " distinct items from " << n;
+  // Robert Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; insert
+  // t unless present, else insert j. Produces a uniform k-subset.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = Uniform(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::pair<uint64_t, uint64_t> Rng::SamplePair(uint64_t n) {
+  QIKEY_CHECK(n >= 2) << "need at least two items to sample a pair";
+  uint64_t i = Uniform(n);
+  uint64_t j = Uniform(n - 1);
+  if (j >= i) ++j;
+  if (i > j) std::swap(i, j);
+  return {i, j};
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xA5A5A5A5A5A5A5A5ULL); }
+
+}  // namespace qikey

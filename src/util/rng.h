@@ -1,0 +1,79 @@
+#ifndef QIKEY_UTIL_RNG_H_
+#define QIKEY_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qikey {
+
+/// \brief Deterministic pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64.
+///
+/// All randomized algorithms in the library take an `Rng&` so experiments
+/// are reproducible from a single seed. Satisfies the essentials of
+/// UniformRandomBitGenerator (min/max/operator()), so it can also drive
+/// `std::` distributions if needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four-word state from `seed` using SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next 64 random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in `[0, bound)`. `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in `[lo, hi]` inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in `[0, 1)` with 53 bits of precision.
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard exponential variate (rate 1).
+  double Exponential();
+
+  /// Geometric number of failures before first success, success prob `p`.
+  /// Used by reservoir-sampling Algorithm L for skip lengths.
+  uint64_t Geometric(double p);
+
+  /// \brief Samples `k` distinct indices from `[0, n)` uniformly at random
+  /// (a uniform k-subset) using Robert Floyd's algorithm; `O(k)` expected.
+  /// Result is in no particular order. Requires `k <= n`.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// \brief Samples a uniform unordered pair `{i, j}`, `i != j`, from
+  /// `[0, n)`. Requires `n >= 2`. Returned with `first < second`.
+  std::pair<uint64_t, uint64_t> SamplePair(uint64_t n);
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel workers).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_UTIL_RNG_H_

@@ -1,0 +1,60 @@
+#ifndef QIKEY_UTIL_STATS_H_
+#define QIKEY_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qikey {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable; O(1) per observation. Used by benches to report
+/// averages across trials, and by generators to validate marginals.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two observations).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Exact quantiles over a retained sample of doubles.
+///
+/// Stores all observations; suitable for bench-scale data (<= millions).
+class QuantileSketch {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  size_t count() const { return values_.size(); }
+
+  /// Returns the q-quantile (q in [0,1]) by nearest-rank on sorted data.
+  /// Returns 0 for an empty sketch.
+  double Quantile(double q) const;
+
+  double Median() const { return Quantile(0.5); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_UTIL_STATS_H_

@@ -1,0 +1,126 @@
+#ifndef QIKEY_UTIL_STATUS_H_
+#define QIKEY_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace qikey {
+
+/// \brief Error categories used across the library.
+///
+/// Follows the Arrow/RocksDB convention: fallible operations return a
+/// `Status` (or a `Result<T>`) instead of throwing. The set of codes is
+/// deliberately small; `ToString()` carries the human-readable detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIOError,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Return value for fallible operations that produce no payload.
+///
+/// A default-constructed `Status` is OK. Error statuses carry a code and a
+/// message. The class is cheap to copy in the OK case (empty string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type `T` or an error `Status`.
+///
+/// Mirrors `arrow::Result`. Accessing the value of an errored result
+/// aborts in debug builds and is undefined otherwise; callers must check
+/// `ok()` first (or use `ValueOr`).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : state_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Returns the error status; OK if the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  const T& ValueOrDie() const& { return std::get<T>(state_); }
+  T& ValueOrDie() & { return std::get<T>(state_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(state_)); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(state_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define QIKEY_RETURN_NOT_OK(expr)               \
+  do {                                          \
+    ::qikey::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace qikey
+
+#endif  // QIKEY_UTIL_STATUS_H_

@@ -1,0 +1,56 @@
+#ifndef QIKEY_UTIL_THREAD_POOL_H_
+#define QIKEY_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qikey {
+
+/// \brief Minimal fixed-size worker pool.
+///
+/// Used to parallelize embarrassingly parallel inner loops (per-
+/// attribute greedy gains, batch filter queries). Tasks must not
+/// throw. `Wait()` blocks until every submitted task has finished.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  /// \brief Splits `[0, n)` into contiguous chunks and runs
+  /// `fn(begin, end)` for each — on `pool` if non-null, inline
+  /// otherwise. Blocks until all chunks complete.
+  static void ParallelFor(
+      ThreadPool* pool, size_t n,
+      const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::queue<std::function<void()>> tasks_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_UTIL_THREAD_POOL_H_

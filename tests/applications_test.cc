@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/afd.h"
+#include "core/anonymity.h"
+#include "core/key_enumeration.h"
+#include "core/masking.h"
+#include "core/separation.h"
+#include "data/dataset_builder.h"
+#include "data/generators/tabular.h"
+#include "data/generators/uniform_grid.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+/// id is a key; (hi, lo) is the only other minimal key; rest are weak.
+Dataset LatticeDataset() {
+  DatasetBuilder b({"id", "hi", "lo", "flag"});
+  for (int i = 0; i < 36; ++i) {
+    EXPECT_TRUE(b.AddRow({std::to_string(i), std::to_string(i / 6),
+                          std::to_string(i % 6), std::to_string(i % 2)})
+                    .ok());
+  }
+  return std::move(b).Finish();
+}
+
+// ------------------------------------------------------------ enumeration
+
+TEST(KeyEnumerationTest, FindsAllMinimalKeys) {
+  Dataset d = LatticeDataset();
+  KeyEnumerationOptions opts;
+  opts.max_size = 4;
+  auto keys = EnumerateMinimalKeys(d, opts);
+  ASSERT_TRUE(keys.ok());
+  // Minimal keys: {id} and {hi, lo}. ({lo, flag} gives 12 classes of 3?
+  // lo has 6 values x flag 2 = 12 cells for 36 rows -> not a key.)
+  ASSERT_EQ(keys->size(), 2u);
+  EXPECT_EQ((*keys)[0], AttributeSet::FromIndices(4, {0}));
+  EXPECT_EQ((*keys)[1], AttributeSet::FromIndices(4, {1, 2}));
+}
+
+TEST(KeyEnumerationTest, ResultsAreKeysAndMinimal) {
+  Rng rng(3);
+  Dataset d = MakeUniformGridSample(6, 4, 300, &rng);
+  KeyEnumerationOptions opts;
+  opts.eps = 0.01;
+  opts.max_size = 6;
+  auto keys = EnumerateMinimalKeys(d, opts);
+  ASSERT_TRUE(keys.ok());
+  const double budget = opts.eps * static_cast<double>(d.num_pairs());
+  for (const AttributeSet& key : *keys) {
+    EXPECT_LE(
+        static_cast<double>(ExactUnseparatedPairs(d, key)), budget);
+    // Minimality: dropping any attribute breaks the property.
+    for (AttributeIndex a : key.ToIndices()) {
+      AttributeSet smaller = key;
+      smaller.Remove(a);
+      EXPECT_GT(static_cast<double>(ExactUnseparatedPairs(d, smaller)),
+                budget);
+    }
+    // No returned key contains another.
+    for (const AttributeSet& other : *keys) {
+      if (other == key) continue;
+      EXPECT_FALSE(other.IsSubsetOf(key));
+    }
+  }
+}
+
+TEST(KeyEnumerationTest, EpsRelaxationFindsSmallerKeys) {
+  Rng rng(4);
+  Dataset d = MakeUniformGridSample(5, 3, 400, &rng);
+  KeyEnumerationOptions strict;
+  strict.eps = 0.0;
+  strict.max_size = 5;
+  KeyEnumerationOptions loose;
+  loose.eps = 0.3;
+  loose.max_size = 5;
+  auto strict_keys = EnumerateMinimalKeys(d, strict);
+  auto loose_keys = EnumerateMinimalKeys(d, loose);
+  ASSERT_TRUE(strict_keys.ok() && loose_keys.ok());
+  auto min_size = [](const std::vector<AttributeSet>& keys) {
+    size_t best = ~size_t{0};
+    for (const auto& k : keys) best = std::min(best, k.size());
+    return best;
+  };
+  if (!strict_keys->empty() && !loose_keys->empty()) {
+    EXPECT_LE(min_size(*loose_keys), min_size(*strict_keys));
+  }
+}
+
+TEST(KeyEnumerationTest, BudgetExhaustionIsReported) {
+  Rng rng(5);
+  Dataset d = MakeUniformGridSample(12, 2, 100, &rng);
+  KeyEnumerationOptions opts;
+  opts.max_size = 12;
+  opts.max_candidates = 20;  // absurdly small
+  auto keys = EnumerateMinimalKeys(d, opts);
+  EXPECT_FALSE(keys.ok());
+  EXPECT_EQ(keys.status().code(), StatusCode::kOutOfRange);
+}
+
+// ----------------------------------------------------------------- masking
+
+TEST(MaskingTest, ExactMaskingKillsSeparation) {
+  Dataset d = LatticeDataset();
+  double eps = 0.05;
+  MaskingResult r = GreedyMaskingExact(d, eps);
+  EXPECT_TRUE(r.achieved);
+  EXPECT_LE(r.residual_separation, 1.0 - eps + 1e-12);
+  // Verification from first principles: remaining attributes are not an
+  // eps-key, hence (by monotonicity) no released subset is.
+  AttributeSet remaining =
+      AttributeSet::All(4).Difference(r.masked);
+  EXPECT_FALSE(IsEpsSeparationKey(d, remaining, eps));
+  // It must mask id (a standalone key).
+  EXPECT_TRUE(r.masked.Contains(0));
+}
+
+TEST(MaskingTest, StepsAreMonotoneDecreasing) {
+  Dataset d = LatticeDataset();
+  MaskingResult r = GreedyMaskingExact(d, 0.5);
+  uint64_t prev = ~uint64_t{0};
+  for (const MaskingStep& step : r.steps) {
+    EXPECT_LE(step.separated_after, prev);
+    prev = step.separated_after;
+  }
+}
+
+TEST(MaskingTest, SampledMaskingMatchesExactOnFullSample) {
+  Dataset d = LatticeDataset();
+  MaskingOptions opts;
+  opts.eps = 0.05;
+  opts.sample_size = d.num_rows();  // sample everything: must match exact
+  Rng rng(6);
+  auto sampled = FindMaskingSet(d, opts, &rng);
+  ASSERT_TRUE(sampled.ok());
+  MaskingResult exact = GreedyMaskingExact(d, 0.05);
+  EXPECT_EQ(sampled->masked, exact.masked);
+}
+
+TEST(MaskingTest, BudgetLimitsRespected) {
+  Dataset d = LatticeDataset();
+  MaskingOptions opts;
+  opts.eps = 0.9;  // very aggressive target
+  opts.max_masked = 1;
+  Rng rng(7);
+  auto r = FindMaskingSet(d, opts, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->masked.size(), 1u);
+}
+
+TEST(MaskingTest, RejectsBadArguments) {
+  Dataset d = LatticeDataset();
+  MaskingOptions opts;
+  Rng rng(8);
+  EXPECT_FALSE(FindMaskingSet(d, opts, nullptr).ok());
+  opts.eps = 0.0;
+  EXPECT_FALSE(FindMaskingSet(d, opts, &rng).ok());
+}
+
+// -------------------------------------------------------------------- AFD
+
+Dataset FdDataset() {
+  // dept -> floor exactly; city -> dept with some noise.
+  DatasetBuilder b({"dept", "floor", "city", "emp"});
+  const char* depts[] = {"eng", "sales", "ops"};
+  const char* floors[] = {"3", "1", "2"};
+  for (int i = 0; i < 120; ++i) {
+    int dep = i % 3;
+    // city determines dept except for 6 "travelers".
+    int city = (i < 6) ? (dep + 1) % 3 : dep;
+    EXPECT_TRUE(b.AddRow({depts[dep], floors[dep],
+                          std::string("city") + std::to_string(city),
+                          "e" + std::to_string(i)})
+                    .ok());
+  }
+  return std::move(b).Finish();
+}
+
+TEST(AfdTest, ExactFdHasZeroError) {
+  Dataset d = FdDataset();
+  AfdError err = ComputeAfdError(
+      d, AttributeSet::FromIndices(4, {0}), /*rhs=*/1);
+  EXPECT_EQ(err.violating, 0u);
+  EXPECT_DOUBLE_EQ(err.g2, 0.0);
+  EXPECT_DOUBLE_EQ(err.conditional, 0.0);
+  EXPECT_TRUE(HoldsApproxFd(d, AttributeSet::FromIndices(4, {0}), 1, 0.0));
+}
+
+TEST(AfdTest, NoisyFdHasSmallError) {
+  Dataset d = FdDataset();
+  AfdError err = ComputeAfdError(
+      d, AttributeSet::FromIndices(4, {2}), /*rhs=*/0);
+  EXPECT_GT(err.violating, 0u);
+  EXPECT_LT(err.conditional, 0.25);
+  EXPECT_GT(err.conditional, 0.0);
+}
+
+TEST(AfdTest, ViolatingCountIsExact) {
+  // Cross-check against a brute-force pair scan.
+  Dataset d = FdDataset();
+  AttributeSet lhs = AttributeSet::FromIndices(4, {2});
+  AttributeIndex rhs = 0;
+  uint64_t brute = 0;
+  for (RowIndex i = 0; i < d.num_rows(); ++i) {
+    for (RowIndex j = i + 1; j < d.num_rows(); ++j) {
+      if (d.RowsAgreeOn(i, j, {2}) && d.code(i, rhs) != d.code(j, rhs)) {
+        ++brute;
+      }
+    }
+  }
+  EXPECT_EQ(ComputeAfdError(d, lhs, rhs).violating, brute);
+}
+
+TEST(AfdTest, DiscoveryFindsMinimalLhs) {
+  Dataset d = FdDataset();
+  auto found = DiscoverMinimalAfds(d, /*rhs=*/1, /*max_cond=*/0.0,
+                                   /*max_size=*/2);
+  ASSERT_TRUE(found.ok());
+  // dept -> floor exactly; emp -> floor trivially (emp is a key).
+  bool has_dept = false, has_emp = false;
+  for (const AfdCandidate& c : *found) {
+    if (c.lhs == AttributeSet::FromIndices(4, {0})) has_dept = true;
+    if (c.lhs == AttributeSet::FromIndices(4, {3})) has_emp = true;
+    // Minimality of every returned LHS.
+    for (AttributeIndex a : c.lhs.ToIndices()) {
+      AttributeSet smaller = c.lhs;
+      smaller.Remove(a);
+      EXPECT_GT(ComputeAfdError(d, smaller, 1).conditional, 0.0);
+    }
+  }
+  EXPECT_TRUE(has_dept);
+  EXPECT_TRUE(has_emp);
+}
+
+TEST(AfdTest, SketchEstimateTracksExact) {
+  Rng rng(9);
+  TabularSpec spec;
+  spec.num_rows = 8000;
+  spec.attributes = {{"g4", 4, 0.4, -1, 0.0},
+                     {"g4_fn", 7, 0.0, 0, 0.05},  // noisy function of g4
+                     {"g40", 40, 0.6, -1, 0.0}};
+  Dataset d = MakeTabular(spec, &rng);
+  NonSeparationSketchOptions opts;
+  opts.k = 2;
+  opts.alpha = 0.01;
+  opts.eps = 0.05;
+  opts.big_k = 6.0;
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(sketch.ok());
+  AttributeSet lhs = AttributeSet::FromIndices(3, {0});
+  AfdError exact = ComputeAfdError(d, lhs, 1);
+  auto est = EstimateAfdError(*sketch, lhs, 1);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->g2, exact.g2, 0.15 * exact.g2 + 1e-4);
+  EXPECT_NEAR(est->conditional, exact.conditional,
+              0.15 * exact.conditional + 1e-3);
+}
+
+TEST(AfdTest, RejectsRhsInsideLhs) {
+  Dataset d = FdDataset();
+  Rng rng(10);
+  NonSeparationSketchOptions opts;
+  opts.sample_size = 50;
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_FALSE(
+      EstimateAfdError(*sketch, AttributeSet::FromIndices(4, {1}), 1).ok());
+}
+
+// -------------------------------------------------------------- anonymity
+
+TEST(AnonymityTest, LevelIsMinClassSize) {
+  Dataset d = LatticeDataset();
+  // flag: two classes of 18 -> 18-anonymous.
+  EXPECT_EQ(AnonymityLevel(d, AttributeSet::FromIndices(4, {3})), 18u);
+  // id: all unique -> 1-anonymous.
+  EXPECT_EQ(AnonymityLevel(d, AttributeSet::FromIndices(4, {0})), 1u);
+}
+
+TEST(AnonymityTest, RowsBelowK) {
+  Dataset d = LatticeDataset();
+  AttributeSet flag = AttributeSet::FromIndices(4, {3});
+  EXPECT_DOUBLE_EQ(RowsBelowK(d, flag, 18), 0.0);
+  EXPECT_DOUBLE_EQ(RowsBelowK(d, flag, 19), 1.0);
+  AttributeSet id = AttributeSet::FromIndices(4, {0});
+  EXPECT_DOUBLE_EQ(RowsBelowK(d, id, 2), 1.0);
+}
+
+TEST(AnonymityTest, SuppressionAchievesK) {
+  // hi: 6 classes of 6; add some rows to make classes ragged.
+  DatasetBuilder b({"g"});
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(b.AddRow({"big"}).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(b.AddRow({"small"}).ok());
+  ASSERT_TRUE(b.AddRow({"solo"}).ok());
+  Dataset d = std::move(b).Finish();
+  AttributeSet g = AttributeSet::FromIndices(1, {0});
+  std::vector<RowIndex> suppressed = SuppressForKAnonymity(d, g, 3);
+  EXPECT_EQ(suppressed.size(), 3u);  // the 2 "small" + 1 "solo"
+  // Remaining rows are 3-anonymous.
+  std::vector<RowIndex> keep;
+  for (RowIndex r = 0; r < d.num_rows(); ++r) {
+    if (std::find(suppressed.begin(), suppressed.end(), r) ==
+        suppressed.end()) {
+      keep.push_back(r);
+    }
+  }
+  Dataset rest = d.SelectRows(keep);
+  EXPECT_GE(AnonymityLevel(rest, AttributeSet::FromIndices(1, {0})), 3u);
+}
+
+TEST(AnonymityTest, AuditFindsTheRiskyIdentifiers) {
+  Dataset d = LatticeDataset();
+  Rng rng(11);
+  auto report = AuditQuasiIdentifiers(d, 0.05, 2, &rng);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->quasi_identifiers.empty());
+  // The top entry must be a genuine eps-key with uniqueness ~1.
+  const QuasiIdentifierRisk& top = report->quasi_identifiers.front();
+  EXPECT_GE(top.separation_ratio, 0.95);
+  EXPECT_EQ(top.anonymity_level, 1u);
+  // Report is sorted by separation ratio.
+  for (size_t i = 1; i < report->quasi_identifiers.size(); ++i) {
+    EXPECT_GE(report->quasi_identifiers[i - 1].separation_ratio,
+              report->quasi_identifiers[i].separation_ratio);
+  }
+  // Formatting does not crash and mentions the schema names.
+  std::string text = FormatRiskReport(*report, d.schema());
+  EXPECT_NE(text.find("id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qikey

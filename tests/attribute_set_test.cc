@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/attribute_set.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+TEST(AttributeSetTest, StartsEmpty) {
+  AttributeSet s(100);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(99));
+}
+
+TEST(AttributeSetTest, AddRemoveContains) {
+  AttributeSet s(130);  // spans three words
+  s.Add(0);
+  s.Add(64);
+  s.Add(129);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.Contains(64));
+  s.Remove(64);
+  EXPECT_FALSE(s.Contains(64));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(AttributeSetTest, FromToIndicesRoundTrip) {
+  std::vector<AttributeIndex> idx{3, 65, 127, 7};
+  AttributeSet s = AttributeSet::FromIndices(128, idx);
+  EXPECT_EQ(s.ToIndices(),
+            (std::vector<AttributeIndex>{3, 7, 65, 127}));  // sorted
+}
+
+TEST(AttributeSetTest, AllContainsEverything) {
+  AttributeSet s = AttributeSet::All(70);
+  EXPECT_EQ(s.size(), 70u);
+  EXPECT_TRUE(s.Contains(69));
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet a = AttributeSet::FromIndices(10, {1, 2, 3});
+  AttributeSet b = AttributeSet::FromIndices(10, {3, 4});
+  EXPECT_EQ(a.Union(b).ToIndices(),
+            (std::vector<AttributeIndex>{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersection(b).ToIndices(),
+            (std::vector<AttributeIndex>{3}));
+  EXPECT_EQ(a.Difference(b).ToIndices(),
+            (std::vector<AttributeIndex>{1, 2}));
+  EXPECT_TRUE(a.Intersection(b).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(AttributeSet(10).IsSubsetOf(b));
+}
+
+TEST(AttributeSetTest, EqualityAndHash) {
+  AttributeSet a = AttributeSet::FromIndices(200, {0, 100, 199});
+  AttributeSet b = AttributeSet::FromIndices(200, {199, 0, 100});
+  AttributeSet c = AttributeSet::FromIndices(200, {0, 100});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+
+  std::unordered_set<AttributeSet, AttributeSetHasher> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AttributeSetTest, RandomOfSizeHasExactSize) {
+  Rng rng(77);
+  for (size_t k : {0u, 1u, 5u, 20u}) {
+    AttributeSet s = AttributeSet::RandomOfSize(20, k, &rng);
+    EXPECT_EQ(s.size(), k);
+  }
+}
+
+TEST(AttributeSetTest, RandomInclusionProbability) {
+  Rng rng(78);
+  int total = 0;
+  for (int t = 0; t < 2000; ++t) {
+    total += static_cast<int>(AttributeSet::Random(50, 0.3, &rng).size());
+  }
+  EXPECT_NEAR(total / 2000.0, 15.0, 0.5);
+}
+
+TEST(AttributeSetTest, ToStringWithSchema) {
+  Schema schema({"age", "zip", "city"});
+  AttributeSet s = AttributeSet::FromIndices(3, {0, 2});
+  EXPECT_EQ(s.ToString(&schema), "{age, city}");
+  EXPECT_EQ(s.ToString(), "{0, 2}");
+  EXPECT_EQ(AttributeSet(3).ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "data/csv_loader.h"
+#include "data/dataset.h"
+#include "data/dataset_builder.h"
+#include "data/dictionary.h"
+#include "data/schema.h"
+
+namespace qikey {
+namespace {
+
+// ------------------------------------------------------------ Dictionary
+
+TEST(DictionaryTest, AssignsDenseCodes) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrAdd("x"), 0u);
+  EXPECT_EQ(d.GetOrAdd("y"), 1u);
+  EXPECT_EQ(d.GetOrAdd("x"), 0u);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.Value(1), "y");
+}
+
+TEST(DictionaryTest, FindMissing) {
+  Dictionary d;
+  d.GetOrAdd("present");
+  EXPECT_EQ(d.Find("present"), 0u);
+  EXPECT_EQ(d.Find("absent"), Dictionary::kNotFound);
+}
+
+// ---------------------------------------------------------------- Column
+
+TEST(ColumnTest, ComputesCardinalityWhenUnspecified) {
+  Column c({3, 1, 4, 1, 5});
+  EXPECT_EQ(c.cardinality(), 6u);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.code(2), 4u);
+}
+
+TEST(ColumnTest, CountDistinct) {
+  Column c({0, 1, 0, 2, 1, 0}, 10);
+  EXPECT_EQ(c.CountDistinct(), 3u);
+  // Cached second call.
+  EXPECT_EQ(c.CountDistinct(), 3u);
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, AnonymousNames) {
+  Schema s = Schema::Anonymous(3);
+  EXPECT_EQ(s.num_attributes(), 3u);
+  EXPECT_EQ(s.name(0), "a0");
+  EXPECT_EQ(s.name(2), "a2");
+}
+
+TEST(SchemaTest, FindByName) {
+  Schema s({"age", "zip"});
+  EXPECT_EQ(s.Find("zip"), 1);
+  EXPECT_EQ(s.Find("nope"), -1);
+}
+
+// --------------------------------------------------------------- Dataset
+
+Dataset SmallDataset() {
+  DatasetBuilder b({"city", "zip", "age"});
+  EXPECT_TRUE(b.AddRow({"SF", "94103", "30"}).ok());
+  EXPECT_TRUE(b.AddRow({"SF", "94103", "40"}).ok());
+  EXPECT_TRUE(b.AddRow({"SD", "92115", "30"}).ok());
+  EXPECT_TRUE(b.AddRow({"SD", "92116", "30"}).ok());
+  return std::move(b).Finish();
+}
+
+TEST(DatasetTest, ShapeAndPairCount) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.num_rows(), 4u);
+  EXPECT_EQ(d.num_attributes(), 3u);
+  EXPECT_EQ(d.num_pairs(), 6u);
+}
+
+TEST(DatasetTest, RowsAgreeOn) {
+  Dataset d = SmallDataset();
+  // Rows 0,1 share city+zip but not age.
+  EXPECT_TRUE(d.RowsAgreeOn(0, 1, {0, 1}));
+  EXPECT_FALSE(d.RowsAgreeOn(0, 1, {0, 1, 2}));
+  // Rows 2,3 share city and age but not zip.
+  EXPECT_TRUE(d.RowsAgreeOn(2, 3, {0, 2}));
+  EXPECT_FALSE(d.RowsAgreeOn(2, 3, {1}));
+  // Empty attribute set: everything "agrees".
+  EXPECT_TRUE(d.RowsAgreeOn(0, 3, {}));
+}
+
+TEST(DatasetTest, CompareProjectionsIsConsistent) {
+  Dataset d = SmallDataset();
+  std::vector<AttributeIndex> attrs{0, 2};
+  for (RowIndex i = 0; i < 4; ++i) {
+    for (RowIndex j = 0; j < 4; ++j) {
+      int cmp = d.CompareProjections(i, j, attrs);
+      EXPECT_EQ(cmp == 0, d.RowsAgreeOn(i, j, attrs));
+      EXPECT_EQ(cmp, -d.CompareProjections(j, i, attrs));
+    }
+  }
+}
+
+TEST(DatasetTest, HashProjectionRespectsEquality) {
+  Dataset d = SmallDataset();
+  std::vector<AttributeIndex> attrs{0, 1};
+  EXPECT_EQ(d.HashProjection(0, attrs), d.HashProjection(1, attrs));
+  EXPECT_NE(d.HashProjection(0, attrs), d.HashProjection(2, attrs));
+}
+
+TEST(DatasetTest, SelectRowsPreservesValues) {
+  Dataset d = SmallDataset();
+  Dataset sub = d.SelectRows({2, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.code(0, 0), d.code(2, 0));
+  EXPECT_EQ(sub.code(1, 2), d.code(0, 2));
+  EXPECT_EQ(sub.FormatRow(0), d.FormatRow(2));
+}
+
+TEST(DatasetTest, FormatRowUsesDictionary) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.FormatRow(0), "SF|94103|30");
+}
+
+TEST(DatasetTest, MakeValidatesShape) {
+  auto bad = Dataset::Make(Schema({"a"}), {Column({0, 1}), Column({0, 1})});
+  EXPECT_FALSE(bad.ok());
+  auto ragged = Dataset::Make(Schema({"a", "b"}),
+                              {Column({0, 1}), Column({0, 1, 2})});
+  EXPECT_FALSE(ragged.ok());
+}
+
+// ---------------------------------------------------------------- Builder
+
+TEST(DatasetBuilderTest, RejectsWrongArity) {
+  DatasetBuilder b({"a", "b"});
+  EXPECT_FALSE(b.AddRow({"only-one"}).ok());
+  EXPECT_TRUE(b.AddRow({"1", "2"}).ok());
+  EXPECT_EQ(b.num_rows(), 1u);
+}
+
+// ------------------------------------------------------------- CSV loader
+
+TEST(CsvLoaderTest, LoadsAndEncodes) {
+  auto d = LoadCsvDatasetFromString("name,team\nann,red\nbob,red\nann,blue\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 3u);
+  EXPECT_EQ(d->num_attributes(), 2u);
+  // "ann" appears twice -> same code.
+  EXPECT_EQ(d->code(0, 0), d->code(2, 0));
+  EXPECT_NE(d->code(0, 1), d->code(2, 1));
+  EXPECT_EQ(d->schema().name(1), "team");
+}
+
+TEST(CsvLoaderTest, HeaderlessGetsAnonymousSchema) {
+  CsvOptions options;
+  options.has_header = false;
+  auto d = LoadCsvDatasetFromString("1,2\n3,4\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 2u);
+  EXPECT_EQ(d->schema().name(0), "a0");
+}
+
+TEST(CsvLoaderTest, PropagatesParseError) {
+  auto d = LoadCsvDatasetFromString("a,b\n1\n");
+  EXPECT_FALSE(d.ok());
+}
+
+}  // namespace
+}  // namespace qikey

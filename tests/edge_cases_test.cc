@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "qikey.h"
+
+namespace qikey {
+namespace {
+
+/// Degenerate shapes every public entry point must survive: constant
+/// columns, single rows/columns, all-duplicate tables, extreme eps.
+
+Dataset ConstantTable(size_t rows, size_t cols) {
+  std::vector<Column> columns;
+  for (size_t j = 0; j < cols; ++j) {
+    columns.emplace_back(std::vector<ValueCode>(rows, 0), 1);
+  }
+  return Dataset(Schema::Anonymous(cols), std::move(columns));
+}
+
+TEST(EdgeCaseTest, ConstantTableSeparatesNothing) {
+  Dataset d = ConstantTable(20, 3);
+  AttributeSet all = AttributeSet::All(3);
+  EXPECT_EQ(ExactUnseparatedPairs(d, all), d.num_pairs());
+  EXPECT_DOUBLE_EQ(SeparationRatio(d, all), 0.0);
+  EXPECT_FALSE(IsKey(d, all));
+  EXPECT_EQ(AnonymityLevel(d, all), 20u);
+}
+
+TEST(EdgeCaseTest, FiltersRejectEverythingOnConstantTable) {
+  Dataset d = ConstantTable(20, 3);
+  Rng rng(1);
+  TupleSampleFilterOptions ts;
+  ts.eps = 0.1;
+  auto f = TupleSampleFilter::Build(d, ts, &rng);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->Query(AttributeSet::All(3)), FilterVerdict::kReject);
+  EXPECT_EQ(f->Query(AttributeSet(3)), FilterVerdict::kReject);
+}
+
+TEST(EdgeCaseTest, GreedyOnConstantTableChoosesNothing) {
+  Dataset d = ConstantTable(10, 3);
+  RefineEngine engine(d);
+  auto result = engine.RunGreedy();
+  EXPECT_TRUE(result.chosen.empty());
+  EXPECT_FALSE(result.is_sample_key);
+  EXPECT_EQ(result.remaining_unseparated, d.num_pairs());
+}
+
+TEST(EdgeCaseTest, EnumerationOnConstantTableFindsNoKeys) {
+  Dataset d = ConstantTable(10, 3);
+  KeyEnumerationOptions opts;
+  opts.max_size = 3;
+  auto keys = EnumerateMinimalKeys(d, opts);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(keys->empty());
+}
+
+TEST(EdgeCaseTest, MaskingOnConstantTableIsImmediate) {
+  // Already separates nothing: zero masking needed for any eps.
+  Dataset d = ConstantTable(10, 3);
+  MaskingResult r = GreedyMaskingExact(d, 0.5);
+  EXPECT_TRUE(r.achieved);
+  EXPECT_TRUE(r.masked.empty());
+}
+
+TEST(EdgeCaseTest, SingleColumnSingleRow) {
+  DatasetBuilder b({"only"});
+  ASSERT_TRUE(b.AddRow({"v"}).ok());
+  Dataset d = std::move(b).Finish();
+  EXPECT_EQ(d.num_pairs(), 0u);
+  EXPECT_TRUE(IsKey(d, AttributeSet::All(1)));  // vacuously
+  EXPECT_TRUE(IsKey(d, AttributeSet(1)));       // zero pairs to separate
+  Rng rng(2);
+  TupleSampleFilterOptions opts;
+  EXPECT_FALSE(TupleSampleFilter::Build(d, opts, &rng).ok());
+}
+
+TEST(EdgeCaseTest, TwoIdenticalRows) {
+  DatasetBuilder b({"x", "y"});
+  ASSERT_TRUE(b.AddRow({"a", "b"}).ok());
+  ASSERT_TRUE(b.AddRow({"a", "b"}).ok());
+  Dataset d = std::move(b).Finish();
+  Rng rng(3);
+  TupleSampleFilterOptions opts;
+  opts.eps = 0.5;
+  opts.sample_size = 2;
+  auto f = TupleSampleFilter::Build(d, opts, &rng);
+  ASSERT_TRUE(f.ok());
+  // Both rows retained; every subset fails to separate them.
+  EXPECT_EQ(f->Query(AttributeSet::All(2)), FilterVerdict::kReject);
+  auto witness = f->QueryWitness(AttributeSet::All(2));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_NE(witness->first, witness->second);
+}
+
+TEST(EdgeCaseTest, SketchOnTinyTable) {
+  DatasetBuilder b({"x"});
+  ASSERT_TRUE(b.AddRow({"1"}).ok());
+  ASSERT_TRUE(b.AddRow({"2"}).ok());
+  Dataset d = std::move(b).Finish();
+  Rng rng(4);
+  NonSeparationSketchOptions opts;
+  opts.sample_size = 50;
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(sketch.ok());
+  // The single pair is separated by {x}: zero hits.
+  NonSeparationEstimate est =
+      sketch->Estimate(AttributeSet::FromIndices(1, {0}));
+  EXPECT_EQ(est.hits, 0u);
+}
+
+TEST(EdgeCaseTest, ExtremeEpsilonValidation) {
+  Rng rng(5);
+  Dataset d = MakeUniformGridSample(3, 3, 50, &rng);
+  TupleSampleFilterOptions opts;
+  for (double eps : {-0.1, 0.0, 1.0, 1.5}) {
+    opts.eps = eps;
+    EXPECT_FALSE(TupleSampleFilter::Build(d, opts, &rng).ok())
+        << "eps=" << eps;
+  }
+  // eps arbitrarily close to the boundaries is fine.
+  opts.eps = 1e-9;
+  EXPECT_TRUE(TupleSampleFilter::Build(d, opts, &rng).ok());
+  opts.eps = 1.0 - 1e-9;
+  EXPECT_TRUE(TupleSampleFilter::Build(d, opts, &rng).ok());
+}
+
+TEST(EdgeCaseTest, AttributeSetOnEmptyUniverse) {
+  AttributeSet s(0);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.ToIndices().empty());
+  EXPECT_EQ(s.ToString(), "{}");
+  EXPECT_EQ(s, AttributeSet(0));
+}
+
+TEST(EdgeCaseTest, PartitionOfCardinalityOneColumns) {
+  Column c(std::vector<ValueCode>(8, 0), 1);
+  Partition p = Partition::ByColumn(c);
+  EXPECT_EQ(p.num_blocks(), 1u);
+  Partition refined = p.RefinedBy(c);
+  EXPECT_EQ(refined.num_blocks(), 1u);
+  EXPECT_EQ(refined.UnseparatedPairs(), PairCount(8));
+}
+
+TEST(EdgeCaseTest, AuditOnKeylessTable) {
+  Dataset d = ConstantTable(30, 2);
+  Rng rng(6);
+  auto report = AuditQuasiIdentifiers(d, 0.1, 2, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->quasi_identifiers.empty());
+}
+
+TEST(EdgeCaseTest, GeneralizationOfAlreadyAnonymousTable) {
+  Dataset d = ConstantTable(30, 1);
+  std::vector<GeneralizationHierarchy> h{
+      GeneralizationHierarchy::KeepOrSuppress(1)};
+  GeneralizationOptions opts;
+  opts.k = 30;
+  auto r = FindMinimalGeneralization(d, {0}, h, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->levels, GeneralizationVector{0});
+  EXPECT_EQ(r->anonymity_level, 30u);
+}
+
+TEST(EdgeCaseTest, CsvWithSingleColumn) {
+  auto d = LoadCsvDatasetFromString("h\nv1\nv2\nv1\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 3u);
+  EXPECT_EQ(ExactUnseparatedPairs(*d, AttributeSet::All(1)), 1u);
+}
+
+}  // namespace
+}  // namespace qikey

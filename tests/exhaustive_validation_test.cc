@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "qikey.h"
+
+namespace qikey {
+namespace {
+
+/// Exhaustive ground-truth validation at small m: enumerate ALL 2^m
+/// attribute subsets (or all lattice nodes) and compare the sampled /
+/// greedy / pruned algorithms against complete search.
+
+// --------------------------------------------------------------------------
+// The "for all" guarantee of Theorem 1, checked literally: for every
+// one of the 2^m subsets simultaneously, the filter must be correct
+// (keys accepted, bad rejected); gray-zone subsets are free. We verify
+// the empirical failure rate of the whole-universe event is small at
+// the paper's sample size.
+// --------------------------------------------------------------------------
+
+class ForAllGuaranteeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForAllGuaranteeTest, WholeUniverseCorrectWithHighProbability) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const uint32_t m = 6;
+  const double eps = 0.02;
+  Dataset d = MakeUniformGridSample(m, 6, 3000, &rng);
+
+  // Precompute the exact class of every subset.
+  const uint32_t universe = 1u << m;
+  std::vector<SeparationClass> truth(universe);
+  for (uint32_t mask = 0; mask < universe; ++mask) {
+    AttributeSet a(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      if (mask & (1u << j)) a.Add(j);
+    }
+    truth[mask] = Classify(d, a, eps);
+  }
+
+  int universe_failures = 0;
+  const int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    TupleSampleFilterOptions opts;
+    opts.eps = eps;  // r = m/sqrt(eps) = 43
+    auto f = TupleSampleFilter::Build(d, opts, &rng);
+    ASSERT_TRUE(f.ok());
+    bool all_correct = true;
+    for (uint32_t mask = 0; mask < universe && all_correct; ++mask) {
+      if (truth[mask] == SeparationClass::kIntermediate) continue;
+      AttributeSet a(m);
+      for (uint32_t j = 0; j < m; ++j) {
+        if (mask & (1u << j)) a.Add(j);
+      }
+      FilterVerdict expected = truth[mask] == SeparationClass::kKey
+                                   ? FilterVerdict::kAccept
+                                   : FilterVerdict::kReject;
+      all_correct = (f->Query(a) == expected);
+    }
+    universe_failures += all_correct ? 0 : 1;
+  }
+  // At r = m/sqrt(eps) with these margins the whole-universe failure
+  // probability is far below 1/20; allow a single flake.
+  EXPECT_LE(universe_failures, 1) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForAllGuaranteeTest,
+                         ::testing::Range(100, 106));
+
+// --------------------------------------------------------------------------
+// Minimal-key enumeration vs complete search.
+// --------------------------------------------------------------------------
+
+class EnumerationExhaustiveTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(EnumerationExhaustiveTest, MatchesCompleteSubsetSearch) {
+  auto [seed, eps] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const uint32_t m = 7;
+  Dataset d = MakeUniformGridSample(m, 3, 250, &rng);
+  const double budget = eps * static_cast<double>(d.num_pairs());
+
+  KeyEnumerationOptions opts;
+  opts.eps = eps;
+  opts.max_size = m;
+  auto enumerated = EnumerateMinimalKeys(d, opts);
+  ASSERT_TRUE(enumerated.ok());
+
+  // Complete search: all qualifying subsets, filtered to minimal ones.
+  std::vector<AttributeSet> reference;
+  for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+    AttributeSet a(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      if (mask & (1u << j)) a.Add(j);
+    }
+    if (static_cast<double>(ExactUnseparatedPairs(d, a)) > budget) continue;
+    bool minimal = true;
+    for (AttributeIndex j : a.ToIndices()) {
+      AttributeSet smaller = a;
+      smaller.Remove(j);
+      if (static_cast<double>(ExactUnseparatedPairs(d, smaller)) <=
+          budget) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) reference.push_back(std::move(a));
+  }
+
+  ASSERT_EQ(enumerated->size(), reference.size());
+  for (const AttributeSet& key : reference) {
+    EXPECT_NE(std::find(enumerated->begin(), enumerated->end(), key),
+              enumerated->end())
+        << "missing minimal key " << key.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnumerationExhaustiveTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.0, 0.05, 0.3)));
+
+// --------------------------------------------------------------------------
+// Greedy masking vs the exact minimum masking set (complete search).
+// --------------------------------------------------------------------------
+
+class MaskingExhaustiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskingExhaustiveTest, GreedyWithinOneOfOptimal) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const uint32_t m = 7;
+  const double eps = 0.15;
+  Dataset d = MakeUniformGridSample(m, 4, 300, &rng);
+  const double max_separated =
+      (1.0 - eps) * static_cast<double>(d.num_pairs());
+
+  // Exact minimum: smallest mask whose complement separates few
+  // enough pairs.
+  uint32_t optimal = m + 1;
+  for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+    AttributeSet remaining(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      if (!(mask & (1u << j))) remaining.Add(j);
+    }
+    uint64_t separated =
+        d.num_pairs() - ExactUnseparatedPairs(d, remaining);
+    if (static_cast<double>(separated) <= max_separated) {
+      optimal = std::min(optimal, static_cast<uint32_t>(
+                                      std::popcount(mask)));
+    }
+  }
+  ASSERT_LE(optimal, m);  // masking everything always qualifies
+
+  MaskingResult greedy = GreedyMaskingExact(d, eps);
+  ASSERT_TRUE(greedy.achieved);
+  // Greedy attribute deletion has no constant-factor guarantee in
+  // general, but at these sizes it stays within a small additive gap;
+  // the postcondition (target met) is the hard requirement.
+  EXPECT_LE(greedy.masked.size(), optimal + 2);
+  EXPECT_GE(greedy.masked.size(), optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskingExhaustiveTest,
+                         ::testing::Range(10, 16));
+
+// --------------------------------------------------------------------------
+// Generalization lattice search vs complete lattice scan.
+// --------------------------------------------------------------------------
+
+class GeneralizationExhaustiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneralizationExhaustiveTest, FindsAGlobalMinimalNode) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  TabularSpec spec;
+  spec.num_rows = 400;
+  spec.attributes = {{"a", 16, 0.4, -1, 0.0},
+                     {"b", 9, 0.6, -1, 0.0},
+                     {"c", 8, 0.2, -1, 0.0}};
+  Dataset d = MakeTabular(spec, &rng);
+  std::vector<AttributeIndex> qi{0, 1, 2};
+  std::vector<GeneralizationHierarchy> h{
+      GeneralizationHierarchy::Intervals(16, 2),  // 5 levels
+      GeneralizationHierarchy::Intervals(9, 3),   // 3 levels
+      GeneralizationHierarchy::Intervals(8, 2)};  // 4 levels
+  GeneralizationOptions opts;
+  opts.k = 4;
+  auto result = FindMinimalGeneralization(d, qi, h, opts);
+  ASSERT_TRUE(result.ok());
+
+  // Complete scan of the lattice for the minimum qualifying level sum.
+  uint32_t best_sum = ~0u;
+  for (uint32_t l0 = 0; l0 < h[0].levels(); ++l0) {
+    for (uint32_t l1 = 0; l1 < h[1].levels(); ++l1) {
+      for (uint32_t l2 = 0; l2 < h[2].levels(); ++l2) {
+        auto g = ApplyGeneralization(d, qi, h, {l0, l1, l2});
+        ASSERT_TRUE(g.ok());
+        if (AnonymityLevel(*g, AttributeSet::FromIndices(3, qi)) >=
+            opts.k) {
+          best_sum = std::min(best_sum, l0 + l1 + l2);
+        }
+      }
+    }
+  }
+  uint32_t found_sum = std::accumulate(result->levels.begin(),
+                                       result->levels.end(), 0u);
+  EXPECT_EQ(found_sum, best_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralizationExhaustiveTest,
+                         ::testing::Range(20, 25));
+
+}  // namespace
+}  // namespace qikey

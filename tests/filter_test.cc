@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mx_pair_filter.h"
+#include "core/separation.h"
+#include "core/tuple_sample_filter.h"
+#include "data/dataset_builder.h"
+#include "data/generators/planted_clique.h"
+#include "data/generators/uniform_grid.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+Dataset KeyAndGroups() {
+  // a0: key. a1: two groups. a2: constant (separates nothing).
+  DatasetBuilder b({"id", "group", "const"});
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(b.AddRow({std::to_string(i),
+                          std::to_string(i % 2), "x"})
+                    .ok());
+  }
+  return std::move(b).Finish();
+}
+
+// ----------------------------------------------------------- construction
+
+TEST(MxPairFilterTest, RejectsDegenerateInput) {
+  Rng rng(1);
+  DatasetBuilder b({"a"});
+  ASSERT_TRUE(b.AddRow({"only"}).ok());
+  Dataset one = std::move(b).Finish();
+  EXPECT_FALSE(MxPairFilter::Build(one, {}, &rng).ok());
+  Dataset d = KeyAndGroups();
+  EXPECT_FALSE(MxPairFilter::Build(d, {}, nullptr).ok());
+  MxPairFilterOptions bad;
+  bad.eps = 1.5;
+  EXPECT_FALSE(MxPairFilter::Build(d, bad, &rng).ok());
+}
+
+TEST(TupleSampleFilterTest, RejectsDegenerateInput) {
+  Rng rng(1);
+  Dataset d = KeyAndGroups();
+  EXPECT_FALSE(TupleSampleFilter::Build(d, {}, nullptr).ok());
+  TupleSampleFilterOptions bad;
+  bad.eps = 0.0;
+  EXPECT_FALSE(TupleSampleFilter::Build(d, bad, &rng).ok());
+}
+
+TEST(TupleSampleFilterTest, SampleSizeClampedToDataset) {
+  Rng rng(2);
+  Dataset d = KeyAndGroups();  // 40 rows
+  TupleSampleFilterOptions opts;
+  opts.eps = 0.0001;  // would demand far more than 40 tuples
+  auto f = TupleSampleFilter::Build(d, opts, &rng);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->sample_size(), 40u);
+}
+
+// ----------------------------------------- completeness: keys always pass
+
+TEST(FilterTest, KeysAlwaysAccepted) {
+  Rng rng(3);
+  Dataset d = KeyAndGroups();
+  MxPairFilterOptions mx_opts;
+  mx_opts.eps = 0.05;
+  auto mx = MxPairFilter::Build(d, mx_opts, &rng);
+  TupleSampleFilterOptions ts_opts;
+  ts_opts.eps = 0.05;
+  auto ts = TupleSampleFilter::Build(d, ts_opts, &rng);
+  ASSERT_TRUE(mx.ok() && ts.ok());
+
+  AttributeSet key = AttributeSet::FromIndices(3, {0});
+  AttributeSet key2 = AttributeSet::All(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_EQ(mx->Query(key), FilterVerdict::kAccept);
+    EXPECT_EQ(ts->Query(key), FilterVerdict::kAccept);
+    EXPECT_EQ(mx->Query(key2), FilterVerdict::kAccept);
+    EXPECT_EQ(ts->Query(key2), FilterVerdict::kAccept);
+  }
+}
+
+// ------------------------------------------------- soundness: bad rejected
+
+TEST(FilterTest, VeryBadSetsRejectedWithAmpleSamples) {
+  Rng rng(4);
+  Dataset d = KeyAndGroups();
+  // {group}: separates ~half the pairs -> bad for eps = 0.05.
+  // {const}: separates nothing.
+  MxPairFilterOptions mx_opts;
+  mx_opts.eps = 0.05;
+  mx_opts.sample_size = 500;
+  auto mx = MxPairFilter::Build(d, mx_opts, &rng);
+  TupleSampleFilterOptions ts_opts;
+  ts_opts.eps = 0.05;
+  ts_opts.sample_size = 30;
+  auto ts = TupleSampleFilter::Build(d, ts_opts, &rng);
+  ASSERT_TRUE(mx.ok() && ts.ok());
+  for (AttributeIndex bad_attr : {1u, 2u}) {
+    AttributeSet bad = AttributeSet::FromIndices(3, {bad_attr});
+    EXPECT_EQ(mx->Query(bad), FilterVerdict::kReject) << bad_attr;
+    EXPECT_EQ(ts->Query(bad), FilterVerdict::kReject) << bad_attr;
+  }
+}
+
+TEST(FilterTest, WitnessIsGenuinelyUnseparated) {
+  Rng rng(5);
+  Dataset d = KeyAndGroups();
+  TupleSampleFilterOptions opts;
+  opts.eps = 0.05;
+  opts.sample_size = 30;
+  auto ts = TupleSampleFilter::Build(d, opts, &rng);
+  MxPairFilterOptions mx_opts;
+  mx_opts.eps = 0.05;
+  mx_opts.sample_size = 400;
+  auto mx = MxPairFilter::Build(d, mx_opts, &rng);
+  ASSERT_TRUE(ts.ok() && mx.ok());
+  AttributeSet bad = AttributeSet::FromIndices(3, {1});
+  for (const SeparationFilter* f :
+       {static_cast<const SeparationFilter*>(&*ts),
+        static_cast<const SeparationFilter*>(&*mx)}) {
+    auto witness = f->QueryWitness(bad);
+    ASSERT_TRUE(witness.has_value());
+    auto [i, j] = *witness;
+    EXPECT_NE(i, j);
+    EXPECT_TRUE(d.RowsAgreeOn(i, j, bad.ToIndices()));
+  }
+}
+
+TEST(FilterTest, SortAndHashBackendsAgree) {
+  Rng rng(6);
+  Dataset d = MakeUniformGridSample(6, 4, 500, &rng);
+  TupleSampleFilterOptions sort_opts;
+  sort_opts.eps = 0.01;
+  sort_opts.sample_size = 60;
+  sort_opts.detection = DuplicateDetection::kSort;
+  Rng rng_a(99);
+  auto sorted = TupleSampleFilter::Build(d, sort_opts, &rng_a);
+  TupleSampleFilterOptions hash_opts = sort_opts;
+  hash_opts.detection = DuplicateDetection::kHash;
+  Rng rng_b(99);  // identical sample
+  auto hashed = TupleSampleFilter::Build(d, hash_opts, &rng_b);
+  ASSERT_TRUE(sorted.ok() && hashed.ok());
+  Rng qrng(7);
+  for (int t = 0; t < 200; ++t) {
+    AttributeSet a = AttributeSet::Random(6, 0.4, &qrng);
+    EXPECT_EQ(sorted->Query(a), hashed->Query(a));
+  }
+}
+
+TEST(MxPairFilterTest, MaterializedAnswersIdentically) {
+  Rng data_rng(8);
+  Dataset d = MakeUniformGridSample(5, 3, 300, &data_rng);
+  MxPairFilterOptions plain_opts;
+  plain_opts.eps = 0.01;
+  plain_opts.sample_size = 200;
+  Rng rng_a(55);
+  auto plain = MxPairFilter::Build(d, plain_opts, &rng_a);
+  MxPairFilterOptions mat_opts = plain_opts;
+  mat_opts.materialize = true;
+  Rng rng_b(55);
+  auto materialized = MxPairFilter::Build(d, mat_opts, &rng_b);
+  ASSERT_TRUE(plain.ok() && materialized.ok());
+  EXPECT_GT(materialized->MemoryBytes(), plain->MemoryBytes());
+  Rng qrng(9);
+  for (int t = 0; t < 100; ++t) {
+    AttributeSet a = AttributeSet::Random(5, 0.5, &qrng);
+    EXPECT_EQ(plain->Query(a), materialized->Query(a));
+  }
+}
+
+TEST(MxPairFilterTest, ExhaustiveCompareAnswersIdentically) {
+  Rng data_rng(12);
+  Dataset d = MakeUniformGridSample(6, 3, 400, &data_rng);
+  MxPairFilterOptions fast_opts;
+  fast_opts.eps = 0.01;
+  fast_opts.sample_size = 300;
+  Rng rng_a(77);
+  auto fast = MxPairFilter::Build(d, fast_opts, &rng_a);
+  MxPairFilterOptions model_opts = fast_opts;
+  model_opts.exhaustive_compare = true;
+  Rng rng_b(77);  // identical sample
+  auto model = MxPairFilter::Build(d, model_opts, &rng_b);
+  ASSERT_TRUE(fast.ok() && model.ok());
+  Rng qrng(13);
+  for (int t = 0; t < 150; ++t) {
+    AttributeSet a = AttributeSet::Random(6, 0.5, &qrng);
+    EXPECT_EQ(fast->Query(a), model->Query(a));
+    EXPECT_EQ(fast->QueryWitness(a), model->QueryWitness(a));
+  }
+}
+
+// -------------------------------------- statistical power on hard instance
+
+TEST(FilterTest, DetectsPlantedCliqueAtPaperSampleSize) {
+  // Lemma 4's instance: attribute {0} is bad; the paper-size tuple
+  // sample must reject it in (nearly) all trials.
+  Rng rng(10);
+  PlantedCliqueOptions pc;
+  pc.num_rows = 20000;
+  pc.num_attributes = 6;
+  pc.epsilon = 0.01;
+  Dataset d = MakePlantedClique(pc, &rng);
+  AttributeSet bad = AttributeSet::FromIndices(6, {0});
+  ASSERT_EQ(Classify(d, bad, pc.epsilon), SeparationClass::kBad);
+
+  int rejections = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    TupleSampleFilterOptions opts;
+    opts.eps = pc.epsilon;  // r = m/sqrt(eps) = 60
+    auto f = TupleSampleFilter::Build(d, opts, &rng);
+    ASSERT_TRUE(f.ok());
+    rejections += (f->Query(bad) == FilterVerdict::kReject);
+  }
+  // r=60 draws from a clique of ~0.14 mass: detection prob ~1-(1+8.5)e^-8.5
+  // ~ 0.998; allow a couple of misses.
+  EXPECT_GE(rejections, kTrials - 3);
+}
+
+// --------------------------------------------------- parameterized sweep
+
+class FilterAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FilterAgreementTest, NeverDisagreeOnCertainties) {
+  auto [m, q, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  Dataset d = MakeUniformGridSample(m, q, 400, &rng);
+  double eps = 0.02;
+  MxPairFilterOptions mx_opts;
+  mx_opts.eps = eps;
+  mx_opts.sample_size = 2000;
+  auto mx = MxPairFilter::Build(d, mx_opts, &rng);
+  TupleSampleFilterOptions ts_opts;
+  ts_opts.eps = eps;
+  ts_opts.sample_size = 150;
+  auto ts = TupleSampleFilter::Build(d, ts_opts, &rng);
+  ASSERT_TRUE(mx.ok() && ts.ok());
+  Rng qrng(seed + 1000);
+  for (int t = 0; t < 50; ++t) {
+    AttributeSet a = AttributeSet::Random(m, 0.5, &qrng);
+    SeparationClass truth = Classify(d, a, eps);
+    if (truth == SeparationClass::kKey) {
+      EXPECT_EQ(mx->Query(a), FilterVerdict::kAccept);
+      EXPECT_EQ(ts->Query(a), FilterVerdict::kAccept);
+    }
+    if (truth == SeparationClass::kBad) {
+      // Ample samples: both reject with overwhelming probability; we
+      // assert rejection (flaky only with probability << 1e-6 at these
+      // sample sizes given eps*samples >= 40).
+      EXPECT_EQ(mx->Query(a), FilterVerdict::kReject);
+      EXPECT_EQ(ts->Query(a), FilterVerdict::kReject);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, FilterAgreementTest,
+    ::testing::Values(std::make_tuple(4, 3, 1), std::make_tuple(5, 2, 2),
+                      std::make_tuple(6, 4, 3), std::make_tuple(8, 2, 4),
+                      std::make_tuple(3, 8, 5)));
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qikey.h"
+
+namespace qikey {
+namespace {
+
+/// Randomized cross-validation: generate a random table from a random
+/// spec, then check that every pair of independent implementations of
+/// the same quantity agrees. One TEST_P instance per seed; each runs
+/// dozens of random queries, so the suite covers thousands of
+/// configurations.
+
+TabularSpec RandomSpec(Rng* rng) {
+  TabularSpec spec;
+  spec.num_rows = 50 + rng->Uniform(400);
+  uint32_t m = 2 + static_cast<uint32_t>(rng->Uniform(7));
+  for (uint32_t j = 0; j < m; ++j) {
+    AttributeSpec a;
+    a.name = "c" + std::to_string(j);
+    a.cardinality = 1 + static_cast<uint32_t>(rng->Uniform(40));
+    a.zipf_exponent = rng->UniformDouble() * 2.0;
+    if (j > 0 && rng->Bernoulli(0.25)) {
+      a.derived_from = static_cast<int32_t>(rng->Uniform(j));
+      a.noise = rng->UniformDouble() * 0.2;
+    }
+    spec.attributes.push_back(std::move(a));
+  }
+  return spec;
+}
+
+uint64_t BruteForceGamma(const Dataset& d,
+                         const std::vector<AttributeIndex>& attrs) {
+  uint64_t count = 0;
+  for (RowIndex i = 0; i < d.num_rows(); ++i) {
+    for (RowIndex j = i + 1; j < d.num_rows(); ++j) {
+      count += d.RowsAgreeOn(i, j, attrs) ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+class FuzzConsistencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzConsistencyTest, AllImplementationsAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  TabularSpec spec = RandomSpec(&rng);
+  Dataset d = MakeTabular(spec, &rng);
+  const size_t m = d.num_attributes();
+
+  // (1) Γ via partition == Γ via pair scan, on random subsets.
+  for (int t = 0; t < 12; ++t) {
+    AttributeSet a = AttributeSet::Random(m, 0.5, &rng);
+    EXPECT_EQ(ExactUnseparatedPairs(d, a), BruteForceGamma(d, a.ToIndices()));
+  }
+
+  // (2) Serialization round trip preserves every separation answer.
+  auto back = DeserializeDataset(SerializeDataset(d));
+  ASSERT_TRUE(back.ok());
+  for (int t = 0; t < 6; ++t) {
+    AttributeSet a = AttributeSet::Random(m, 0.5, &rng);
+    EXPECT_EQ(ExactUnseparatedPairs(d, a), ExactUnseparatedPairs(*back, a));
+  }
+
+  // (3) Filter completeness on the full attribute set, both backends,
+  // and sort/hash equivalence on random queries from the SAME sample.
+  TupleSampleFilterOptions sort_opts;
+  sort_opts.eps = 0.05;
+  sort_opts.sample_size = 40;
+  sort_opts.detection = DuplicateDetection::kSort;
+  Rng build_a(GetParam() + 1000);
+  auto sorted = TupleSampleFilter::Build(d, sort_opts, &build_a);
+  TupleSampleFilterOptions hash_opts = sort_opts;
+  hash_opts.detection = DuplicateDetection::kHash;
+  Rng build_b(GetParam() + 1000);
+  auto hashed = TupleSampleFilter::Build(d, hash_opts, &build_b);
+  ASSERT_TRUE(sorted.ok() && hashed.ok());
+  for (int t = 0; t < 20; ++t) {
+    AttributeSet a = AttributeSet::Random(m, 0.5, &rng);
+    EXPECT_EQ(sorted->Query(a), hashed->Query(a));
+  }
+  AttributeSet all = AttributeSet::All(m);
+  if (IsKey(d, all)) {
+    EXPECT_EQ(sorted->Query(all), FilterVerdict::kAccept);
+  }
+
+  // (4) Greedy engines: both gain strategies pick identical keys, and
+  // the greedy trace's total gain accounts for every separated pair.
+  RefineEngine lookup(d, GainStrategy::kLookupTable);
+  RefineEngine sorted_engine(d, GainStrategy::kSortPartition);
+  auto g1 = lookup.RunGreedy();
+  auto g2 = sorted_engine.RunGreedy();
+  EXPECT_EQ(g1.chosen, g2.chosen);
+  uint64_t covered = 0;
+  for (const auto& step : g1.steps) covered += step.gain;
+  EXPECT_EQ(covered + g1.remaining_unseparated, d.num_pairs());
+
+  // (5) AFD identity: violating(X -> y) == Γ_X - Γ_{X ∪ {y}} computed
+  // independently.
+  for (int t = 0; t < 6; ++t) {
+    AttributeIndex rhs = static_cast<AttributeIndex>(rng.Uniform(m));
+    AttributeSet lhs = AttributeSet::Random(m, 0.4, &rng);
+    lhs.Remove(rhs);
+    AfdError err = ComputeAfdError(d, lhs, rhs);
+    AttributeSet both = lhs;
+    both.Add(rhs);
+    EXPECT_EQ(err.violating, ExactUnseparatedPairs(d, lhs) -
+                                 ExactUnseparatedPairs(d, both));
+  }
+
+  // (6) Anonymity identities: uniqueness-rate consistency between
+  // AnonymityLevel / RowsBelowK / SuppressForKAnonymity.
+  AttributeSet qi = AttributeSet::Random(m, 0.5, &rng);
+  uint64_t level = AnonymityLevel(d, qi);
+  EXPECT_DOUBLE_EQ(RowsBelowK(d, qi, level), 0.0);
+  EXPECT_GT(RowsBelowK(d, qi, level + 1), 0.0);
+  std::vector<RowIndex> suppressed = SuppressForKAnonymity(d, qi, 2);
+  EXPECT_NEAR(static_cast<double>(suppressed.size()) /
+                  static_cast<double>(d.num_rows()),
+              RowsBelowK(d, qi, 2), 1e-12);
+
+  // (7) Masking postcondition: exact greedy masking leaves a released
+  // set that is not an eps-key.
+  MaskingResult masked = GreedyMaskingExact(d, 0.2);
+  if (masked.achieved) {
+    AttributeSet released = AttributeSet::All(m).Difference(masked.masked);
+    EXPECT_FALSE(IsEpsSeparationKey(d, released, 0.2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConsistencyTest,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/separation.h"
+#include "data/generators/encoding_lb.h"
+#include "data/generators/planted_clique.h"
+#include "data/generators/tabular.h"
+#include "data/generators/uniform_grid.h"
+#include "math/combinatorics.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+// ------------------------------------------------------------ uniform grid
+
+TEST(UniformGridTest, FullGridShape) {
+  auto d = MakeFullUniformGrid(3, 4);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 64u);
+  EXPECT_EQ(d->num_attributes(), 3u);
+  // All rows distinct: full set is a key.
+  EXPECT_TRUE(IsKey(*d, AttributeSet::All(3)));
+}
+
+TEST(UniformGridTest, FullGridRefusesHugeProducts) {
+  auto d = MakeFullUniformGrid(20, 10, 1 << 20);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(UniformGridTest, SingletonsAreBadInFullGrid) {
+  // Lemma 3's property: every singleton separates fewer than
+  // (1-eps)C(n,2) pairs for eps ~ 1/q.
+  auto d = MakeFullUniformGrid(3, 5);
+  ASSERT_TRUE(d.ok());
+  double eps = 1.0 / 5.5;  // paper uses 1/eps = q + 1/2
+  for (AttributeIndex a = 0; a < 3; ++a) {
+    EXPECT_EQ(Classify(*d, AttributeSet::FromIndices(3, {a}), eps),
+              SeparationClass::kBad)
+        << "attribute " << a;
+  }
+}
+
+TEST(UniformGridTest, SampleMarginalsRoughlyUniform) {
+  Rng rng(1);
+  Dataset d = MakeUniformGridSample(2, 4, 40000, &rng);
+  for (AttributeIndex a = 0; a < 2; ++a) {
+    std::vector<int> counts(4, 0);
+    for (RowIndex r = 0; r < d.num_rows(); ++r) ++counts[d.code(r, a)];
+    for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+  }
+}
+
+// --------------------------------------------------------- planted clique
+
+TEST(PlantedCliqueTest, CliqueSizeFormula) {
+  EXPECT_EQ(PlantedCliqueSize(10000, 0.02), 2000u);
+  EXPECT_EQ(PlantedCliqueSize(100, 0.02), 20u);
+}
+
+TEST(PlantedCliqueTest, FirstAttributeIsBadAndShapedRight) {
+  Rng rng(2);
+  PlantedCliqueOptions opts;
+  opts.num_rows = 5000;
+  opts.num_attributes = 4;
+  opts.epsilon = 0.01;
+  Dataset d = MakePlantedClique(opts, &rng);
+  AttributeSet first = AttributeSet::FromIndices(4, {0});
+  // Γ_{1} = C(clique, 2) > eps * C(n, 2) (the Lemma 4 inequality).
+  uint64_t clique = PlantedCliqueSize(opts.num_rows, opts.epsilon);
+  EXPECT_EQ(ExactUnseparatedPairs(d, first), PairCount(clique));
+  EXPECT_EQ(Classify(d, first, opts.epsilon), SeparationClass::kBad);
+  // G_{1}: one clique + isolated vertices => number of blocks is
+  // n - clique + 1.
+  Partition p = SeparationPartition(d, first);
+  EXPECT_EQ(p.num_blocks(), opts.num_rows - clique + 1);
+}
+
+TEST(PlantedCliqueTest, FullAttributeSetIsKey) {
+  Rng rng(3);
+  PlantedCliqueOptions opts;
+  opts.num_rows = 3000;
+  opts.num_attributes = 5;
+  opts.epsilon = 0.02;
+  Dataset d = MakePlantedClique(opts, &rng);
+  EXPECT_TRUE(IsKey(d, AttributeSet::All(5)));
+  // Even without the planted attribute (the index-digit attributes
+  // alone form a key).
+  EXPECT_TRUE(IsKey(d, AttributeSet::FromIndices(5, {1, 2, 3, 4})));
+}
+
+TEST(PlantedCliqueTest, ShuffleDoesNotChangeProfile) {
+  PlantedCliqueOptions opts;
+  opts.num_rows = 1000;
+  opts.num_attributes = 3;
+  opts.epsilon = 0.05;
+  opts.shuffle_rows = false;
+  Rng rng_a(4);
+  Dataset plain = MakePlantedClique(opts, &rng_a);
+  opts.shuffle_rows = true;
+  Rng rng_b(5);
+  Dataset shuffled = MakePlantedClique(opts, &rng_b);
+  AttributeSet first = AttributeSet::FromIndices(3, {0});
+  EXPECT_EQ(ExactUnseparatedPairs(plain, first),
+            ExactUnseparatedPairs(shuffled, first));
+}
+
+// ------------------------------------------------------------ encoding LB
+
+TEST(EncodingTest, ColumnSparseMatrixHasExactlyKOnesPerColumn) {
+  Rng rng(6);
+  BitMatrix c = MakeRandomColumnSparseMatrix(3, 4, 7, &rng);
+  EXPECT_EQ(c.rows, 12u);
+  EXPECT_EQ(c.cols, 7u);
+  for (size_t col = 0; col < c.cols; ++col) {
+    int ones = 0;
+    for (size_t row = 0; row < c.rows; ++row) ones += c.at(row, col);
+    EXPECT_EQ(ones, 3) << "column " << col;
+  }
+}
+
+TEST(EncodingTest, DatasetShape) {
+  Rng rng(7);
+  BitMatrix c = MakeRandomColumnSparseMatrix(2, 3, 5, &rng);
+  Dataset d = MakeEncodingDataset(c);
+  EXPECT_EQ(d.num_rows(), 12u);        // 2n with n = 6
+  EXPECT_EQ(d.num_attributes(), 11u);  // m + n = 5 + 6
+  // Identity block: attribute m+i is 1 exactly at top row i.
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t r = 0; r < 12; ++r) {
+      EXPECT_EQ(d.code(static_cast<RowIndex>(r),
+                       static_cast<AttributeIndex>(5 + i)),
+                (r == i) ? 1u : 0u);
+    }
+  }
+  // Bottom half of the C-block is all ones.
+  for (size_t j = 0; j < 5; ++j) {
+    for (size_t r = 6; r < 12; ++r) {
+      EXPECT_EQ(d.code(static_cast<RowIndex>(r),
+                       static_cast<AttributeIndex>(j)),
+                1u);
+    }
+  }
+}
+
+TEST(EncodingTest, HammingDistance) {
+  EXPECT_EQ(HammingDistance({0, 1, 1, 0}, {0, 1, 0, 1}), 2u);
+  EXPECT_EQ(HammingDistance({1}, {1}), 0u);
+}
+
+TEST(EncodingTest, QueryAttributesLayout) {
+  auto attrs = EncodingQueryAttributes(3, {0, 5, 7}, 10);
+  EXPECT_EQ(attrs, (std::vector<AttributeIndex>{3, 10, 15, 17}));
+}
+
+// ---------------------------------------------------------------- tabular
+
+TEST(TabularTest, RespectsShapeAndCardinalities) {
+  Rng rng(8);
+  TabularSpec spec;
+  spec.num_rows = 500;
+  spec.attributes = {{"a", 4, 0.0, -1, 0.0},
+                     {"b", 10, 1.0, -1, 0.0},
+                     {"c", 10, 0.0, 1, 0.0}};
+  Dataset d = MakeTabular(spec, &rng);
+  EXPECT_EQ(d.num_rows(), 500u);
+  EXPECT_EQ(d.num_attributes(), 3u);
+  for (RowIndex r = 0; r < 500; ++r) {
+    EXPECT_LT(d.code(r, 0), 4u);
+    EXPECT_LT(d.code(r, 1), 10u);
+  }
+}
+
+TEST(TabularTest, DerivedColumnWithoutNoiseIsFunctional) {
+  Rng rng(9);
+  TabularSpec spec;
+  spec.num_rows = 1000;
+  spec.attributes = {{"src", 8, 0.5, -1, 0.0}, {"dst", 8, 0.0, 0, 0.0}};
+  Dataset d = MakeTabular(spec, &rng);
+  // dst is a deterministic function of src: partition by src refines
+  // (or equals) partition by dst; jointly they separate exactly what
+  // src separates.
+  EXPECT_EQ(ExactUnseparatedPairs(d, AttributeSet::FromIndices(2, {0})),
+            ExactUnseparatedPairs(d, AttributeSet::FromIndices(2, {0, 1})));
+}
+
+TEST(TabularTest, ZipfSkewsMarginals) {
+  Rng rng(10);
+  ZipfSampler zipf(100, 1.5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10] * 5);
+  EXPECT_GT(counts[0], 10000);
+}
+
+TEST(TabularTest, ZipfZeroExponentIsUniform) {
+  Rng rng(11);
+  ZipfSampler flat(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[flat.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 400);
+}
+
+TEST(TabularTest, PaperProfilesHaveDocumentedShapes) {
+  TabularSpec adult = AdultLikeSpec();
+  EXPECT_EQ(adult.num_rows, 32561u);
+  EXPECT_EQ(adult.attributes.size(), 14u);
+
+  TabularSpec covtype = CovtypeLikeSpec();
+  EXPECT_EQ(covtype.num_rows, 581012u);
+  EXPECT_EQ(covtype.attributes.size(), 55u);
+
+  TabularSpec cps = CpsLikeSpec(1000);
+  EXPECT_EQ(cps.num_rows, 1000u);
+  EXPECT_EQ(cps.attributes.size(), 372u);
+}
+
+TEST(TabularTest, AdultLikeIsGenerable) {
+  Rng rng(12);
+  TabularSpec spec = AdultLikeSpec();
+  spec.num_rows = 2000;  // shrink for test speed
+  Dataset d = MakeTabular(spec, &rng);
+  EXPECT_EQ(d.num_rows(), 2000u);
+  EXPECT_EQ(d.num_attributes(), 14u);
+  // The high-cardinality fnlwgt column should be near-unique.
+  EXPECT_GT(d.column(2).CountDistinct(), 1500u);
+  // sex is binary.
+  EXPECT_LE(d.column(9).CountDistinct(), 2u);
+}
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/birthday.h"
+#include "math/chernoff.h"
+#include "math/combinatorics.h"
+
+namespace qikey {
+namespace {
+
+// ---------------------------------------------------------- Combinatorics
+
+TEST(CombinatoricsTest, LogFactorialSmallValues) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(CombinatoricsTest, LogBinomialMatchesPascal) {
+  for (uint64_t n = 0; n <= 20; ++n) {
+    double row_sum = 0;
+    for (uint64_t k = 0; k <= n; ++k) {
+      row_sum += std::exp(LogBinomial(n, k));
+    }
+    EXPECT_NEAR(row_sum, std::pow(2.0, static_cast<double>(n)),
+                1e-6 * row_sum);
+  }
+}
+
+TEST(CombinatoricsTest, BinomialKnownValues) {
+  EXPECT_NEAR(BinomialDouble(16, 10), 8008.0, 1e-6);
+  EXPECT_NEAR(BinomialDouble(30, 10), 30045015.0, 1e-3);
+  EXPECT_EQ(BinomialDouble(5, 9), 0.0);
+}
+
+TEST(CombinatoricsTest, PairCountMatchesFormula) {
+  EXPECT_EQ(PairCount(0), 0u);
+  EXPECT_EQ(PairCount(1), 0u);
+  EXPECT_EQ(PairCount(2), 1u);
+  EXPECT_EQ(PairCount(5), 10u);
+  EXPECT_EQ(PairCount(581012), uint64_t{581012} * 581011 / 2);
+}
+
+TEST(CombinatoricsTest, LogFallingFactorial) {
+  // 7*6*5 = 210
+  EXPECT_NEAR(LogFallingFactorial(7, 3), std::log(210.0), 1e-12);
+  EXPECT_EQ(LogFallingFactorial(3, 4),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(LogFallingFactorial(5, 0), 0.0);
+}
+
+TEST(CombinatoricsTest, LogSumExpStability) {
+  EXPECT_NEAR(LogSumExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  // One far-dominant term.
+  EXPECT_NEAR(LogSumExp(1000.0, 0.0), 1000.0, 1e-12);
+  EXPECT_DOUBLE_EQ(
+      LogSumExp(-std::numeric_limits<double>::infinity(), 1.5), 1.5);
+}
+
+TEST(CombinatoricsTest, Log1mExp) {
+  // log(1 - e^{-1})
+  EXPECT_NEAR(Log1mExp(-1.0), std::log(1.0 - std::exp(-1.0)), 1e-12);
+  // Tiny |x|: 1 - e^x ~ -x.
+  EXPECT_NEAR(Log1mExp(-1e-12), std::log(1e-12), 1e-3);
+}
+
+// -------------------------------------------------------------- Birthday
+
+TEST(BirthdayTest, ClassicBirthdayParadox) {
+  // 23 people, 365 days: collision probability just over 1/2.
+  double p = 1.0 - UniformNonCollisionProbability(365, 23);
+  EXPECT_GT(p, 0.5);
+  EXPECT_LT(p, 0.54);
+}
+
+TEST(BirthdayTest, NonCollisionEdgeCases) {
+  EXPECT_DOUBLE_EQ(UniformNonCollisionProbability(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(UniformNonCollisionProbability(10, 1), 1.0);
+  EXPECT_DOUBLE_EQ(UniformNonCollisionProbability(3, 4), 0.0);
+}
+
+TEST(BirthdayTest, LowerBoundIsValid) {
+  // Theorem 4: C(N,q) >= 1 - exp(-q(q-1)/2N); compare with exact.
+  for (uint64_t bins : {10u, 100u, 1000u}) {
+    for (uint64_t balls : {2u, 5u, 10u}) {
+      if (balls > bins) continue;
+      double exact = 1.0 - UniformNonCollisionProbability(bins, balls);
+      double bound = CollisionProbabilityLowerBound(bins, balls);
+      EXPECT_LE(bound, exact + 1e-12)
+          << "bins=" << bins << " balls=" << balls;
+    }
+  }
+}
+
+TEST(BirthdayTest, BallsForCollisionSuffices) {
+  for (uint64_t bins : {50u, 500u, 5000u}) {
+    for (double delta : {0.1, 0.01}) {
+      uint64_t q = BallsForCollision(bins, delta);
+      // With q balls, the non-collision probability (by the exp bound
+      // the formula inverts) is at most delta.
+      double q_d = static_cast<double>(q);
+      double bound = std::exp(-q_d * (q_d - 1) / (2.0 * bins));
+      EXPECT_LE(bound, delta * 1.0000001);
+      // The paper's simplified count is never smaller than needed.
+      EXPECT_GE(BallsForCollisionSimple(bins, delta), q / 2);
+    }
+  }
+}
+
+// -------------------------------------------------------------- Chernoff
+
+TEST(ChernoffTest, BoundDecreasesWithMu) {
+  double prev = 1.0;
+  for (double mu : {1.0, 10.0, 100.0, 1000.0}) {
+    double b = ChernoffTwoSidedBound(mu, 0.5);
+    EXPECT_LE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(ChernoffTest, BoundClampedToOne) {
+  EXPECT_LE(ChernoffTwoSidedBound(0.001, 0.1), 1.0);
+  EXPECT_LE(ChernoffLowerHalfBound(0.0), 1.0);
+}
+
+TEST(ChernoffTest, LargeEpsRegime) {
+  // eps >= 2 switches to exp(-eps*mu/2).
+  double mu = 10.0, eps = 4.0;
+  EXPECT_NEAR(ChernoffTwoSidedBound(mu, eps), 2.0 * std::exp(-eps * mu / 2),
+              1e-12);
+}
+
+TEST(ChernoffTest, TrialsForRelativeErrorMeetsTarget) {
+  double p = 0.01, eps = 0.2, delta = 1e-6;
+  uint64_t n = TrialsForRelativeError(p, eps, delta);
+  EXPECT_LE(ChernoffTwoSidedBound(p * static_cast<double>(n), eps),
+            delta * 1.0000001);
+  // And not wildly larger than needed (within 2x of the fixed point).
+  EXPECT_GT(ChernoffTwoSidedBound(p * static_cast<double>(n / 2), eps),
+            delta);
+}
+
+}  // namespace
+}  // namespace qikey

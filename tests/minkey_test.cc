@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bruteforce.h"
+#include "math/combinatorics.h"
+#include "core/minkey.h"
+#include "core/refine_engine.h"
+#include "core/separation.h"
+#include "data/dataset_builder.h"
+#include "data/generators/uniform_grid.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+Dataset TwoAttributeKeyDataset() {
+  // No single attribute is a key, but {hi, lo} is: a 4x4 grid of 16
+  // distinct rows plus a redundant copy of "hi".
+  DatasetBuilder b({"hi", "lo", "hi_copy"});
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(b.AddRow({std::to_string(i / 4), std::to_string(i % 4),
+                          std::to_string(i / 4)})
+                    .ok());
+  }
+  return std::move(b).Finish();
+}
+
+// ------------------------------------------------------------ RefineEngine
+
+TEST(RefineEngineTest, GainMatchesApplyOnEveryStep) {
+  Rng rng(1);
+  Dataset d = MakeUniformGridSample(5, 3, 200, &rng);
+  for (GainStrategy strategy :
+       {GainStrategy::kLookupTable, GainStrategy::kSortPartition}) {
+    RefineEngine engine(d, strategy);
+    for (AttributeIndex a = 0; a < 5; ++a) {
+      uint64_t gain = engine.GainOf(a);
+      uint64_t applied = engine.Apply(a);
+      EXPECT_EQ(gain, applied) << "attr " << a;
+    }
+  }
+}
+
+TEST(RefineEngineTest, StrategiesComputeIdenticalGains) {
+  Rng rng(2);
+  Dataset d = MakeUniformGridSample(6, 4, 300, &rng);
+  RefineEngine lookup(d, GainStrategy::kLookupTable);
+  RefineEngine sorted(d, GainStrategy::kSortPartition);
+  for (AttributeIndex a = 0; a < 6; ++a) {
+    EXPECT_EQ(lookup.GainOf(a), sorted.GainOf(a));
+  }
+  // Also after a refinement step.
+  lookup.Apply(2);
+  sorted.Apply(2);
+  for (AttributeIndex a = 0; a < 6; ++a) {
+    EXPECT_EQ(lookup.GainOf(a), sorted.GainOf(a));
+  }
+}
+
+TEST(RefineEngineTest, GreedyFindsTwoAttributeKey) {
+  Dataset d = TwoAttributeKeyDataset();
+  RefineEngine engine(d);
+  auto result = engine.RunGreedy();
+  EXPECT_TRUE(result.is_sample_key);
+  EXPECT_EQ(result.chosen.size(), 2u);
+  EXPECT_TRUE(result.chosen.Contains(1));  // "lo" is required
+  EXPECT_TRUE(IsKey(d, result.chosen));
+  EXPECT_EQ(result.remaining_unseparated, 0u);
+}
+
+TEST(RefineEngineTest, StepsRecordDecreasingCoverage) {
+  Rng rng(3);
+  Dataset d = MakeUniformGridSample(8, 2, 300, &rng);
+  RefineEngine engine(d);
+  auto result = engine.RunGreedy();
+  // Greedy gains are non-increasing for set cover on a fixed ground set?
+  // Not in general for arbitrary systems, but each step must cover > 0.
+  uint64_t total = 0;
+  for (const auto& step : result.steps) {
+    EXPECT_GT(step.gain, 0u);
+    total += step.gain;
+  }
+  EXPECT_EQ(total + result.remaining_unseparated, PairCount(300));
+}
+
+TEST(RefineEngineTest, DuplicateRowsPreventSampleKey) {
+  DatasetBuilder b({"x", "y"});
+  ASSERT_TRUE(b.AddRow({"1", "1"}).ok());
+  ASSERT_TRUE(b.AddRow({"1", "1"}).ok());  // exact duplicate
+  ASSERT_TRUE(b.AddRow({"2", "1"}).ok());
+  Dataset d = std::move(b).Finish();
+  RefineEngine engine(d);
+  auto result = engine.RunGreedy();
+  EXPECT_FALSE(result.is_sample_key);
+  EXPECT_EQ(result.remaining_unseparated, 1u);
+}
+
+TEST(RefineEngineTest, MaxAttributesStopsEarly) {
+  Rng rng(4);
+  Dataset d = MakeUniformGridSample(6, 2, 200, &rng);
+  RefineEngine engine(d);
+  auto result = engine.RunGreedy(2);
+  EXPECT_LE(result.chosen.size(), 2u);
+}
+
+// ----------------------------------------------------- end-to-end min key
+
+TEST(MinKeyTest, TupleSamplingReturnsEpsKey) {
+  Rng rng(5);
+  Dataset d = MakeUniformGridSample(8, 6, 3000, &rng);
+  MinKeyOptions opts;
+  opts.eps = 0.01;
+  auto result = FindApproxMinimumEpsKey(d, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->covered_sample);
+  // The returned set must be an eps-separation key of the full data
+  // (this holds w.h.p.; the seed is fixed).
+  EXPECT_TRUE(IsEpsSeparationKey(d, result->key, opts.eps));
+}
+
+TEST(MinKeyTest, MxReturnsEpsKey) {
+  Rng rng(6);
+  Dataset d = MakeUniformGridSample(8, 6, 3000, &rng);
+  MinKeyOptions opts;
+  opts.eps = 0.01;
+  auto result = FindApproxMinimumEpsKeyMx(d, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->covered_sample);
+  EXPECT_TRUE(IsEpsSeparationKey(d, result->key, opts.eps));
+}
+
+TEST(MinKeyTest, GreedyKeyNotAbsurdlyLarge) {
+  // Greedy guarantee: |key| <= (ln N + 1) |K*| on the sample.
+  Rng rng(7);
+  Dataset d = MakeUniformGridSample(10, 4, 2000, &rng);
+  MinKeyOptions opts;
+  opts.eps = 0.01;
+  auto greedy = FindApproxMinimumEpsKey(d, opts, &rng);
+  ASSERT_TRUE(greedy.ok());
+  auto exact = ExactMinimumEpsKey(d, opts.eps, 10);
+  ASSERT_TRUE(exact.ok());
+  double ln_n = std::log(static_cast<double>(
+                    PairCount(greedy->sample_size))) + 1.0;
+  EXPECT_LE(static_cast<double>(greedy->key.size()),
+            ln_n * static_cast<double>(std::max<size_t>(exact->size(), 1)));
+}
+
+TEST(MinKeyTest, ExactSampledNeverLargerThanGreedy) {
+  Rng rng(20);
+  Dataset d = MakeUniformGridSample(7, 4, 1500, &rng);
+  MinKeyOptions opts;
+  opts.eps = 0.02;
+  Rng rng_a(21), rng_b(21);  // identical samples for both methods
+  auto greedy = FindApproxMinimumEpsKey(d, opts, &rng_a);
+  auto exact = FindMinimumEpsKeyExact(d, opts, &rng_b);
+  ASSERT_TRUE(greedy.ok() && exact.ok());
+  EXPECT_LE(exact->key.size(), greedy->key.size());
+  // The exact-cover result is an eps-key of the full data w.h.p.
+  EXPECT_TRUE(IsEpsSeparationKey(d, exact->key, opts.eps));
+  EXPECT_TRUE(exact->covered_sample);
+}
+
+TEST(MinKeyTest, ExactSampledHandlesDuplicateRows) {
+  DatasetBuilder b({"x", "y"});
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(b.AddRow({std::to_string(i % 5), std::to_string(i % 4)})
+                    .ok());
+  }
+  ASSERT_TRUE(b.AddRow({"0", "0"}).ok());  // duplicate of row 0
+  Dataset d = std::move(b).Finish();
+  MinKeyOptions opts;
+  opts.eps = 0.2;
+  opts.sample_size = d.num_rows();  // keep everything
+  Rng rng(22);
+  auto exact = FindMinimumEpsKeyExact(d, opts, &rng);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_FALSE(exact->covered_sample);  // duplicates are uncoverable
+  // It still covers every coverable pair: both attributes are needed.
+  EXPECT_EQ(exact->key.size(), 2u);
+}
+
+TEST(MinKeyTest, GreedyMinimumKeyOnFullData) {
+  Dataset d = TwoAttributeKeyDataset();
+  MinKeyResult r = GreedyMinimumKey(d);
+  EXPECT_TRUE(r.covered_sample);
+  EXPECT_TRUE(IsKey(d, r.key));
+  EXPECT_EQ(r.key.size(), 2u);
+}
+
+TEST(MinKeyTest, InvalidOptionsRejected) {
+  Rng rng(8);
+  Dataset d = TwoAttributeKeyDataset();
+  MinKeyOptions opts;
+  opts.eps = 0.0;
+  EXPECT_FALSE(FindApproxMinimumEpsKey(d, opts, &rng).ok());
+  EXPECT_FALSE(FindApproxMinimumEpsKeyMx(d, opts, &rng).ok());
+  opts.eps = 0.1;
+  EXPECT_FALSE(FindApproxMinimumEpsKey(d, opts, nullptr).ok());
+}
+
+// -------------------------------------------------------------- bruteforce
+
+TEST(BruteForceTest, FindsExactMinimumKey) {
+  Dataset d = TwoAttributeKeyDataset();
+  auto key = ExactMinimumKey(d, 3);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key->size(), 2u);
+  EXPECT_TRUE(IsKey(d, *key));
+}
+
+TEST(BruteForceTest, NoKeyWithinBound) {
+  Dataset d = TwoAttributeKeyDataset();
+  auto key = ExactMinimumKey(d, 1);  // no single attribute is a key
+  EXPECT_FALSE(key.ok());
+}
+
+TEST(BruteForceTest, EpsRelaxationShrinksKey) {
+  Rng rng(9);
+  Dataset d = MakeUniformGridSample(6, 3, 500, &rng);
+  auto strict = ExactMinimumEpsKey(d, 0.0001, 6);
+  auto loose = ExactMinimumEpsKey(d, 0.2, 6);
+  ASSERT_TRUE(loose.ok());
+  if (strict.ok()) {
+    EXPECT_LE(loose->size(), strict->size());
+  }
+}
+
+TEST(BruteForceTest, EmptySetQualifiesOnlyWithoutPairs) {
+  // For eps < 1 the empty set can never be an eps-separation key of a
+  // multi-row data set (it separates nothing); with a single row there
+  // are no pairs and the empty set qualifies vacuously.
+  DatasetBuilder b({"x"});
+  ASSERT_TRUE(b.AddRow({"solo"}).ok());
+  Dataset one = std::move(b).Finish();
+  auto key = ExactMinimumEpsKey(one, 0.5, 1);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key->size(), 0u);
+
+  Rng rng(10);
+  Dataset d = MakeUniformGridSample(3, 3, 50, &rng);
+  auto loose = ExactMinimumEpsKey(d, 0.9999, 3);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GE(loose->size(), 1u);
+}
+
+TEST(BruteForceTest, DuplicateRowsMakeKeyImpossible) {
+  DatasetBuilder b({"x"});
+  ASSERT_TRUE(b.AddRow({"same"}).ok());
+  ASSERT_TRUE(b.AddRow({"same"}).ok());
+  Dataset d = std::move(b).Finish();
+  EXPECT_FALSE(ExactMinimumKey(d, 1).ok());
+}
+
+}  // namespace
+}  // namespace qikey

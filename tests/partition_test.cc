@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "data/generators/uniform_grid.h"
+#include "data/partition.h"
+#include "math/combinatorics.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+/// Reference O(n^2) pair count used to validate the partition route.
+uint64_t BruteForceUnseparated(const Dataset& d,
+                               const std::vector<AttributeIndex>& attrs) {
+  uint64_t count = 0;
+  for (RowIndex i = 0; i < d.num_rows(); ++i) {
+    for (RowIndex j = i + 1; j < d.num_rows(); ++j) {
+      if (d.RowsAgreeOn(i, j, attrs)) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(PartitionTest, TrivialPartition) {
+  Partition p = Partition::Trivial(5);
+  EXPECT_EQ(p.num_blocks(), 1u);
+  EXPECT_EQ(p.UnseparatedPairs(), 10u);
+  EXPECT_FALSE(p.AllSingletons());
+}
+
+TEST(PartitionTest, TrivialEmpty) {
+  Partition p = Partition::Trivial(0);
+  EXPECT_EQ(p.num_blocks(), 0u);
+  EXPECT_EQ(p.UnseparatedPairs(), 0u);
+}
+
+TEST(PartitionTest, ByColumnGroupsEqualCodes) {
+  Column c({0, 1, 0, 2, 1});
+  Partition p = Partition::ByColumn(c);
+  EXPECT_EQ(p.num_blocks(), 3u);
+  EXPECT_EQ(p.block_of(0), p.block_of(2));
+  EXPECT_EQ(p.block_of(1), p.block_of(4));
+  EXPECT_NE(p.block_of(0), p.block_of(3));
+  // Unseparated: {0,2} and {1,4} -> 2 pairs.
+  EXPECT_EQ(p.UnseparatedPairs(), 2u);
+}
+
+TEST(PartitionTest, RefinementSplitsBlocks) {
+  Column c1({0, 0, 0, 1, 1});
+  Column c2({0, 1, 0, 0, 0});
+  Partition p = Partition::ByColumn(c1).RefinedBy(c2);
+  // Blocks: {0,2}, {1}, {3,4}.
+  EXPECT_EQ(p.num_blocks(), 3u);
+  EXPECT_EQ(p.UnseparatedPairs(), 2u);
+}
+
+TEST(PartitionTest, RefinementGainEqualsGammaDrop) {
+  Rng rng(99);
+  Dataset d = MakeUniformGridSample(4, 3, 200, &rng);
+  Partition p = Partition::ByColumn(d.column(0));
+  for (AttributeIndex j = 1; j < 4; ++j) {
+    uint64_t gain = p.RefinementGain(d.column(j));
+    Partition refined = p.RefinedBy(d.column(j));
+    EXPECT_EQ(gain, p.UnseparatedPairs() - refined.UnseparatedPairs())
+        << "attribute " << j;
+    p = refined;
+  }
+}
+
+TEST(PartitionTest, AllSingletonsIffKey) {
+  // Two rows identical on every attribute -> never all singletons.
+  Column c1({0, 0, 1});
+  Column c2({5, 5, 6});
+  Dataset d(Schema::Anonymous(2), {c1, c2});
+  Partition p = PartitionByAttributes(d, {0, 1});
+  EXPECT_FALSE(p.AllSingletons());
+  EXPECT_EQ(p.UnseparatedPairs(), 1u);
+}
+
+TEST(PartitionTest, EmptyAttrsIsTrivial) {
+  Rng rng(1);
+  Dataset d = MakeUniformGridSample(3, 4, 50, &rng);
+  EXPECT_EQ(CountUnseparatedPairs(d, {}), PairCount(50));
+}
+
+// Property sweep: partition-based Γ equals brute force on random grids.
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PartitionPropertyTest, GammaMatchesBruteForce) {
+  auto [m, q, n, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  Dataset d = MakeUniformGridSample(m, q, n, &rng);
+  // All singleton and pair attribute sets, plus the full set.
+  for (AttributeIndex a = 0; a < static_cast<AttributeIndex>(m); ++a) {
+    EXPECT_EQ(CountUnseparatedPairs(d, {a}), BruteForceUnseparated(d, {a}));
+    for (AttributeIndex b = a + 1; b < static_cast<AttributeIndex>(m); ++b) {
+      std::vector<AttributeIndex> attrs{a, b};
+      EXPECT_EQ(CountUnseparatedPairs(d, attrs),
+                BruteForceUnseparated(d, attrs));
+    }
+  }
+  std::vector<AttributeIndex> all;
+  for (int j = 0; j < m; ++j) all.push_back(static_cast<AttributeIndex>(j));
+  EXPECT_EQ(CountUnseparatedPairs(d, all), BruteForceUnseparated(d, all));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PartitionPropertyTest,
+    ::testing::Values(std::make_tuple(2, 2, 40, 1),
+                      std::make_tuple(3, 3, 60, 2),
+                      std::make_tuple(4, 2, 80, 3),
+                      std::make_tuple(5, 5, 100, 4),
+                      std::make_tuple(2, 10, 120, 5),
+                      std::make_tuple(6, 2, 64, 6)));
+
+// Monotonicity: refining can only reduce unseparated pairs.
+class RefineMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefineMonotoneTest, GammaIsMonotone) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  Dataset d = MakeUniformGridSample(6, 3, 150, &rng);
+  Partition p = Partition::Trivial(d.num_rows());
+  uint64_t prev = p.UnseparatedPairs();
+  for (AttributeIndex j = 0; j < 6; ++j) {
+    p = p.RefinedBy(d.column(j));
+    EXPECT_LE(p.UnseparatedPairs(), prev);
+    prev = p.UnseparatedPairs();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefineMonotoneTest,
+                         ::testing::Range(10, 16));
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/mx_pair_filter.h"
+#include "core/separation.h"
+#include "core/tuple_sample_filter.h"
+#include "data/generators/planted_clique.h"
+#include "data/generators/tabular.h"
+#include "data/generators/uniform_grid.h"
+#include "math/collision.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+/// Cross-cutting invariants checked over parameter sweeps. These encode
+/// the paper's correctness contracts rather than specific outputs.
+
+// --------------------------------------------------------------------------
+// Invariant 1 (completeness, deterministic): for ANY data set, sample,
+// and query, a key is accepted — a key separates every pair of the
+// original data, hence every retained pair/tuple-pair.
+// --------------------------------------------------------------------------
+
+class CompletenessTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CompletenessTest, KeysAlwaysAccepted) {
+  auto [n, m, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  // Data with a guaranteed key: planted clique includes index digits.
+  PlantedCliqueOptions opts;
+  opts.num_rows = static_cast<uint64_t>(n);
+  opts.num_attributes = static_cast<uint32_t>(m);
+  opts.epsilon = 0.02;
+  Dataset d = MakePlantedClique(opts, &rng);
+  AttributeSet key = AttributeSet::All(m);
+  ASSERT_TRUE(IsKey(d, key));
+
+  for (uint64_t sample_size : {2ull, 10ull, 50ull}) {
+    TupleSampleFilterOptions ts;
+    ts.eps = 0.02;
+    ts.sample_size = sample_size;
+    auto f = TupleSampleFilter::Build(d, ts, &rng);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(f->Query(key), FilterVerdict::kAccept);
+
+    MxPairFilterOptions mx;
+    mx.eps = 0.02;
+    mx.sample_size = sample_size;
+    auto g = MxPairFilter::Build(d, mx, &rng);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->Query(key), FilterVerdict::kAccept);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompletenessTest,
+    ::testing::Combine(::testing::Values(500, 2000),
+                       ::testing::Values(3, 6),
+                       ::testing::Values(1, 2, 3)));
+
+// --------------------------------------------------------------------------
+// Invariant 2 (anti-monotonicity of rejection): if B ⊆ A and the filter
+// rejects A, it must reject B on the same sample (B separates a subset
+// of what A separates).
+// --------------------------------------------------------------------------
+
+class AntiMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AntiMonotoneTest, SubsetsOfRejectedAreRejected) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  Dataset d = MakeUniformGridSample(8, 3, 600, &rng);
+  TupleSampleFilterOptions ts;
+  ts.eps = 0.02;
+  ts.sample_size = 120;
+  auto f = TupleSampleFilter::Build(d, ts, &rng);
+  ASSERT_TRUE(f.ok());
+  Rng qrng(GetParam() + 500);
+  for (int t = 0; t < 60; ++t) {
+    AttributeSet a = AttributeSet::Random(8, 0.5, &qrng);
+    if (f->Query(a) == FilterVerdict::kReject) {
+      AttributeSet b = a;
+      // Drop one random member if possible.
+      auto idx = a.ToIndices();
+      if (!idx.empty()) {
+        b.Remove(idx[qrng.Uniform(idx.size())]);
+        EXPECT_EQ(f->Query(b), FilterVerdict::kReject);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AntiMonotoneTest, ::testing::Range(1, 7));
+
+// --------------------------------------------------------------------------
+// Invariant 3 (soundness is statistical and calibrated): on the Lemma 4
+// hard instance, the miss probability of the tuple filter at sample size
+// r matches the closed-form non-collision probability of the planted
+// profile within Monte-Carlo error.
+// --------------------------------------------------------------------------
+
+class CalibrationTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CalibrationTest, MissRateMatchesClosedForm) {
+  auto [r, eps] = GetParam();
+  Rng rng(99);
+  PlantedCliqueOptions opts;
+  opts.num_rows = 4000;
+  opts.num_attributes = 3;
+  opts.epsilon = eps;
+  Dataset d = MakePlantedClique(opts, &rng);
+  AttributeSet bad = AttributeSet::FromIndices(3, {0});
+
+  // Closed form: profile = one clique of size `c`, singletons elsewhere;
+  // sampling r tuples without replacement misses iff < 2 land in the
+  // clique.
+  uint64_t clique = PlantedCliqueSize(opts.num_rows, eps);
+  std::vector<double> profile;
+  profile.push_back(static_cast<double>(clique));
+  profile.insert(profile.end(), opts.num_rows - clique, 1.0);
+  double p_miss = std::exp(LogNonCollisionWithoutReplacement(
+      profile, static_cast<uint64_t>(r)));
+
+  constexpr int kTrials = 400;
+  int misses = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    TupleSampleFilterOptions ts;
+    ts.eps = eps;
+    ts.sample_size = static_cast<uint64_t>(r);
+    auto f = TupleSampleFilter::Build(d, ts, &rng);
+    ASSERT_TRUE(f.ok());
+    misses += (f->Query(bad) == FilterVerdict::kAccept);
+  }
+  double observed = static_cast<double>(misses) / kTrials;
+  double sigma = std::sqrt(p_miss * (1 - p_miss) / kTrials) + 0.01;
+  EXPECT_NEAR(observed, p_miss, 5 * sigma)
+      << "r=" << r << " eps=" << eps << " clique=" << clique;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CalibrationTest,
+    ::testing::Values(std::make_tuple(5, 0.01), std::make_tuple(15, 0.01),
+                      std::make_tuple(30, 0.01), std::make_tuple(10, 0.05),
+                      std::make_tuple(25, 0.05)));
+
+// --------------------------------------------------------------------------
+// Invariant 4: MX pair filter rejection probability for a bad set is
+// 1 - (1 - Γ/C(n,2))^s exactly; check calibration on a two-group data
+// set where Γ is known in closed form.
+// --------------------------------------------------------------------------
+
+class MxCalibrationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MxCalibrationTest, MissRateMatchesClosedForm) {
+  const int s = GetParam();
+  Rng rng(7);
+  // Binary attribute on 100 rows, 50/50: Γ = 2*C(50,2) = 2450 of 4950.
+  TabularSpec spec;
+  spec.num_rows = 100;
+  spec.attributes = {{"bit", 2, 0.0, -1, 0.0}};
+  Dataset d = MakeTabular(spec, &rng);
+  AttributeSet a = AttributeSet::FromIndices(1, {0});
+  double gamma = static_cast<double>(ExactUnseparatedPairs(d, a));
+  double p_hit_per_pair = gamma / static_cast<double>(d.num_pairs());
+  double p_miss = std::pow(1.0 - p_hit_per_pair, s);
+
+  constexpr int kTrials = 600;
+  int misses = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    MxPairFilterOptions mx;
+    mx.eps = 0.5;
+    mx.sample_size = static_cast<uint64_t>(s);
+    auto f = MxPairFilter::Build(d, mx, &rng);
+    ASSERT_TRUE(f.ok());
+    misses += (f->Query(a) == FilterVerdict::kAccept);
+  }
+  double observed = static_cast<double>(misses) / kTrials;
+  double sigma = std::sqrt(p_miss * (1 - p_miss) / kTrials) + 0.01;
+  EXPECT_NEAR(observed, p_miss, 5 * sigma) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MxCalibrationTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+// --------------------------------------------------------------------------
+// Invariant 5: the tuple filter needs ~sqrt(eps) factor fewer samples
+// than the pair filter for the same power on uniform data — the
+// headline of Theorem 1. We verify the ordering empirically.
+// --------------------------------------------------------------------------
+
+TEST(SampleEfficiencyTest, TupleFilterDetectsWithFarFewerSamples) {
+  Rng rng(21);
+  Dataset d = MakeUniformGridSample(4, 100, 20000, &rng);
+  // Singleton {0}: Γ ≈ C(n,2)/100, i.e. eps ≈ 0.01-bad.
+  AttributeSet bad = AttributeSet::FromIndices(4, {0});
+  const double eps = 0.005;
+  ASSERT_EQ(Classify(d, bad, eps), SeparationClass::kBad);
+
+  // r = 80 tuples -> C(80,2)=3160 implicit pairs, detection whp.
+  int tuple_detects = 0, pair_detects = 0;
+  constexpr int kTrials = 25;
+  for (int t = 0; t < kTrials; ++t) {
+    TupleSampleFilterOptions ts;
+    ts.eps = eps;
+    ts.sample_size = 80;
+    auto f = TupleSampleFilter::Build(d, ts, &rng);
+    ASSERT_TRUE(f.ok());
+    tuple_detects += (f->Query(bad) == FilterVerdict::kReject);
+
+    MxPairFilterOptions mx;
+    mx.eps = eps;
+    mx.sample_size = 80;  // same budget in samples
+    auto g = MxPairFilter::Build(d, mx, &rng);
+    ASSERT_TRUE(g.ok());
+    pair_detects += (g->Query(bad) == FilterVerdict::kReject);
+  }
+  // 80 pairs at hit rate ~1% -> ~55% detection; 80 tuples -> ~100%.
+  EXPECT_EQ(tuple_detects, kTrials);
+  EXPECT_LT(pair_detects, kTrials);
+}
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sample_bounds.h"
+
+namespace qikey {
+namespace {
+
+TEST(SampleBoundsTest, PaperTableOneSizes) {
+  // The Table 1 sample sizes of the paper: S(*) = m/eps pairs and
+  // S(**) = m/sqrt(eps) tuples with eps = 0.001.
+  EXPECT_EQ(MxPairSampleSizePaper(13, 0.001), 13000u);   // Adult
+  EXPECT_EQ(MxPairSampleSizePaper(55, 0.001), 55000u);   // Covtype
+  EXPECT_EQ(MxPairSampleSizePaper(372, 0.001), 372000u); // CPS
+
+  EXPECT_EQ(TupleSampleSizePaper(13, 0.001), 412u);      // ~411 in Table 1
+  EXPECT_EQ(TupleSampleSizePaper(55, 0.001), 1740u);     // ~1,739
+  EXPECT_EQ(TupleSampleSizePaper(372, 0.001), 11764u);   // 11,764
+}
+
+TEST(SampleBoundsTest, TupleIsSqrtEpsFactorSmaller) {
+  for (uint32_t m : {10u, 100u, 500u}) {
+    for (double eps : {0.01, 0.001, 0.0001}) {
+      double ratio =
+          static_cast<double>(MxPairSampleSizePaper(m, eps)) /
+          static_cast<double>(TupleSampleSizePaper(m, eps));
+      EXPECT_NEAR(ratio, 1.0 / std::sqrt(eps), 0.02 / std::sqrt(eps));
+    }
+  }
+}
+
+TEST(SampleBoundsTest, ForDeltaCoversUnionBound) {
+  // s pairs with (1-eps)^s <= delta / 2^m.
+  uint32_t m = 20;
+  double eps = 0.01, delta = 0.001;
+  uint64_t s = MxPairSampleSizeForDelta(m, eps, delta);
+  double fail = static_cast<double>(m) * std::log(2.0) +
+                std::log(1.0 / delta) - eps * static_cast<double>(s);
+  EXPECT_LE(fail, 1e-9);  // log of (2^m/delta * (1-eps)^s) <= 0
+}
+
+TEST(SampleBoundsTest, ForDeltaGrowsWithConfidence) {
+  EXPECT_LT(MxPairSampleSizeForDelta(10, 0.01, 0.1),
+            MxPairSampleSizeForDelta(10, 0.01, 0.0001));
+  EXPECT_LT(TupleSampleSizeForDelta(10, 0.01, 0.1),
+            TupleSampleSizeForDelta(10, 0.01, 0.0001));
+}
+
+TEST(SampleBoundsTest, TupleForDeltaScalesAsInverseSqrtEps) {
+  uint32_t m = 50;
+  double delta = 0.01;
+  uint64_t r1 = TupleSampleSizeForDelta(m, 0.01, delta);
+  uint64_t r2 = TupleSampleSizeForDelta(m, 0.0001, delta);
+  // eps shrinks 100x -> r grows ~10x.
+  EXPECT_NEAR(static_cast<double>(r2) / static_cast<double>(r1), 10.0, 0.5);
+}
+
+TEST(SampleBoundsTest, SketchSizeFormula) {
+  uint64_t s = SketchPairSampleSize(4, 100, 0.1, 0.1, 2.0);
+  double expected = 2.0 * 4 * std::log(100.0) / (0.1 * 0.01);
+  EXPECT_NEAR(static_cast<double>(s), expected, 1.0);
+  // Cutoff is alpha-free and 10x below the sample's dense-regime mean.
+  EXPECT_LT(SketchSmallCutoff(4, 100, 0.1, 2.0), s);
+}
+
+TEST(SampleBoundsTest, LowerBoundReferenceCurves) {
+  EXPECT_NEAR(LowerBoundExpDelta(100, 0.01), 1000.0, 1e-9);
+  EXPECT_NEAR(LowerBoundConstantDelta(100, 0.01),
+              std::sqrt(std::log(100.0) / 0.01), 1e-9);
+  // The exp-delta curve dominates for every m >= 1.
+  for (uint32_t m : {1u, 10u, 1000u}) {
+    EXPECT_GE(LowerBoundExpDelta(m, 0.01),
+              LowerBoundConstantDelta(m, 0.01) * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace qikey

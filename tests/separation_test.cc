@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/separation.h"
+#include "data/dataset_builder.h"
+#include "data/generators/uniform_grid.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+Dataset KeyedDataset() {
+  // "id" is a key by itself; "group" separates only across groups.
+  DatasetBuilder b({"id", "group"});
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(
+        b.AddRow({std::to_string(i), i < 3 ? std::string("a")
+                                           : std::string("b")})
+            .ok());
+  }
+  return std::move(b).Finish();
+}
+
+TEST(SeparationTest, KeyDetection) {
+  Dataset d = KeyedDataset();
+  EXPECT_TRUE(IsKey(d, AttributeSet::FromIndices(2, {0})));
+  EXPECT_FALSE(IsKey(d, AttributeSet::FromIndices(2, {1})));
+  EXPECT_TRUE(IsKey(d, AttributeSet::All(2)));
+  EXPECT_FALSE(IsKey(d, AttributeSet(2)));
+}
+
+TEST(SeparationTest, ExactGammaValues) {
+  Dataset d = KeyedDataset();
+  // group: two cliques of 3 -> 2 * C(3,2) = 6 unseparated of 15.
+  EXPECT_EQ(ExactUnseparatedPairs(d, AttributeSet::FromIndices(2, {1})), 6u);
+  EXPECT_EQ(ExactUnseparatedPairs(d, AttributeSet::FromIndices(2, {0})), 0u);
+  EXPECT_EQ(ExactUnseparatedPairs(d, AttributeSet(2)), 15u);
+}
+
+TEST(SeparationTest, SeparationRatio) {
+  Dataset d = KeyedDataset();
+  EXPECT_DOUBLE_EQ(SeparationRatio(d, AttributeSet::FromIndices(2, {1})),
+                   1.0 - 6.0 / 15.0);
+  EXPECT_DOUBLE_EQ(SeparationRatio(d, AttributeSet::FromIndices(2, {0})), 1.0);
+}
+
+TEST(SeparationTest, ClassifyThresholds) {
+  Dataset d = KeyedDataset();
+  AttributeSet group = AttributeSet::FromIndices(2, {1});
+  // Γ_group/total = 0.4.
+  EXPECT_EQ(Classify(d, group, 0.3), SeparationClass::kBad);
+  EXPECT_EQ(Classify(d, group, 0.5), SeparationClass::kIntermediate);
+  EXPECT_EQ(Classify(d, AttributeSet::FromIndices(2, {0}), 0.3),
+            SeparationClass::kKey);
+}
+
+TEST(SeparationTest, IsEpsSeparationKeyBoundary) {
+  Dataset d = KeyedDataset();
+  AttributeSet group = AttributeSet::FromIndices(2, {1});
+  EXPECT_TRUE(IsEpsSeparationKey(d, group, 0.4));   // exactly at threshold
+  EXPECT_FALSE(IsEpsSeparationKey(d, group, 0.39));
+}
+
+TEST(SeparationTest, MonotoneUnderInclusion) {
+  Rng rng(5);
+  Dataset d = MakeUniformGridSample(5, 3, 120, &rng);
+  AttributeSet s(5);
+  uint64_t prev = ExactUnseparatedPairs(d, s);
+  for (AttributeIndex j = 0; j < 5; ++j) {
+    s.Add(j);
+    uint64_t cur = ExactUnseparatedPairs(d, s);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(SeparationTest, PartitionMatchesGamma) {
+  Rng rng(6);
+  Dataset d = MakeUniformGridSample(4, 4, 90, &rng);
+  AttributeSet s = AttributeSet::FromIndices(4, {1, 3});
+  Partition p = SeparationPartition(d, s);
+  EXPECT_EQ(p.UnseparatedPairs(), ExactUnseparatedPairs(d, s));
+}
+
+}  // namespace
+}  // namespace qikey

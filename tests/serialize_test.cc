@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/separation.h"
+#include "core/tuple_sample_filter.h"
+#include "data/csv_loader.h"
+#include "data/dataset_builder.h"
+#include "data/generators/uniform_grid.h"
+#include "data/serialize.h"
+#include "data/statistics.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+Dataset DictDataset() {
+  DatasetBuilder b({"word", "num"});
+  EXPECT_TRUE(b.AddRow({"alpha", "1"}).ok());
+  EXPECT_TRUE(b.AddRow({"beta", "2"}).ok());
+  EXPECT_TRUE(b.AddRow({"alpha", "3"}).ok());
+  return std::move(b).Finish();
+}
+
+// -------------------------------------------------------------- dataset
+
+TEST(SerializeTest, RoundTripsSyntheticDataset) {
+  Rng rng(1);
+  Dataset d = MakeUniformGridSample(4, 5, 200, &rng);
+  std::string bytes = SerializeDataset(d);
+  auto back = DeserializeDataset(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), d.num_rows());
+  EXPECT_EQ(back->num_attributes(), d.num_attributes());
+  for (RowIndex r = 0; r < d.num_rows(); ++r) {
+    for (AttributeIndex j = 0; j < d.num_attributes(); ++j) {
+      ASSERT_EQ(back->code(r, j), d.code(r, j));
+    }
+  }
+  EXPECT_EQ(back->schema().names(), d.schema().names());
+}
+
+TEST(SerializeTest, RoundTripsDictionaries) {
+  Dataset d = DictDataset();
+  auto back = DeserializeDataset(SerializeDataset(d));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->FormatRow(0), "alpha|1");
+  EXPECT_EQ(back->FormatRow(2), "alpha|3");
+}
+
+TEST(SerializeTest, RejectsCorruption) {
+  Dataset d = DictDataset();
+  std::string bytes = SerializeDataset(d);
+  EXPECT_FALSE(DeserializeDataset("garbage").ok());
+  std::string truncated = bytes.substr(0, bytes.size() - 3);
+  EXPECT_FALSE(DeserializeDataset(truncated).ok());
+  std::string extended = bytes + "x";
+  EXPECT_FALSE(DeserializeDataset(extended).ok());
+  std::string magic_broken = bytes;
+  magic_broken[0] = 'X';
+  EXPECT_FALSE(DeserializeDataset(magic_broken).ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(2);
+  Dataset d = MakeUniformGridSample(3, 3, 50, &rng);
+  std::string path = "/tmp/qikey_serialize_test.bin";
+  ASSERT_TRUE(WriteDatasetFile(d, path).ok());
+  auto back = ReadDatasetFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 50u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadDatasetFile(path).ok());
+}
+
+TEST(SerializeTest, CsvExportRoundTripsSeparationStructure) {
+  Rng rng(21);
+  Dataset d = MakeUniformGridSample(4, 5, 150, &rng);
+  std::string csv = DatasetToCsv(d);
+  auto back = LoadCsvDatasetFromString(csv);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), d.num_rows());
+  ASSERT_EQ(back->num_attributes(), d.num_attributes());
+  // Dictionary codes may be renumbered, but the separation structure
+  // (what the library computes on) must be identical.
+  Rng qrng(22);
+  for (int t = 0; t < 30; ++t) {
+    AttributeSet a = AttributeSet::Random(4, 0.5, &qrng);
+    EXPECT_EQ(ExactUnseparatedPairs(d, a), ExactUnseparatedPairs(*back, a));
+  }
+  EXPECT_EQ(back->schema().names(), d.schema().names());
+}
+
+TEST(SerializeTest, CsvExportPreservesDictionaryValues) {
+  DatasetBuilder b({"word"});
+  ASSERT_TRUE(b.AddRow({"hello, world"}).ok());  // needs quoting
+  ASSERT_TRUE(b.AddRow({"plain"}).ok());
+  Dataset d = std::move(b).Finish();
+  auto back = LoadCsvDatasetFromString(DatasetToCsv(d));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->FormatRow(0), "hello, world");
+}
+
+// --------------------------------------------------------------- filter
+
+TEST(SerializeTest, FilterRoundTripAnswersIdentically) {
+  Rng rng(3);
+  Dataset d = MakeUniformGridSample(6, 3, 500, &rng);
+  TupleSampleFilterOptions opts;
+  opts.eps = 0.02;
+  opts.sample_size = 80;
+  auto filter = TupleSampleFilter::Build(d, opts, &rng);
+  ASSERT_TRUE(filter.ok());
+  std::string bytes = filter->Serialize();
+  auto back = TupleSampleFilter::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->sample_size(), filter->sample_size());
+  Rng qrng(4);
+  for (int t = 0; t < 100; ++t) {
+    AttributeSet a = AttributeSet::Random(6, 0.4, &qrng);
+    EXPECT_EQ(back->Query(a), filter->Query(a));
+    EXPECT_EQ(back->QueryWitness(a), filter->QueryWitness(a));
+  }
+}
+
+TEST(SerializeTest, FilterRejectsCorruptPayload) {
+  EXPECT_FALSE(TupleSampleFilter::Deserialize("nope").ok());
+  EXPECT_FALSE(TupleSampleFilter::Deserialize("QIKFxxxxxxxxx").ok());
+}
+
+// ------------------------------------------------------------ statistics
+
+TEST(StatisticsTest, HandComputedProfile) {
+  Dataset d = DictDataset();
+  ColumnStats word = ComputeColumnStats(d, 0);
+  EXPECT_EQ(word.distinct, 2u);
+  EXPECT_NEAR(word.top_frequency, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(word.unseparated_pairs, 1u);  // the two alphas
+  EXPECT_NEAR(word.separation_ratio, 1.0 - 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(word.uniqueness, 1.0 / 3.0, 1e-12);
+  // Entropy of (2/3, 1/3).
+  double p1 = 2.0 / 3.0, p2 = 1.0 / 3.0;
+  EXPECT_NEAR(word.entropy_bits,
+              -(p1 * std::log2(p1) + p2 * std::log2(p2)), 1e-12);
+
+  ColumnStats num = ComputeColumnStats(d, 1);
+  EXPECT_EQ(num.distinct, 3u);
+  EXPECT_DOUBLE_EQ(num.separation_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(num.uniqueness, 1.0);
+}
+
+TEST(StatisticsTest, ProfileCoversAllColumns) {
+  Rng rng(5);
+  Dataset d = MakeUniformGridSample(5, 4, 300, &rng);
+  std::vector<ColumnStats> profile = ProfileDataset(d);
+  ASSERT_EQ(profile.size(), 5u);
+  for (const ColumnStats& s : profile) {
+    EXPECT_LE(s.distinct, 4u);
+    EXPECT_GE(s.entropy_bits, 0.0);
+    EXPECT_LE(s.entropy_bits, 2.0 + 1e-9);  // log2(4)
+  }
+  std::string table = FormatProfileTable(profile);
+  EXPECT_NE(table.find("a0"), std::string::npos);
+  EXPECT_NE(table.find("sep-ratio"), std::string::npos);
+}
+
+TEST(StatisticsTest, UniformGridEntropyNearMax) {
+  Rng rng(6);
+  Dataset d = MakeUniformGridSample(1, 8, 20000, &rng);
+  ColumnStats s = ComputeColumnStats(d, 0);
+  EXPECT_NEAR(s.entropy_bits, 3.0, 0.01);
+}
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "setcover/set_cover.h"
+
+namespace qikey {
+namespace {
+
+SetCoverInstance ChainInstance() {
+  // Universe {0..5}; sets: {0,1},{1,2},{2,3},{3,4},{4,5},{0..5 odd}.
+  SetCoverInstance inst(6, 6);
+  auto add = [&](size_t s, std::initializer_list<size_t> elems) {
+    for (size_t e : elems) inst.Add(s, e);
+  };
+  add(0, {0, 1});
+  add(1, {1, 2});
+  add(2, {2, 3});
+  add(3, {3, 4});
+  add(4, {4, 5});
+  add(5, {1, 3, 5});
+  return inst;
+}
+
+TEST(SetCoverTest, ContainsReflectsAdds) {
+  SetCoverInstance inst = ChainInstance();
+  EXPECT_TRUE(inst.Contains(0, 1));
+  EXPECT_FALSE(inst.Contains(0, 2));
+  EXPECT_TRUE(inst.Contains(5, 5));
+}
+
+TEST(SetCoverTest, GreedyCoversUniverse) {
+  SetCoverInstance inst = ChainInstance();
+  SetCoverResult r = GreedySetCover(inst);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.uncovered, 0u);
+  // Verify the chosen sets really cover.
+  std::vector<bool> covered(6, false);
+  for (uint32_t s : r.chosen) {
+    for (size_t e = 0; e < 6; ++e) {
+      if (inst.Contains(s, e)) covered[e] = true;
+    }
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(SetCoverTest, GreedyReportsGapWhenUncoverable) {
+  SetCoverInstance inst(4, 1);
+  inst.Add(0, 0);
+  inst.Add(0, 2);
+  SetCoverResult r = GreedySetCover(inst);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.uncovered, 2u);
+  EXPECT_EQ(r.chosen.size(), 1u);
+}
+
+TEST(SetCoverTest, ExactFindsOptimum) {
+  SetCoverInstance inst = ChainInstance();
+  auto exact = ExactSetCover(inst, 6);
+  ASSERT_TRUE(exact.ok());
+  // Optimal cover: {0,1}, {2,3}, {4,5} -> 3 sets. Set 5 + {0,1} + ...
+  // also 3; the optimum is 3.
+  EXPECT_EQ(exact->size(), 3u);
+}
+
+TEST(SetCoverTest, ExactRespectsBudget) {
+  SetCoverInstance inst = ChainInstance();
+  auto too_small = ExactSetCover(inst, 2);
+  EXPECT_FALSE(too_small.ok());
+  EXPECT_EQ(too_small.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SetCoverTest, ExactNeverWorseThanGreedy) {
+  // Classic greedy-suboptimal family: universe 0..7,
+  // two "halves" {0..3},{4..7} cover optimally in 2, while a
+  // tempting big set of 5 elements lures greedy into 3.
+  SetCoverInstance inst(8, 3);
+  for (size_t e = 0; e < 4; ++e) inst.Add(0, e);
+  for (size_t e = 4; e < 8; ++e) inst.Add(1, e);
+  for (size_t e = 1; e < 6; ++e) inst.Add(2, e);
+  SetCoverResult greedy = GreedySetCover(inst);
+  auto exact = ExactSetCover(inst, 8);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(greedy.complete);
+  EXPECT_LE(exact->size(), greedy.chosen.size());
+  EXPECT_EQ(exact->size(), 2u);
+  EXPECT_EQ(greedy.chosen.size(), 3u);  // greedy takes the 5-element set
+}
+
+TEST(SetCoverTest, SingleElementUniverse) {
+  SetCoverInstance inst(1, 2);
+  inst.Add(1, 0);
+  SetCoverResult r = GreedySetCover(inst);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.chosen, (std::vector<uint32_t>{1}));
+  auto exact = ExactSetCover(inst, 1);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->size(), 1u);
+}
+
+TEST(SetCoverTest, EmptyUniverseIsTriviallyCovered) {
+  SetCoverInstance inst(0, 3);
+  SetCoverResult r = GreedySetCover(inst);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.chosen.empty());
+  auto exact = ExactSetCover(inst, 0);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->empty());
+}
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/separation.h"
+#include "core/sketch.h"
+#include "data/generators/uniform_grid.h"
+#include "math/chernoff.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace qikey {
+namespace {
+
+/// Calibration of the Theorem 2 sketch against its own Chernoff
+/// analysis: across (eps, sample-size) configurations, the realized
+/// relative error of Γ̂_A must stay within the deviation the bound
+/// predicts at the configured confidence — and the *distribution* of
+/// errors must match binomial sampling noise (std ≈ sqrt(p(1-p)s)/ps).
+
+class SketchCalibrationTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SketchCalibrationTest, ErrorWithinChernoffEnvelope) {
+  auto [seed, eps] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  // Grid with q=4: singleton Γ ≈ C(n,2)/4 — comfortably dense.
+  Dataset d = MakeUniformGridSample(4, 4, 3000, &rng);
+  AttributeSet a = AttributeSet::FromIndices(4, {0});
+  uint64_t truth = ExactUnseparatedPairs(d, a);
+  double p = static_cast<double>(truth) /
+             static_cast<double>(d.num_pairs());
+
+  NonSeparationSketchOptions opts;
+  opts.sample_size = 20000;
+  // Realized per-trial error distribution across independent sketches.
+  const int kTrials = 60;
+  RunningStats rel_err;
+  int within = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+    ASSERT_TRUE(sketch.ok());
+    NonSeparationEstimate est = sketch->Estimate(a);
+    ASSERT_FALSE(est.small);
+    double err = (est.estimate - static_cast<double>(truth)) /
+                 static_cast<double>(truth);
+    rel_err.Add(err);
+    within += (std::abs(err) <= eps) ? 1 : 0;
+  }
+  // Chernoff: P(|D - ps| >= eps*ps) <= bound. The empirical violation
+  // rate must not exceed the bound by more than sampling noise.
+  double mu = p * static_cast<double>(opts.sample_size);
+  double bound = ChernoffTwoSidedBound(mu, eps);
+  double violation_rate = 1.0 - static_cast<double>(within) / kTrials;
+  double noise = 3.0 * std::sqrt(0.25 / kTrials);  // worst-case binomial
+  EXPECT_LE(violation_rate, std::min(1.0, bound + noise))
+      << "eps=" << eps << " mu=" << mu;
+  // The estimator is unbiased: mean relative error ~ 0 within noise.
+  double expected_std =
+      std::sqrt(p * (1 - p) * static_cast<double>(opts.sample_size)) / mu;
+  EXPECT_NEAR(rel_err.mean(), 0.0, 4.0 * expected_std / std::sqrt(kTrials))
+      << "bias detected";
+  // And its spread matches binomial noise (within broad factor-2 band).
+  EXPECT_LT(rel_err.stddev(), 2.0 * expected_std);
+  EXPECT_GT(rel_err.stddev(), expected_std / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SketchCalibrationTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.02, 0.05, 0.1)));
+
+TEST(SketchCalibrationTest, SmallCutoffSidesAreConsistent) {
+  // A set just above the density cutoff is never reported small when
+  // the sample is large; a set far below it always is.
+  Rng rng(9);
+  Dataset d = MakeUniformGridSample(6, 3, 2000, &rng);
+  NonSeparationSketchOptions opts;
+  opts.k = 6;
+  opts.alpha = 0.2;
+  opts.eps = 0.1;
+  opts.big_k = 4.0;
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(sketch.ok());
+  // Empty set: Γ = C(n,2), maximally dense.
+  EXPECT_FALSE(sketch->Estimate(AttributeSet(6)).small);
+  // Full set on a 3^6=729-cell grid with n=2000: Γ tiny relative to
+  // alpha = 0.2.
+  uint64_t gamma_full = ExactUnseparatedPairs(d, AttributeSet::All(6));
+  ASSERT_LT(static_cast<double>(gamma_full),
+            0.01 * static_cast<double>(d.num_pairs()));
+  EXPECT_TRUE(sketch->Estimate(AttributeSet::All(6)).small);
+}
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/separation.h"
+#include "core/sketch.h"
+#include "data/generators/uniform_grid.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+TEST(SketchTest, RejectsBadOptions) {
+  Rng rng(1);
+  Dataset d = MakeUniformGridSample(4, 3, 100, &rng);
+  NonSeparationSketchOptions opts;
+  opts.eps = 0.0;
+  EXPECT_FALSE(NonSeparationSketch::Build(d, opts, &rng).ok());
+  opts.eps = 0.1;
+  opts.alpha = 0.0;
+  EXPECT_FALSE(NonSeparationSketch::Build(d, opts, &rng).ok());
+  opts.alpha = 0.1;
+  EXPECT_FALSE(NonSeparationSketch::Build(d, opts, nullptr).ok());
+}
+
+TEST(SketchTest, DenseSetsEstimatedWithinEps) {
+  Rng rng(2);
+  // Small grid: singleton sets have Γ_A ≈ C(n,2)/q — dense.
+  Dataset d = MakeUniformGridSample(4, 4, 2000, &rng);
+  NonSeparationSketchOptions opts;
+  opts.k = 2;
+  opts.alpha = 0.05;
+  opts.eps = 0.1;
+  opts.big_k = 8.0;  // generous constant for a deterministic test
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(sketch.ok());
+  for (AttributeIndex a = 0; a < 4; ++a) {
+    AttributeSet attrs = AttributeSet::FromIndices(4, {a});
+    uint64_t truth = ExactUnseparatedPairs(d, attrs);
+    ASSERT_GE(truth, static_cast<uint64_t>(0.05 * d.num_pairs()));
+    NonSeparationEstimate est = sketch->Estimate(attrs);
+    ASSERT_FALSE(est.small) << "a=" << a;
+    EXPECT_NEAR(est.estimate, static_cast<double>(truth),
+                opts.eps * static_cast<double>(truth))
+        << "a=" << a;
+  }
+}
+
+TEST(SketchTest, SparseSetsReportedSmall) {
+  Rng rng(3);
+  // Full set of a 6-attribute grid on few rows: almost everything
+  // separated -> Γ tiny -> "small".
+  Dataset d = MakeUniformGridSample(6, 8, 500, &rng);
+  NonSeparationSketchOptions opts;
+  opts.k = 6;
+  opts.alpha = 0.1;
+  opts.eps = 0.2;
+  opts.big_k = 4.0;
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(sketch.ok());
+  AttributeSet all = AttributeSet::All(6);
+  EXPECT_LT(ExactUnseparatedPairs(d, all),
+            static_cast<uint64_t>(0.001 * d.num_pairs()));
+  EXPECT_TRUE(sketch->Estimate(all).small);
+}
+
+TEST(SketchTest, EmptySetEstimatesTotalPairs) {
+  Rng rng(4);
+  Dataset d = MakeUniformGridSample(3, 3, 300, &rng);
+  NonSeparationSketchOptions opts;
+  opts.k = 1;
+  opts.alpha = 0.5;
+  opts.eps = 0.2;
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(sketch.ok());
+  // The empty set separates nothing: every retained pair is a hit.
+  NonSeparationEstimate est = sketch->Estimate(AttributeSet(3));
+  ASSERT_FALSE(est.small);
+  EXPECT_EQ(est.hits, sketch->sample_size());
+  EXPECT_DOUBLE_EQ(est.estimate, static_cast<double>(d.num_pairs()));
+}
+
+TEST(SketchTest, SerializationRoundTripsAnswers) {
+  Rng rng(5);
+  Dataset d = MakeUniformGridSample(5, 3, 400, &rng);
+  NonSeparationSketchOptions opts;
+  opts.k = 3;
+  opts.alpha = 0.05;
+  opts.eps = 0.15;
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(sketch.ok());
+  std::string bytes = sketch->Serialize();
+  EXPECT_EQ(bytes.size(), sketch->SizeBytes());
+  auto back = NonSeparationSketch::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  Rng qrng(6);
+  for (int t = 0; t < 50; ++t) {
+    AttributeSet a = AttributeSet::Random(5, 0.4, &qrng);
+    NonSeparationEstimate e1 = sketch->Estimate(a);
+    NonSeparationEstimate e2 = back->Estimate(a);
+    EXPECT_EQ(e1.small, e2.small);
+    EXPECT_EQ(e1.hits, e2.hits);
+    EXPECT_DOUBLE_EQ(e1.estimate, e2.estimate);
+  }
+}
+
+TEST(SketchTest, DeserializeRejectsCorruptPayloads) {
+  EXPECT_FALSE(NonSeparationSketch::Deserialize("short").ok());
+  Rng rng(7);
+  Dataset d = MakeUniformGridSample(3, 3, 100, &rng);
+  NonSeparationSketchOptions opts;
+  opts.sample_size = 10;
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(sketch.ok());
+  std::string bytes = sketch->Serialize();
+  bytes.pop_back();
+  EXPECT_FALSE(NonSeparationSketch::Deserialize(bytes).ok());
+}
+
+TEST(SketchTest, SizeMatchesTheoryShape) {
+  // Size grows linearly in k (the Θ(mk/(αε²) log|U|)-bit upper bound).
+  Rng rng(8);
+  Dataset d = MakeUniformGridSample(4, 3, 200, &rng);
+  NonSeparationSketchOptions opts;
+  opts.alpha = 0.1;
+  opts.eps = 0.2;
+  opts.k = 2;
+  auto s2 = NonSeparationSketch::Build(d, opts, &rng);
+  opts.k = 8;
+  auto s8 = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(s2.ok() && s8.ok());
+  double ratio = static_cast<double>(s8->SizeBytes()) /
+                 static_cast<double>(s2->SizeBytes());
+  EXPECT_NEAR(ratio, 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace qikey

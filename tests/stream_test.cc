@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "core/separation.h"
+#include "core/sketch.h"
+#include "math/combinatorics.h"
+#include "data/generators/uniform_grid.h"
+#include "stream/pair_reservoir.h"
+#include "stream/reservoir.h"
+#include "stream/stream_builder.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+// --------------------------------------------------------------- reservoir
+
+TEST(ReservoirTest, KeepsEverythingWhenStreamIsSmall) {
+  Rng rng(1);
+  ReservoirSampler<int> res(10, &rng);
+  for (int i = 0; i < 7; ++i) res.Offer(i);
+  EXPECT_EQ(res.seen(), 7u);
+  EXPECT_EQ(res.items().size(), 7u);
+}
+
+TEST(ReservoirTest, CapsAtCapacity) {
+  Rng rng(2);
+  ReservoirSampler<int> res(5, &rng);
+  for (int i = 0; i < 1000; ++i) res.Offer(i);
+  EXPECT_EQ(res.items().size(), 5u);
+  std::set<int> distinct(res.items().begin(), res.items().end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(ReservoirTest, InclusionProbabilityIsUniform) {
+  // Each of 50 stream items should be retained w.p. 10/50.
+  constexpr int kTrials = 20000;
+  std::vector<int> counts(50, 0);
+  Rng rng(3);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler<int> res(10, &rng);
+    for (int i = 0; i < 50; ++i) res.Offer(i);
+    for (int kept : res.items()) ++counts[kept];
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NEAR(counts[i], kTrials / 5, kTrials / 50)
+        << "position " << i;
+  }
+}
+
+// ----------------------------------------------------------- pair reservoir
+
+TEST(PairReservoirTest, SlotsHoldDistinctPositions) {
+  Rng rng(4);
+  PairReservoir res(20, &rng);
+  for (int i = 0; i < 500; ++i) res.Offer();
+  for (const auto& [a, b] : res.pairs()) {
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, 500u);
+    EXPECT_LT(b, 500u);
+  }
+}
+
+TEST(PairReservoirTest, PairDistributionIsUniform) {
+  // One slot over a 6-item stream: each of the 15 pairs w.p. 1/15.
+  constexpr int kTrials = 30000;
+  std::map<std::pair<uint64_t, uint64_t>, int> counts;
+  Rng rng(5);
+  for (int t = 0; t < kTrials; ++t) {
+    PairReservoir res(1, &rng);
+    for (int i = 0; i < 6; ++i) res.Offer();
+    auto [a, b] = res.pairs()[0];
+    if (a > b) std::swap(a, b);
+    ++counts[{a, b}];
+  }
+  EXPECT_EQ(counts.size(), 15u);
+  for (const auto& [pair, count] : counts) {
+    EXPECT_NEAR(count, kTrials / 15, 250)
+        << pair.first << "," << pair.second;
+  }
+}
+
+// ------------------------------------------------------------- builders
+
+std::vector<std::vector<ValueCode>> DatasetRows(const Dataset& d) {
+  std::vector<std::vector<ValueCode>> rows(d.num_rows());
+  for (RowIndex r = 0; r < d.num_rows(); ++r) {
+    for (AttributeIndex j = 0; j < d.num_attributes(); ++j) {
+      rows[r].push_back(d.code(r, j));
+    }
+  }
+  return rows;
+}
+
+std::vector<uint32_t> Cardinalities(const Dataset& d) {
+  std::vector<uint32_t> out;
+  for (size_t j = 0; j < d.num_attributes(); ++j) {
+    out.push_back(d.column(static_cast<AttributeIndex>(j)).cardinality());
+  }
+  return out;
+}
+
+TEST(StreamBuilderTest, TupleFilterMatchesBatchSemantics) {
+  Rng data_rng(6);
+  Dataset d = MakeUniformGridSample(5, 3, 800, &data_rng);
+  Rng rng(7);
+  StreamingTupleFilterBuilder builder(d.schema(), Cardinalities(d), 100,
+                                      &rng);
+  for (const auto& row : DatasetRows(d)) {
+    ASSERT_TRUE(builder.Offer(row).ok());
+  }
+  EXPECT_EQ(builder.rows_seen(), 800u);
+  auto filter = std::move(builder).Finish();
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter->sample_size(), 100u);
+  // Keys of the data set are always accepted; the constant-free part of
+  // the contract holds for any retained sample.
+  AttributeSet all = AttributeSet::All(5);
+  if (IsKey(d, all)) {
+    EXPECT_EQ(filter->Query(all), FilterVerdict::kAccept);
+  }
+  // The empty set is maximally bad and must be rejected (any two
+  // retained tuples witness it).
+  EXPECT_EQ(filter->Query(AttributeSet(5)), FilterVerdict::kReject);
+}
+
+TEST(StreamBuilderTest, TupleFilterRejectsArityMismatch) {
+  Rng rng(8);
+  StreamingTupleFilterBuilder builder(Schema::Anonymous(3), {2, 2, 2}, 10,
+                                      &rng);
+  EXPECT_FALSE(builder.Offer({0, 1}).ok());
+}
+
+TEST(StreamBuilderTest, PairFilterMatchesBatchSemantics) {
+  Rng data_rng(9);
+  Dataset d = MakeUniformGridSample(4, 2, 600, &data_rng);
+  Rng rng(10);
+  StreamingPairFilterBuilder builder(d.schema(), Cardinalities(d), 300,
+                                     &rng);
+  for (const auto& row : DatasetRows(d)) {
+    ASSERT_TRUE(builder.Offer(row).ok());
+  }
+  auto filter = std::move(builder).Finish();
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter->sample_size(), 300u);
+  EXPECT_EQ(filter->Query(AttributeSet(4)), FilterVerdict::kReject);
+  // Singleton {0} on a binary grid separates only half the pairs: with
+  // 300 retained pairs the filter misses with prob 2^-300.
+  EXPECT_EQ(filter->Query(AttributeSet::FromIndices(4, {0})),
+            FilterVerdict::kReject);
+}
+
+TEST(StreamBuilderTest, PairFilterStoresOnlyLivePayloads) {
+  Rng rng(11);
+  constexpr uint64_t kSlots = 50;
+  StreamingPairFilterBuilder builder(Schema::Anonymous(2), {4, 4}, kSlots,
+                                     &rng);
+  Rng data_rng(12);
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<ValueCode> row{
+        static_cast<ValueCode>(data_rng.Uniform(4)),
+        static_cast<ValueCode>(data_rng.Uniform(4))};
+    ASSERT_TRUE(builder.Offer(row).ok());
+  }
+  auto filter = std::move(builder).Finish();
+  ASSERT_TRUE(filter.ok());
+  // Finish materializes exactly 2 rows per slot.
+  EXPECT_EQ(filter->MemoryBytes(),
+            2 * kSlots * 2 * sizeof(ValueCode) +
+                kSlots * sizeof(std::pair<RowIndex, RowIndex>));
+}
+
+TEST(StreamBuilderTest, SketchBuilderTracksExactGamma) {
+  Rng data_rng(14);
+  Dataset d = MakeUniformGridSample(4, 4, 3000, &data_rng);
+  Rng rng(15);
+  // 8000 retained pairs; singleton Γ ≈ C(n,2)/4 is dense.
+  StreamingSketchBuilder builder(d.schema(), Cardinalities(d), 8000,
+                                 /*small_cutoff=*/10, &rng);
+  for (const auto& row : DatasetRows(d)) {
+    ASSERT_TRUE(builder.Offer(row).ok());
+  }
+  auto sketch = std::move(builder).Finish();
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch->sample_size(), 8000u);
+  EXPECT_EQ(sketch->total_pairs(), PairCount(3000));
+  for (AttributeIndex a = 0; a < 4; ++a) {
+    AttributeSet attrs = AttributeSet::FromIndices(4, {a});
+    uint64_t truth = ExactUnseparatedPairs(d, attrs);
+    NonSeparationEstimate est = sketch->Estimate(attrs);
+    ASSERT_FALSE(est.small);
+    EXPECT_NEAR(est.estimate, static_cast<double>(truth),
+                0.15 * static_cast<double>(truth))
+        << "attribute " << a;
+  }
+  // Serialization works for streamed sketches too.
+  auto back = NonSeparationSketch::Deserialize(sketch->Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Estimate(AttributeSet(4)).hits, 8000u);
+}
+
+TEST(StreamBuilderTest, RejectsEmptyStream) {
+  Rng rng(13);
+  StreamingTupleFilterBuilder tb(Schema::Anonymous(1), {2}, 5, &rng);
+  EXPECT_FALSE(std::move(tb).Finish().ok());
+  StreamingPairFilterBuilder pb(Schema::Anonymous(1), {2}, 5, &rng);
+  EXPECT_FALSE(std::move(pb).Finish().ok());
+}
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "math/collision.h"
+#include "math/combinatorics.h"
+#include "math/kkt.h"
+#include "math/sympoly.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+// ---------------------------------------------------- ElementarySymmetric
+
+TEST(SympolyTest, SmallHandComputedValues) {
+  std::vector<double> s{1, 2, 3};
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(s, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(s, 1), 6.0);    // 1+2+3
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(s, 2), 11.0);   // 2+3+6
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(s, 3), 6.0);    // 1*2*3
+  EXPECT_DOUBLE_EQ(ElementarySymmetric(s, 4), 0.0);
+}
+
+TEST(SympolyTest, AllRowMatchesIndividual) {
+  std::vector<double> s{0.5, 1.5, 2.0, 4.0, 7.0};
+  auto all = ElementarySymmetricAll(s, 5);
+  for (uint64_t r = 0; r <= 5; ++r) {
+    EXPECT_DOUBLE_EQ(all[r], ElementarySymmetric(s, r)) << "r=" << r;
+  }
+}
+
+TEST(SympolyTest, LogVersionMatchesLinear) {
+  std::vector<double> s{2.5, 2.5, 1.0, 0.0, 3.0, 0.5};
+  for (uint64_t r = 0; r <= 5; ++r) {
+    double lin = ElementarySymmetric(s, r);
+    double log_v = LogElementarySymmetric(s, r);
+    if (lin == 0.0) {
+      EXPECT_EQ(log_v, -std::numeric_limits<double>::infinity());
+    } else {
+      EXPECT_NEAR(log_v, std::log(lin), 1e-10) << "r=" << r;
+    }
+  }
+}
+
+TEST(SympolyTest, TwoValueClosedFormMatchesDp) {
+  double a = 2.5, b = 1.0;
+  uint64_t ka = 4, kb = 7;
+  std::vector<double> s;
+  s.insert(s.end(), ka, a);
+  s.insert(s.end(), kb, b);
+  for (uint64_t r = 0; r <= 11; ++r) {
+    double dp = LogElementarySymmetric(s, r);
+    double cf = LogElementarySymmetricTwoValue(a, ka, b, kb, r);
+    if (dp == -std::numeric_limits<double>::infinity()) {
+      EXPECT_EQ(cf, dp);
+    } else {
+      EXPECT_NEAR(cf, dp, 1e-9) << "r=" << r;
+    }
+  }
+}
+
+TEST(SympolyTest, TwoValueHandlesZeroCounts) {
+  // ka = 0 reduces to C(kb, r) b^r.
+  double got = LogElementarySymmetricTwoValue(5.0, 0, 2.0, 6, 3);
+  double want = LogBinomial(6, 3) + 3 * std::log(2.0);
+  EXPECT_NEAR(got, want, 1e-12);
+}
+
+// ------------------------------------------- Appendix C.3 counterexample
+
+TEST(SympolyTest, AppendixC3ExampleValues) {
+  // n = 40, eps' = 1/16, r = 10.
+  std::vector<double> s1(16, 2.5);             // "uniform intuition"
+  std::vector<double> s2;                      // (10, 1 x 30)
+  s2.push_back(10.0);
+  s2.insert(s2.end(), 30, 1.0);
+
+  double f1 = ElementarySymmetric(s1, 10);
+  double f2 = ElementarySymmetric(s2, 10);
+  // f(s1) = C(16,10) * 2.5^10 = 76370239.25...
+  EXPECT_NEAR(f1, 8008.0 * std::pow(2.5, 10.0), 1e-3);
+  EXPECT_NEAR(f1, 76370239.2572784424, 1.0);
+  // f(s2) = C(30,10) + 10*C(30,9) = 173116515.
+  EXPECT_NEAR(f2, 173116515.0, 1e-2);
+  // The paper's point: the uniform profile is NOT the maximizer.
+  EXPECT_LT(f1, f2);
+}
+
+TEST(SympolyTest, C3ProfilesSatisfyConstraints) {
+  // Both profiles are feasible for P with n = 40, eps*n^2/4 = 100.
+  double n = 40, target = 100;
+  std::vector<double> s1(16, 2.5);
+  std::vector<double> s2{10.0};
+  s2.insert(s2.end(), 30, 1.0);
+  for (const auto& s : {s1, s2}) {
+    double sum = 0, sumsq = 0;
+    for (double x : s) {
+      sum += x;
+      sumsq += x * x;
+    }
+    EXPECT_DOUBLE_EQ(sum, n);
+    EXPECT_GE(sumsq, target - 1e-9);
+  }
+}
+
+// ----------------------------------------------------- Collision closed forms
+
+TEST(CollisionTest, UniformProfileMatchesBirthdayFormula) {
+  // All-singleton profile of size n: non-collision of r draws equals the
+  // classic birthday probability.
+  uint64_t n = 50, r = 8;
+  std::vector<double> profile(n, 1.0);
+  double log_p = LogNonCollisionWithReplacement(profile, r);
+  double expected = 1.0;
+  for (uint64_t i = 1; i < r; ++i) {
+    expected *= 1.0 - static_cast<double>(i) / static_cast<double>(n);
+  }
+  EXPECT_NEAR(std::exp(log_p), expected, 1e-12);
+}
+
+TEST(CollisionTest, WithoutReplacementSingletonsNeverCollide) {
+  std::vector<double> profile(20, 1.0);
+  double log_p = LogNonCollisionWithoutReplacement(profile, 10);
+  EXPECT_NEAR(std::exp(log_p), 1.0, 1e-12);
+}
+
+TEST(CollisionTest, WithoutReplacementExactSmallCase) {
+  // Profile (2,2): 4 items in 2 cliques of 2. Draw 2 without
+  // replacement: P(different cliques) = 4/ (C(4,2)) ... ordered: first
+  // any (4), second must be in the other clique (2 of remaining 3):
+  // 2/3.
+  std::vector<double> profile{2.0, 2.0};
+  double log_p = LogNonCollisionWithoutReplacement(profile, 2);
+  EXPECT_NEAR(std::exp(log_p), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CollisionTest, MonteCarloAgreesWithClosedForm) {
+  Rng rng(1234);
+  std::vector<uint64_t> profile{5, 3, 2, 1, 1};  // n = 12
+  std::vector<double> profile_d(profile.begin(), profile.end());
+  for (uint64_t r : {2u, 3u, 4u}) {
+    double exact = std::exp(LogNonCollisionWithReplacement(profile_d, r));
+    double mc = EstimateNonCollisionMonteCarlo(profile, r, 200000, &rng);
+    EXPECT_NEAR(mc, exact, 0.01) << "r=" << r;
+  }
+}
+
+TEST(CollisionTest, TwoValueVariantsMatchGeneric) {
+  double a = 4.0, b = 1.5;
+  uint64_t ka = 3, kb = 10, r = 5;
+  std::vector<double> s;
+  s.insert(s.end(), ka, a);
+  s.insert(s.end(), kb, b);
+  EXPECT_NEAR(LogNonCollisionWithReplacementTwoValue(a, ka, b, kb, r),
+              LogNonCollisionWithReplacement(s, r), 1e-9);
+  // Integer-sum variant for the without-replacement form: 3*4+10*1.5=27.
+  EXPECT_NEAR(LogNonCollisionWithoutReplacementTwoValue(a, ka, b, kb, r),
+              LogNonCollisionWithoutReplacement(s, r), 1e-9);
+}
+
+TEST(CollisionTest, Claim1RatioBound) {
+  // n^r / (n)_r <= e^{r(r-1)/(n-r+1)} (Eq. 4 in the paper).
+  for (uint64_t n : {100u, 1000u}) {
+    for (uint64_t r : {5u, 20u}) {
+      double log_ratio = LogWithoutToWithRatio(n, r);
+      double bound = static_cast<double>(r) * (r - 1) /
+                     static_cast<double>(n - r + 1);
+      EXPECT_LE(log_ratio, bound + 1e-9);
+      EXPECT_GE(log_ratio, 0.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------- KKT search
+
+TEST(KktTest, TildeProfileIsFeasible) {
+  uint64_t n = 400;
+  double eps = 0.04;
+  TwoValueProfile p = PaperTildeProfile(n, eps);
+  EXPECT_NEAR(p.Sum(), static_cast<double>(n), 2.0);  // rounding slack
+  EXPECT_GE(p.SumSquares(), eps * n * n / 4.0 * 0.95);
+}
+
+TEST(KktTest, UniformIntuitionProfileIsTight) {
+  uint64_t n = 400;
+  double eps = 0.04;  // 4/eps = 100 entries of value 4
+  TwoValueProfile p = UniformIntuitionProfile(n, eps);
+  EXPECT_DOUBLE_EQ(p.Sum(), static_cast<double>(n));
+  EXPECT_NEAR(p.SumSquares(), eps * n * n / 4.0, 1e-6);
+}
+
+TEST(KktTest, SearchBeatsUniformProfileC3Regime) {
+  // In the C.3 regime the optimum is strictly better than uniform.
+  uint64_t n = 40, r = 10;
+  double eps = 0.25;  // eps*n^2/4 = 100 = eps'*n^2 with eps' = 1/16
+  TwoValueProfile uniform = UniformIntuitionProfile(n, eps);
+  double log_uniform = LogNonCollisionWithReplacementTwoValue(
+      uniform.a, uniform.ka, uniform.b, uniform.kb, r);
+  TwoValueProfile best = FindWorstCaseProfile(n, eps, r, 40);
+  EXPECT_GT(best.log_non_collision, log_uniform);
+}
+
+TEST(KktTest, SearchResultIsFeasible) {
+  uint64_t n = 200, r = 12;
+  double eps = 0.09;
+  TwoValueProfile best = FindWorstCaseProfile(n, eps, r, 32);
+  EXPECT_NEAR(best.Sum(), static_cast<double>(n), 1e-3 * n);
+  EXPECT_GE(best.SumSquares(), eps * n * n / 4.0 * (1 - 1e-6));
+  EXPECT_LE(best.log_non_collision, 0.0);  // it is a probability
+}
+
+TEST(KktTest, WorstCaseDegradesWithMoreSamples) {
+  // More samples can only reduce the best achievable non-collision
+  // probability.
+  uint64_t n = 200;
+  double eps = 0.09;
+  double prev = 0.0;
+  for (uint64_t r : {4u, 8u, 16u, 32u}) {
+    TwoValueProfile best = FindWorstCaseProfile(n, eps, r, 24);
+    EXPECT_LE(best.log_non_collision, prev + 1e-9) << "r=" << r;
+    prev = best.log_non_collision;
+  }
+}
+
+TEST(KktTest, ToVectorMaterializesCorrectly) {
+  TwoValueProfile p{3.0, 2, 1.0, 4, 0.0};
+  std::vector<double> v = p.ToVector(10);
+  ASSERT_EQ(v.size(), 10u);
+  EXPECT_EQ(std::count(v.begin(), v.end(), 3.0), 2);
+  EXPECT_EQ(std::count(v.begin(), v.end(), 1.0), 4);
+  EXPECT_EQ(std::count(v.begin(), v.end(), 0.0), 4);
+}
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/separation.h"
+#include "core/sketch.h"
+#include "core/theory.h"
+#include "data/generators/encoding_lb.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+/// Exact-Γ oracle over a data set (a "perfect sketch").
+std::function<NonSeparationEstimate(const AttributeSet&)> ExactOracle(
+    const Dataset& d) {
+  return [&d](const AttributeSet& attrs) {
+    NonSeparationEstimate est;
+    est.small = false;
+    est.hits = 0;
+    est.estimate = static_cast<double>(ExactUnseparatedPairs(d, attrs));
+    return est;
+  };
+}
+
+// -------------------------------------------------- Lemma 6 closed form
+
+TEST(TheoryTest, ClosedFormHandCase) {
+  // k=1, t=2: u=1 -> Γ=1; u=0 -> Γ=3 (worked through in the docs).
+  EXPECT_EQ(EncodingGammaClosedForm(2, 1, 1), 1u);
+  EXPECT_EQ(EncodingGammaClosedForm(2, 1, 0), 3u);
+}
+
+TEST(TheoryTest, ClosedFormDecreasesInU) {
+  // Expression is decreasing in u for u <= 3k/2 — more correct guesses
+  // mean fewer unseparated pairs.
+  for (uint32_t t : {2u, 3u, 5u}) {
+    for (uint32_t k : {1u, 2u, 4u}) {
+      uint64_t prev = EncodingGammaClosedForm(t, k, 0);
+      for (uint32_t u = 1; u <= k; ++u) {
+        uint64_t cur = EncodingGammaClosedForm(t, k, u);
+        EXPECT_LT(cur, prev) << "t=" << t << " k=" << k << " u=" << u;
+        prev = cur;
+      }
+    }
+  }
+}
+
+// Parameterized sweep: the closed form matches the exact Γ computed on
+// the materialized encoding data set for every u.
+class ClosedFormMatchTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ClosedFormMatchTest, MatchesExactGamma) {
+  auto [k, t, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const uint32_t m = 5;
+  const uint32_t n = static_cast<uint32_t>(k) * static_cast<uint32_t>(t);
+  BitMatrix c = MakeRandomColumnSparseMatrix(k, t, m, &rng);
+  Dataset d = MakeEncodingDataset(c);
+
+  for (uint32_t col = 0; col < m; ++col) {
+    // Collect the true 1-rows of this column.
+    std::vector<uint32_t> ones;
+    for (uint32_t r = 0; r < n; ++r) {
+      if (c.at(r, col)) ones.push_back(r);
+    }
+    ASSERT_EQ(ones.size(), static_cast<size_t>(k));
+    // Try guesses with u = k (all correct) down to u = 0 by swapping
+    // correct rows for wrong ones.
+    std::vector<uint32_t> zeros;
+    for (uint32_t r = 0; r < n; ++r) {
+      if (!c.at(r, col)) zeros.push_back(r);
+    }
+    for (uint32_t u = 0; u <= static_cast<uint32_t>(k); ++u) {
+      std::vector<uint32_t> guess(ones.begin(), ones.begin() + u);
+      for (uint32_t w = 0; w < static_cast<uint32_t>(k) - u; ++w) {
+        guess.push_back(zeros[w]);
+      }
+      AttributeSet attrs = AttributeSet::FromIndices(
+          d.num_attributes(), EncodingQueryAttributes(col, guess, m));
+      uint64_t exact = ExactUnseparatedPairs(d, attrs);
+      EXPECT_EQ(exact, EncodingGammaClosedForm(t, k, u))
+          << "col=" << col << " u=" << u << " k=" << k << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClosedFormMatchTest,
+    ::testing::Values(std::make_tuple(1, 2, 1), std::make_tuple(1, 4, 2),
+                      std::make_tuple(2, 2, 3), std::make_tuple(2, 3, 4),
+                      std::make_tuple(3, 3, 5), std::make_tuple(2, 5, 6),
+                      std::make_tuple(4, 2, 7)));
+
+// ----------------------------------------------------------- threshold/t
+
+TEST(TheoryTest, GoodGuessThresholdSeparates) {
+  // With t from EncodingChooseT, even (1+eps)-inflated all-correct Γ is
+  // below the u = k-1 value.
+  for (double eps : {0.01, 0.001}) {
+    uint32_t t = EncodingChooseT(eps);
+    EXPECT_GE(t, 2u);
+    for (uint32_t k : {2u, 5u}) {
+      double threshold = EncodingGoodGuessThreshold(t, k, eps);
+      double next = (1.0 - eps) *
+                    static_cast<double>(EncodingGammaClosedForm(t, k, k - 1));
+      EXPECT_LT(threshold, next) << "eps=" << eps << " k=" << k;
+    }
+  }
+}
+
+TEST(TheoryTest, ChooseTScalesAsInverseSqrtEps) {
+  uint32_t t1 = EncodingChooseT(0.01);
+  uint32_t t2 = EncodingChooseT(0.0001);
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 10.0, 2.0);
+}
+
+// -------------------------------------------------------------- decoding
+
+TEST(TheoryTest, DecodeRecoversColumnsWithExactOracle) {
+  Rng rng(42);
+  const uint32_t k = 2, t = 3, m = 4;
+  const uint32_t n = k * t;
+  BitMatrix c = MakeRandomColumnSparseMatrix(k, t, m, &rng);
+  Dataset d = MakeEncodingDataset(c);
+  auto oracle = ExactOracle(d);
+  for (uint32_t col = 0; col < m; ++col) {
+    std::vector<uint8_t> truth(n);
+    for (uint32_t r = 0; r < n; ++r) truth[r] = c.at(r, col);
+    std::vector<uint8_t> decoded =
+        DecodeEncodingColumn(oracle, col, m, n, k, t, 0.01);
+    EXPECT_EQ(decoded, truth) << "column " << col;
+  }
+}
+
+TEST(TheoryTest, DecodeRecoversColumnsWithRealSketch) {
+  // End-to-end Section 3.2: a Theorem-2 sketch with eps below the
+  // decoding threshold lets Bob reconstruct C exactly (u=k guesses are
+  // accepted, wrong ones rejected).
+  Rng rng(43);
+  const uint32_t k = 2, t = 3, m = 3;
+  const uint32_t n = k * t;
+  BitMatrix c = MakeRandomColumnSparseMatrix(k, t, m, &rng);
+  Dataset d = MakeEncodingDataset(c);
+
+  // eps = 0.05 suffices for t = 3 (gap Γ(u=k-1)/Γ(u=k) = 24/21); the
+  // retained-pair count is set high so the sketch's realized error is
+  // well inside that budget.
+  NonSeparationSketchOptions opts;
+  opts.k = k + 1;
+  opts.alpha = 1.0 / 16.0;  // the construction's density bound
+  opts.eps = 0.05;
+  opts.sample_size = 200000;
+  auto sketch = NonSeparationSketch::Build(d, opts, &rng);
+  ASSERT_TRUE(sketch.ok());
+  auto oracle = [&sketch](const AttributeSet& attrs) {
+    return sketch->Estimate(attrs);
+  };
+  int exact_columns = 0;
+  for (uint32_t col = 0; col < m; ++col) {
+    std::vector<uint8_t> truth(n);
+    for (uint32_t r = 0; r < n; ++r) truth[r] = c.at(r, col);
+    std::vector<uint8_t> decoded =
+        DecodeEncodingColumn(oracle, col, m, n, k, t, opts.eps);
+    exact_columns += (decoded == truth) ? 1 : 0;
+  }
+  EXPECT_EQ(exact_columns, static_cast<int>(m));
+}
+
+}  // namespace
+}  // namespace qikey

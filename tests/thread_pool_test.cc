@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "core/minkey.h"
+#include "core/refine_engine.h"
+#include "data/generators/tabular.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace qikey {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 50 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(10000);
+  ThreadPool::ParallelFor(&pool, hits.size(), [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineWithoutPool) {
+  std::vector<int> hits(100, 0);
+  ThreadPool::ParallelFor(nullptr, hits.size(), [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  ThreadPool::ParallelFor(&pool, 0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelGreedyMatchesSerial) {
+  // The parallel gain computation must be bit-identical to serial.
+  Rng rng(5);
+  TabularSpec spec = CpsLikeSpec(1500);
+  Dataset d = MakeTabular(spec, &rng);
+
+  RefineEngine serial(d);
+  auto serial_result = serial.RunGreedy();
+
+  ThreadPool pool(8);
+  RefineEngine parallel(d);
+  parallel.set_thread_pool(&pool);
+  auto parallel_result = parallel.RunGreedy();
+
+  EXPECT_EQ(serial_result.chosen, parallel_result.chosen);
+  ASSERT_EQ(serial_result.steps.size(), parallel_result.steps.size());
+  for (size_t i = 0; i < serial_result.steps.size(); ++i) {
+    EXPECT_EQ(serial_result.steps[i].chosen,
+              parallel_result.steps[i].chosen);
+    EXPECT_EQ(serial_result.steps[i].gain, parallel_result.steps[i].gain);
+  }
+  EXPECT_EQ(serial_result.remaining_unseparated,
+            parallel_result.remaining_unseparated);
+}
+
+}  // namespace
+}  // namespace qikey

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace qikey {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad eps");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad eps");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nothing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, 500);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(13);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<uint64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (uint64_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(13);
+  auto sample = rng.SampleWithoutReplacement(8, 8);
+  std::set<uint64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  // Each element of [0,6) should appear in a 3-subset w.p. 1/2.
+  Rng rng(17);
+  constexpr int kTrials = 20000;
+  int counts[6] = {0};
+  for (int t = 0; t < kTrials; ++t) {
+    for (uint64_t v : rng.SampleWithoutReplacement(6, 3)) ++counts[v];
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(counts[i], kTrials / 2, kTrials / 20);
+  }
+}
+
+TEST(RngTest, SamplePairOrderedDistinct) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    auto [a, b] = rng.SamplePair(10);
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, 10u);
+  }
+}
+
+TEST(RngTest, SamplePairIsUniformOverPairs) {
+  Rng rng(23);
+  constexpr int kTrials = 45000;  // 45 pairs from [0,10)
+  std::map<std::pair<uint64_t, uint64_t>, int> counts;
+  for (int t = 0; t < kTrials; ++t) ++counts[rng.SamplePair(10)];
+  EXPECT_EQ(counts.size(), 45u);
+  for (const auto& [pair, count] : counts) {
+    EXPECT_NEAR(count, kTrials / 45, 300) << pair.first << "," << pair.second;
+  }
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(29);
+  double p = 0.2;
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(static_cast<double>(rng.Geometric(p)));
+  }
+  EXPECT_NEAR(stats.mean(), (1 - p) / p, 0.1);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(QuantileSketchTest, MedianAndExtremes) {
+  QuantileSketch q;
+  for (int i = 1; i <= 101; ++i) q.Add(i);
+  EXPECT_DOUBLE_EQ(q.Median(), 51);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 101);
+}
+
+TEST(QuantileSketchTest, AddAfterQueryResorts) {
+  QuantileSketch q;
+  q.Add(10);
+  EXPECT_DOUBLE_EQ(q.Median(), 10);
+  q.Add(0);
+  q.Add(1);
+  EXPECT_DOUBLE_EQ(q.Median(), 1);
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, SplitsSimpleLine) {
+  auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, HandlesQuotedDelimiter) {
+  auto fields = SplitCsvLine(R"(x,"a,b",y)");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "a,b");
+}
+
+TEST(CsvTest, HandlesDoubledQuotes) {
+  auto fields = SplitCsvLine(R"("say ""hi""",2)");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvTest, TrimsUnquotedWhitespace) {
+  auto fields = SplitCsvLine("  a ,\tb ,c");
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvTest, ParseWithHeader) {
+  auto table = ParseCsv("h1,h2\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"h1", "h2"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][1], "4");
+}
+
+TEST(CsvTest, ParseSkipsBlankLines) {
+  auto table = ParseCsv("h\n\n1\n\n2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1,2\n3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RoundTripsThroughWrite) {
+  CsvTable t;
+  t.header = {"name", "notes"};
+  t.rows = {{"alice", "has,comma"}, {"bob", "quote\"inside"}};
+  std::string text = WriteCsv(t);
+  auto back = ParseCsv(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows[0][1], "has,comma");
+  EXPECT_EQ(back->rows[1][1], "quote\"inside");
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/path.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace qikey

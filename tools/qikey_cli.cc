@@ -1,0 +1,334 @@
+// qikey — command-line front end for the library.
+//
+// Usage:
+//   qikey profile <csv>
+//       Per-column statistics (distinct counts, entropy, separation).
+//   qikey minkey <csv> [--eps E]
+//       Approximate minimum eps-separation key (Proposition 1).
+//   qikey keys <csv> [--eps E] [--max-size K]
+//       All minimal eps-keys (UCC enumeration) up to size K.
+//   qikey audit <csv> [--eps E] [--max-size K]
+//       Quasi-identifier risk report (k-anonymity, uniqueness).
+//   qikey query <csv> --attrs a,b,c [--eps E]
+//       eps-separation key filter verdict + exact ground truth.
+//   qikey mask <csv> [--eps E]
+//       Attributes to suppress so no quasi-identifier remains.
+//   qikey afd <csv> --rhs col [--error E] [--max-size K]
+//       Minimal approximate functional dependencies X -> col.
+//   qikey anonymize <csv> --attrs a,b [--k K] [--suppress F]
+//       Minimal generalization making the table k-anonymous w.r.t. the
+//       given quasi-identifier (interval hierarchies, branching 4).
+//
+// All commands are deterministic for a fixed --seed (default 1).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "qikey.h"
+
+#include "core/afd.h"
+#include "core/anonymity.h"
+#include "core/generalization.h"
+#include "core/key_enumeration.h"
+#include "core/masking.h"
+#include "data/hierarchy.h"
+#include "data/statistics.h"
+
+namespace qikey {
+namespace {
+
+struct Args {
+  std::string command;
+  std::string csv_path;
+  double eps = 0.001;
+  uint32_t max_size = 4;
+  double afd_error = 0.05;
+  std::string rhs;
+  std::string attrs;
+  uint64_t seed = 1;
+  uint64_t k = 5;
+  double suppress = 0.0;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: qikey <profile|minkey|keys|audit|query|mask|afd> "
+               "<csv> [--eps E] [--max-size K]\n"
+               "             [--attrs a,b,c] [--rhs col] [--error E] "
+               "[--seed S]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 3) return false;
+  args->command = argv[1];
+  args->csv_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--eps") {
+      const char* v = next();
+      if (!v) return false;
+      args->eps = std::atof(v);
+    } else if (flag == "--max-size") {
+      const char* v = next();
+      if (!v) return false;
+      args->max_size = static_cast<uint32_t>(std::atoi(v));
+    } else if (flag == "--error") {
+      const char* v = next();
+      if (!v) return false;
+      args->afd_error = std::atof(v);
+    } else if (flag == "--rhs") {
+      const char* v = next();
+      if (!v) return false;
+      args->rhs = v;
+    } else if (flag == "--attrs") {
+      const char* v = next();
+      if (!v) return false;
+      args->attrs = v;
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--k") {
+      const char* v = next();
+      if (!v) return false;
+      args->k = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--suppress") {
+      const char* v = next();
+      if (!v) return false;
+      args->suppress = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Resolves "a,b,c" against the schema; exits on unknown names.
+AttributeSet ResolveAttrs(const Dataset& data, const std::string& spec) {
+  AttributeSet out(data.num_attributes());
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string name = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!name.empty()) {
+      int idx = data.schema().Find(name);
+      if (idx < 0) {
+        std::fprintf(stderr, "unknown attribute: %s\n", name.c_str());
+        std::exit(2);
+      }
+      out.Add(static_cast<AttributeIndex>(idx));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int RunProfile(const Dataset& data) {
+  std::printf("%zu rows x %zu attributes, %llu pairs\n\n", data.num_rows(),
+              data.num_attributes(),
+              static_cast<unsigned long long>(data.num_pairs()));
+  std::printf("%s", FormatProfileTable(ProfileDataset(data)).c_str());
+  return 0;
+}
+
+int RunMinKey(const Dataset& data, const Args& args, Rng* rng) {
+  MinKeyOptions opts;
+  opts.eps = args.eps;
+  auto result = FindApproxMinimumEpsKey(data, opts, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("approximate minimum %g-separation key: %s\n", args.eps,
+              result->key.ToString(&data.schema()).c_str());
+  std::printf("  sample: %llu tuples; separates %.6f%% of all pairs\n",
+              static_cast<unsigned long long>(result->sample_size),
+              100.0 * SeparationRatio(data, result->key));
+  if (!result->covered_sample) {
+    std::printf("  note: sample contained exact duplicates; no attribute "
+                "set is a key of it\n");
+  }
+  return 0;
+}
+
+int RunKeys(const Dataset& data, const Args& args) {
+  KeyEnumerationOptions opts;
+  opts.eps = args.eps;
+  opts.max_size = args.max_size;
+  auto keys = EnumerateMinimalKeys(data, opts);
+  if (!keys.ok()) {
+    std::fprintf(stderr, "%s\n", keys.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("minimal %g-separation keys up to size %u: %zu found\n",
+              args.eps, args.max_size, keys->size());
+  for (const AttributeSet& k : *keys) {
+    std::printf("  %s\n", k.ToString(&data.schema()).c_str());
+  }
+  return 0;
+}
+
+int RunAudit(const Dataset& data, const Args& args, Rng* rng) {
+  auto report = AuditQuasiIdentifiers(data, args.eps, args.max_size, rng);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", FormatRiskReport(*report, data.schema()).c_str());
+  return 0;
+}
+
+int RunQuery(const Dataset& data, const Args& args, Rng* rng) {
+  if (args.attrs.empty()) {
+    std::fprintf(stderr, "query needs --attrs a,b,c\n");
+    return 2;
+  }
+  AttributeSet attrs = ResolveAttrs(data, args.attrs);
+  TupleSampleFilterOptions opts;
+  opts.eps = args.eps;
+  auto filter = TupleSampleFilter::Build(data, opts, rng);
+  if (!filter.ok()) {
+    std::fprintf(stderr, "%s\n", filter.status().ToString().c_str());
+    return 1;
+  }
+  FilterVerdict v = filter->Query(attrs);
+  std::printf("filter (%llu tuples): %s\n",
+              static_cast<unsigned long long>(filter->sample_size()),
+              v == FilterVerdict::kAccept ? "ACCEPT" : "REJECT");
+  SeparationClass truth = Classify(data, attrs, args.eps);
+  const char* truth_name = truth == SeparationClass::kKey ? "exact key"
+                           : truth == SeparationClass::kBad
+                               ? "bad (below 1-eps)"
+                               : "eps-separation key (gray zone)";
+  std::printf("exact:  %s separates %.6f%% of pairs -> %s\n",
+              attrs.ToString(&data.schema()).c_str(),
+              100.0 * SeparationRatio(data, attrs), truth_name);
+  return 0;
+}
+
+int RunMask(const Dataset& data, const Args& args, Rng* rng) {
+  MaskingOptions opts;
+  opts.eps = args.eps;
+  auto result = FindMaskingSet(data, opts, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("mask %zu attribute(s) to kill all %g-quasi-identifiers: %s\n",
+              result->masked.size(), args.eps,
+              result->masked.ToString(&data.schema()).c_str());
+  std::printf("  residual separation of released attributes: %.4f%%\n",
+              100.0 * result->residual_separation);
+  if (!result->achieved) {
+    std::printf("  warning: target not reached within the mask budget\n");
+  }
+  return 0;
+}
+
+int RunAfd(const Dataset& data, const Args& args) {
+  if (args.rhs.empty()) {
+    std::fprintf(stderr, "afd needs --rhs <column>\n");
+    return 2;
+  }
+  int rhs = data.schema().Find(args.rhs);
+  if (rhs < 0) {
+    std::fprintf(stderr, "unknown attribute: %s\n", args.rhs.c_str());
+    return 2;
+  }
+  auto found = DiscoverMinimalAfds(data, static_cast<AttributeIndex>(rhs),
+                                   args.afd_error, args.max_size);
+  if (!found.ok()) {
+    std::fprintf(stderr, "%s\n", found.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("minimal approximate FDs X -> %s (conditional error <= %g, "
+              "|X| <= %u): %zu found\n",
+              args.rhs.c_str(), args.afd_error, args.max_size,
+              found->size());
+  for (const AfdCandidate& c : *found) {
+    std::printf("  %-44s g2=%.6f conditional=%.4f\n",
+                c.lhs.ToString(&data.schema()).c_str(), c.error.g2,
+                c.error.conditional);
+  }
+  return 0;
+}
+
+int RunAnonymize(const Dataset& data, const Args& args) {
+  if (args.attrs.empty()) {
+    std::fprintf(stderr, "anonymize needs --attrs a,b,c\n");
+    return 2;
+  }
+  AttributeSet qi_set = ResolveAttrs(data, args.attrs);
+  std::vector<AttributeIndex> qi = qi_set.ToIndices();
+  std::vector<GeneralizationHierarchy> hierarchies;
+  for (AttributeIndex a : qi) {
+    uint32_t card = data.column(a).cardinality();
+    hierarchies.push_back(card <= 2
+                              ? GeneralizationHierarchy::KeepOrSuppress(card)
+                              : GeneralizationHierarchy::Intervals(card, 4));
+  }
+  GeneralizationOptions opts;
+  opts.k = args.k;
+  opts.max_suppression = args.suppress;
+  auto result = FindMinimalGeneralization(data, qi, hierarchies, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("minimal generalization for %llu-anonymity on %s "
+              "(suppression budget %.1f%%):\n",
+              static_cast<unsigned long long>(args.k),
+              qi_set.ToString(&data.schema()).c_str(),
+              100.0 * args.suppress);
+  for (size_t i = 0; i < qi.size(); ++i) {
+    std::printf("  %-20s level %u of %u (domain %u -> %u)\n",
+                data.schema().name(qi[i]).c_str(), result->levels[i],
+                hierarchies[i].levels() - 1,
+                hierarchies[i].CardinalityAt(0),
+                hierarchies[i].CardinalityAt(result->levels[i]));
+  }
+  std::printf("  achieved k = %llu, suppressed %.2f%%, classes = %llu\n",
+              static_cast<unsigned long long>(result->anonymity_level),
+              100.0 * result->suppressed,
+              static_cast<unsigned long long>(result->classes));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  Result<Dataset> data = LoadCsvDataset(args.csv_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", args.csv_path.c_str(),
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(args.seed);
+  if (args.command == "profile") return RunProfile(*data);
+  if (args.command == "minkey") return RunMinKey(*data, args, &rng);
+  if (args.command == "keys") return RunKeys(*data, args);
+  if (args.command == "audit") return RunAudit(*data, args, &rng);
+  if (args.command == "query") return RunQuery(*data, args, &rng);
+  if (args.command == "mask") return RunMask(*data, args, &rng);
+  if (args.command == "afd") return RunAfd(*data, args);
+  if (args.command == "anonymize") return RunAnonymize(*data, args);
+  Usage();
+  return 2;
+}
+
+}  // namespace
+}  // namespace qikey
+
+int main(int argc, char** argv) { return qikey::Main(argc, argv); }
