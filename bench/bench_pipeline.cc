@@ -1,0 +1,134 @@
+// Batched-parallel filter queries and the end-to-end discovery
+// pipeline.
+//
+// Part 1 compares, for both filter backends, one-Query-per-candidate
+// serial loops against QueryBatch fanned out over a ThreadPool — the
+// workload candidate-set enumeration generates per level. Part 2 times
+// DiscoveryPipeline end to end (sample / filter / greedy / minimize /
+// verify) at 1 and N threads.
+//
+//   ./bench_pipeline [max_threads]   (default: hardware concurrency)
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "core/mx_pair_filter.h"
+#include "core/tuple_sample_filter.h"
+#include "data/generators/tabular.h"
+#include "engine/pipeline.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace qikey {
+namespace {
+
+void BenchBatchedQueries(const Dataset& d, const SeparationFilter& filter,
+                         const char* name, size_t max_threads) {
+  const size_t m = d.num_attributes();
+  Rng qrng(7);
+  std::vector<AttributeSet> queries;
+  for (int i = 0; i < 512; ++i) {
+    queries.push_back(AttributeSet::RandomOfSize(m, 8, &qrng));
+  }
+
+  Timer timer;
+  std::vector<FilterVerdict> serial;
+  serial.reserve(queries.size());
+  for (const AttributeSet& q : queries) serial.push_back(filter.Query(q));
+  double serial_ms = timer.ElapsedMillis();
+  std::printf("  %-22s %8s %12.2f %10.1f %8s\n", name, "serial", serial_ms,
+              queries.size() / serial_ms * 1e3, "1.00x");
+
+  timer.Restart();
+  std::vector<FilterVerdict> batched = filter.QueryBatch(queries, nullptr);
+  double batch1_ms = timer.ElapsedMillis();
+  QIKEY_CHECK(batched == serial);
+  std::printf("  %-22s %8s %12.2f %10.1f %7.2fx\n", name, "batch/1",
+              batch1_ms, queries.size() / batch1_ms * 1e3,
+              serial_ms / batch1_ms);
+
+  for (size_t t = 2; t <= max_threads; t *= 2) {
+    ThreadPool pool(t);
+    // Warm the pool so thread start-up cost is not billed to the batch.
+    ThreadPool::ParallelFor(&pool, t, [](size_t, size_t) {});
+    timer.Restart();
+    std::vector<FilterVerdict> parallel = filter.QueryBatch(queries, &pool);
+    double ms = timer.ElapsedMillis();
+    QIKEY_CHECK(parallel == serial);
+    char label[32];
+    std::snprintf(label, sizeof(label), "batch/%zu", t);
+    std::printf("  %-22s %8s %12.2f %10.1f %7.2fx\n", name, label, ms,
+                queries.size() / ms * 1e3, serial_ms / ms);
+  }
+}
+
+void BenchPipeline(const Dataset& d, FilterBackend backend, const char* name,
+                   size_t max_threads) {
+  for (size_t t = 1; t <= max_threads; t *= 2) {
+    PipelineOptions options;
+    options.eps = 0.001;
+    options.backend = backend;
+    options.num_threads = t;
+    DiscoveryPipeline pipeline(options);
+    Rng rng(99);
+    auto result = pipeline.Run(d, &rng);
+    QIKEY_CHECK(result.ok());
+    std::printf("  %-22s %4zu thr %12.2f   |key|=%zu%s", name, t,
+                result->total_millis, result->key.size(),
+                result->verdict == FilterVerdict::kAccept ? "" : " REJECTED");
+    for (const PipelineStage& s : result->stages) {
+      std::printf("  %s=%.1f", s.name.c_str(), s.millis);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace qikey
+
+int main(int argc, char** argv) {
+  size_t max_threads = argc > 1
+                           ? static_cast<size_t>(std::atoi(argv[1]))
+                           : std::thread::hardware_concurrency();
+  if (max_threads == 0) max_threads = 4;
+
+  qikey::Rng rng(2024);
+  qikey::TabularSpec spec = qikey::CovtypeLikeSpec();
+  spec.num_rows = 100000;
+  qikey::Dataset d = qikey::MakeTabular(spec, &rng);
+  std::printf("batched filter queries: n=%zu m=%zu eps=0.001, 512 queries "
+              "of size 8, up to %zu threads\n",
+              d.num_rows(), d.num_attributes(), max_threads);
+  std::printf("  %-22s %8s %12s %10s %8s\n", "filter", "mode", "time (ms)",
+              "q/s", "speedup");
+
+  qikey::MxPairFilterOptions mx_opts;
+  mx_opts.eps = 0.001;
+  auto mx = qikey::MxPairFilter::Build(d, mx_opts, &rng);
+  QIKEY_CHECK(mx.ok());
+  qikey::BenchBatchedQueries(d, *mx, "mx-pair", max_threads);
+
+  qikey::TupleSampleFilterOptions ts_opts;
+  ts_opts.eps = 0.001;
+  auto ts = qikey::TupleSampleFilter::Build(d, ts_opts, &rng);
+  QIKEY_CHECK(ts.ok());
+  qikey::BenchBatchedQueries(d, *ts, "tuple-sample", max_threads);
+
+  std::printf("\nend-to-end discovery pipeline (same table)\n");
+  std::printf("  %-22s %8s %12s\n", "backend", "threads", "total (ms)");
+  qikey::BenchPipeline(d, qikey::FilterBackend::kTupleSample, "tuple-sample",
+                       max_threads);
+  qikey::BenchPipeline(d, qikey::FilterBackend::kMxPair, "mx-pair",
+                       max_threads);
+
+  std::printf("\nReading: QueryBatch at >= 4 threads should beat the serial "
+              "loop; the pipeline's\ngreedy and minimize stages shrink with "
+              "thread count while sample/verify stay flat.\n");
+  return 0;
+}

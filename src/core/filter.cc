@@ -1,0 +1,15 @@
+#include "core/filter.h"
+
+#include "util/thread_pool.h"
+
+namespace qikey {
+
+std::vector<FilterVerdict> SeparationFilter::QueryBatch(
+    std::span<const AttributeSet> attrs, ThreadPool* /*pool*/) const {
+  std::vector<FilterVerdict> verdicts;
+  verdicts.reserve(attrs.size());
+  for (const AttributeSet& a : attrs) verdicts.push_back(Query(a));
+  return verdicts;
+}
+
+}  // namespace qikey

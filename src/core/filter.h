@@ -3,12 +3,16 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "core/attribute_set.h"
 #include "data/dataset.h"
 
 namespace qikey {
+
+class ThreadPool;
 
 /// Answer of an ε-separation key filter for a queried attribute set.
 enum class FilterVerdict {
@@ -31,6 +35,17 @@ class SeparationFilter {
   virtual ~SeparationFilter() = default;
 
   virtual FilterVerdict Query(const AttributeSet& attrs) const = 0;
+
+  /// \brief Answers many queries at once; `verdicts[i]` is the verdict
+  /// for `attrs[i]`, identical to calling `Query(attrs[i])`.
+  ///
+  /// The base implementation is a serial loop. Subclasses whose `Query`
+  /// is safe to run concurrently override it to split the batch across
+  /// `pool` (null pool = serial); this is the API candidate-set
+  /// enumeration and the discovery pipeline drive, so one enumeration
+  /// level costs one batch instead of thousands of virtual calls.
+  virtual std::vector<FilterVerdict> QueryBatch(
+      std::span<const AttributeSet> attrs, ThreadPool* pool = nullptr) const;
 
   /// A rejection witness: a pair of rows of the *original* data set that
   /// the queried attributes fail to separate, if the verdict is Reject.

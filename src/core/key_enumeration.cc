@@ -59,4 +59,57 @@ Result<std::vector<AttributeSet>> EnumerateMinimalKeys(
   return found;
 }
 
+Result<std::vector<AttributeSet>> EnumerateMinimalAcceptedSets(
+    const SeparationFilter& filter, size_t num_attributes,
+    const KeyEnumerationOptions& options, ThreadPool* pool) {
+  const size_t m = num_attributes;
+  const uint32_t max_size =
+      std::min<uint32_t>(options.max_size, static_cast<uint32_t>(m));
+
+  std::vector<AttributeSet> found;
+  std::vector<std::vector<AttributeIndex>> frontier{{}};
+  uint64_t evaluations = 0;
+
+  for (uint32_t level = 1; level <= max_size && !frontier.empty(); ++level) {
+    // Generate the level's candidates (minimality-pruned), then decide
+    // the whole level with one batched filter call.
+    std::vector<std::vector<AttributeIndex>> candidates;
+    std::vector<AttributeSet> queries;
+    for (const auto& base : frontier) {
+      AttributeIndex start = base.empty() ? 0 : base.back() + 1;
+      for (AttributeIndex a = start; a < m; ++a) {
+        if (++evaluations > options.max_candidates) {
+          return Status::OutOfRange(
+              "candidate budget exhausted; raise max_candidates or lower "
+              "max_size");
+        }
+        std::vector<AttributeIndex> candidate = base;
+        candidate.push_back(a);
+        AttributeSet attrs = AttributeSet::FromIndices(m, candidate);
+        bool contains_key = false;
+        for (const AttributeSet& key : found) {
+          if (key.IsSubsetOf(attrs)) {
+            contains_key = true;
+            break;
+          }
+        }
+        if (contains_key) continue;
+        candidates.push_back(std::move(candidate));
+        queries.push_back(std::move(attrs));
+      }
+    }
+    std::vector<FilterVerdict> verdicts = filter.QueryBatch(queries, pool);
+    std::vector<std::vector<AttributeIndex>> next;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (verdicts[i] == FilterVerdict::kAccept) {
+        found.push_back(std::move(queries[i]));
+      } else {
+        next.push_back(std::move(candidates[i]));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return found;
+}
+
 }  // namespace qikey

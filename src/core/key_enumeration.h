@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/attribute_set.h"
+#include "core/filter.h"
 #include "data/dataset.h"
 #include "util/status.h"
 
@@ -32,6 +33,19 @@ struct KeyEnumerationOptions {
 /// paper's sampled regime.
 Result<std::vector<AttributeSet>> EnumerateMinimalKeys(
     const Dataset& dataset, const KeyEnumerationOptions& options);
+
+/// \brief Levelwise enumeration of all minimal attribute sets a
+/// separation filter accepts, over a universe of `num_attributes`.
+///
+/// Same Apriori search as `EnumerateMinimalKeys`, but each candidate is
+/// decided by the filter instead of an exact `Γ_A` count (`options.eps`
+/// is ignored — the filter's own ε applies), and every level is
+/// evaluated as ONE `SeparationFilter::QueryBatch` call, optionally
+/// fanned out over `pool`. This is the paper's sampled regime: w.h.p.
+/// the output contains every minimal exact key and nothing bad.
+Result<std::vector<AttributeSet>> EnumerateMinimalAcceptedSets(
+    const SeparationFilter& filter, size_t num_attributes,
+    const KeyEnumerationOptions& options, ThreadPool* pool = nullptr);
 
 }  // namespace qikey
 

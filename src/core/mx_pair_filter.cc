@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace qikey {
 
@@ -69,6 +70,15 @@ Result<MxPairFilter> MxPairFilter::FromMaterializedPairs(Dataset pair_table) {
 FilterVerdict MxPairFilter::Query(const AttributeSet& attrs) const {
   return QueryWitness(attrs).has_value() ? FilterVerdict::kReject
                                          : FilterVerdict::kAccept;
+}
+
+std::vector<FilterVerdict> MxPairFilter::QueryBatch(
+    std::span<const AttributeSet> attrs, ThreadPool* pool) const {
+  std::vector<FilterVerdict> verdicts(attrs.size(), FilterVerdict::kAccept);
+  ThreadPool::ParallelFor(pool, attrs.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) verdicts[i] = Query(attrs[i]);
+  });
+  return verdicts;
 }
 
 std::optional<std::pair<RowIndex, RowIndex>> MxPairFilter::QueryWitness(

@@ -47,6 +47,12 @@ class MxPairFilter : public SeparationFilter {
   std::optional<std::pair<RowIndex, RowIndex>> QueryWitness(
       const AttributeSet& attrs) const override;
 
+  /// Parallel batch query: chunks of the batch run on `pool` (queries
+  /// only read the pair table, so they are safe concurrently).
+  std::vector<FilterVerdict> QueryBatch(
+      std::span<const AttributeSet> attrs,
+      ThreadPool* pool = nullptr) const override;
+
   uint64_t sample_size() const override { return pairs_.size(); }
   uint64_t MemoryBytes() const override;
 

@@ -7,6 +7,7 @@
 
 #include "data/serialize.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace qikey {
 
@@ -42,8 +43,15 @@ Result<TupleSampleFilter> TupleSampleFilter::Build(
 TupleSampleFilter TupleSampleFilter::FromSample(
     Dataset sample, std::vector<RowIndex> original_rows,
     DuplicateDetection detection) {
+  return FromSample(std::make_shared<Dataset>(std::move(sample)),
+                    std::move(original_rows), detection);
+}
+
+TupleSampleFilter TupleSampleFilter::FromSample(
+    std::shared_ptr<Dataset> sample, std::vector<RowIndex> original_rows,
+    DuplicateDetection detection) {
   TupleSampleFilter filter;
-  filter.sample_ = std::make_shared<Dataset>(std::move(sample));
+  filter.sample_ = std::move(sample);
   filter.original_rows_ = std::move(original_rows);
   filter.detection_ = detection;
   return filter;
@@ -55,6 +63,15 @@ FilterVerdict TupleSampleFilter::Query(const AttributeSet& attrs) const {
       (detection_ == DuplicateDetection::kSort) ? FindDuplicateSorted(idx)
                                                 : FindDuplicateHashed(idx);
   return dup.has_value() ? FilterVerdict::kReject : FilterVerdict::kAccept;
+}
+
+std::vector<FilterVerdict> TupleSampleFilter::QueryBatch(
+    std::span<const AttributeSet> attrs, ThreadPool* pool) const {
+  std::vector<FilterVerdict> verdicts(attrs.size(), FilterVerdict::kAccept);
+  ThreadPool::ParallelFor(pool, attrs.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) verdicts[i] = Query(attrs[i]);
+  });
+  return verdicts;
 }
 
 std::optional<std::pair<RowIndex, RowIndex>> TupleSampleFilter::QueryWitness(

@@ -49,9 +49,21 @@ class TupleSampleFilter : public SeparationFilter {
                                       std::vector<RowIndex> original_rows,
                                       DuplicateDetection detection);
 
+  /// As above, but shares an existing sample instead of copying it
+  /// (the pipeline runs greedy refinement on the same table).
+  static TupleSampleFilter FromSample(std::shared_ptr<Dataset> sample,
+                                      std::vector<RowIndex> original_rows,
+                                      DuplicateDetection detection);
+
   FilterVerdict Query(const AttributeSet& attrs) const override;
   std::optional<std::pair<RowIndex, RowIndex>> QueryWitness(
       const AttributeSet& attrs) const override;
+
+  /// Parallel batch query: chunks of the batch run on `pool` (queries
+  /// only read the retained sample, so they are safe concurrently).
+  std::vector<FilterVerdict> QueryBatch(
+      std::span<const AttributeSet> attrs,
+      ThreadPool* pool = nullptr) const override;
 
   /// Byte serialization of the retained sample (the filter IS its
   /// sample); `Deserialize` restores a filter answering identically.

@@ -1,0 +1,262 @@
+#include "engine/pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "core/sample_bounds.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace qikey {
+
+namespace {
+
+Status ValidateOptions(const PipelineOptions& options) {
+  if (options.eps <= 0.0 || options.eps >= 1.0) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+/// True iff `key` separates every pair of `sample` (sort-based
+/// duplicate scan, `O(r log r · |key|)`).
+bool KeySeparatesSample(const Dataset& sample, const AttributeSet& key) {
+  std::vector<AttributeIndex> idx = key.ToIndices();
+  std::vector<RowIndex> order(sample.num_rows());
+  for (RowIndex i = 0; i < sample.num_rows(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](RowIndex a, RowIndex b) {
+    return sample.CompareProjections(a, b, idx) < 0;
+  });
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (sample.CompareProjections(order[i - 1], order[i], idx) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t ResolveThreads(size_t num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+Result<PipelineResult> DiscoveryPipeline::Run(const Dataset& dataset,
+                                              Rng* rng) const {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (dataset.num_rows() < 2) {
+    return Status::InvalidArgument("need at least two rows");
+  }
+  QIKEY_RETURN_NOT_OK(ValidateOptions(options_));
+
+  Timer timer;
+  uint64_t r = options_.sample_size > 0
+                   ? options_.sample_size
+                   : TupleSampleSizePaper(
+                         static_cast<uint32_t>(dataset.num_attributes()),
+                         options_.eps);
+  r = std::min<uint64_t>(r, dataset.num_rows());
+  std::vector<uint64_t> chosen =
+      rng->SampleWithoutReplacement(dataset.num_rows(), r);
+  std::vector<RowIndex> rows(chosen.begin(), chosen.end());
+  auto sample = std::make_shared<Dataset>(dataset.SelectRows(rows));
+  double sample_millis = timer.ElapsedMillis();
+
+  Result<PipelineResult> result =
+      RunStages(&dataset, std::move(sample), std::move(rows), rng);
+  if (!result.ok()) return result;
+  result->rows = dataset.num_rows();
+  result->stages.insert(result->stages.begin(),
+                        PipelineStage{"sample", sample_millis});
+  result->total_millis += sample_millis;
+  return result;
+}
+
+Result<PipelineResult> DiscoveryPipeline::RunOnReservoir(
+    const Dataset& sample, std::vector<RowIndex> provenance) const {
+  if (sample.num_rows() < 2) {
+    return Status::InvalidArgument("reservoir needs at least two rows");
+  }
+  if (!provenance.empty() && provenance.size() != sample.num_rows()) {
+    return Status::InvalidArgument(
+        "provenance must be empty or match the sample row count");
+  }
+  if (options_.backend != FilterBackend::kTupleSample) {
+    return Status::InvalidArgument(
+        "the reservoir entry point supports only the tuple-sample backend");
+  }
+  QIKEY_RETURN_NOT_OK(ValidateOptions(options_));
+  Result<PipelineResult> result = RunStages(
+      nullptr, std::make_shared<Dataset>(sample), std::move(provenance),
+      nullptr);
+  if (!result.ok()) return result;
+  result->rows = sample.num_rows();
+  return result;
+}
+
+Result<PipelineResult> DiscoveryPipeline::RunStages(
+    const Dataset* full, std::shared_ptr<Dataset> sample,
+    std::vector<RowIndex> provenance, Rng* rng) const {
+  PipelineResult out;
+  out.attributes = sample->num_attributes();
+  out.tuple_sample_size = sample->num_rows();
+
+  size_t threads = ResolveThreads(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // Stage: filter. The tuple backend reuses the greedy sample (the
+  // filter IS its sample); the MX baseline draws an independent pair
+  // sample from the full table, making the verify stage a genuine
+  // cross-check.
+  Timer timer;
+  std::unique_ptr<SeparationFilter> filter;
+  switch (options_.backend) {
+    case FilterBackend::kTupleSample: {
+      filter =
+          std::make_unique<TupleSampleFilter>(TupleSampleFilter::FromSample(
+              sample, std::move(provenance), options_.detection));
+      break;
+    }
+    case FilterBackend::kMxPair: {
+      if (full == nullptr) {
+        return Status::InvalidArgument(
+            "MX backend needs the full data set to sample pairs");
+      }
+      MxPairFilterOptions mx;
+      mx.eps = options_.eps;
+      mx.sample_size = options_.pair_sample_size;
+      Result<MxPairFilter> built = MxPairFilter::Build(*full, mx, rng);
+      if (!built.ok()) return built.status();
+      filter = std::make_unique<MxPairFilter>(std::move(built).ValueOrDie());
+      break;
+    }
+  }
+  out.filter_sample_size = filter->sample_size();
+  out.filter_bytes = filter->MemoryBytes();
+  out.stages.push_back({"filter", timer.ElapsedMillis()});
+
+  // Stage: greedy set cover on (R choose 2) by partition refinement.
+  timer.Restart();
+  RefineEngine engine(*sample, options_.gain_strategy);
+  engine.set_thread_pool(pool.get());
+  RefineEngine::GreedyResult greedy =
+      engine.RunGreedy(options_.max_attributes);
+  out.key = std::move(greedy.chosen);
+  out.covered_sample = greedy.is_sample_key;
+  out.steps = std::move(greedy.steps);
+  out.stages.push_back({"greedy", timer.ElapsedMillis()});
+
+  // Stage: minimize. Greedy can leave an early pick redundant once
+  // later attributes are in. Rejection is monotone under removal (a
+  // pair agreeing on K\{a} agrees on any subset of it), so one batched
+  // round over all single drops pins the never-removable members, and
+  // one forward pass over the accepted ones finishes the job in O(k)
+  // queries total.
+  timer.Restart();
+  if (options_.minimize && out.key.size() > 1) {
+    std::vector<AttributeIndex> members = out.key.ToIndices();
+    std::vector<AttributeSet> candidates;
+    candidates.reserve(members.size());
+    for (AttributeIndex a : members) {
+      AttributeSet candidate = out.key;
+      candidate.Remove(a);
+      candidates.push_back(std::move(candidate));
+    }
+    std::vector<FilterVerdict> verdicts =
+        filter->QueryBatch(candidates, pool.get());
+    bool key_changed = false;
+    for (size_t i = 0; i < members.size() && out.key.size() > 1; ++i) {
+      if (verdicts[i] == FilterVerdict::kReject) continue;
+      AttributeSet candidate = out.key;
+      candidate.Remove(members[i]);
+      // The batch verdict was against the pre-drop key; once the key
+      // shrank, the smaller candidate needs a fresh query.
+      if (key_changed &&
+          filter->Query(candidate) != FilterVerdict::kAccept) {
+        continue;
+      }
+      out.key = std::move(candidate);
+      ++out.pruned_attributes;
+      key_changed = true;
+    }
+    // The MX filter's pair sample is independent of the greedy tuple
+    // sample, so a drop it accepts may uncover a sample pair; keep
+    // `covered_sample` honest by re-checking against the sample.
+    if (options_.backend == FilterBackend::kMxPair && key_changed &&
+        out.covered_sample) {
+      out.covered_sample = KeySeparatesSample(*sample, out.key);
+    }
+  }
+  out.stages.push_back({"minimize", timer.ElapsedMillis()});
+
+  // Stage: verify the emitted key and surface a witness on rejection.
+  timer.Restart();
+  out.verdict = filter->Query(out.key);
+  if (out.verdict == FilterVerdict::kReject) {
+    out.witness = filter->QueryWitness(out.key);
+  }
+  out.stages.push_back({"verify", timer.ElapsedMillis()});
+
+  for (const PipelineStage& s : out.stages) out.total_millis += s.millis;
+  return out;
+}
+
+std::string PipelineResult::Report(const Schema* schema) const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "discovery: %llu rows x %llu attributes\n",
+                static_cast<unsigned long long>(rows),
+                static_cast<unsigned long long>(attributes));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  key: %zu attribute(s), %u pruned by minimization\n",
+                key.size(), pruned_attributes);
+  out += line;
+  out += "    " + key.ToString(schema) + "\n";
+  std::snprintf(line, sizeof(line),
+                "  verify: %s (sample covered: %s)\n",
+                verdict == FilterVerdict::kAccept ? "ACCEPT" : "REJECT",
+                covered_sample ? "yes" : "no");
+  out += line;
+  if (witness.has_value()) {
+    std::snprintf(line, sizeof(line),
+                  "  witness: rows %u and %u agree on the key\n",
+                  witness->first, witness->second);
+    out += line;
+  }
+  std::snprintf(
+      line, sizeof(line),
+      "  filter: %llu samples, %llu bytes; greedy sample: %llu tuples\n",
+      static_cast<unsigned long long>(filter_sample_size),
+      static_cast<unsigned long long>(filter_bytes),
+      static_cast<unsigned long long>(tuple_sample_size));
+  out += line;
+  out += "  stages:";
+  for (const PipelineStage& s : stages) {
+    std::snprintf(line, sizeof(line), " %s %.2fms |", s.name.c_str(),
+                  s.millis);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), " total %.2fms\n", total_millis);
+  out += line;
+  if (!steps.empty()) {
+    out += "  greedy trace:";
+    for (const RefineEngine::Step& s : steps) {
+      std::snprintf(line, sizeof(line), " %s(+%llu)",
+                    schema != nullptr
+                        ? schema->name(s.chosen).c_str()
+                        : ("a" + std::to_string(s.chosen)).c_str(),
+                    static_cast<unsigned long long>(s.gain));
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace qikey

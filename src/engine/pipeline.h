@@ -1,0 +1,129 @@
+#ifndef QIKEY_ENGINE_PIPELINE_H_
+#define QIKEY_ENGINE_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "core/filter.h"
+#include "core/mx_pair_filter.h"
+#include "core/refine_engine.h"
+#include "core/tuple_sample_filter.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// Which ε-separation filter backs the pipeline's query/verify stages.
+enum class FilterBackend {
+  kTupleSample,  ///< this paper's `Θ(m/√ε)` tuple sample (Algorithm 1)
+  kMxPair,       ///< the Motwani–Xu `Θ(m/ε)` pair baseline
+};
+
+/// Options for `DiscoveryPipeline`. Defaults reproduce the paper's
+/// Table-1 regime serially; `num_threads` > 1 parallelizes the greedy
+/// gain scans and every batched filter query on one shared pool.
+struct PipelineOptions {
+  double eps = 0.001;
+  FilterBackend backend = FilterBackend::kTupleSample;
+  GainStrategy gain_strategy = GainStrategy::kLookupTable;
+  DuplicateDetection detection = DuplicateDetection::kSort;
+  /// Tuples retained for the greedy sample; 0 = `TupleSampleSizePaper`.
+  uint64_t sample_size = 0;
+  /// Pairs retained by the MX backend; 0 = `MxPairSampleSizePaper`.
+  uint64_t pair_sample_size = 0;
+  /// Worker threads; 1 = serial, 0 = one per hardware thread.
+  size_t num_threads = 1;
+  /// Stop greedy after this many attributes.
+  size_t max_attributes = ~size_t{0};
+  /// Run the batched minimization pass on the greedy key.
+  bool minimize = true;
+};
+
+/// Wall-clock cost of one pipeline stage.
+struct PipelineStage {
+  std::string name;
+  double millis = 0.0;
+};
+
+/// Everything the pipeline learned about one data set.
+struct PipelineResult {
+  /// The emitted quasi-identifier (after minimization when enabled).
+  AttributeSet key;
+  /// True iff the greedy sample was fully separated by `key`.
+  bool covered_sample = false;
+  /// The backend filter's verdict on `key` (the verify stage).
+  FilterVerdict verdict = FilterVerdict::kAccept;
+  /// When the verify stage rejects: a pair of original rows that `key`
+  /// fails to separate.
+  std::optional<std::pair<RowIndex, RowIndex>> witness;
+  /// Greedy trace (attribute picked and pairs newly covered per round).
+  std::vector<RefineEngine::Step> steps;
+  /// Attributes removed from the greedy key by the minimization pass.
+  uint32_t pruned_attributes = 0;
+
+  uint64_t rows = 0;
+  uint64_t attributes = 0;
+  uint64_t tuple_sample_size = 0;   ///< rows retained for greedy
+  uint64_t filter_sample_size = 0;  ///< tuples or pairs in the filter
+  uint64_t filter_bytes = 0;        ///< filter memory footprint
+
+  std::vector<PipelineStage> stages;
+  double total_millis = 0.0;
+
+  /// Multi-line human-readable summary (names resolved via `schema`).
+  std::string Report(const Schema* schema = nullptr) const;
+};
+
+/// \brief End-to-end quasi-identifier discovery: the full workflow of
+/// the paper run as one orchestrated, instrumented pass.
+///
+/// Stages:
+///   1. sample   — draw the `Θ(m/√ε)` tuple sample (or consume a
+///                 reservoir already drawn from a stream);
+///   2. filter   — build the configured `SeparationFilter`;
+///   3. greedy   — `RefineEngine::RunGreedy` on the sample (partition
+///                 refinement, optionally thread-parallel gains);
+///   4. minimize — drop redundant greedy picks, one batched
+///                 `QueryBatch` per round;
+///   5. verify   — query the emitted key against the filter and report
+///                 a witness pair when it is rejected.
+///
+/// Results are deterministic for a fixed seed regardless of
+/// `num_threads`.
+class DiscoveryPipeline {
+ public:
+  explicit DiscoveryPipeline(const PipelineOptions& options)
+      : options_(options) {}
+
+  /// Runs all stages against an in-memory data set.
+  Result<PipelineResult> Run(const Dataset& dataset, Rng* rng) const;
+
+  /// Streaming entry: consumes a tuple reservoir already drawn from a
+  /// stream (e.g. `StreamingTupleFilterBuilder`'s sample), skipping the
+  /// sample stage. `provenance[i]`, when non-empty, is the original
+  /// stream position of sample row `i` (used for witness reporting).
+  /// Only the tuple-sample backend is available — the MX baseline needs
+  /// pair sampling the reservoir cannot provide.
+  Result<PipelineResult> RunOnReservoir(
+      const Dataset& sample, std::vector<RowIndex> provenance) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  Result<PipelineResult> RunStages(const Dataset* full,
+                                   std::shared_ptr<Dataset> sample,
+                                   std::vector<RowIndex> provenance,
+                                   Rng* rng) const;
+
+  PipelineOptions options_;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_ENGINE_PIPELINE_H_

@@ -6,7 +6,7 @@
 /// discovery with the improved sampling bounds of
 /// "Towards Better Bounds for Finding Quasi-Identifiers" (PODS 2023).
 ///
-/// Typical usage:
+/// Typical usage (low-level filter API):
 ///
 ///     qikey::Rng rng(42);
 ///     auto dataset = qikey::LoadCsvDataset("people.csv").ValueOrDie();
@@ -15,6 +15,18 @@
 ///         qikey::TupleSampleFilter::Build(dataset, opts, &rng).ValueOrDie();
 ///     qikey::AttributeSet qi = ...;
 ///     if (filter.Query(qi) == qikey::FilterVerdict::kReject) { ... }
+///
+/// Or run the whole paper workflow — sample, filter, thread-parallel
+/// greedy, batched minimization, verify — through `engine/pipeline.h`:
+///
+///     qikey::PipelineOptions popts;
+///     popts.eps = 0.001;
+///     popts.num_threads = 0;  // one worker per hardware thread
+///     auto report = qikey::DiscoveryPipeline(popts).Run(dataset, &rng);
+///
+/// Batched candidate evaluation (`SeparationFilter::QueryBatch`,
+/// `EnumerateMinimalAcceptedSets`) fans filter queries out over a
+/// `ThreadPool` with answers identical to one `Query` per set.
 
 #include "core/afd.h"
 #include "core/anonymity.h"
@@ -43,6 +55,7 @@
 #include "data/partition.h"
 #include "data/serialize.h"
 #include "data/statistics.h"
+#include "engine/pipeline.h"
 #include "math/birthday.h"
 #include "math/chernoff.h"
 #include "math/collision.h"

@@ -18,8 +18,12 @@
 //   qikey anonymize <csv> --attrs a,b [--k K] [--suppress F]
 //       Minimal generalization making the table k-anonymous w.r.t. the
 //       given quasi-identifier (interval hierarchies, branching 4).
+//   qikey discover <csv> [--eps E] [--backend tuple|mx] [--threads T]
+//       End-to-end discovery pipeline: sample, filter, parallel greedy,
+//       batched minimization, verify with witness; per-stage timings.
 //
-// All commands are deterministic for a fixed --seed (default 1).
+// All commands are deterministic for a fixed --seed (default 1),
+// including discover at any --threads value.
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +40,7 @@
 #include "core/masking.h"
 #include "data/hierarchy.h"
 #include "data/statistics.h"
+#include "engine/pipeline.h"
 
 namespace qikey {
 namespace {
@@ -51,14 +56,18 @@ struct Args {
   uint64_t seed = 1;
   uint64_t k = 5;
   double suppress = 0.0;
+  std::string backend = "tuple";
+  size_t threads = 1;
 };
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: qikey <profile|minkey|keys|audit|query|mask|afd> "
-               "<csv> [--eps E] [--max-size K]\n"
-               "             [--attrs a,b,c] [--rhs col] [--error E] "
-               "[--seed S]\n");
+               "usage: qikey <profile|minkey|keys|audit|query|mask|afd|"
+               "anonymize|discover>\n"
+               "             <csv> [--eps E] [--max-size K] [--attrs a,b,c] "
+               "[--rhs col]\n"
+               "             [--error E] [--seed S] [--backend tuple|mx] "
+               "[--threads T]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -102,6 +111,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->suppress = std::atof(v);
+    } else if (flag == "--backend") {
+      const char* v = next();
+      if (!v) return false;
+      args->backend = v;
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      char* end = nullptr;
+      long long t = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || t < 0 || t > 4096) {
+        std::fprintf(stderr, "--threads must be an integer in [0, 4096]\n");
+        return false;
+      }
+      args->threads = static_cast<size_t>(t);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -303,6 +326,27 @@ int RunAnonymize(const Dataset& data, const Args& args) {
   return 0;
 }
 
+int RunDiscover(const Dataset& data, const Args& args, Rng* rng) {
+  PipelineOptions opts;
+  opts.eps = args.eps;
+  opts.num_threads = args.threads;
+  if (args.backend == "mx") {
+    opts.backend = FilterBackend::kMxPair;
+  } else if (args.backend != "tuple") {
+    std::fprintf(stderr, "unknown backend: %s (want tuple|mx)\n",
+                 args.backend.c_str());
+    return 2;
+  }
+  DiscoveryPipeline pipeline(opts);
+  auto result = pipeline.Run(data, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", result->Report(&data.schema()).c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
@@ -324,6 +368,7 @@ int Main(int argc, char** argv) {
   if (args.command == "mask") return RunMask(*data, args, &rng);
   if (args.command == "afd") return RunAfd(*data, args);
   if (args.command == "anonymize") return RunAnonymize(*data, args);
+  if (args.command == "discover") return RunDiscover(*data, args, &rng);
   Usage();
   return 2;
 }
