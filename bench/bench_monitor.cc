@@ -1,0 +1,204 @@
+// Incremental maintenance vs full rebuild under live updates.
+//
+// Primes a KeyMonitor with an Adult-like table, then streams an
+// insert-heavy update mix through it (the regime the monitor is built
+// for: most inserts never touch the retained sample, so they cost
+// nothing). The baseline is what a batch system must do to keep the
+// minimal-key frontier current: rebuild the filter and re-run levelwise
+// enumeration after every update. The bench times a handful of such
+// rebuilds and reports the per-update cost of both strategies.
+//
+//   ./bench_monitor [--rows N] [--updates U] [--max-size K]
+//                   [--json PATH]
+//
+// With --json, machine-readable results are written for CI to archive
+// (see bench_json.h).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/key_enumeration.h"
+#include "core/tuple_sample_filter.h"
+#include "data/generators/tabular.h"
+#include "monitor/key_monitor.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace qikey {
+namespace {
+
+std::vector<ValueCode> RowOf(const Dataset& d, RowIndex i) {
+  std::vector<ValueCode> row(d.num_attributes());
+  for (AttributeIndex j = 0; j < d.num_attributes(); ++j) {
+    row[j] = d.code(i, j);
+  }
+  return row;
+}
+
+/// One from-scratch pass: build the paper filter over the current
+/// window and re-enumerate the minimal accepted sets.
+double TimeFullRebuild(const Dataset& window, uint32_t max_key_size,
+                       Rng* rng) {
+  Timer timer;
+  TupleSampleFilterOptions filter_options;
+  filter_options.eps = 0.001;
+  auto filter = TupleSampleFilter::Build(window, filter_options, rng);
+  QIKEY_CHECK(filter.ok());
+  KeyEnumerationOptions enum_options;
+  enum_options.max_size = max_key_size;
+  auto keys = EnumerateMinimalAcceptedSets(
+      *filter, window.num_attributes(), enum_options);
+  QIKEY_CHECK(keys.ok());
+  return timer.ElapsedMillis();
+}
+
+int Run(uint64_t rows, uint64_t updates, uint32_t max_key_size,
+        const std::string& json_path) {
+  Rng rng(2026);
+  TabularSpec spec = AdultLikeSpec();
+  spec.num_rows = rows + updates;  // extra rows feed the insert stream
+  Dataset table = MakeTabular(spec, &rng);
+
+  std::printf("incremental monitor vs full rebuild: n=%llu m=%zu, %llu "
+              "updates (90%% insert / 10%% erase), max key size %u\n",
+              static_cast<unsigned long long>(rows), table.num_attributes(),
+              static_cast<unsigned long long>(updates), max_key_size);
+
+  MonitorOptions options;
+  options.eps = 0.001;
+  options.max_key_size = max_key_size;
+  auto monitor = KeyMonitor::Make(table.schema(), options, 7);
+  QIKEY_CHECK(monitor.ok());
+
+  // Prime the window (not part of the timed update phase).
+  std::vector<RowIndex> window_rows;
+  for (RowIndex i = 0; i < rows; ++i) {
+    QIKEY_CHECK((*monitor)->Insert(RowOf(table, i)).ok());
+    window_rows.push_back(i);
+  }
+
+  // Timed phase: stream updates through the live monitor.
+  Rng update_rng(99);
+  Timer timer;
+  RowIndex next_insert = static_cast<RowIndex>(rows);
+  for (uint64_t u = 0; u < updates; ++u) {
+    bool insert = window_rows.size() < 2 || update_rng.Bernoulli(0.9) ||
+                  next_insert >= table.num_rows();
+    if (insert) {
+      QIKEY_CHECK((*monitor)->Insert(RowOf(table, next_insert)).ok());
+      window_rows.push_back(next_insert);
+      ++next_insert;
+    } else {
+      size_t victim =
+          static_cast<size_t>(update_rng.Uniform(window_rows.size()));
+      QIKEY_CHECK(
+          (*monitor)->Erase(RowOf(table, window_rows[victim])).ok());
+      window_rows[victim] = window_rows.back();
+      window_rows.pop_back();
+    }
+  }
+  double incremental_ms = timer.ElapsedMillis();
+  double incremental_ns_per_update = incremental_ms * 1e6 / updates;
+  double incremental_ups = updates / (incremental_ms * 1e-3);
+
+  auto snapshot = (*monitor)->Snapshot();
+  std::printf("  incremental: %10.2f ms total, %10.1f ns/update, %12.1f "
+              "updates/s\n",
+              incremental_ms, incremental_ns_per_update, incremental_ups);
+  std::printf("  monitor state: %zu minimal key(s), %llu untouched "
+              "updates, %llu repaired, %llu rebuilds\n",
+              snapshot->minimal_keys().size(),
+              static_cast<unsigned long long>((*monitor)->untouched_updates()),
+              static_cast<unsigned long long>((*monitor)->repaired_updates()),
+              static_cast<unsigned long long>((*monitor)->rebuilds()));
+
+  // Sanity: the incrementally maintained frontier must equal one final
+  // from-scratch enumeration against the monitor's own sample.
+  KeyEnumerationOptions enum_options;
+  enum_options.max_size = max_key_size;
+  auto expected = EnumerateMinimalAcceptedSets(
+      (*monitor)->filter(), table.num_attributes(), enum_options);
+  QIKEY_CHECK(expected.ok());
+  std::sort(expected->begin(), expected->end(), CanonicalAttributeSetLess);
+  QIKEY_CHECK(*expected == snapshot->minimal_keys());
+
+  // Baseline: to serve current keys after each update, a batch system
+  // re-runs filter build + enumeration. Average a few rebuilds over the
+  // final window instead of doing all `updates` of them.
+  const Dataset window = (*monitor)->filter().WindowDataset();
+  constexpr int kRebuildReps = 10;
+  double rebuild_ms = 0.0;
+  for (int rep = 0; rep < kRebuildReps; ++rep) {
+    rebuild_ms += TimeFullRebuild(window, max_key_size, &rng);
+  }
+  rebuild_ms /= kRebuildReps;
+  double rebuild_ns_per_update = rebuild_ms * 1e6;
+  double rebuild_ups = 1e3 / rebuild_ms;
+  double speedup = rebuild_ns_per_update / incremental_ns_per_update;
+  std::printf("  full rebuild: %9.2f ms/update, %26.1f updates/s\n",
+              rebuild_ms, rebuild_ups);
+  std::printf("  incremental speedup over rebuild-per-update: %.1fx\n",
+              speedup);
+  QIKEY_CHECK(speedup > 1.0);
+
+  BenchJsonWriter json;
+  BenchJsonWriter::Params common = {
+      {"rows", std::to_string(rows)},
+      {"updates", std::to_string(updates)},
+      {"max_key_size", std::to_string(max_key_size)},
+      {"backend", "tuple"},
+  };
+  json.Add("monitor_update", common, incremental_ns_per_update,
+           incremental_ups);
+  json.Add("full_rebuild_per_update", common, rebuild_ns_per_update,
+           rebuild_ups);
+  BenchJsonWriter::Params speedup_params = common;
+  speedup_params.push_back({"speedup", std::to_string(speedup)});
+  json.Add("monitor_speedup", speedup_params, 0.0, speedup);
+  if (!json.WriteToFile(json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace qikey
+
+int main(int argc, char** argv) {
+  uint64_t rows = 20000;
+  uint64_t updates = 4000;
+  uint32_t max_key_size = 4;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--rows") == 0) {
+      const char* v = next();
+      if (v) rows = static_cast<uint64_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--updates") == 0) {
+      const char* v = next();
+      if (v) updates = static_cast<uint64_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--max-size") == 0) {
+      const char* v = next();
+      if (v) max_key_size = static_cast<uint32_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      const char* v = next();
+      if (v) json_path = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_monitor [--rows N] [--updates U] "
+                   "[--max-size K] [--json PATH]\n");
+      return 2;
+    }
+  }
+  if (rows < 2 || updates == 0) {
+    std::fprintf(stderr, "need --rows >= 2 and --updates >= 1\n");
+    return 2;
+  }
+  return qikey::Run(rows, updates, max_key_size, json_path);
+}

@@ -7,15 +7,21 @@
 // DiscoveryPipeline end to end (sample / filter / greedy / minimize /
 // verify) at 1 and N threads.
 //
-//   ./bench_pipeline [max_threads]   (default: hardware concurrency)
+//   ./bench_pipeline [max_threads] [--json PATH]
+//
+// With --json, machine-readable results are written for CI to archive
+// (see bench_json.h).
 
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/mx_pair_filter.h"
 #include "core/tuple_sample_filter.h"
 #include "data/generators/tabular.h"
@@ -28,8 +34,16 @@
 namespace qikey {
 namespace {
 
+void RecordQueries(BenchJsonWriter* json, const char* filter,
+                   const std::string& mode, size_t num_queries, double ms) {
+  json->Add("query_batch",
+            {{"filter", filter}, {"mode", mode}},
+            ms * 1e6 / num_queries, num_queries / ms * 1e3);
+}
+
 void BenchBatchedQueries(const Dataset& d, const SeparationFilter& filter,
-                         const char* name, size_t max_threads) {
+                         const char* name, size_t max_threads,
+                         BenchJsonWriter* json) {
   const size_t m = d.num_attributes();
   Rng qrng(7);
   std::vector<AttributeSet> queries;
@@ -44,6 +58,7 @@ void BenchBatchedQueries(const Dataset& d, const SeparationFilter& filter,
   double serial_ms = timer.ElapsedMillis();
   std::printf("  %-22s %8s %12.2f %10.1f %8s\n", name, "serial", serial_ms,
               queries.size() / serial_ms * 1e3, "1.00x");
+  RecordQueries(json, name, "serial", queries.size(), serial_ms);
 
   timer.Restart();
   std::vector<FilterVerdict> batched = filter.QueryBatch(queries, nullptr);
@@ -52,6 +67,7 @@ void BenchBatchedQueries(const Dataset& d, const SeparationFilter& filter,
   std::printf("  %-22s %8s %12.2f %10.1f %7.2fx\n", name, "batch/1",
               batch1_ms, queries.size() / batch1_ms * 1e3,
               serial_ms / batch1_ms);
+  RecordQueries(json, name, "batch/1", queries.size(), batch1_ms);
 
   for (size_t t = 2; t <= max_threads; t *= 2) {
     ThreadPool pool(t);
@@ -65,11 +81,12 @@ void BenchBatchedQueries(const Dataset& d, const SeparationFilter& filter,
     std::snprintf(label, sizeof(label), "batch/%zu", t);
     std::printf("  %-22s %8s %12.2f %10.1f %7.2fx\n", name, label, ms,
                 queries.size() / ms * 1e3, serial_ms / ms);
+    RecordQueries(json, name, label, queries.size(), ms);
   }
 }
 
 void BenchPipeline(const Dataset& d, FilterBackend backend, const char* name,
-                   size_t max_threads) {
+                   size_t max_threads, BenchJsonWriter* json) {
   for (size_t t = 1; t <= max_threads; t *= 2) {
     PipelineOptions options;
     options.eps = 0.001;
@@ -86,6 +103,10 @@ void BenchPipeline(const Dataset& d, FilterBackend backend, const char* name,
       std::printf("  %s=%.1f", s.name.c_str(), s.millis);
     }
     std::printf("\n");
+    json->Add("pipeline_run",
+              {{"backend", name}, {"threads", std::to_string(t)}},
+              result->total_millis * 1e6,
+              1e3 / result->total_millis);
   }
 }
 
@@ -93,9 +114,16 @@ void BenchPipeline(const Dataset& d, FilterBackend backend, const char* name,
 }  // namespace qikey
 
 int main(int argc, char** argv) {
-  size_t max_threads = argc > 1
-                           ? static_cast<size_t>(std::atoi(argv[1]))
-                           : std::thread::hardware_concurrency();
+  size_t max_threads = 0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      max_threads = static_cast<size_t>(std::atoi(argv[i]));
+    }
+  }
+  if (max_threads == 0) max_threads = std::thread::hardware_concurrency();
   if (max_threads == 0) max_threads = 4;
 
   qikey::Rng rng(2024);
@@ -108,27 +136,29 @@ int main(int argc, char** argv) {
   std::printf("  %-22s %8s %12s %10s %8s\n", "filter", "mode", "time (ms)",
               "q/s", "speedup");
 
+  qikey::BenchJsonWriter json;
   qikey::MxPairFilterOptions mx_opts;
   mx_opts.eps = 0.001;
   auto mx = qikey::MxPairFilter::Build(d, mx_opts, &rng);
   QIKEY_CHECK(mx.ok());
-  qikey::BenchBatchedQueries(d, *mx, "mx-pair", max_threads);
+  qikey::BenchBatchedQueries(d, *mx, "mx-pair", max_threads, &json);
 
   qikey::TupleSampleFilterOptions ts_opts;
   ts_opts.eps = 0.001;
   auto ts = qikey::TupleSampleFilter::Build(d, ts_opts, &rng);
   QIKEY_CHECK(ts.ok());
-  qikey::BenchBatchedQueries(d, *ts, "tuple-sample", max_threads);
+  qikey::BenchBatchedQueries(d, *ts, "tuple-sample", max_threads, &json);
 
   std::printf("\nend-to-end discovery pipeline (same table)\n");
   std::printf("  %-22s %8s %12s\n", "backend", "threads", "total (ms)");
   qikey::BenchPipeline(d, qikey::FilterBackend::kTupleSample, "tuple-sample",
-                       max_threads);
+                       max_threads, &json);
   qikey::BenchPipeline(d, qikey::FilterBackend::kMxPair, "mx-pair",
-                       max_threads);
+                       max_threads, &json);
 
   std::printf("\nReading: QueryBatch at >= 4 threads should beat the serial "
               "loop; the pipeline's\ngreedy and minimize stages shrink with "
               "thread count while sample/verify stay flat.\n");
+  if (!json.WriteToFile(json_path)) return 1;
   return 0;
 }

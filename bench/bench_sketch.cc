@@ -79,8 +79,10 @@ void SizeScaling() {
   TabularSpec spec;
   spec.num_rows = 4096;
   for (int j = 0; j < 64; ++j) {
-    spec.attributes.push_back(
-        {"b" + std::to_string(j), 2, 0.2, -1, 0.0});
+    // += instead of "b" + to_string: gcc 12 -Wrestrict FP (PR105651).
+    std::string name = "b";
+    name += std::to_string(j);
+    spec.attributes.push_back({std::move(name), 2, 0.2, -1, 0.0});
   }
   Dataset d = MakeTabular(spec, &rng);
   std::printf("  %6s %8s %14s %22s %8s\n", "k", "eps", "sketch bytes",

@@ -20,6 +20,13 @@ enum class FilterVerdict {
   kReject,  ///< witnessed an unseparated pair; certainly not a key
 };
 
+/// Which ε-separation filter implementation backs a component (the
+/// discovery pipeline's query/verify stages, the incremental monitor).
+enum class FilterBackend {
+  kTupleSample,  ///< this paper's `Θ(m/√ε)` tuple sample (Algorithm 1)
+  kMxPair,       ///< the Motwani–Xu `Θ(m/ε)` pair baseline
+};
+
 /// \brief Interface of the ε-separation key filter (the decision problem
 /// of Theorem 1).
 ///

@@ -134,7 +134,9 @@ TabularSpec CpsLikeSpec(uint64_t num_rows) {
   Rng layout_rng(0xC0FFEE);  // layout is part of the spec, hence fixed seed
   for (uint32_t j = 0; j < kNumAttributes; ++j) {
     AttributeSpec a;
-    a.name = "v" + std::to_string(j);
+    // += instead of "v" + to_string: gcc 12 -Wrestrict FP (PR105651).
+    a.name = "v";
+    a.name += std::to_string(j);
     double u = layout_rng.UniformDouble();
     if (u < 0.55) {
       a.cardinality = static_cast<uint32_t>(2 + layout_rng.Uniform(6));

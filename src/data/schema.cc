@@ -6,7 +6,11 @@ Schema Schema::Anonymous(size_t num_attributes) {
   std::vector<std::string> names;
   names.reserve(num_attributes);
   for (size_t i = 0; i < num_attributes; ++i) {
-    names.push_back("a" + std::to_string(i));
+    // Built with += (not "a" + to_string) to dodge gcc 12's -Wrestrict
+    // false positive on operator+(const char*, string&&) (PR105651).
+    std::string name = "a";
+    name += std::to_string(i);
+    names.push_back(std::move(name));
   }
   return Schema(std::move(names));
 }

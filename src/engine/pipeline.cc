@@ -97,6 +97,23 @@ Result<PipelineResult> DiscoveryPipeline::RunOnReservoir(
   return result;
 }
 
+Result<std::unique_ptr<KeyMonitor>> DiscoveryPipeline::RunIncremental(
+    const Dataset& initial, uint32_t max_key_size, uint64_t seed) const {
+  QIKEY_RETURN_NOT_OK(ValidateOptions(options_));
+  MonitorOptions monitor_options;
+  monitor_options.eps = options_.eps;
+  monitor_options.backend = options_.backend;
+  monitor_options.max_key_size = max_key_size;
+  monitor_options.sample_size = options_.sample_size;
+  monitor_options.pair_sample_size = options_.pair_sample_size;
+  monitor_options.num_threads = ResolveThreads(options_.num_threads);
+  Result<std::unique_ptr<KeyMonitor>> monitor =
+      KeyMonitor::Make(initial.schema(), monitor_options, seed);
+  if (!monitor.ok()) return monitor.status();
+  QIKEY_RETURN_NOT_OK((*monitor)->InsertDataset(initial));
+  return monitor;
+}
+
 Result<PipelineResult> DiscoveryPipeline::RunStages(
     const Dataset* full, std::shared_ptr<Dataset> sample,
     std::vector<RowIndex> provenance, Rng* rng) const {
@@ -247,10 +264,11 @@ std::string PipelineResult::Report(const Schema* schema) const {
   if (!steps.empty()) {
     out += "  greedy trace:";
     for (const RefineEngine::Step& s : steps) {
-      std::snprintf(line, sizeof(line), " %s(+%llu)",
-                    schema != nullptr
-                        ? schema->name(s.chosen).c_str()
-                        : ("a" + std::to_string(s.chosen)).c_str(),
+      // += instead of "a" + to_string: gcc 12 -Wrestrict FP (PR105651).
+      std::string attr = "a";
+      attr += std::to_string(s.chosen);
+      if (schema != nullptr) attr = schema->name(s.chosen);
+      std::snprintf(line, sizeof(line), " %s(+%llu)", attr.c_str(),
                     static_cast<unsigned long long>(s.gain));
       out += line;
     }

@@ -14,16 +14,11 @@
 #include "core/refine_engine.h"
 #include "core/tuple_sample_filter.h"
 #include "data/dataset.h"
+#include "monitor/key_monitor.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace qikey {
-
-/// Which ε-separation filter backs the pipeline's query/verify stages.
-enum class FilterBackend {
-  kTupleSample,  ///< this paper's `Θ(m/√ε)` tuple sample (Algorithm 1)
-  kMxPair,       ///< the Motwani–Xu `Θ(m/ε)` pair baseline
-};
 
 /// Options for `DiscoveryPipeline`. Defaults reproduce the paper's
 /// Table-1 regime serially; `num_threads` > 1 parallelizes the greedy
@@ -112,6 +107,16 @@ class DiscoveryPipeline {
   /// pair sampling the reservoir cannot provide.
   Result<PipelineResult> RunOnReservoir(
       const Dataset& sample, std::vector<RowIndex> provenance) const;
+
+  /// Incremental entry: primes a `KeyMonitor` with `initial` (which may
+  /// be empty) under this pipeline's options and returns it ready for
+  /// live `Insert`/`Erase` traffic. Where `Run` answers once,
+  /// the monitor keeps the minimal-key frontier — and with it the
+  /// emitted quasi-identifier — current under updates without
+  /// re-running sample→filter→greedy→minimize. `max_key_size` caps the
+  /// tracked frontier (see `MonitorOptions`).
+  Result<std::unique_ptr<KeyMonitor>> RunIncremental(
+      const Dataset& initial, uint32_t max_key_size, uint64_t seed) const;
 
   const PipelineOptions& options() const { return options_; }
 

@@ -1,0 +1,377 @@
+#include "monitor/key_monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "core/key_enumeration.h"
+#include "util/logging.h"
+
+namespace qikey {
+
+bool CanonicalAttributeSetLess(const AttributeSet& a, const AttributeSet& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return a.ToIndices() < b.ToIndices();
+}
+
+bool MonitorSnapshot::CoversKey(const AttributeSet& attrs) const {
+  for (const AttributeSet& key : *keys) {
+    if (key.IsSubsetOf(attrs)) return true;
+  }
+  return false;
+}
+
+std::string MonitorSnapshot::Report(const Schema* schema) const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "monitor epoch %llu: %llu window rows, %llu retained "
+                "samples, %llu update(s)\n",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(window_rows),
+                static_cast<unsigned long long>(filter_sample_size),
+                static_cast<unsigned long long>(updates_applied));
+  out += line;
+  std::snprintf(line, sizeof(line), "  minimal keys: %zu\n", keys->size());
+  out += line;
+  for (const AttributeSet& key : *keys) {
+    out += "    " + key.ToString(schema) + "\n";
+  }
+  if (keys->empty()) {
+    out += "    (none within the tracked size cap)\n";
+  }
+  return out;
+}
+
+KeyMonitor::KeyMonitor(Schema schema, const MonitorOptions& options,
+                       uint64_t seed)
+    : options_(options),
+      filter_(std::move(schema),
+              IncrementalFilterOptions{options.eps, options.backend,
+                                       options.sample_size,
+                                       options.pair_sample_size},
+              seed) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  // An empty window accepts the empty set: no retained pair violates it.
+  frontier_.push_back(AttributeSet(filter_.num_attributes()));
+  frontier_shared_ =
+      std::make_shared<const std::vector<AttributeSet>>(frontier_);
+  Publish();
+}
+
+Result<std::unique_ptr<KeyMonitor>> KeyMonitor::Make(
+    Schema schema, const MonitorOptions& options, uint64_t seed) {
+  if (options.eps <= 0.0 || options.eps >= 1.0) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (schema.num_attributes() == 0) {
+    return Status::InvalidArgument("schema must have attributes");
+  }
+  if (options.max_key_size == 0) {
+    return Status::InvalidArgument("max_key_size must be at least 1");
+  }
+  return std::unique_ptr<KeyMonitor>(
+      new KeyMonitor(std::move(schema), options, seed));
+}
+
+Status KeyMonitor::Insert(const std::vector<ValueCode>& row) {
+  if (row.size() != filter_.num_attributes()) {
+    return Status::InvalidArgument("row arity does not match monitor");
+  }
+  ++updates_applied_;
+  update_repaired_ = false;
+  if (options_.window_capacity > 0 &&
+      filter_.window_size() >= options_.window_capacity) {
+    std::vector<ValueCode> oldest = std::move(fifo_.front());
+    fifo_.pop_front();
+    Result<FilterUpdateDelta> evicted = filter_.Erase(oldest);
+    if (!evicted.ok()) return evicted.status();
+    QIKEY_RETURN_NOT_OK(ApplyDelta(*evicted));
+  }
+  Result<FilterUpdateDelta> delta = filter_.Insert(row);
+  if (!delta.ok()) return delta.status();
+  if (options_.window_capacity > 0) fifo_.push_back(row);
+  QIKEY_RETURN_NOT_OK(ApplyDelta(*delta));
+  if (update_repaired_) {
+    ++repaired_updates_;
+  } else {
+    ++untouched_updates_;
+  }
+  Publish();
+  return Status::OK();
+}
+
+Status KeyMonitor::Erase(const std::vector<ValueCode>& row) {
+  if (options_.window_capacity > 0) {
+    return Status::InvalidArgument(
+        "sliding-window monitors evict automatically; explicit Erase is "
+        "only available with window_capacity = 0");
+  }
+  Result<FilterUpdateDelta> delta = filter_.Erase(row);
+  if (!delta.ok()) return delta.status();
+  ++updates_applied_;
+  update_repaired_ = false;
+  QIKEY_RETURN_NOT_OK(ApplyDelta(*delta));
+  if (update_repaired_) {
+    ++repaired_updates_;
+  } else {
+    ++untouched_updates_;
+  }
+  Publish();
+  return Status::OK();
+}
+
+Status KeyMonitor::InsertDataset(const Dataset& dataset) {
+  if (dataset.num_attributes() != filter_.num_attributes()) {
+    return Status::InvalidArgument("dataset arity does not match monitor");
+  }
+  std::vector<ValueCode> row(dataset.num_attributes());
+  for (RowIndex i = 0; i < dataset.num_rows(); ++i) {
+    for (AttributeIndex j = 0; j < dataset.num_attributes(); ++j) {
+      row[j] = dataset.code(i, j);
+    }
+    QIKEY_RETURN_NOT_OK(Insert(row));
+  }
+  return Status::OK();
+}
+
+Status KeyMonitor::ApplyDelta(const FilterUpdateDelta& delta) {
+  if (!delta.sample_changed) return Status::OK();
+  update_repaired_ = true;
+  std::vector<AttributeSet> next;
+  bool within_budget = true;
+  if (!delta.freed_regions.empty()) {
+    within_budget = SearchFreedRegions(delta.freed_regions, &next);
+  }
+  if (within_budget) {
+    if (delta.constraints_added) {
+      std::vector<AttributeSet> kept;
+      std::vector<AttributeSet> expanded;
+      within_budget = RepairAddedConstraints(&kept, &expanded);
+      next.insert(next.end(), kept.begin(), kept.end());
+      next.insert(next.end(), expanded.begin(), expanded.end());
+    } else {
+      // Constraints only relaxed: every frontier key is still accepted.
+      next.insert(next.end(), frontier_.begin(), frontier_.end());
+    }
+  }
+  if (!within_budget) {
+    return RebuildFrontier();
+  }
+  CommitFrontier(std::move(next));
+  return Status::OK();
+}
+
+bool KeyMonitor::SearchFreedRegions(const std::vector<AttributeSet>& regions,
+                                    std::vector<AttributeSet>* out) {
+  // Every set that flipped rejected -> accepted is a subset of some
+  // region, and so is the whole chain below it, so an ascending-
+  // extension levelwise search restricted to region subsets finds every
+  // newly minimal key. Its outputs are even globally minimal: a smaller
+  // accepted set would itself be a region subset and prune its
+  // supersets.
+  const size_t m = filter_.num_attributes();
+  const uint32_t max_size =
+      std::min<uint32_t>(options_.max_key_size, static_cast<uint32_t>(m));
+  uint64_t evaluations = 0;
+
+  AttributeSet empty(m);
+  if (filter_.Query(empty) == FilterVerdict::kAccept) {
+    out->push_back(std::move(empty));
+    return true;
+  }
+  std::vector<AttributeSet> found;
+  std::vector<std::vector<AttributeIndex>> bases{{}};
+  for (uint32_t level = 1; level <= max_size && !bases.empty(); ++level) {
+    std::vector<std::vector<AttributeIndex>> candidates;
+    std::vector<AttributeSet> queries;
+    for (const auto& base : bases) {
+      AttributeIndex start = base.empty() ? 0 : base.back() + 1;
+      for (AttributeIndex a = start; a < m; ++a) {
+        if (++evaluations > options_.max_candidates) return false;
+        std::vector<AttributeIndex> candidate = base;
+        candidate.push_back(a);
+        AttributeSet attrs = AttributeSet::FromIndices(m, candidate);
+        bool inside = false;
+        for (const AttributeSet& region : regions) {
+          if (attrs.IsSubsetOf(region)) {
+            inside = true;
+            break;
+          }
+        }
+        if (!inside) continue;
+        bool contains_key = false;
+        for (const AttributeSet& key : found) {
+          if (key.IsSubsetOf(attrs)) {
+            contains_key = true;
+            break;
+          }
+        }
+        if (contains_key) continue;
+        candidates.push_back(std::move(candidate));
+        queries.push_back(std::move(attrs));
+      }
+    }
+    std::vector<FilterVerdict> verdicts =
+        filter_.QueryBatch(queries, pool_.get());
+    std::vector<std::vector<AttributeIndex>> next_bases;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (verdicts[i] == FilterVerdict::kAccept) {
+        found.push_back(std::move(queries[i]));
+      } else {
+        next_bases.push_back(std::move(candidates[i]));
+      }
+    }
+    bases = std::move(next_bases);
+  }
+  out->insert(out->end(), found.begin(), found.end());
+  return true;
+}
+
+bool KeyMonitor::RepairAddedConstraints(std::vector<AttributeSet>* kept,
+                                        std::vector<AttributeSet>* expanded) {
+  if (frontier_.empty()) return true;
+  const size_t m = filter_.num_attributes();
+  const uint32_t max_size =
+      std::min<uint32_t>(options_.max_key_size, static_cast<uint32_t>(m));
+
+  std::vector<FilterVerdict> verdicts =
+      filter_.QueryBatch(frontier_, pool_.get());
+  std::vector<AttributeSet> dirty;
+  for (size_t i = 0; i < frontier_.size(); ++i) {
+    if (verdicts[i] == FilterVerdict::kAccept) {
+      kept->push_back(frontier_[i]);
+    } else {
+      dirty.push_back(frontier_[i]);
+    }
+  }
+  if (dirty.empty()) return true;
+
+  // Every newly minimal key strictly contains an invalidated key, with
+  // every set in between rejected, so breadth-first superset expansion
+  // from the dirty keys (pruned on reaching anything accepted) is
+  // complete.
+  std::unordered_set<AttributeSet, AttributeSetHasher> seen(dirty.begin(),
+                                                            dirty.end());
+  uint64_t evaluations = 0;
+  while (!dirty.empty()) {
+    std::vector<AttributeSet> children;
+    for (const AttributeSet& base : dirty) {
+      if (base.size() + 1 > max_size) continue;
+      for (AttributeIndex a = 0; a < m; ++a) {
+        if (base.Contains(a)) continue;
+        AttributeSet child = base;
+        child.Add(a);
+        if (!seen.insert(child).second) continue;
+        if (++evaluations > options_.max_candidates) return false;
+        bool contains_key = false;
+        for (const AttributeSet& key : *kept) {
+          if (key.IsSubsetOf(child)) {
+            contains_key = true;
+            break;
+          }
+        }
+        for (size_t k = 0; k < expanded->size() && !contains_key; ++k) {
+          if ((*expanded)[k].IsSubsetOf(child)) contains_key = true;
+        }
+        if (contains_key) continue;
+        children.push_back(std::move(child));
+      }
+    }
+    std::vector<FilterVerdict> child_verdicts =
+        filter_.QueryBatch(children, pool_.get());
+    dirty.clear();
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (child_verdicts[i] == FilterVerdict::kAccept) {
+        expanded->push_back(std::move(children[i]));
+      } else {
+        dirty.push_back(std::move(children[i]));
+      }
+    }
+  }
+  return true;
+}
+
+Status KeyMonitor::RebuildFrontier() {
+  ++rebuilds_;
+  events_.push_back({updates_applied_, KeyEventKind::kRebuilt,
+                     AttributeSet(filter_.num_attributes())});
+  std::vector<AttributeSet> next;
+  if (filter_.sample_size() < 2) {
+    next.push_back(AttributeSet(filter_.num_attributes()));
+  } else {
+    KeyEnumerationOptions opts;
+    opts.max_size = options_.max_key_size;
+    opts.max_candidates = options_.max_candidates;
+    Result<std::vector<AttributeSet>> found = EnumerateMinimalAcceptedSets(
+        filter_, filter_.num_attributes(), opts, pool_.get());
+    if (!found.ok()) return found.status();
+    next = std::move(found).ValueOrDie();
+  }
+  CommitFrontier(std::move(next));
+  return Status::OK();
+}
+
+void KeyMonitor::CommitFrontier(std::vector<AttributeSet> next) {
+  std::sort(next.begin(), next.end(), CanonicalAttributeSetLess);
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  // Minimality pass: drop anything containing a (strictly smaller)
+  // accepted candidate. Sorted by size, so only earlier entries can be
+  // proper subsets.
+  std::vector<AttributeSet> minimal;
+  for (const AttributeSet& candidate : next) {
+    bool contains_smaller = false;
+    for (const AttributeSet& key : minimal) {
+      if (key.size() >= candidate.size()) break;
+      if (key.IsSubsetOf(candidate)) {
+        contains_smaller = true;
+        break;
+      }
+    }
+    if (!contains_smaller) minimal.push_back(candidate);
+  }
+
+  // Churn events: canonical-order merge diff against the old frontier.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < frontier_.size() || j < minimal.size()) {
+    if (j == minimal.size() ||
+        (i < frontier_.size() &&
+         CanonicalAttributeSetLess(frontier_[i], minimal[j]))) {
+      events_.push_back(
+          {updates_applied_, KeyEventKind::kRemoved, frontier_[i]});
+      ++i;
+    } else if (i == frontier_.size() ||
+               CanonicalAttributeSetLess(minimal[j], frontier_[i])) {
+      events_.push_back(
+          {updates_applied_, KeyEventKind::kAdded, minimal[j]});
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  frontier_ = std::move(minimal);
+  frontier_shared_ =
+      std::make_shared<const std::vector<AttributeSet>>(frontier_);
+}
+
+void KeyMonitor::Publish() {
+  epoch_ = updates_applied_;
+  auto snapshot = std::make_shared<MonitorSnapshot>();
+  snapshot->epoch = epoch_;
+  snapshot->updates_applied = updates_applied_;
+  snapshot->window_rows = filter_.window_size();
+  snapshot->filter_sample_size = filter_.sample_size();
+  snapshot->keys = frontier_shared_;
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+}
+
+std::shared_ptr<const MonitorSnapshot> KeyMonitor::Snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+}  // namespace qikey

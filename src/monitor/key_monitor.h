@@ -1,0 +1,185 @@
+#ifndef QIKEY_MONITOR_KEY_MONITOR_H_
+#define QIKEY_MONITOR_KEY_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "monitor/incremental_filter.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace qikey {
+
+/// Options for `KeyMonitor`.
+struct MonitorOptions {
+  double eps = 0.001;
+  FilterBackend backend = FilterBackend::kTupleSample;
+  /// Frontier cap: minimal keys larger than this are not tracked (the
+  /// `max_size` of levelwise UCC enumeration). Clamped to `m`.
+  uint32_t max_key_size = 5;
+  /// See `IncrementalFilterOptions`; a `sample_size` at least the
+  /// window size makes the monitor exact.
+  uint64_t sample_size = 0;
+  uint64_t pair_sample_size = 0;
+  /// Worker threads for batched repair queries; 1 = serial. Results
+  /// are identical at any thread count.
+  size_t num_threads = 1;
+  /// Repair abandons incremental search and falls back to a full
+  /// levelwise rebuild after this many candidate evaluations.
+  uint64_t max_candidates = 1u << 20;
+  /// When > 0 the monitor is a sliding window: inserting at capacity
+  /// first evicts the oldest tuple, and explicit `Erase` is rejected.
+  uint64_t window_capacity = 0;
+};
+
+/// How the minimal-key frontier changed at one epoch.
+enum class KeyEventKind {
+  kAdded,    ///< a set became a minimal key
+  kRemoved,  ///< a set stopped being a minimal key
+  kRebuilt,  ///< incremental repair gave up; frontier re-enumerated
+};
+
+struct KeyEvent {
+  uint64_t epoch = 0;
+  KeyEventKind kind = KeyEventKind::kAdded;
+  AttributeSet key;
+};
+
+/// \brief Immutable, epoch-numbered view of the monitor's state.
+///
+/// Published by the writer after every update; readers hold a
+/// `shared_ptr` and are never blocked or invalidated by later writes.
+struct MonitorSnapshot {
+  uint64_t epoch = 0;
+  uint64_t updates_applied = 0;
+  uint64_t window_rows = 0;
+  uint64_t filter_sample_size = 0;
+  /// Shared with sibling snapshots: updates that do not change the
+  /// frontier publish a new epoch without copying the keys.
+  std::shared_ptr<const std::vector<AttributeSet>> keys;
+
+  /// All minimal accepted sets of size <= `max_key_size`, canonically
+  /// ordered (by size, then lexicographically). `{∅}` when the window
+  /// holds fewer than two retained tuples; empty when every minimal
+  /// key exceeds the cap.
+  const std::vector<AttributeSet>& minimal_keys() const { return *keys; }
+
+  bool has_key() const { return !keys->empty(); }
+  /// The canonical representative: the first (smallest) minimal key.
+  const AttributeSet& primary_key() const { return keys->front(); }
+  /// True iff `attrs` contains some tracked minimal key, i.e. the
+  /// filter considers `attrs` a quasi-identifier.
+  bool CoversKey(const AttributeSet& attrs) const;
+
+  std::string Report(const Schema* schema = nullptr) const;
+};
+
+/// \brief Incremental quasi-identifier monitor: maintains the minimal
+/// ε-key (UCC) frontier of a live window under inserts and erases.
+///
+/// The monitor keeps an `IncrementalFilter` and repairs the frontier
+/// from the filter's update deltas instead of re-enumerating:
+///   - updates that leave the retained sample untouched cost nothing;
+///   - added constraints can only invalidate existing keys, so the
+///     repair rechecks the frontier and expands the invalidated keys
+///     levelwise (supersets of dirtied keys only);
+///   - removed constraints can only reveal new keys inside the freed
+///     agree-set regions, so the repair searches those subsets only.
+/// A final minimality pass merges surviving, expanded, and freed-region
+/// keys. If a repair's candidate budget is exhausted the monitor falls
+/// back to one full levelwise enumeration (`kRebuilt` event).
+///
+/// With an exact filter (sample covering the window) the frontier
+/// equals `EnumerateMinimalKeys` of the window at every epoch; with a
+/// sampled filter it equals `EnumerateMinimalAcceptedSets` of the
+/// current sample. Results are deterministic for a fixed seed and
+/// update sequence at any `num_threads`.
+///
+/// Threading: one writer (`Insert`/`Erase`); any number of concurrent
+/// readers via `Snapshot()`, which returns the latest immutable
+/// snapshot through an atomic pointer — readers never take the
+/// writer's locks and never observe partial repairs.
+class KeyMonitor {
+ public:
+  static Result<std::unique_ptr<KeyMonitor>> Make(
+      Schema schema, const MonitorOptions& options, uint64_t seed);
+
+  Status Insert(const std::vector<ValueCode>& row);
+  /// Multiset erase by content. InvalidArgument in sliding-window mode.
+  Status Erase(const std::vector<ValueCode>& row);
+  /// Feeds every row of `dataset` (e.g. the initial table).
+  Status InsertDataset(const Dataset& dataset);
+
+  /// Latest published snapshot; safe from any thread.
+  std::shared_ptr<const MonitorSnapshot> Snapshot() const;
+
+  /// Key-churn log (writer-side; do not read concurrently with writes).
+  /// Grows with churn — long-running streams should drain it
+  /// periodically via `clear_events`.
+  const std::vector<KeyEvent>& events() const { return events_; }
+  void clear_events() { events_.clear(); }
+
+  const Schema& schema() const { return filter_.schema(); }
+  const IncrementalFilter& filter() const { return filter_; }
+  uint64_t epoch() const { return epoch_; }
+  /// Updates (Insert/Erase calls) none of whose deltas — including a
+  /// sliding-window eviction — changed a verdict: they cost no repair
+  /// work. `untouched_updates() + repaired_updates()` equals the
+  /// number of updates applied.
+  uint64_t untouched_updates() const { return untouched_updates_; }
+  uint64_t repaired_updates() const { return repaired_updates_; }
+  uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  KeyMonitor(Schema schema, const MonitorOptions& options, uint64_t seed);
+
+  Status ApplyDelta(const FilterUpdateDelta& delta);
+  /// Minimal accepted sets inside the freed regions (levelwise over
+  /// subsets of the regions only). False on candidate-budget overflow.
+  bool SearchFreedRegions(const std::vector<AttributeSet>& regions,
+                          std::vector<AttributeSet>* out);
+  /// Rechecks the frontier and expands invalidated keys levelwise
+  /// (supersets of dirtied keys only). False on budget overflow.
+  bool RepairAddedConstraints(std::vector<AttributeSet>* kept,
+                              std::vector<AttributeSet>* expanded);
+  Status RebuildFrontier();
+  /// Installs `next` (accepted candidates, possibly redundant) as the
+  /// new frontier: minimality pass, canonical sort, churn events.
+  void CommitFrontier(std::vector<AttributeSet> next);
+  void Publish();
+
+  MonitorOptions options_;
+  IncrementalFilter filter_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  uint64_t epoch_ = 0;
+  uint64_t updates_applied_ = 0;
+  uint64_t untouched_updates_ = 0;
+  uint64_t repaired_updates_ = 0;
+  uint64_t rebuilds_ = 0;
+  /// Set by ApplyDelta within one update; classifies the update for
+  /// the counters above.
+  bool update_repaired_ = false;
+
+  /// Current minimal-key frontier, canonically ordered. `shared_`
+  /// mirrors it for zero-copy snapshot publication and is refreshed
+  /// only when the frontier actually changes.
+  std::vector<AttributeSet> frontier_;
+  std::shared_ptr<const std::vector<AttributeSet>> frontier_shared_;
+  std::vector<KeyEvent> events_;
+  std::deque<std::vector<ValueCode>> fifo_;  // sliding-window eviction order
+
+  std::atomic<std::shared_ptr<const MonitorSnapshot>> snapshot_;
+};
+
+/// Canonical frontier order: by size, then lexicographic on indices.
+bool CanonicalAttributeSetLess(const AttributeSet& a, const AttributeSet& b);
+
+}  // namespace qikey
+
+#endif  // QIKEY_MONITOR_KEY_MONITOR_H_

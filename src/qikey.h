@@ -62,6 +62,8 @@
 #include "math/combinatorics.h"
 #include "math/kkt.h"
 #include "math/sympoly.h"
+#include "monitor/incremental_filter.h"
+#include "monitor/key_monitor.h"
 #include "setcover/set_cover.h"
 #include "stream/pair_reservoir.h"
 #include "stream/reservoir.h"

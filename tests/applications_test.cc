@@ -171,9 +171,11 @@ Dataset FdDataset() {
     int dep = i % 3;
     // city determines dept except for 6 "travelers".
     int city = (i < 6) ? (dep + 1) % 3 : dep;
+    // += instead of "e" + to_string: gcc 12 -Wrestrict FP (PR105651).
+    std::string emp = "e";
+    emp += std::to_string(i);
     EXPECT_TRUE(b.AddRow({depts[dep], floors[dep],
-                          std::string("city") + std::to_string(city),
-                          "e" + std::to_string(i)})
+                          std::string("city") + std::to_string(city), emp})
                     .ok());
   }
   return std::move(b).Finish();

@@ -19,7 +19,9 @@ TabularSpec RandomSpec(Rng* rng) {
   uint32_t m = 2 + static_cast<uint32_t>(rng->Uniform(7));
   for (uint32_t j = 0; j < m; ++j) {
     AttributeSpec a;
-    a.name = "c" + std::to_string(j);
+    // += instead of "c" + to_string: gcc 12 -Wrestrict FP (PR105651).
+    a.name = "c";
+    a.name += std::to_string(j);
     a.cardinality = 1 + static_cast<uint32_t>(rng->Uniform(40));
     a.zipf_exponent = rng->UniformDouble() * 2.0;
     if (j > 0 && rng->Bernoulli(0.25)) {

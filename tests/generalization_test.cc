@@ -170,7 +170,10 @@ TEST(GeneralizationTest, BudgetExhaustionReported) {
   spec.num_rows = 200;
   spec.attributes = {};
   for (int j = 0; j < 8; ++j) {
-    spec.attributes.push_back({"c" + std::to_string(j), 64, 0.0, -1, 0.0});
+    // += instead of "c" + to_string: gcc 12 -Wrestrict FP (PR105651).
+    std::string name = "c";
+    name += std::to_string(j);
+    spec.attributes.push_back({std::move(name), 64, 0.0, -1, 0.0});
   }
   Dataset d = MakeTabular(spec, &rng);
   std::vector<AttributeIndex> qi;

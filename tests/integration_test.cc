@@ -13,8 +13,15 @@ TEST(IntegrationTest, CsvToFilterPipeline) {
   // classification.
   std::string csv = "user,city,plan\n";
   for (int i = 0; i < 200; ++i) {
-    csv += "u" + std::to_string(i) + ",c" + std::to_string(i % 5) + ",p" +
-           std::to_string(i % 2) + "\n";
+    // Appended piecewise: gcc 12 -Wrestrict FP on "u" + to_string
+    // (PR105651).
+    csv += "u";
+    csv += std::to_string(i);
+    csv += ",c";
+    csv += std::to_string(i % 5);
+    csv += ",p";
+    csv += std::to_string(i % 2);
+    csv += "\n";
   }
   auto d = LoadCsvDatasetFromString(csv);
   ASSERT_TRUE(d.ok());

@@ -6,6 +6,7 @@
 
 #include "core/separation.h"
 #include "core/sketch.h"
+#include "engine/pipeline.h"
 #include "math/combinatorics.h"
 #include "data/generators/uniform_grid.h"
 #include "stream/pair_reservoir.h"
@@ -35,6 +36,54 @@ TEST(ReservoirTest, CapsAtCapacity) {
   EXPECT_EQ(distinct.size(), 5u);
 }
 
+TEST(ReservoirTest, ExactCapacityBoundary) {
+  // Window exactly the stream length: everything retained, in order.
+  Rng rng(20);
+  ReservoirSampler<int> res(8, &rng);
+  for (int i = 0; i < 8; ++i) res.Offer(i);
+  EXPECT_EQ(res.items().size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(res.items()[i], i);
+  // One more item: still capped, still a valid subset of the stream.
+  res.Offer(8);
+  EXPECT_EQ(res.items().size(), 8u);
+  EXPECT_EQ(res.seen(), 9u);
+}
+
+TEST(ReservoirTest, WindowOfOne) {
+  // Degenerate capacity: after n items the slot is a uniform pick.
+  constexpr int kTrials = 20000;
+  std::vector<int> counts(10, 0);
+  Rng rng(21);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler<int> res(1, &rng);
+    for (int i = 0; i < 10; ++i) res.Offer(i);
+    ++counts[res.items()[0]];
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(counts[i], kTrials / 10, kTrials / 25) << i;
+  }
+}
+
+TEST(ReservoirTest, DuplicateItemsAreRetainedIndependently) {
+  // A constant stream must fill the reservoir with copies, not dedupe.
+  Rng rng(22);
+  ReservoirSampler<int> res(5, &rng);
+  for (int i = 0; i < 300; ++i) res.Offer(7);
+  EXPECT_EQ(res.items().size(), 5u);
+  for (int kept : res.items()) EXPECT_EQ(kept, 7);
+}
+
+TEST(ReservoirTest, SeedStability) {
+  auto draw = [](uint64_t seed) {
+    Rng rng(seed);
+    ReservoirSampler<int> res(10, &rng);
+    for (int i = 0; i < 500; ++i) res.Offer(i);
+    return res.items();
+  };
+  EXPECT_EQ(draw(23), draw(23));
+  EXPECT_NE(draw(23), draw(24));
+}
+
 TEST(ReservoirTest, InclusionProbabilityIsUniform) {
   // Each of 50 stream items should be retained w.p. 10/50.
   constexpr int kTrials = 20000;
@@ -62,6 +111,31 @@ TEST(PairReservoirTest, SlotsHoldDistinctPositions) {
     EXPECT_LT(a, 500u);
     EXPECT_LT(b, 500u);
   }
+}
+
+TEST(PairReservoirTest, TwoItemStreamBoundary) {
+  // The smallest stream supporting pairs: every slot must hold {0, 1}.
+  Rng rng(25);
+  PairReservoir res(8, &rng);
+  res.Offer();
+  res.Offer();
+  EXPECT_EQ(res.seen(), 2u);
+  for (auto [a, b] : res.pairs()) {
+    if (a > b) std::swap(a, b);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+  }
+}
+
+TEST(PairReservoirTest, SeedStability) {
+  auto draw = [](uint64_t seed) {
+    Rng rng(seed);
+    PairReservoir res(10, &rng);
+    for (int i = 0; i < 400; ++i) res.Offer();
+    return res.pairs();
+  };
+  EXPECT_EQ(draw(26), draw(26));
+  EXPECT_NE(draw(26), draw(27));
 }
 
 TEST(PairReservoirTest, PairDistributionIsUniform) {
@@ -200,6 +274,63 @@ TEST(StreamBuilderTest, SketchBuilderTracksExactGamma) {
   auto back = NonSeparationSketch::Deserialize(sketch->Serialize());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->Estimate(AttributeSet(4)).hits, 8000u);
+}
+
+TEST(StreamBuilderTest, DuplicateRowsForceRejection) {
+  // A window smaller than a duplicate-only stream still retains enough
+  // copies that even the full attribute set is rejected: no key exists.
+  Rng rng(30);
+  StreamingTupleFilterBuilder builder(Schema::Anonymous(2), {3, 3}, 6, &rng);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(builder.Offer({1, 2}).ok());
+  }
+  auto filter = std::move(builder).Finish();
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter->sample_size(), 6u);
+  EXPECT_EQ(filter->Query(AttributeSet::All(2)), FilterVerdict::kReject);
+}
+
+TEST(StreamBuilderTest, ReservoirPipelineDeterministicAcrossThreadCounts) {
+  // Same seed -> same retained sample -> identical discovery results
+  // through RunOnReservoir at any thread count (the "seed stability
+  // across thread counts" contract for the streaming entry).
+  Rng data_rng(31);
+  Dataset d = MakeUniformGridSample(6, 4, 2000, &data_rng);
+  auto draw_sample = [&](uint64_t seed) {
+    Rng rng(seed);
+    StreamingTupleFilterBuilder builder(d.schema(), Cardinalities(d), 150,
+                                        &rng);
+    for (const auto& row : DatasetRows(d)) {
+      EXPECT_TRUE(builder.Offer(row).ok());
+    }
+    auto filter = std::move(builder).Finish();
+    EXPECT_TRUE(filter.ok());
+    return filter->sample();
+  };
+  Dataset sample_a = draw_sample(77);
+  Dataset sample_b = draw_sample(77);
+  ASSERT_EQ(sample_a.num_rows(), sample_b.num_rows());
+  for (RowIndex i = 0; i < sample_a.num_rows(); ++i) {
+    for (AttributeIndex j = 0; j < sample_a.num_attributes(); ++j) {
+      ASSERT_EQ(sample_a.code(i, j), sample_b.code(i, j)) << i << "," << j;
+    }
+  }
+
+  PipelineOptions serial_opts;
+  serial_opts.eps = 0.01;
+  serial_opts.num_threads = 1;
+  auto serial = DiscoveryPipeline(serial_opts).RunOnReservoir(sample_a, {});
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {2u, 5u}) {
+    PipelineOptions par_opts = serial_opts;
+    par_opts.num_threads = threads;
+    auto parallel =
+        DiscoveryPipeline(par_opts).RunOnReservoir(sample_a, {});
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->key, parallel->key) << threads;
+    EXPECT_EQ(serial->covered_sample, parallel->covered_sample);
+    EXPECT_EQ(serial->verdict, parallel->verdict);
+  }
 }
 
 TEST(StreamBuilderTest, RejectsEmptyStream) {

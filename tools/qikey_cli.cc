@@ -21,9 +21,18 @@
 //   qikey discover <csv> [--eps E] [--backend tuple|mx] [--threads T]
 //       End-to-end discovery pipeline: sample, filter, parallel greedy,
 //       batched minimization, verify with witness; per-stage timings.
+//   qikey monitor <csv> [--eps E] [--max-size K] [--window W]
+//                 [--backend tuple|mx] [--threads T]
+//       Replay the CSV as a live insert stream through the incremental
+//       key monitor (optionally as a sliding window of W rows), report
+//       every key-churn event and the final snapshot.
 //
 // All commands are deterministic for a fixed --seed (default 1),
-// including discover at any --threads value.
+// including discover and monitor at any --threads value.
+//
+// Exit codes: 0 success; 1 load/runtime error; 2 usage error;
+// 3 discover verification failure (the emitted key was rejected by the
+// filter), so scripts and CI can gate on it.
 
 #include <cstdio>
 #include <cstdlib>
@@ -58,16 +67,18 @@ struct Args {
   double suppress = 0.0;
   std::string backend = "tuple";
   size_t threads = 1;
+  uint64_t window = 0;
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: qikey <profile|minkey|keys|audit|query|mask|afd|"
-               "anonymize|discover>\n"
+               "anonymize|discover|monitor>\n"
                "             <csv> [--eps E] [--max-size K] [--attrs a,b,c] "
                "[--rhs col]\n"
                "             [--error E] [--seed S] [--backend tuple|mx] "
-               "[--threads T]\n");
+               "[--threads T]\n"
+               "             [--window W]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -125,12 +136,30 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->threads = static_cast<size_t>(t);
+    } else if (flag == "--window") {
+      const char* v = next();
+      if (!v) return false;
+      args->window = static_cast<uint64_t>(std::atoll(v));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
   return true;
+}
+
+/// Resolves --backend; false (with a message) on unknown names.
+bool ParseBackend(const std::string& name, FilterBackend* backend) {
+  if (name == "tuple") {
+    *backend = FilterBackend::kTupleSample;
+    return true;
+  }
+  if (name == "mx") {
+    *backend = FilterBackend::kMxPair;
+    return true;
+  }
+  std::fprintf(stderr, "unknown backend: %s (want tuple|mx)\n", name.c_str());
+  return false;
 }
 
 /// Resolves "a,b,c" against the schema; exits on unknown names.
@@ -330,13 +359,7 @@ int RunDiscover(const Dataset& data, const Args& args, Rng* rng) {
   PipelineOptions opts;
   opts.eps = args.eps;
   opts.num_threads = args.threads;
-  if (args.backend == "mx") {
-    opts.backend = FilterBackend::kMxPair;
-  } else if (args.backend != "tuple") {
-    std::fprintf(stderr, "unknown backend: %s (want tuple|mx)\n",
-                 args.backend.c_str());
-    return 2;
-  }
+  if (!ParseBackend(args.backend, &opts.backend)) return 2;
   DiscoveryPipeline pipeline(opts);
   auto result = pipeline.Run(data, rng);
   if (!result.ok()) {
@@ -344,6 +367,51 @@ int RunDiscover(const Dataset& data, const Args& args, Rng* rng) {
     return 1;
   }
   std::printf("%s", result->Report(&data.schema()).c_str());
+  if (result->verdict != FilterVerdict::kAccept) {
+    std::fprintf(stderr,
+                 "verification failed: the emitted key was rejected\n");
+    return 3;
+  }
+  return 0;
+}
+
+int RunMonitor(const Dataset& data, const Args& args) {
+  MonitorOptions opts;
+  opts.eps = args.eps;
+  opts.max_key_size = args.max_size;
+  opts.num_threads = args.threads;
+  opts.window_capacity = args.window;
+  if (!ParseBackend(args.backend, &opts.backend)) return 2;
+  auto monitor = KeyMonitor::Make(data.schema(), opts, args.seed);
+  if (!monitor.ok()) {
+    std::fprintf(stderr, "%s\n", monitor.status().ToString().c_str());
+    return 1;
+  }
+  Status replay = (*monitor)->InsertDataset(data);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "%s\n", replay.ToString().c_str());
+    return 1;
+  }
+  std::printf("replayed %zu row(s)%s; %llu key-churn event(s):\n",
+              data.num_rows(),
+              args.window > 0 ? " through a sliding window" : "",
+              static_cast<unsigned long long>((*monitor)->events().size()));
+  for (const KeyEvent& event : (*monitor)->events()) {
+    const char* kind = event.kind == KeyEventKind::kAdded     ? "+ key"
+                       : event.kind == KeyEventKind::kRemoved ? "- key"
+                                                              : "rebuilt";
+    std::printf("  [row %6llu] %s %s\n",
+                static_cast<unsigned long long>(event.epoch), kind,
+                event.kind == KeyEventKind::kRebuilt
+                    ? "(incremental repair budget exhausted)"
+                    : event.key.ToString(&data.schema()).c_str());
+  }
+  std::printf("updates: %llu untouched the sample, %llu repaired, %llu "
+              "rebuilt\n",
+              static_cast<unsigned long long>((*monitor)->untouched_updates()),
+              static_cast<unsigned long long>((*monitor)->repaired_updates()),
+              static_cast<unsigned long long>((*monitor)->rebuilds()));
+  std::printf("%s", (*monitor)->Snapshot()->Report(&data.schema()).c_str());
   return 0;
 }
 
@@ -369,6 +437,7 @@ int Main(int argc, char** argv) {
   if (args.command == "afd") return RunAfd(*data, args);
   if (args.command == "anonymize") return RunAnonymize(*data, args);
   if (args.command == "discover") return RunDiscover(*data, args, &rng);
+  if (args.command == "monitor") return RunMonitor(*data, args);
   Usage();
   return 2;
 }
