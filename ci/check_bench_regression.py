@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Warn when bench wall-times regress versus a committed baseline.
+
+Usage:
+  check_bench_regression.py --baseline bench/baselines/BENCH_pipeline.json \
+      --current BENCH_pipeline.json [--threshold 0.25]
+
+Entries are matched by (name, params). A current ns_per_op more than
+`threshold` above the baseline emits a GitHub Actions ::warning::
+annotation. Advisory by design: CI hardware differs from the machine
+that recorded the baseline, so regressions warn instead of failing; the
+exit code is non-zero only for malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        key = (entry["name"], tuple(sorted(entry.get("params", {}).items())))
+        out[key] = float(entry["ns_per_op"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.25)
+    args = parser.parse_args()
+
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"::error::cannot read bench json: {err}")
+        return 1
+
+    regressions = 0
+    for key, base_ns in sorted(baseline.items()):
+        cur_ns = current.get(key)
+        if cur_ns is None or base_ns <= 0:
+            continue
+        ratio = cur_ns / base_ns
+        name = key[0] + "{" + ", ".join(f"{k}={v}" for k, v in key[1]) + "}"
+        if ratio > 1.0 + args.threshold:
+            regressions += 1
+            print(
+                f"::warning::bench regression: {name} "
+                f"{base_ns:.0f} -> {cur_ns:.0f} ns/op ({ratio:.2f}x)"
+            )
+        else:
+            print(f"ok: {name} {base_ns:.0f} -> {cur_ns:.0f} ns/op ({ratio:.2f}x)")
+    missing = sorted(set(baseline) - set(current))
+    for key in missing:
+        print(f"::warning::bench entry missing from current run: {key[0]}")
+    print(f"{regressions} regression(s) beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "data/concat.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -65,6 +66,69 @@ Result<MxPairFilter> MxPairFilter::FromMaterializedPairs(Dataset pair_table) {
                                static_cast<RowIndex>(2 * i + 1));
   }
   return filter;
+}
+
+Result<MxPairFilter> MxPairFilter::MergeDisjoint(const MxPairFilter& a,
+                                                 uint64_t seen_a,
+                                                 const MxPairFilter& b,
+                                                 uint64_t seen_b, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (a.materialized_ == nullptr || b.materialized_ == nullptr) {
+    return Status::InvalidArgument("merge requires materialized pair filters");
+  }
+  if (a.pairs_.size() != b.pairs_.size() || a.pairs_.empty()) {
+    return Status::InvalidArgument(
+        "merge requires equal, non-zero slot counts");
+  }
+  if (seen_a < 2 || seen_b < 2) {
+    return Status::InvalidArgument("each side must have sampled >= 2 rows");
+  }
+  if (seen_a + seen_b > static_cast<uint64_t>(~RowIndex{0})) {
+    return Status::InvalidArgument("merged population exceeds RowIndex range");
+  }
+  if (a.exhaustive_compare_ != b.exhaustive_compare_) {
+    return Status::InvalidArgument("cannot merge differing compare modes");
+  }
+
+  // One union table to select merged pair rows from: a's materialized
+  // rows first, then b's at `offset` (re-encoded to shared codes).
+  Result<Dataset> combined =
+      ConcatDatasets({a.materialized_.get(), b.materialized_.get()});
+  if (!combined.ok()) return combined.status();
+  const RowIndex offset = static_cast<RowIndex>(a.materialized_->num_rows());
+
+  // C(n,2) fits u64 because n fits u32.
+  const uint64_t pairs_a = seen_a * (seen_a - 1) / 2;
+  const uint64_t pairs_b = seen_b * (seen_b - 1) / 2;
+  const uint64_t n = seen_a + seen_b;
+  const uint64_t pairs_total = n * (n - 1) / 2;
+
+  const size_t s = a.pairs_.size();
+  std::vector<RowIndex> selected;
+  selected.reserve(2 * s);
+  for (size_t i = 0; i < s; ++i) {
+    uint64_t v = rng->Uniform(pairs_total);
+    if (v < pairs_a) {
+      selected.push_back(a.pairs_[i].first);
+      selected.push_back(a.pairs_[i].second);
+    } else if (v < pairs_a + pairs_b) {
+      selected.push_back(offset + b.pairs_[i].first);
+      selected.push_back(offset + b.pairs_[i].second);
+    } else {
+      // Cross pair: a uniform element of each slot's pair is a uniform
+      // row of that population.
+      const auto& pa = a.pairs_[i];
+      const auto& pb = b.pairs_[i];
+      selected.push_back(rng->Uniform(2) == 0 ? pa.first : pa.second);
+      selected.push_back(offset +
+                         (rng->Uniform(2) == 0 ? pb.first : pb.second));
+    }
+  }
+  Result<MxPairFilter> merged =
+      FromMaterializedPairs(combined->SelectRows(selected));
+  if (!merged.ok()) return merged.status();
+  merged->exhaustive_compare_ = a.exhaustive_compare_;
+  return merged;
 }
 
 FilterVerdict MxPairFilter::Query(const AttributeSet& attrs) const {

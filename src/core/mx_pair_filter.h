@@ -43,6 +43,26 @@ class MxPairFilter : public SeparationFilter {
   /// rows `2i` and `2i+1` of `pair_table` form sampled pair `i`.
   static Result<MxPairFilter> FromMaterializedPairs(Dataset pair_table);
 
+  /// \brief Merges two MATERIALIZED filters with equal slot counts,
+  /// built over DISJOINT row populations of `seen_a` and `seen_b` rows,
+  /// into one whose every slot holds a uniform pair of the union — the
+  /// per-slot pair-reservoir union behind sharded construction.
+  ///
+  /// Per slot (independently, with exact integer-arithmetic category
+  /// probabilities): with probability `C(seen_a,2)/C(n,2)` keep a's
+  /// pair, with `C(seen_b,2)/C(n,2)` keep b's, otherwise form a cross
+  /// pair from one uniform endpoint of each (a uniform element of a
+  /// uniform pair is a uniform row). Values are re-encoded through a
+  /// union dictionary. Requires `seen >= 2` on both sides and
+  /// `seen_a + seen_b` within `RowIndex` range.
+  static Result<MxPairFilter> MergeDisjoint(const MxPairFilter& a,
+                                            uint64_t seen_a,
+                                            const MxPairFilter& b,
+                                            uint64_t seen_b, Rng* rng);
+
+  /// The private pair table when materialized (null otherwise).
+  const Dataset* materialized() const { return materialized_.get(); }
+
   FilterVerdict Query(const AttributeSet& attrs) const override;
   std::optional<std::pair<RowIndex, RowIndex>> QueryWitness(
       const AttributeSet& attrs) const override;

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "data/concat.h"
 #include "data/serialize.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -55,6 +56,53 @@ TupleSampleFilter TupleSampleFilter::FromSample(
   filter.original_rows_ = std::move(original_rows);
   filter.detection_ = detection;
   return filter;
+}
+
+Result<TupleSampleFilter> TupleSampleFilter::MergeDisjoint(
+    const TupleSampleFilter& a, uint64_t seen_a, const TupleSampleFilter& b,
+    uint64_t seen_b, uint64_t target_sample_size, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (target_sample_size == 0) {
+    return Status::InvalidArgument("target sample size must be positive");
+  }
+  if (seen_a < a.sample_size() || seen_b < b.sample_size()) {
+    return Status::InvalidArgument(
+        "seen row counts smaller than the retained samples");
+  }
+  if (a.detection_ != b.detection_) {
+    return Status::InvalidArgument("cannot merge differing detection modes");
+  }
+  const uint64_t target = std::min(target_sample_size, seen_a + seen_b);
+  const uint64_t need_a = std::min(target, seen_a);
+  const uint64_t need_b = std::min(target, seen_b);
+  if (a.sample_size() < need_a || b.sample_size() < need_b) {
+    return Status::InvalidArgument(
+        "inputs retain fewer tuples than the merge target requires");
+  }
+
+  // k of the merged sample come from a's population (hypergeometric),
+  // filled by uniform sub-draws of the two uniform per-shard samples.
+  uint64_t k = rng->HypergeometricDraw(target, seen_a, seen_b);
+  std::vector<uint64_t> pick_a =
+      rng->SampleWithoutReplacement(a.sample_size(), k);
+  std::vector<uint64_t> pick_b =
+      rng->SampleWithoutReplacement(b.sample_size(), target - k);
+  std::vector<RowIndex> rows_a(pick_a.begin(), pick_a.end());
+  std::vector<RowIndex> rows_b(pick_b.begin(), pick_b.end());
+
+  Dataset part_a = a.sample_->SelectRows(rows_a);
+  Dataset part_b = b.sample_->SelectRows(rows_b);
+  Result<Dataset> merged = ConcatDatasets({&part_a, &part_b});
+  if (!merged.ok()) return merged.status();
+
+  std::vector<RowIndex> provenance;
+  if (!a.original_rows_.empty() && !b.original_rows_.empty()) {
+    provenance.reserve(target);
+    for (RowIndex r : rows_a) provenance.push_back(a.original_rows_[r]);
+    for (RowIndex r : rows_b) provenance.push_back(b.original_rows_[r]);
+  }
+  return FromSample(std::move(merged).ValueOrDie(), std::move(provenance),
+                    a.detection_);
 }
 
 FilterVerdict TupleSampleFilter::Query(const AttributeSet& attrs) const {
@@ -151,10 +199,13 @@ Result<TupleSampleFilter> TupleSampleFilter::Deserialize(
                                                : DuplicateDetection::kHash;
   uint64_t prov = 0;
   std::memcpy(&prov, bytes.data() + 5, sizeof(prov));
-  size_t prov_bytes = static_cast<size_t>(prov) * sizeof(RowIndex);
-  if (bytes.size() < 13 + prov_bytes) {
+  // Validate the declared count against the payload BEFORE computing
+  // byte sizes or allocating: a hostile count must not overflow the
+  // arithmetic below or trigger a huge allocation.
+  if (prov > (bytes.size() - 13) / sizeof(RowIndex)) {
     return Status::InvalidArgument("truncated filter provenance");
   }
+  size_t prov_bytes = static_cast<size_t>(prov) * sizeof(RowIndex);
   std::vector<RowIndex> rows(prov);
   std::memcpy(rows.data(), bytes.data() + 13, prov_bytes);
   Result<Dataset> sample = DeserializeDataset(bytes.substr(13 + prov_bytes));

@@ -55,6 +55,28 @@ class TupleSampleFilter : public SeparationFilter {
                                       std::vector<RowIndex> original_rows,
                                       DuplicateDetection detection);
 
+  /// \brief Merges two filters built over DISJOINT row populations into
+  /// one whose retained sample is distributed exactly as a single
+  /// uniform draw of `min(target_sample_size, seen_a + seen_b)` tuples
+  /// from the union — the sharded-construction primitive: per-shard
+  /// filters built independently (even in separate processes, with
+  /// their own dictionaries) merge into the global filter without ever
+  /// materializing the full relation.
+  ///
+  /// `seen_a`/`seen_b` are the row counts each filter's sample was
+  /// drawn from. Each input must retain at least
+  /// `min(target_sample_size, seen)` tuples — true whenever the shard
+  /// sampled at the target rate. The split is hypergeometric (see
+  /// `Rng::HypergeometricDraw`); values are re-encoded through a union
+  /// dictionary, so answers are exact regardless of per-shard encoding.
+  /// Provenance is preserved when both inputs carry it.
+  static Result<TupleSampleFilter> MergeDisjoint(const TupleSampleFilter& a,
+                                                 uint64_t seen_a,
+                                                 const TupleSampleFilter& b,
+                                                 uint64_t seen_b,
+                                                 uint64_t target_sample_size,
+                                                 Rng* rng);
+
   FilterVerdict Query(const AttributeSet& attrs) const override;
   std::optional<std::pair<RowIndex, RowIndex>> QueryWitness(
       const AttributeSet& attrs) const override;
@@ -76,6 +98,15 @@ class TupleSampleFilter : public SeparationFilter {
   /// The retained sample as a data set (used by the greedy min-key
   /// machinery, which runs set cover on `(R choose 2)`).
   const Dataset& sample() const { return *sample_; }
+
+  /// Shared handle to the retained sample (the pipeline runs greedy
+  /// refinement on the same table the filter answers from).
+  std::shared_ptr<Dataset> shared_sample() const { return sample_; }
+
+  /// Original-row provenance of each sample row (empty when unknown).
+  const std::vector<RowIndex>& provenance() const { return original_rows_; }
+
+  DuplicateDetection detection() const { return detection_; }
 
  private:
   TupleSampleFilter() = default;

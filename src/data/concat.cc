@@ -1,0 +1,71 @@
+#include "data/concat.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace qikey {
+
+Result<Dataset> ConcatDatasets(const std::vector<const Dataset*>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("need at least one data set to concat");
+  }
+  const Dataset& first = *parts[0];
+  size_t total_rows = 0;
+  for (const Dataset* part : parts) {
+    if (part->schema().names() != first.schema().names()) {
+      return Status::InvalidArgument("cannot concat differing schemas");
+    }
+    total_rows += part->num_rows();
+  }
+
+  const size_t m = first.num_attributes();
+  std::vector<Column> columns;
+  columns.reserve(m);
+  for (AttributeIndex j = 0; j < m; ++j) {
+    bool with_dict = first.column(j).dictionary() != nullptr;
+    for (const Dataset* part : parts) {
+      if ((part->column(j).dictionary() != nullptr) != with_dict) {
+        return Status::InvalidArgument(
+            "cannot concat dictionary and raw encodings of column " +
+            first.schema().name(j));
+      }
+    }
+    std::vector<ValueCode> codes;
+    codes.reserve(total_rows);
+    if (with_dict) {
+      auto merged = std::make_shared<Dictionary>();
+      for (const Dataset* part : parts) {
+        const Column& col = part->column(j);
+        const Dictionary& dict = *col.dictionary();
+        // Remap every code of the part's dictionary into the union
+        // dictionary, then translate the part's rows through the table.
+        std::vector<ValueCode> remap(dict.size());
+        for (ValueCode c = 0; c < dict.size(); ++c) {
+          remap[c] = merged->GetOrAdd(dict.Value(c));
+        }
+        for (ValueCode c : col.codes()) {
+          if (c >= remap.size()) {
+            return Status::InvalidArgument(
+                "code outside dictionary in column " + first.schema().name(j));
+          }
+          codes.push_back(remap[c]);
+        }
+      }
+      uint32_t cardinality =
+          std::max<uint32_t>(1, static_cast<uint32_t>(merged->size()));
+      columns.emplace_back(std::move(codes), cardinality, std::move(merged));
+    } else {
+      uint32_t cardinality = 1;
+      for (const Dataset* part : parts) {
+        const Column& col = part->column(j);
+        cardinality = std::max(cardinality, col.cardinality());
+        codes.insert(codes.end(), col.codes().begin(), col.codes().end());
+      }
+      columns.emplace_back(std::move(codes), cardinality, nullptr);
+    }
+  }
+  return Dataset::Make(Schema(first.schema().names()), std::move(columns));
+}
+
+}  // namespace qikey

@@ -1,0 +1,26 @@
+#ifndef QIKEY_DATA_CONCAT_H_
+#define QIKEY_DATA_CONCAT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief Concatenates data sets row-wise into one data set.
+///
+/// The parts must share schema names and per-column encoding kind. For
+/// dictionary-encoded columns the values are re-encoded through a fresh
+/// union dictionary, so parts built with *different* dictionaries (e.g.
+/// filter shards encoded in separate processes) compare correctly in
+/// the result; parts that share a dictionary pay only the cheap
+/// identity remap. Columns without dictionaries (synthetic data, where
+/// codes are the values) are appended verbatim with the cardinality
+/// widened to the maximum. Mixing dictionary and raw columns at the
+/// same position is an error.
+Result<Dataset> ConcatDatasets(const std::vector<const Dataset*>& parts);
+
+}  // namespace qikey
+
+#endif  // QIKEY_DATA_CONCAT_H_

@@ -55,6 +55,7 @@ class Reader {
     return true;
   }
   bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
 
  private:
   std::string_view bytes_;
@@ -98,6 +99,21 @@ Result<Dataset> DeserializeDataset(std::string_view bytes) {
   if (!r.U32(&m) || !r.U64(&n)) {
     return Status::InvalidArgument("truncated dataset header");
   }
+  // Validate declared sizes against the bytes actually present BEFORE
+  // allocating: adversarial headers must produce an error, not an
+  // attempted multi-gigabyte allocation or an overflowed size
+  // computation. Every column costs at least a name length, a
+  // cardinality, and a dictionary flag (9 bytes); every row costs
+  // sizeof(ValueCode) per column.
+  if (m > r.remaining() / 9) {
+    return Status::InvalidArgument("attribute count exceeds payload size");
+  }
+  if (n > static_cast<uint64_t>(~RowIndex{0})) {
+    return Status::InvalidArgument("row count exceeds RowIndex range");
+  }
+  if (m > 0 && n > r.remaining() / (sizeof(ValueCode) * m)) {
+    return Status::InvalidArgument("row count exceeds payload size");
+  }
   std::vector<std::string> names;
   std::vector<Column> columns;
   names.reserve(m);
@@ -116,6 +132,9 @@ Result<Dataset> DeserializeDataset(std::string_view bytes) {
       if (!r.U32(&entries)) {
         return Status::InvalidArgument("truncated dictionary");
       }
+      if (entries > r.remaining() / sizeof(uint32_t)) {
+        return Status::InvalidArgument("dictionary size exceeds payload");
+      }
       dict = std::make_shared<Dictionary>();
       for (uint32_t e = 0; e < entries; ++e) {
         std::string value;
@@ -123,7 +142,18 @@ Result<Dataset> DeserializeDataset(std::string_view bytes) {
           return Status::InvalidArgument("truncated dictionary entry");
         }
         dict->GetOrAdd(value);
+        if (dict->size() != e + 1) {
+          return Status::InvalidArgument("duplicate dictionary entry");
+        }
       }
+      // Codes are validated against the cardinality below; rendering
+      // reads the dictionary, so the cardinality must not exceed it.
+      if (cardinality > dict->size()) {
+        return Status::InvalidArgument("cardinality exceeds dictionary size");
+      }
+    }
+    if (n > r.remaining() / sizeof(ValueCode)) {
+      return Status::InvalidArgument("truncated column codes");
     }
     std::vector<ValueCode> codes(n);
     if (!r.Raw(codes.data(), n * sizeof(ValueCode))) {

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "core/sample_bounds.h"
+#include "shard/filter_merger.h"
+#include "shard/shard_builder.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -114,17 +116,202 @@ Result<std::unique_ptr<KeyMonitor>> DiscoveryPipeline::RunIncremental(
   return monitor;
 }
 
+namespace {
+
+/// The shard-construction options implied by the pipeline's own.
+/// Callers fill in the run-specific fields (shard count, seed, CSV).
+ShardedBuildOptions MakeShardBuildOptions(const PipelineOptions& options) {
+  ShardedBuildOptions build;
+  build.backend = options.backend;
+  build.eps = options.eps;
+  build.tuple_sample_size = options.sample_size;
+  build.pair_slots = options.pair_sample_size;
+  build.num_threads = ResolveThreads(options.num_threads);
+  return build;
+}
+
+/// Turns a finished merge into the pipeline tail's inputs: the shared
+/// greedy sample and the verdict filter.
+struct MergedInputs {
+  std::shared_ptr<Dataset> sample;
+  std::unique_ptr<SeparationFilter> filter;
+  uint64_t total_rows = 0;
+  uint32_t num_shards = 0;
+};
+
+MergedInputs TakeMergedInputs(MergedFilter merged) {
+  MergedInputs inputs;
+  inputs.sample = merged.tuple_filter->shared_sample();
+  inputs.total_rows = merged.total_rows;
+  inputs.num_shards = merged.num_shards;
+  if (merged.backend == FilterBackend::kMxPair) {
+    inputs.filter =
+        std::make_unique<MxPairFilter>(std::move(*merged.mx_filter));
+  } else {
+    inputs.filter =
+        std::make_unique<TupleSampleFilter>(std::move(*merged.tuple_filter));
+  }
+  return inputs;
+}
+
+}  // namespace
+
+Result<PipelineResult> DiscoveryPipeline::RunSharded(
+    const Dataset& dataset, const ShardedRunOptions& sharded,
+    uint64_t seed) const {
+  QIKEY_RETURN_NOT_OK(ValidateOptions(options_));
+  if (dataset.num_rows() < 2) {
+    return Status::InvalidArgument("need at least two rows");
+  }
+  Rng seeder(seed);
+  ShardedBuildOptions build = MakeShardBuildOptions(options_);
+  build.num_shards = sharded.num_shards;
+  build.seed = seeder.Next();
+  uint64_t merge_seed = seeder.Next();
+
+  Timer timer;
+  Result<std::vector<ShardFilterArtifact>> artifacts =
+      BuildShardArtifacts(dataset, build);
+  if (!artifacts.ok()) return artifacts.status();
+  double build_millis = timer.ElapsedMillis();
+  uint64_t artifact_bytes = 0;
+  for (const ShardFilterArtifact& a : *artifacts) {
+    artifact_bytes += a.MemoryBytes();
+  }
+
+  Result<PipelineResult> result =
+      RunOnShardArtifacts(std::move(artifacts).ValueOrDie(), merge_seed);
+  if (!result.ok()) return result;
+  result->stages.insert(result->stages.begin(),
+                        PipelineStage{"shard-build", build_millis});
+  result->total_millis += build_millis;
+  result->peak_tracked_bytes = artifact_bytes + result->filter_bytes;
+  return result;
+}
+
+Result<PipelineResult> DiscoveryPipeline::RunSharded(
+    const std::string& csv_path, const ShardedRunOptions& sharded,
+    uint64_t seed) const {
+  QIKEY_RETURN_NOT_OK(ValidateOptions(options_));
+  Rng seeder(seed);
+  ShardedBuildOptions build = MakeShardBuildOptions(options_);
+  build.num_shards = sharded.num_shards;
+  build.seed = seeder.Next();
+  build.csv = sharded.csv;
+  build.shard_rows = sharded.shard_rows;
+  build.memory_budget_bytes = sharded.memory_budget_bytes;
+  uint64_t merge_seed = seeder.Next();
+
+  if (sharded.memory_budget_bytes == 0 && sharded.shard_rows == 0) {
+    // Scale-out mode: parallel byte-range ingest, then central merge.
+    Timer timer;
+    Result<std::vector<ShardFilterArtifact>> artifacts =
+        BuildShardArtifactsFromCsv(csv_path, build);
+    if (!artifacts.ok()) return artifacts.status();
+    double build_millis = timer.ElapsedMillis();
+    uint64_t artifact_bytes = 0;
+    for (const ShardFilterArtifact& a : *artifacts) {
+      artifact_bytes += a.MemoryBytes();
+    }
+    Result<PipelineResult> result =
+        RunOnShardArtifacts(std::move(artifacts).ValueOrDie(), merge_seed);
+    if (!result.ok()) return result;
+    result->stages.insert(result->stages.begin(),
+                          PipelineStage{"shard-build", build_millis});
+    result->total_millis += build_millis;
+    result->peak_tracked_bytes = artifact_bytes + result->filter_bytes;
+    return result;
+  }
+
+  // Out-of-core mode: sequential chunked ingest with an eager merge; at
+  // most one chunk plus the merged filter are ever live.
+  Timer timer;
+  std::optional<FilterMerger> merger;
+  Status merge_status = Status::OK();
+  Result<ShardedIngestStats> stats = StreamCsvShardArtifacts(
+      csv_path, build,
+      [&](ShardFilterArtifact artifact) -> Status {
+        if (!merger.has_value()) {
+          FilterMerger::Options merge_options;
+          merge_options.backend = options_.backend;
+          uint64_t r = 0, s = 0;
+          ResolveShardSampleSizes(
+              build,
+              static_cast<uint32_t>(artifact.tuple_sample.num_attributes()),
+              &r, &s);
+          merge_options.tuple_sample_size = r;
+          merge_options.detection = options_.detection;
+          merge_options.seed = merge_seed;
+          merger.emplace(merge_options);
+        }
+        merge_status = merger->Add(std::move(artifact));
+        return merge_status;
+      },
+      [&]() -> uint64_t {
+        return merger.has_value() ? merger->TrackedBytes() : 0;
+      });
+  if (!stats.ok()) return stats.status();
+  if (!merge_status.ok()) return merge_status;
+  if (!merger.has_value()) {
+    return Status::InvalidArgument("CSV produced no shards");
+  }
+  Result<MergedFilter> merged = std::move(*merger).Finish();
+  if (!merged.ok()) return merged.status();
+  double ingest_millis = timer.ElapsedMillis();
+
+  MergedInputs inputs = TakeMergedInputs(std::move(merged).ValueOrDie());
+  Result<PipelineResult> result = FinishStages(
+      std::move(inputs.sample), std::move(inputs.filter), 0.0);
+  if (!result.ok()) return result;
+  result->rows = inputs.total_rows;
+  result->num_shards = inputs.num_shards;
+  result->peak_tracked_bytes = stats->peak_tracked_bytes;
+  result->stages.insert(result->stages.begin(),
+                        PipelineStage{"ingest+merge", ingest_millis});
+  result->total_millis += ingest_millis;
+  return result;
+}
+
+Result<PipelineResult> DiscoveryPipeline::RunOnShardArtifacts(
+    std::vector<ShardFilterArtifact> artifacts, uint64_t seed) const {
+  QIKEY_RETURN_NOT_OK(ValidateOptions(options_));
+  if (artifacts.empty()) {
+    return Status::InvalidArgument("no shard artifacts");
+  }
+  Timer timer;
+  FilterMerger::Options merge_options;
+  merge_options.backend = options_.backend;
+  uint64_t r = 0, s = 0;
+  ResolveShardSampleSizes(
+      MakeShardBuildOptions(options_),
+      static_cast<uint32_t>(artifacts[0].tuple_sample.num_attributes()), &r,
+      &s);
+  merge_options.tuple_sample_size = r;
+  merge_options.detection = options_.detection;
+  merge_options.seed = seed;
+  FilterMerger merger(merge_options);
+  for (ShardFilterArtifact& artifact : artifacts) {
+    QIKEY_RETURN_NOT_OK(merger.Add(std::move(artifact)));
+  }
+  Result<MergedFilter> merged = std::move(merger).Finish();
+  if (!merged.ok()) return merged.status();
+  double merge_millis = timer.ElapsedMillis();
+
+  MergedInputs inputs = TakeMergedInputs(std::move(merged).ValueOrDie());
+  Result<PipelineResult> result = FinishStages(
+      std::move(inputs.sample), std::move(inputs.filter), 0.0);
+  if (!result.ok()) return result;
+  result->rows = inputs.total_rows;
+  result->num_shards = inputs.num_shards;
+  result->stages.insert(result->stages.begin(),
+                        PipelineStage{"merge", merge_millis});
+  result->total_millis += merge_millis;
+  return result;
+}
+
 Result<PipelineResult> DiscoveryPipeline::RunStages(
     const Dataset* full, std::shared_ptr<Dataset> sample,
     std::vector<RowIndex> provenance, Rng* rng) const {
-  PipelineResult out;
-  out.attributes = sample->num_attributes();
-  out.tuple_sample_size = sample->num_rows();
-
-  size_t threads = ResolveThreads(options_.num_threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-
   // Stage: filter. The tuple backend reuses the greedy sample (the
   // filter IS its sample); the MX baseline draws an independent pair
   // sample from the full table, making the verify stage a genuine
@@ -152,9 +339,25 @@ Result<PipelineResult> DiscoveryPipeline::RunStages(
       break;
     }
   }
+  return FinishStages(std::move(sample), std::move(filter),
+                      timer.ElapsedMillis());
+}
+
+Result<PipelineResult> DiscoveryPipeline::FinishStages(
+    std::shared_ptr<Dataset> sample, std::unique_ptr<SeparationFilter> filter,
+    double filter_millis) const {
+  PipelineResult out;
+  out.attributes = sample->num_attributes();
+  out.tuple_sample_size = sample->num_rows();
+
+  size_t threads = ResolveThreads(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
   out.filter_sample_size = filter->sample_size();
   out.filter_bytes = filter->MemoryBytes();
-  out.stages.push_back({"filter", timer.ElapsedMillis()});
+  out.stages.push_back({"filter", filter_millis});
+  Timer timer;
 
   // Stage: greedy set cover on (R choose 2) by partition refinement.
   timer.Restart();
@@ -253,6 +456,13 @@ std::string PipelineResult::Report(const Schema* schema) const {
       static_cast<unsigned long long>(filter_bytes),
       static_cast<unsigned long long>(tuple_sample_size));
   out += line;
+  if (num_shards > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  sharded: %llu shard(s), peak tracked %llu bytes\n",
+                  static_cast<unsigned long long>(num_shards),
+                  static_cast<unsigned long long>(peak_tracked_bytes));
+    out += line;
+  }
   out += "  stages:";
   for (const PipelineStage& s : stages) {
     std::snprintf(line, sizeof(line), " %s %.2fms |", s.name.c_str(),

@@ -15,6 +15,8 @@
 #include "core/tuple_sample_filter.h"
 #include "data/dataset.h"
 #include "monitor/key_monitor.h"
+#include "shard/shard_artifact.h"
+#include "util/csv.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -46,6 +48,21 @@ struct PipelineStage {
   double millis = 0.0;
 };
 
+/// How `RunSharded` splits and ingests the input.
+struct ShardedRunOptions {
+  /// Shard count; 0 = one per worker thread.
+  size_t num_shards = 0;
+  /// Streaming mode: rows per ingest chunk (0 = derived default).
+  size_t shard_rows = 0;
+  /// When > 0, the CSV entry point ingests sequentially with bounded
+  /// memory and fails (OutOfRange) if the tracked live bytes — chunk,
+  /// dictionaries, merged filter — ever exceed this budget. When 0, the
+  /// CSV entry point fans record-aligned byte ranges out over the
+  /// worker threads (each parsing with private dictionaries).
+  uint64_t memory_budget_bytes = 0;
+  CsvOptions csv;
+};
+
 /// Everything the pipeline learned about one data set.
 struct PipelineResult {
   /// The emitted quasi-identifier (after minimization when enabled).
@@ -67,6 +84,10 @@ struct PipelineResult {
   uint64_t tuple_sample_size = 0;   ///< rows retained for greedy
   uint64_t filter_sample_size = 0;  ///< tuples or pairs in the filter
   uint64_t filter_bytes = 0;        ///< filter memory footprint
+  uint64_t num_shards = 0;          ///< > 0 when built by RunSharded
+  /// RunSharded: peak live ingest bytes (chunk + dictionaries + merged
+  /// state); the number the memory budget bounds.
+  uint64_t peak_tracked_bytes = 0;
 
   std::vector<PipelineStage> stages;
   double total_millis = 0.0;
@@ -118,6 +139,31 @@ class DiscoveryPipeline {
   Result<std::unique_ptr<KeyMonitor>> RunIncremental(
       const Dataset& initial, uint32_t max_key_size, uint64_t seed) const;
 
+  /// \brief Scale-out entry: splits the data set into row-range shards,
+  /// samples each independently (in parallel), merges the per-shard
+  /// filters (`FilterMerger`) and runs greedy/minimize/verify on the
+  /// merged state. Same minimal-key behavior as `Run` — the merged
+  /// sample is distributed exactly as a single-pass draw — with filter
+  /// construction spread across cores. Deterministic for a fixed seed
+  /// at any thread count.
+  Result<PipelineResult> RunSharded(const Dataset& dataset,
+                                    const ShardedRunOptions& sharded,
+                                    uint64_t seed) const;
+
+  /// \brief Out-of-core entry: ingests a CSV file directly. With a
+  /// memory budget, single-passes the file in bounded chunks (shared
+  /// dictionary, eager merge — peak memory independent of file size);
+  /// without one, fans record-aligned byte ranges out over workers.
+  Result<PipelineResult> RunSharded(const std::string& csv_path,
+                                    const ShardedRunOptions& sharded,
+                                    uint64_t seed) const;
+
+  /// \brief Central-merge entry: consumes shard artifacts built
+  /// elsewhere (other processes, `ReadShardArtifactFile`) and finishes
+  /// discovery on the merged filter.
+  Result<PipelineResult> RunOnShardArtifacts(
+      std::vector<ShardFilterArtifact> artifacts, uint64_t seed) const;
+
   const PipelineOptions& options() const { return options_; }
 
  private:
@@ -125,6 +171,11 @@ class DiscoveryPipeline {
                                    std::shared_ptr<Dataset> sample,
                                    std::vector<RowIndex> provenance,
                                    Rng* rng) const;
+
+  /// Shared tail: greedy -> minimize -> verify on a prebuilt filter.
+  Result<PipelineResult> FinishStages(std::shared_ptr<Dataset> sample,
+                                      std::unique_ptr<SeparationFilter> filter,
+                                      double filter_millis) const;
 
   PipelineOptions options_;
 };

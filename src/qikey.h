@@ -44,6 +44,7 @@
 #include "core/sketch.h"
 #include "core/theory.h"
 #include "core/tuple_sample_filter.h"
+#include "data/concat.h"
 #include "data/csv_loader.h"
 #include "data/dataset.h"
 #include "data/dataset_builder.h"
@@ -65,6 +66,10 @@
 #include "monitor/incremental_filter.h"
 #include "monitor/key_monitor.h"
 #include "setcover/set_cover.h"
+#include "shard/filter_merger.h"
+#include "shard/shard_artifact.h"
+#include "shard/shard_builder.h"
+#include "shard/sharded_loader.h"
 #include "stream/pair_reservoir.h"
 #include "stream/reservoir.h"
 #include "stream/stream_builder.h"

@@ -1,0 +1,99 @@
+#include "shard/filter_merger.h"
+
+#include <utility>
+
+namespace qikey {
+
+Status FilterMerger::Add(ShardFilterArtifact artifact) {
+  if (artifact.backend != options_.backend) {
+    return Status::InvalidArgument("artifact backend mismatch");
+  }
+  if (artifact.rows_seen < 2) {
+    return Status::InvalidArgument("shard artifacts need >= 2 rows");
+  }
+  if (options_.backend == FilterBackend::kMxPair &&
+      artifact.pair_table.num_rows() == 0) {
+    return Status::InvalidArgument("MX artifact is missing its pair table");
+  }
+  uint64_t need = std::min<uint64_t>(options_.tuple_sample_size,
+                                     artifact.rows_seen);
+  if (artifact.tuple_sample.num_rows() < need) {
+    return Status::InvalidArgument(
+        "shard tuple sample smaller than the merge target");
+  }
+  if (artifact.shard_index < next_index_ ||
+      pending_.count(artifact.shard_index) > 0) {
+    return Status::AlreadyExists("duplicate shard index");
+  }
+  pending_.emplace(artifact.shard_index, std::move(artifact));
+  // Fold every consecutive artifact now available, in index order.
+  while (true) {
+    auto it = pending_.find(next_index_);
+    if (it == pending_.end()) break;
+    ShardFilterArtifact next = std::move(it->second);
+    pending_.erase(it);
+    QIKEY_RETURN_NOT_OK(Fold(std::move(next)));
+    ++next_index_;
+  }
+  return Status::OK();
+}
+
+Status FilterMerger::Fold(ShardFilterArtifact artifact) {
+  TupleSampleFilter incoming = TupleSampleFilter::FromSample(
+      std::move(artifact.tuple_sample), std::move(artifact.provenance),
+      options_.detection);
+  if (!tuple_.has_value()) {
+    tuple_ = std::move(incoming);
+  } else {
+    Result<TupleSampleFilter> merged = TupleSampleFilter::MergeDisjoint(
+        *tuple_, rows_folded_, incoming, artifact.rows_seen,
+        options_.tuple_sample_size, &rng_);
+    if (!merged.ok()) return merged.status();
+    tuple_ = std::move(merged).ValueOrDie();
+  }
+  if (options_.backend == FilterBackend::kMxPair) {
+    Result<MxPairFilter> incoming_mx =
+        MxPairFilter::FromMaterializedPairs(std::move(artifact.pair_table));
+    if (!incoming_mx.ok()) return incoming_mx.status();
+    if (!mx_.has_value()) {
+      mx_ = std::move(incoming_mx).ValueOrDie();
+    } else {
+      Result<MxPairFilter> merged = MxPairFilter::MergeDisjoint(
+          *mx_, rows_folded_, *incoming_mx, artifact.rows_seen, &rng_);
+      if (!merged.ok()) return merged.status();
+      mx_ = std::move(merged).ValueOrDie();
+    }
+  }
+  rows_folded_ += artifact.rows_seen;
+  return Status::OK();
+}
+
+uint64_t FilterMerger::TrackedBytes() const {
+  uint64_t bytes = 0;
+  if (tuple_.has_value()) bytes += tuple_->MemoryBytes();
+  if (mx_.has_value()) bytes += mx_->MemoryBytes();
+  for (const auto& [index, artifact] : pending_) {
+    bytes += artifact.MemoryBytes();
+  }
+  return bytes;
+}
+
+Result<MergedFilter> FilterMerger::Finish() && {
+  if (!pending_.empty()) {
+    return Status::InvalidArgument(
+        "shard artifacts missing below index " +
+        std::to_string(pending_.begin()->first));
+  }
+  if (!tuple_.has_value()) {
+    return Status::InvalidArgument("no shard artifacts were added");
+  }
+  MergedFilter out;
+  out.backend = options_.backend;
+  out.total_rows = rows_folded_;
+  out.num_shards = next_index_;
+  out.tuple_filter = std::move(tuple_);
+  out.mx_filter = std::move(mx_);
+  return out;
+}
+
+}  // namespace qikey

@@ -1,0 +1,78 @@
+#ifndef QIKEY_SHARD_FILTER_MERGER_H_
+#define QIKEY_SHARD_FILTER_MERGER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/mx_pair_filter.h"
+#include "core/tuple_sample_filter.h"
+#include "shard/shard_artifact.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// The outcome of merging every shard: filters whose retained state is
+/// distributed exactly as a single-pass build over the whole relation.
+struct MergedFilter {
+  FilterBackend backend = FilterBackend::kTupleSample;
+  /// Merged uniform tuple sample (both backends: the pipeline's greedy
+  /// stage runs on it; under the tuple backend it IS the filter).
+  std::optional<TupleSampleFilter> tuple_filter;
+  /// MX backend: the merged pair filter (the verify/minimize oracle).
+  std::optional<MxPairFilter> mx_filter;
+  uint64_t total_rows = 0;
+  uint32_t num_shards = 0;
+};
+
+/// \brief Folds shard artifacts — built in this process or restored
+/// from files written by other processes — into one global filter.
+///
+/// Artifacts may arrive in any order; consecutive runs fold EAGERLY (in
+/// shard-index order, so results are deterministic for a fixed seed),
+/// which keeps resident state at one merged filter plus any
+/// out-of-order stragglers. Distribution-equivalence to a single-pass
+/// build follows by induction from the two pairwise merges
+/// (`TupleSampleFilter::MergeDisjoint`, `MxPairFilter::MergeDisjoint`);
+/// `tests/shard_test.cc` checks it empirically.
+class FilterMerger {
+ public:
+  struct Options {
+    FilterBackend backend = FilterBackend::kTupleSample;
+    /// Merged tuple-sample size target (resolved, > 0).
+    uint64_t tuple_sample_size = 0;
+    DuplicateDetection detection = DuplicateDetection::kSort;
+    uint64_t seed = 1;
+  };
+
+  explicit FilterMerger(const Options& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Validates and folds (or stages) one shard's artifact.
+  Status Add(ShardFilterArtifact artifact);
+
+  /// Live bytes held (merged state + staged out-of-order artifacts) —
+  /// reported into the ingest memory budget.
+  uint64_t TrackedBytes() const;
+
+  uint32_t shards_merged() const { return next_index_; }
+
+  /// Finishes the merge; fails if any shard index is missing.
+  Result<MergedFilter> Finish() &&;
+
+ private:
+  Status Fold(ShardFilterArtifact artifact);
+
+  Options options_;
+  Rng rng_;
+  uint32_t next_index_ = 0;
+  std::map<uint32_t, ShardFilterArtifact> pending_;
+  std::optional<TupleSampleFilter> tuple_;
+  std::optional<MxPairFilter> mx_;
+  uint64_t rows_folded_ = 0;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_SHARD_FILTER_MERGER_H_

@@ -1,0 +1,171 @@
+#include "shard/shard_artifact.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "data/serialize.h"
+
+namespace qikey {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'I', 'K', 'S'};
+constexpr uint32_t kVersion = 1;
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendBlob(std::string* out, const std::string& blob) {
+  AppendU64(out, blob.size());
+  out->append(blob);
+}
+
+/// Bounds-checked little-endian reader over the artifact payload.
+class ArtifactReader {
+ public:
+  explicit ArtifactReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool Raw(void* dst, size_t n) {
+    if (n > remaining()) return false;
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool Blob(std::string_view* blob) {
+    uint64_t len = 0;
+    if (!U64(&len)) return false;
+    if (len > remaining()) return false;
+    *blob = bytes_.substr(pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return true;
+  }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+uint64_t ShardFilterArtifact::MemoryBytes() const {
+  uint64_t bytes =
+      tuple_sample.num_rows() * tuple_sample.num_attributes() *
+          sizeof(ValueCode) +
+      provenance.size() * sizeof(RowIndex);
+  bytes += pair_table.num_rows() * pair_table.num_attributes() *
+           sizeof(ValueCode);
+  return bytes;
+}
+
+std::string SerializeShardArtifact(const ShardFilterArtifact& artifact) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendU32(&out, kVersion);
+  AppendU32(&out, artifact.shard_index);
+  AppendU64(&out, artifact.first_row);
+  AppendU64(&out, artifact.rows_seen);
+  AppendU8(&out, artifact.backend == FilterBackend::kTupleSample ? 0 : 1);
+  AppendU64(&out, artifact.provenance.size());
+  out.append(reinterpret_cast<const char*>(artifact.provenance.data()),
+             artifact.provenance.size() * sizeof(RowIndex));
+  AppendBlob(&out, SerializeDataset(artifact.tuple_sample));
+  AppendU8(&out, artifact.pair_table.num_attributes() > 0 ? 1 : 0);
+  if (artifact.pair_table.num_attributes() > 0) {
+    AppendBlob(&out, SerializeDataset(artifact.pair_table));
+  }
+  return out;
+}
+
+Result<ShardFilterArtifact> DeserializeShardArtifact(std::string_view bytes) {
+  ArtifactReader r(bytes);
+  char magic[4];
+  uint32_t version = 0;
+  if (!r.Raw(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a qikey shard artifact");
+  }
+  if (!r.U32(&version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported shard artifact version");
+  }
+  ShardFilterArtifact artifact;
+  uint8_t backend = 0;
+  uint64_t prov = 0;
+  if (!r.U32(&artifact.shard_index) || !r.U64(&artifact.first_row) ||
+      !r.U64(&artifact.rows_seen) || !r.U8(&backend) || !r.U64(&prov)) {
+    return Status::InvalidArgument("truncated shard artifact header");
+  }
+  artifact.backend =
+      backend == 0 ? FilterBackend::kTupleSample : FilterBackend::kMxPair;
+  if (prov > r.remaining() / sizeof(RowIndex)) {
+    return Status::InvalidArgument("truncated shard provenance");
+  }
+  artifact.provenance.resize(static_cast<size_t>(prov));
+  if (!r.Raw(artifact.provenance.data(), prov * sizeof(RowIndex))) {
+    return Status::InvalidArgument("truncated shard provenance");
+  }
+  std::string_view tuple_blob;
+  if (!r.Blob(&tuple_blob)) {
+    return Status::InvalidArgument("truncated shard tuple sample");
+  }
+  Result<Dataset> tuple = DeserializeDataset(tuple_blob);
+  if (!tuple.ok()) return tuple.status();
+  artifact.tuple_sample = std::move(tuple).ValueOrDie();
+  uint8_t has_pairs = 0;
+  if (!r.U8(&has_pairs)) {
+    return Status::InvalidArgument("truncated shard artifact");
+  }
+  if (has_pairs) {
+    std::string_view pair_blob;
+    if (!r.Blob(&pair_blob)) {
+      return Status::InvalidArgument("truncated shard pair table");
+    }
+    Result<Dataset> pairs = DeserializeDataset(pair_blob);
+    if (!pairs.ok()) return pairs.status();
+    if (pairs->num_rows() % 2 != 0) {
+      return Status::InvalidArgument("shard pair table has odd row count");
+    }
+    artifact.pair_table = std::move(pairs).ValueOrDie();
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after shard artifact");
+  }
+  if (!artifact.provenance.empty() &&
+      artifact.provenance.size() != artifact.tuple_sample.num_rows()) {
+    return Status::InvalidArgument(
+        "shard provenance does not match the tuple sample");
+  }
+  if (artifact.rows_seen < artifact.tuple_sample.num_rows()) {
+    return Status::InvalidArgument("shard claims fewer rows than it retains");
+  }
+  return artifact;
+}
+
+Status WriteShardArtifactFile(const ShardFilterArtifact& artifact,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  std::string bytes = SerializeShardArtifact(artifact);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ShardFilterArtifact> ReadShardArtifactFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeShardArtifact(bytes);
+}
+
+}  // namespace qikey

@@ -1,0 +1,398 @@
+#include "shard/shard_builder.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/sample_bounds.h"
+#include "data/dataset_builder.h"
+#include "data/schema.h"
+#include "stream/pair_reservoir.h"
+#include "stream/reservoir.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace qikey {
+
+namespace {
+
+/// Columns from sampled rows, sharing `dicts` (cardinality = dictionary
+/// size so codes always validate).
+Dataset RowsToDataset(const std::vector<std::string>& names,
+                      const std::vector<std::shared_ptr<Dictionary>>& dicts,
+                      const std::vector<std::vector<ValueCode>>& rows) {
+  const size_t m = names.size();
+  std::vector<Column> columns;
+  columns.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<ValueCode> codes;
+    codes.reserve(rows.size());
+    for (const auto& row : rows) codes.push_back(row[j]);
+    uint32_t cardinality =
+        std::max<uint32_t>(1, static_cast<uint32_t>(dicts[j]->size()));
+    columns.emplace_back(std::move(codes), cardinality, dicts[j]);
+  }
+  return Dataset(Schema(names), std::move(columns));
+}
+
+size_t ResolveThreads(size_t num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+void ResolveShardSampleSizes(const ShardedBuildOptions& options, uint32_t m,
+                             uint64_t* tuple_sample_size,
+                             uint64_t* pair_slots) {
+  *tuple_sample_size = options.tuple_sample_size > 0
+                           ? options.tuple_sample_size
+                           : TupleSampleSizePaper(m, options.eps);
+  *pair_slots = options.pair_slots > 0 ? options.pair_slots
+                                       : MxPairSampleSizePaper(m, options.eps);
+}
+
+// ---------------------------------------------------------------------------
+// ShardArtifactBuilder
+
+struct ShardArtifactBuilder::Impl {
+  std::vector<std::string> names;
+  std::vector<std::shared_ptr<Dictionary>> dicts;
+  FilterBackend backend;
+  uint32_t shard_index;
+  uint64_t first_row;
+  Rng rng;
+
+  // Tuple side: reservoir of (codes, local position).
+  ReservoirSampler<std::pair<std::vector<ValueCode>, uint64_t>> tuples;
+  // MX side: per-slot pair reservoirs over positions + retained payloads.
+  std::unique_ptr<PairReservoir> pairs;
+  std::unordered_map<uint64_t, std::vector<ValueCode>> payloads;
+  uint64_t next_gc = 1024;
+  uint64_t dict_bytes = 0;
+
+  Impl(std::vector<std::string> names_in, FilterBackend backend_in,
+       uint64_t tuple_sample_size, uint64_t pair_slots,
+       uint32_t shard_index_in, uint64_t first_row_in, uint64_t seed)
+      : names(std::move(names_in)),
+        backend(backend_in),
+        shard_index(shard_index_in),
+        first_row(first_row_in),
+        rng(seed),
+        tuples(static_cast<size_t>(tuple_sample_size), &rng) {
+    dicts.reserve(names.size());
+    for (size_t j = 0; j < names.size(); ++j) {
+      dicts.push_back(std::make_shared<Dictionary>());
+    }
+    if (backend == FilterBackend::kMxPair) {
+      pairs = std::make_unique<PairReservoir>(
+          static_cast<size_t>(pair_slots), &rng);
+    }
+  }
+
+  void CollectGarbage() {
+    std::unordered_set<uint64_t> live;
+    live.reserve(2 * pairs->num_slots());
+    for (const auto& [a, b] : pairs->pairs()) {
+      live.insert(a);
+      live.insert(b);
+    }
+    for (auto it = payloads.begin(); it != payloads.end();) {
+      it = live.count(it->first) == 0 ? payloads.erase(it) : std::next(it);
+    }
+  }
+};
+
+ShardArtifactBuilder::ShardArtifactBuilder(
+    std::vector<std::string> attribute_names, FilterBackend backend,
+    uint64_t tuple_sample_size, uint64_t pair_slots, uint32_t shard_index,
+    uint64_t first_row, uint64_t seed)
+    : impl_(std::make_unique<Impl>(std::move(attribute_names), backend,
+                                   tuple_sample_size, pair_slots, shard_index,
+                                   first_row, seed)) {}
+
+ShardArtifactBuilder::~ShardArtifactBuilder() = default;
+ShardArtifactBuilder::ShardArtifactBuilder(ShardArtifactBuilder&&) noexcept =
+    default;
+
+Status ShardArtifactBuilder::OfferFields(
+    const std::vector<std::string>& fields) {
+  Impl& im = *impl_;
+  if (fields.size() != im.names.size()) {
+    return Status::InvalidArgument("row arity mismatch in shard");
+  }
+  std::vector<ValueCode> row;
+  row.reserve(fields.size());
+  for (size_t j = 0; j < fields.size(); ++j) {
+    size_t before = im.dicts[j]->size();
+    row.push_back(im.dicts[j]->GetOrAdd(fields[j]));
+    if (im.dicts[j]->size() != before) {
+      im.dict_bytes += fields[j].size() + 2 * sizeof(void*);
+    }
+  }
+  uint64_t pos = im.tuples.seen();  // local position of this row
+  if (im.pairs != nullptr) {
+    if (im.pairs->Offer()) im.payloads[pos] = row;
+    if (im.payloads.size() >= im.next_gc) {
+      im.CollectGarbage();
+      im.next_gc =
+          std::max<uint64_t>(4 * im.pairs->num_slots(), 1024) +
+          im.payloads.size();
+    }
+  }
+  im.tuples.Offer({std::move(row), pos});
+  return Status::OK();
+}
+
+uint64_t ShardArtifactBuilder::rows_seen() const {
+  return impl_->tuples.seen();
+}
+
+uint64_t ShardArtifactBuilder::TrackedBytes() const {
+  const Impl& im = *impl_;
+  const uint64_t row_bytes = im.names.size() * sizeof(ValueCode);
+  uint64_t bytes = im.dict_bytes + im.tuples.items().size() * row_bytes;
+  bytes += im.payloads.size() * (row_bytes + 4 * sizeof(uint64_t));
+  return bytes;
+}
+
+Result<ShardFilterArtifact> ShardArtifactBuilder::Finish() && {
+  Impl& im = *impl_;
+  uint64_t seen = im.tuples.seen();
+  if (seen < 2) {
+    return Status::InvalidArgument("shard has fewer than two rows");
+  }
+  if (im.first_row + seen > static_cast<uint64_t>(~RowIndex{0})) {
+    return Status::InvalidArgument("shard rows exceed RowIndex range");
+  }
+  ShardFilterArtifact artifact;
+  artifact.shard_index = im.shard_index;
+  artifact.first_row = im.first_row;
+  artifact.rows_seen = seen;
+  artifact.backend = im.backend;
+
+  std::vector<std::vector<ValueCode>> sample_rows;
+  sample_rows.reserve(im.tuples.items().size());
+  artifact.provenance.reserve(im.tuples.items().size());
+  for (auto& [codes, pos] : std::move(im.tuples).TakeItems()) {
+    sample_rows.push_back(std::move(codes));
+    artifact.provenance.push_back(
+        static_cast<RowIndex>(im.first_row + pos));
+  }
+  artifact.tuple_sample = RowsToDataset(im.names, im.dicts, sample_rows);
+
+  if (im.pairs != nullptr) {
+    im.CollectGarbage();
+    std::vector<std::vector<ValueCode>> pair_rows;
+    pair_rows.reserve(2 * im.pairs->num_slots());
+    for (const auto& [a, b] : im.pairs->pairs()) {
+      auto ia = im.payloads.find(a);
+      auto ib = im.payloads.find(b);
+      QIKEY_CHECK(ia != im.payloads.end() && ib != im.payloads.end())
+          << "payload lost for a sampled pair position";
+      pair_rows.push_back(ia->second);
+      pair_rows.push_back(ib->second);
+    }
+    artifact.pair_table = RowsToDataset(im.names, im.dicts, pair_rows);
+  }
+  return artifact;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory construction
+
+Result<std::vector<ShardFilterArtifact>> BuildShardArtifacts(
+    const Dataset& dataset, const ShardedBuildOptions& options) {
+  const uint64_t n = dataset.num_rows();
+  if (n < 2) return Status::InvalidArgument("need at least two rows");
+  size_t threads = ResolveThreads(options.num_threads);
+  size_t shards = options.num_shards > 0 ? options.num_shards : threads;
+  shards = static_cast<size_t>(
+      std::min<uint64_t>(shards, std::max<uint64_t>(1, n / 2)));
+  uint64_t r = 0, s = 0;
+  ResolveShardSampleSizes(
+      options, static_cast<uint32_t>(dataset.num_attributes()), &r, &s);
+
+  // Per-shard seeds drawn up front: deterministic at any thread count.
+  Rng seeder(options.seed);
+  std::vector<uint64_t> seeds(shards);
+  for (auto& seed : seeds) seed = seeder.Next();
+
+  std::vector<ShardFilterArtifact> artifacts(shards);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && shards > 1) pool = std::make_unique<ThreadPool>(threads);
+  ThreadPool::ParallelFor(pool.get(), shards, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // Sample the row range [lo, hi) in place — no chunk copy.
+      // (Nothing here is fallible: ranges hold >= 2 rows by the shard
+      // clamp above, and sampling cannot fail.)
+      const uint64_t lo = n * i / shards;
+      const uint64_t range_n = n * (i + 1) / shards - lo;
+      Rng rng(seeds[i]);
+      ShardFilterArtifact artifact;
+      artifact.shard_index = static_cast<uint32_t>(i);
+      artifact.first_row = lo;
+      artifact.rows_seen = range_n;
+      artifact.backend = options.backend;
+      uint64_t keep = std::min(r, range_n);
+      std::vector<RowIndex> rows;
+      rows.reserve(static_cast<size_t>(keep));
+      for (uint64_t local : rng.SampleWithoutReplacement(range_n, keep)) {
+        rows.push_back(static_cast<RowIndex>(lo + local));
+      }
+      artifact.tuple_sample = dataset.SelectRows(rows);
+      artifact.provenance = std::move(rows);
+      if (options.backend == FilterBackend::kMxPair) {
+        std::vector<RowIndex> pair_rows;
+        pair_rows.reserve(2 * static_cast<size_t>(s));
+        for (uint64_t p = 0; p < s; ++p) {
+          auto [a, b] = rng.SamplePair(range_n);
+          pair_rows.push_back(static_cast<RowIndex>(lo + a));
+          pair_rows.push_back(static_cast<RowIndex>(lo + b));
+        }
+        artifact.pair_table = dataset.SelectRows(pair_rows);
+      }
+      artifacts[i] = std::move(artifact);
+    }
+  });
+  return artifacts;
+}
+
+Result<ShardFilterArtifact> BuildArtifactFromChunk(
+    const Dataset& chunk, uint64_t first_row, uint32_t shard_index,
+    FilterBackend backend, uint64_t tuple_sample_size, uint64_t pair_slots,
+    Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  const uint64_t n = chunk.num_rows();
+  if (n < 2) return Status::InvalidArgument("shard has fewer than two rows");
+  if (first_row + n > static_cast<uint64_t>(~RowIndex{0})) {
+    return Status::InvalidArgument("shard rows exceed RowIndex range");
+  }
+  if (tuple_sample_size == 0) {
+    return Status::InvalidArgument("tuple sample size must be positive");
+  }
+  ShardFilterArtifact artifact;
+  artifact.shard_index = shard_index;
+  artifact.first_row = first_row;
+  artifact.rows_seen = n;
+  artifact.backend = backend;
+
+  uint64_t keep = std::min(tuple_sample_size, n);
+  std::vector<uint64_t> chosen = rng->SampleWithoutReplacement(n, keep);
+  std::vector<RowIndex> rows(chosen.begin(), chosen.end());
+  artifact.tuple_sample = chunk.SelectRows(rows);
+  artifact.provenance.reserve(rows.size());
+  for (RowIndex row : rows) {
+    artifact.provenance.push_back(static_cast<RowIndex>(first_row + row));
+  }
+
+  if (backend == FilterBackend::kMxPair) {
+    if (pair_slots == 0) {
+      return Status::InvalidArgument("pair slot count must be positive");
+    }
+    std::vector<RowIndex> pair_rows;
+    pair_rows.reserve(2 * static_cast<size_t>(pair_slots));
+    for (uint64_t i = 0; i < pair_slots; ++i) {
+      auto [a, b] = rng->SamplePair(n);
+      pair_rows.push_back(static_cast<RowIndex>(a));
+      pair_rows.push_back(static_cast<RowIndex>(b));
+    }
+    artifact.pair_table = chunk.SelectRows(pair_rows);
+  }
+  return artifact;
+}
+
+// ---------------------------------------------------------------------------
+// CSV construction
+
+Result<std::vector<ShardFilterArtifact>> BuildShardArtifactsFromCsv(
+    const std::string& path, const ShardedBuildOptions& options) {
+  size_t threads = ResolveThreads(options.num_threads);
+  size_t shards = options.num_shards > 0 ? options.num_shards : threads;
+  Result<CsvShardPlan> plan = PlanCsvShards(path, shards, options.csv);
+  if (!plan.ok()) return plan.status();
+  if (plan->total_rows < 2) {
+    return Status::InvalidArgument("CSV has fewer than two data rows");
+  }
+  uint64_t r = 0, s = 0;
+  ResolveShardSampleSizes(
+      options, static_cast<uint32_t>(plan->attribute_names.size()), &r, &s);
+
+  const size_t actual = plan->ranges.size();
+  Rng seeder(options.seed);
+  std::vector<uint64_t> seeds(actual);
+  for (auto& seed : seeds) seed = seeder.Next();
+
+  std::vector<ShardFilterArtifact> artifacts(actual);
+  std::vector<Status> statuses(actual);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && actual > 1) pool = std::make_unique<ThreadPool>(threads);
+  ThreadPool::ParallelFor(pool.get(), actual, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const ShardRange& range = plan->ranges[i];
+      ShardArtifactBuilder builder(plan->attribute_names, options.backend, r,
+                                   s, static_cast<uint32_t>(i),
+                                   range.first_row, seeds[i]);
+      Status st = ForEachCsvRecordInRange(
+          path, range, options.csv,
+          [&](const std::vector<std::string>& fields) {
+            return builder.OfferFields(fields);
+          });
+      if (st.ok()) {
+        Result<ShardFilterArtifact> built = std::move(builder).Finish();
+        if (built.ok()) {
+          artifacts[i] = std::move(built).ValueOrDie();
+        } else {
+          st = built.status();
+        }
+      }
+      statuses[i] = st;
+    }
+  });
+  for (const Status& st : statuses) QIKEY_RETURN_NOT_OK(st);
+  return artifacts;
+}
+
+Result<ShardedIngestStats> StreamCsvShardArtifacts(
+    const std::string& path, const ShardedBuildOptions& options,
+    const std::function<Status(ShardFilterArtifact)>& consumer,
+    const std::function<uint64_t()>& consumer_tracked) {
+  ShardedLoaderOptions loader_options;
+  loader_options.shard_rows = options.shard_rows;
+  loader_options.memory_budget_bytes = options.memory_budget_bytes;
+  loader_options.csv = options.csv;
+  ShardedLoader loader(loader_options);
+
+  Rng seeder(options.seed);
+  uint64_t r = 0, s = 0;
+  bool resolved = false;
+  Status inner = Status::OK();
+  Result<ShardedIngestStats> stats = loader.Load(
+      path,
+      [&](ShardInput chunk) -> Status {
+        if (!resolved) {
+          ResolveShardSampleSizes(
+              options, static_cast<uint32_t>(chunk.rows.num_attributes()),
+              &r, &s);
+          resolved = true;
+        }
+        Rng rng(seeder.Next());
+        Result<ShardFilterArtifact> built = BuildArtifactFromChunk(
+            chunk.rows, chunk.first_row, chunk.shard_index, options.backend,
+            r, s, &rng);
+        if (!built.ok()) {
+          inner = built.status();
+          return inner;
+        }
+        return consumer(std::move(built).ValueOrDie());
+      },
+      consumer_tracked);
+  if (!stats.ok() && !inner.ok()) return inner;
+  return stats;
+}
+
+}  // namespace qikey

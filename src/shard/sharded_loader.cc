@@ -1,0 +1,342 @@
+#include "shard/sharded_loader.h"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <utility>
+
+#include "data/dataset_builder.h"
+#include "data/schema.h"
+
+namespace qikey {
+
+namespace {
+
+constexpr size_t kIoBufferBytes = size_t{1} << 18;  // 256 KiB
+constexpr size_t kMaxBoundaryMarks = size_t{1} << 16;
+constexpr size_t kDefaultShardRows = size_t{1} << 16;
+
+/// Walks a file record-by-record through a fixed buffer, tracking quote
+/// state across buffer refills. `on_record(offset, text, blank)` gets
+/// each record (text WITHOUT the terminating newline); returning false
+/// stops the walk early.
+Status WalkCsvRecords(
+    std::ifstream& in, uint64_t start_offset, const CsvOptions& options,
+    const std::function<bool(uint64_t offset, std::string_view text,
+                             bool blank)>& on_record) {
+  CsvRecordScanner scanner(options);
+  std::string buffer(kIoBufferBytes, '\0');
+  std::string record;
+  uint64_t record_offset = start_offset;
+  uint64_t pos = start_offset;
+  bool stopped = false;
+  while (!stopped) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    for (std::streamsize i = 0; i < got && !stopped; ++i) {
+      char c = buffer[static_cast<size_t>(i)];
+      bool blank = scanner.record_blank();
+      if (scanner.Feed(c)) {
+        if (!on_record(record_offset, record, blank)) stopped = true;
+        record.clear();
+        record_offset = pos + static_cast<uint64_t>(i) + 1;
+      } else {
+        record.push_back(c);
+      }
+    }
+    pos += static_cast<uint64_t>(got);
+  }
+  if (!stopped && !record.empty()) {
+    // Final record without a trailing newline; the scanner's live state
+    // still describes it.
+    on_record(record_offset, record, scanner.record_blank());
+  }
+  if (in.bad()) return Status::IOError("read failed");
+  return Status::OK();
+}
+
+std::string_view StripTrailingCr(std::string_view record) {
+  if (!record.empty() && record.back() == '\r') record.remove_suffix(1);
+  return record;
+}
+
+}  // namespace
+
+Result<CsvShardPlan> PlanCsvShards(const std::string& path, size_t num_shards,
+                                   const CsvOptions& options) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+
+  CsvShardPlan plan;
+  bool header_pending = options.has_header;
+  bool names_known = false;
+  uint64_t data_rows = 0;
+  uint64_t end_offset = 0;  // one past the last data record
+  // Stride-compacted record-start marks: (data row index, byte offset).
+  std::vector<std::pair<uint64_t, uint64_t>> marks;
+  uint64_t stride = 1;
+
+  Status walk = WalkCsvRecords(
+      in, 0, options,
+      [&](uint64_t offset, std::string_view text, bool blank) {
+        if (blank) return true;
+        if (header_pending) {
+          plan.attribute_names = SplitCsvLine(StripTrailingCr(text), options);
+          header_pending = false;
+          names_known = true;
+          return true;
+        }
+        if (!names_known) {
+          // No header: anonymous names, width of the first data record.
+          size_t width = SplitCsvLine(StripTrailingCr(text), options).size();
+          plan.attribute_names = Schema::Anonymous(width).names();
+          names_known = true;
+        }
+        if (data_rows % stride == 0) {
+          marks.emplace_back(data_rows, offset);
+          if (marks.size() > kMaxBoundaryMarks) {
+            // Keep every other mark; the stride doubles.
+            size_t keep = 0;
+            for (size_t i = 0; i < marks.size(); i += 2) marks[keep++] = marks[i];
+            marks.resize(keep);
+            stride *= 2;
+          }
+        }
+        ++data_rows;
+        end_offset = offset + text.size() + 1;
+        return true;
+      });
+  QIKEY_RETURN_NOT_OK(walk);
+  if (!names_known) {
+    return Status::InvalidArgument("CSV has no records: " + path);
+  }
+  plan.total_rows = data_rows;
+  if (data_rows == 0) return plan;
+
+  // Pick boundaries: for each ideal split point, the last mark at or
+  // before it. Ranges get whole strides, so every shard is within one
+  // stride of the even split; drop boundaries that would leave a shard
+  // with fewer than two rows.
+  size_t shards = std::min<uint64_t>(num_shards, std::max<uint64_t>(
+                                                     1, data_rows / 2));
+  std::vector<size_t> chosen;  // indices into marks
+  chosen.push_back(0);
+  for (size_t s = 1; s < shards; ++s) {
+    uint64_t ideal = data_rows * s / shards;
+    // marks are sorted by row; binary search the last mark <= ideal.
+    size_t lo = 0, hi = marks.size();
+    while (hi - lo > 1) {
+      size_t mid = (lo + hi) / 2;
+      if (marks[mid].first <= ideal) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo != chosen.back() &&
+        marks[lo].first >= marks[chosen.back()].first + 2 &&
+        data_rows - marks[lo].first >= 2) {
+      chosen.push_back(lo);
+    }
+  }
+  plan.ranges.reserve(chosen.size());
+  for (size_t i = 0; i < chosen.size(); ++i) {
+    const auto& [row, offset] = marks[chosen[i]];
+    ShardRange range;
+    range.first_row = row;
+    range.byte_begin = offset;
+    if (i + 1 < chosen.size()) {
+      range.num_rows = marks[chosen[i + 1]].first - row;
+      range.byte_end = marks[chosen[i + 1]].second;
+    } else {
+      range.num_rows = data_rows - row;
+      range.byte_end = end_offset;
+    }
+    plan.ranges.push_back(range);
+  }
+  return plan;
+}
+
+Result<std::vector<std::string>> ReadCsvAttributeNames(
+    const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::vector<std::string> names;
+  Status walk = WalkCsvRecords(
+      in, 0, options, [&](uint64_t, std::string_view text, bool blank) {
+        if (blank) return true;
+        std::vector<std::string> fields =
+            SplitCsvLine(StripTrailingCr(text), options);
+        names = options.has_header
+                    ? std::move(fields)
+                    : Schema::Anonymous(fields.size()).names();
+        return false;  // one record is enough
+      });
+  QIKEY_RETURN_NOT_OK(walk);
+  if (names.empty()) {
+    return Status::InvalidArgument("CSV has no records: " + path);
+  }
+  return names;
+}
+
+Status ForEachCsvRecordInRange(
+    const std::string& path, const ShardRange& range,
+    const CsvOptions& options,
+    const std::function<Status(const std::vector<std::string>&)>& fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  in.seekg(static_cast<std::streamoff>(range.byte_begin));
+  if (!in) return Status::IOError("cannot seek: " + path);
+  uint64_t remaining = range.num_rows;
+  Status inner = Status::OK();
+  Status walk = WalkCsvRecords(
+      in, range.byte_begin, options,
+      [&](uint64_t offset, std::string_view text, bool blank) {
+        if (remaining == 0 || offset >= range.byte_end) return false;
+        if (blank) return true;
+        inner = fn(SplitCsvLine(StripTrailingCr(text), options));
+        if (!inner.ok()) return false;
+        --remaining;
+        return remaining > 0;
+      });
+  QIKEY_RETURN_NOT_OK(walk);
+  QIKEY_RETURN_NOT_OK(inner);
+  if (remaining != 0) {
+    return Status::IOError("shard range ended before its row count");
+  }
+  return Status::OK();
+}
+
+Result<ShardedIngestStats> ShardedLoader::Load(
+    const std::string& path, const std::function<Status(ShardInput)>& consumer,
+    const std::function<uint64_t()>& consumer_tracked) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+
+  ShardedIngestStats stats;
+  // Chunk sizing: an explicit row cap wins; otherwise a budget caps the
+  // chunk's code bytes at a quarter of it (the rest is headroom for the
+  // dictionaries, the consumer's merged state, and the in-flight
+  // chunk); otherwise a fixed default.
+  size_t shard_rows = options_.shard_rows;
+  uint64_t chunk_byte_cap = 0;
+  if (shard_rows == 0) {
+    if (options_.memory_budget_bytes > 0) {
+      shard_rows = ~size_t{0};  // rows unbounded; bytes decide
+      chunk_byte_cap =
+          std::max<uint64_t>(options_.memory_budget_bytes / 4, 4096);
+    } else {
+      shard_rows = kDefaultShardRows;
+    }
+  }
+  shard_rows = std::max<size_t>(shard_rows, 2);
+
+  bool header_pending = options_.csv.has_header;
+  std::unique_ptr<DatasetBuilder> builder;
+  uint32_t shard_index = 0;
+  uint64_t first_row = 0;
+  Status inner = Status::OK();
+  // Two-record lookahead so a flush never strands a final one-row
+  // shard (pair merges need >= 2 rows per shard).
+  std::deque<std::vector<std::string>> lookahead;
+
+  auto track = [&](uint64_t live_chunk_bytes) -> Status {
+    uint64_t tracked = live_chunk_bytes;
+    if (builder != nullptr) {
+      tracked += builder->EstimatedBytes();
+    }
+    if (consumer_tracked) tracked += consumer_tracked();
+    stats.peak_tracked_bytes = std::max(stats.peak_tracked_bytes, tracked);
+    if (options_.memory_budget_bytes > 0 &&
+        tracked > options_.memory_budget_bytes) {
+      return Status::OutOfRange(
+          "sharded ingest exceeded the memory budget");
+    }
+    return Status::OK();
+  };
+
+  auto flush = [&]() -> Status {
+    if (builder == nullptr || builder->num_rows() == 0) return Status::OK();
+    uint64_t rows = builder->num_rows();
+    ShardInput shard;
+    shard.rows = builder->TakeShard();
+    shard.shard_index = shard_index++;
+    shard.first_row = first_row;
+    first_row += rows;
+    uint64_t chunk_bytes = shard.rows.num_rows() *
+                           shard.rows.num_attributes() * sizeof(ValueCode);
+    QIKEY_RETURN_NOT_OK(consumer(std::move(shard)));
+    ++stats.num_shards;
+    return track(chunk_bytes);
+  };
+
+  auto add_row = [&](const std::vector<std::string>& fields) -> Status {
+    bool full = builder->num_rows() >= shard_rows;
+    if (chunk_byte_cap > 0 && builder->num_rows() >= 2) {
+      uint64_t chunk_bytes = builder->num_rows() *
+                             builder->num_attributes() * sizeof(ValueCode);
+      full = full || chunk_bytes >= chunk_byte_cap;
+    }
+    if (full && lookahead.size() >= 2) {
+      QIKEY_RETURN_NOT_OK(flush());
+    }
+    QIKEY_RETURN_NOT_OK(builder->AddRow(fields));
+    if (builder->num_rows() % 256 == 0) {
+      QIKEY_RETURN_NOT_OK(track(0));
+    }
+    ++stats.total_rows;
+    return Status::OK();
+  };
+
+  Status walk = WalkCsvRecords(
+      in, 0, options_.csv, [&](uint64_t, std::string_view text, bool blank) {
+        if (blank) return true;
+        std::vector<std::string> fields =
+            SplitCsvLine(StripTrailingCr(text), options_.csv);
+        if (header_pending) {
+          header_pending = false;
+          dictionaries_.assign(fields.size(), nullptr);
+          for (auto& d : dictionaries_) d = std::make_shared<Dictionary>();
+          builder = std::make_unique<DatasetBuilder>(fields, dictionaries_);
+          return true;
+        }
+        if (builder == nullptr) {
+          std::vector<std::string> names =
+              Schema::Anonymous(fields.size()).names();
+          dictionaries_.assign(fields.size(), nullptr);
+          for (auto& d : dictionaries_) d = std::make_shared<Dictionary>();
+          builder = std::make_unique<DatasetBuilder>(std::move(names),
+                                                     dictionaries_);
+        }
+        lookahead.push_back(std::move(fields));
+        if (lookahead.size() > 2) {
+          inner = add_row(lookahead.front());
+          lookahead.pop_front();
+          if (!inner.ok()) return false;
+        }
+        return true;
+      });
+  QIKEY_RETURN_NOT_OK(walk);
+  QIKEY_RETURN_NOT_OK(inner);
+  while (!lookahead.empty()) {
+    QIKEY_RETURN_NOT_OK(builder == nullptr
+                            ? Status::InvalidArgument("CSV has no records")
+                            : builder->AddRow(lookahead.front()));
+    ++stats.total_rows;
+    lookahead.pop_front();
+  }
+  QIKEY_RETURN_NOT_OK(flush());
+  if (stats.total_rows == 0) {
+    return Status::InvalidArgument("CSV has no data rows: " + path);
+  }
+  // With every row drained, the builder's estimate is pure dictionary.
+  stats.dictionary_bytes = builder != nullptr ? builder->EstimatedBytes() : 0;
+  return stats;
+}
+
+}  // namespace qikey

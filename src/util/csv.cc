@@ -21,10 +21,63 @@ bool NeedsQuoting(std::string_view field, const CsvOptions& options) {
       return true;
     }
   }
+  // Whitespace at either edge would be eaten by trim_whitespace on the
+  // way back in; quote it so values round-trip.
+  if (!field.empty() &&
+      (field.front() == ' ' || field.front() == '\t' || field.back() == ' ' ||
+       field.back() == '\t')) {
+    return true;
+  }
   return false;
 }
 
 }  // namespace
+
+bool CsvRecordScanner::Feed(char c) {
+  if (in_quotes_) {
+    if (quote_pending_) {
+      quote_pending_ = false;
+      if (c == quote_) return false;  // doubled quote, literal; stay quoted
+      in_quotes_ = false;             // the pending quote closed the field
+      // Fall through: c belongs to the unquoted remainder of the field.
+    } else {
+      if (c == quote_) {
+        quote_pending_ = true;
+      } else {
+        field_empty_ = false;
+      }
+      return false;
+    }
+  }
+  if (c == quote_) {
+    record_blank_ = false;
+    if (field_empty_) {
+      in_quotes_ = true;
+    } else {
+      field_empty_ = false;
+    }
+    return false;
+  }
+  if (c == '\n') {
+    ResetRecord();
+    return true;
+  }
+  if (c == delimiter_) {
+    record_blank_ = false;
+    field_empty_ = true;
+    return false;
+  }
+  field_empty_ = false;
+  if (c != ' ' && c != '\t' && c != '\r') record_blank_ = false;
+  return false;
+}
+
+void CsvRecordScanner::ResetRecord() {
+  in_quotes_ = false;
+  quote_pending_ = false;
+  field_empty_ = true;
+  record_blank_ = true;
+}
 
 std::vector<std::string> SplitCsvLine(std::string_view line,
                                       const CsvOptions& options) {
@@ -83,22 +136,28 @@ Result<CsvTable> ParseCsv(std::string_view text, const CsvOptions& options) {
   size_t expected_fields = 0;
   bool saw_first_row = false;
   bool header_pending = options.has_header;
-  size_t pos = 0;
-  size_t line_no = 0;
-  while (pos <= text.size()) {
-    size_t nl = text.find('\n', pos);
-    std::string_view line = (nl == std::string_view::npos)
-                                ? text.substr(pos)
-                                : text.substr(pos, nl - pos);
-    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
-    ++line_no;
-    if (Trim(line).empty()) continue;
-    std::vector<std::string> fields = SplitCsvLine(line, options);
+  size_t record_no = 0;
+
+  // Record-at-a-time walk with the quote-aware scanner, so newlines
+  // inside quoted fields stay part of their record.
+  CsvRecordScanner scanner(options);
+  size_t record_start = 0;
+  size_t i = 0;
+  Status error = Status::OK();
+  auto handle_record = [&](std::string_view record, bool blank) -> bool {
+    // Strip one trailing \r so CRLF input parses like LF input even for
+    // records ending in a quoted field.
+    if (!record.empty() && record.back() == '\r') {
+      record.remove_suffix(1);
+    }
+    ++record_no;
+    if (blank) return true;
+    std::vector<std::string> fields = SplitCsvLine(record, options);
     if (header_pending) {
       table.header = std::move(fields);
       expected_fields = table.header.size();
       header_pending = false;
-      continue;
+      return true;
     }
     if (!saw_first_row && expected_fields == 0) {
       expected_fields = fields.size();
@@ -106,11 +165,27 @@ Result<CsvTable> ParseCsv(std::string_view text, const CsvOptions& options) {
     saw_first_row = true;
     if (fields.size() != expected_fields) {
       std::ostringstream msg;
-      msg << "CSV line " << line_no << " has " << fields.size()
+      msg << "CSV record " << record_no << " has " << fields.size()
           << " fields, expected " << expected_fields;
-      return Status::InvalidArgument(msg.str());
+      error = Status::InvalidArgument(msg.str());
+      return false;
     }
     table.rows.push_back(std::move(fields));
+    return true;
+  };
+  for (; i < text.size(); ++i) {
+    bool blank = scanner.record_blank();
+    if (scanner.Feed(text[i])) {
+      if (!handle_record(text.substr(record_start, i - record_start), blank)) {
+        return error;
+      }
+      record_start = i + 1;
+    }
+  }
+  if (record_start < text.size()) {  // final record without a newline
+    if (!handle_record(text.substr(record_start), scanner.record_blank())) {
+      return error;
+    }
   }
   return table;
 }
@@ -131,7 +206,9 @@ std::string WriteCsv(const CsvTable& table, const CsvOptions& options) {
   auto write_row = [&](const std::vector<std::string>& row) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out.push_back(options.delimiter);
-      if (NeedsQuoting(row[i], options)) {
+      // A lone empty field must be quoted or the record reads back as a
+      // blank line and is skipped.
+      if (NeedsQuoting(row[i], options) || (row.size() == 1 && row[i].empty())) {
         out.push_back(options.quote);
         for (char c : row[i]) {
           if (c == options.quote) out.push_back(options.quote);

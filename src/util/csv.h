@@ -21,12 +21,47 @@ struct CsvOptions {
 
 /// \brief Splits one CSV record into fields, honoring quotes.
 ///
-/// Handles RFC-4180 style quoting including embedded delimiters and
-/// doubled quotes. Does not handle embedded newlines (records must be
-/// one physical line, which holds for the tabular data this library
-/// targets).
+/// Handles RFC-4180 style quoting including embedded delimiters,
+/// doubled quotes, and (when the caller hands it a whole record, as
+/// `ParseCsv` does) newlines inside quoted fields.
 std::vector<std::string> SplitCsvLine(std::string_view line,
                                       const CsvOptions& options = {});
+
+/// \brief Incremental quote-aware record-boundary detector.
+///
+/// Feed bytes one at a time; `Feed` returns true exactly when the byte
+/// is a record terminator (a newline at quote depth zero). Mirrors
+/// `SplitCsvLine`'s quoting rules (quotes open only on an empty field,
+/// doubled quotes are literal), so newlines inside quoted fields do not
+/// end a record. Used by `ParseCsv` and by the sharded loader's file
+/// scanner, which must find shard boundaries without parsing fields.
+class CsvRecordScanner {
+ public:
+  explicit CsvRecordScanner(const CsvOptions& options)
+      : delimiter_(options.delimiter), quote_(options.quote) {}
+
+  /// Consumes one byte; true iff it terminates the current record.
+  bool Feed(char c);
+
+  /// True while the record seen so far is only whitespace (such records
+  /// are skipped by `ParseCsv`; any quote makes a record non-blank).
+  bool record_blank() const { return record_blank_; }
+
+  /// True if the scanner is inside a quoted field (a record spanning a
+  /// buffer boundary).
+  bool in_quotes() const { return in_quotes_; }
+
+  /// Resets per-record state (called automatically after a terminator).
+  void ResetRecord();
+
+ private:
+  char delimiter_;
+  char quote_;
+  bool in_quotes_ = false;
+  bool quote_pending_ = false;  // saw a quote inside quotes; close or literal?
+  bool field_empty_ = true;     // quotes may only open on an empty field
+  bool record_blank_ = true;
+};
 
 /// Parsed CSV content: optional header plus rows of string fields.
 struct CsvTable {

@@ -114,6 +114,18 @@ std::pair<uint64_t, uint64_t> Rng::SamplePair(uint64_t n) {
   return {i, j};
 }
 
+uint64_t Rng::HypergeometricDraw(uint64_t draws, uint64_t n1, uint64_t n2) {
+  QIKEY_CHECK(draws <= n1 + n2)
+      << "cannot draw " << draws << " from an urn of " << n1 + n2;
+  // After t draws of which k came from population 1, the urn holds
+  // n1 - k population-1 items out of n1 + n2 - t total.
+  uint64_t k = 0;
+  for (uint64_t t = 0; t < draws; ++t) {
+    if (Uniform(n1 + n2 - t) < n1 - k) ++k;
+  }
+  return k;
+}
+
 Rng Rng::Split() { return Rng(Next() ^ 0xA5A5A5A5A5A5A5A5ULL); }
 
 }  // namespace qikey

@@ -58,6 +58,16 @@ class Rng {
   /// `[0, n)`. Requires `n >= 2`. Returned with `first < second`.
   std::pair<uint64_t, uint64_t> SamplePair(uint64_t n);
 
+  /// \brief How many of `draws` items, drawn without replacement from an
+  /// urn of `n1 + n2` items, come from the first `n1` — an exact
+  /// hypergeometric variate, by sequential urn simulation in O(draws).
+  ///
+  /// This is the split underlying every disjoint-population sample
+  /// merge: a uniform `k`-subset of population 1 unioned with a uniform
+  /// `draws - k`-subset of population 2 is a uniform `draws`-subset of
+  /// the union. Requires `draws <= n1 + n2`.
+  uint64_t HypergeometricDraw(uint64_t draws, uint64_t n1, uint64_t n2);
+
   /// Fisher–Yates shuffle of `v`.
   template <typename T>
   void Shuffle(std::vector<T>* v) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "data/concat.h"
 #include "data/csv_loader.h"
 #include "data/dataset.h"
 #include "data/dataset_builder.h"
@@ -163,6 +164,88 @@ TEST(CsvLoaderTest, HeaderlessGetsAnonymousSchema) {
 TEST(CsvLoaderTest, PropagatesParseError) {
   auto d = LoadCsvDatasetFromString("a,b\n1\n");
   EXPECT_FALSE(d.ok());
+}
+
+// ------------------------------------------------------------ concat
+
+TEST(ConcatTest, RemapsIndependentDictionaries) {
+  // Same values, inserted in different orders: per-part codes differ,
+  // the union must still compare values correctly.
+  DatasetBuilder a({"city"});
+  ASSERT_TRUE(a.AddRow({"SF"}).ok());
+  ASSERT_TRUE(a.AddRow({"LA"}).ok());
+  DatasetBuilder b({"city"});
+  ASSERT_TRUE(b.AddRow({"LA"}).ok());
+  ASSERT_TRUE(b.AddRow({"SF"}).ok());
+  ASSERT_TRUE(b.AddRow({"NY"}).ok());
+  Dataset da = std::move(a).Finish();
+  Dataset db = std::move(b).Finish();
+  auto merged = ConcatDatasets({&da, &db});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged->num_rows(), 5u);
+  EXPECT_EQ(merged->FormatRow(0), "SF");
+  EXPECT_EQ(merged->FormatRow(1), "LA");
+  EXPECT_EQ(merged->FormatRow(2), "LA");
+  EXPECT_EQ(merged->FormatRow(3), "SF");
+  EXPECT_EQ(merged->FormatRow(4), "NY");
+  EXPECT_EQ(merged->code(0, 0), merged->code(3, 0));  // both SF
+  EXPECT_EQ(merged->code(1, 0), merged->code(2, 0));  // both LA
+  EXPECT_NE(merged->code(0, 0), merged->code(4, 0));
+  EXPECT_EQ(merged->column(0).cardinality(), 3u);
+}
+
+TEST(ConcatTest, RejectsMismatches) {
+  DatasetBuilder a({"x"});
+  ASSERT_TRUE(a.AddRow({"1"}).ok());
+  DatasetBuilder b({"y"});
+  ASSERT_TRUE(b.AddRow({"1"}).ok());
+  Dataset da = std::move(a).Finish();
+  Dataset db = std::move(b).Finish();
+  EXPECT_FALSE(ConcatDatasets({&da, &db}).ok());  // schema names differ
+  EXPECT_FALSE(ConcatDatasets({}).ok());
+
+  // Dictionary vs raw encoding at the same position.
+  Dataset raw(Schema({"x"}), {Column({0, 1, 0})});
+  EXPECT_FALSE(ConcatDatasets({&da, &raw}).ok());
+}
+
+TEST(ConcatTest, AppendsRawCodesWithWidenedCardinality) {
+  Dataset a(Schema({"x"}), {Column({0, 1}, 2)});
+  Dataset b(Schema({"x"}), {Column({4, 2}, 5)});
+  auto merged = ConcatDatasets({&a, &b});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->column(0).cardinality(), 5u);
+  EXPECT_EQ(merged->code(2, 0), 4u);
+}
+
+// ------------------------------------------------- shard-aware builder
+
+TEST(DatasetBuilderTest, TakeShardSharesDictionaries) {
+  DatasetBuilder b({"word"});
+  ASSERT_TRUE(b.AddRow({"alpha"}).ok());
+  ASSERT_TRUE(b.AddRow({"beta"}).ok());
+  Dataset first = b.TakeShard();
+  EXPECT_EQ(b.num_rows(), 0u);
+  ASSERT_TRUE(b.AddRow({"beta"}).ok());
+  ASSERT_TRUE(b.AddRow({"gamma"}).ok());
+  Dataset second = b.TakeShard();
+  // Shared dictionary: codes compare across shards without remapping.
+  EXPECT_EQ(first.code(1, 0), second.code(0, 0));  // both "beta"
+  EXPECT_EQ(first.FormatRow(0), "alpha");
+  EXPECT_EQ(second.FormatRow(1), "gamma");
+  // The second shard's cardinality covers the grown dictionary.
+  EXPECT_EQ(second.column(0).cardinality(), 3u);
+}
+
+TEST(DatasetBuilderTest, EstimatedBytesGrowsWithRowsAndDictionary) {
+  DatasetBuilder b({"a", "b"});
+  uint64_t empty = b.EstimatedBytes();
+  ASSERT_TRUE(b.AddRow({"one", "two"}).ok());
+  uint64_t one = b.EstimatedBytes();
+  EXPECT_GT(one, empty);
+  ASSERT_TRUE(b.AddRow({"one", "two"}).ok());  // no new dict entries
+  uint64_t two = b.EstimatedBytes();
+  EXPECT_EQ(two - one, 2 * sizeof(ValueCode));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include "core/separation.h"
 #include "core/tuple_sample_filter.h"
@@ -62,6 +63,95 @@ TEST(SerializeTest, RejectsCorruption) {
   EXPECT_FALSE(DeserializeDataset(magic_broken).ok());
 }
 
+// Adversarial bytes: hostile declared sizes must come back as errors,
+// never as crashes or multi-gigabyte allocations. Offsets follow the
+// serialized layout: magic(4) version(4) m(4) n(8), then per column
+// name(4+len) cardinality(4) has_dict(1) [entries(4) strings...] codes.
+TEST(SerializeTest, RejectsHostileRowCount) {
+  std::string bytes = SerializeDataset(DictDataset());
+  for (int i = 0; i < 8; ++i) bytes[12 + i] = '\xff';
+  auto result = DeserializeDataset(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RejectsHostileAttributeCount) {
+  std::string bytes = SerializeDataset(DictDataset());
+  for (int i = 0; i < 4; ++i) bytes[8 + i] = '\xff';
+  EXPECT_FALSE(DeserializeDataset(bytes).ok());
+}
+
+TEST(SerializeTest, RejectsHostileDictionaryEntryCount) {
+  std::string bytes = SerializeDataset(DictDataset());
+  // Column 0 is "word": name at 20..27, cardinality 28..31, flag 32,
+  // entry count 33..36.
+  ASSERT_EQ(bytes.substr(24, 4), "word");
+  for (int i = 0; i < 4; ++i) bytes[33 + i] = '\xff';
+  EXPECT_FALSE(DeserializeDataset(bytes).ok());
+}
+
+TEST(SerializeTest, RejectsDuplicateDictionaryEntries) {
+  std::string bytes = SerializeDataset(DictDataset());
+  // Rewrite the entry "beta" as a second "alpha": a code would then
+  // render through an entry that does not exist.
+  std::string beta = std::string("\x04\x00\x00\x00", 4) + "beta";
+  std::string dup = std::string("\x05\x00\x00\x00", 4) + "alpha";
+  size_t at = bytes.find(beta);
+  ASSERT_NE(at, std::string::npos);
+  bytes.replace(at, beta.size(), dup);
+  auto result = DeserializeDataset(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsCardinalityBeyondDictionary) {
+  std::string bytes = SerializeDataset(DictDataset());
+  bytes[28] = '\x64';  // column "word": cardinality 2 -> 100
+  auto result = DeserializeDataset(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("cardinality"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, SurvivesRandomSingleByteFlips) {
+  Dataset d = DictDataset();
+  std::string bytes = SerializeDataset(d);
+  Rng rng(99);
+  for (int t = 0; t < 200; ++t) {
+    std::string mutated = bytes;
+    size_t at = static_cast<size_t>(rng.Uniform(mutated.size()));
+    mutated[at] = static_cast<char>(rng.Uniform(256));
+    // Must either fail cleanly or round-trip to a structurally valid
+    // data set — never crash.
+    auto result = DeserializeDataset(mutated);
+    if (result.ok()) {
+      EXPECT_EQ(result->num_attributes(), 2u);
+    }
+  }
+}
+
+TEST(SerializeTest, FilterDeserializeRejectsHostileProvenance) {
+  Rng rng(41);
+  Dataset d = MakeUniformGridSample(3, 3, 20, &rng);
+  TupleSampleFilterOptions opts;
+  opts.sample_size = 8;
+  auto filter = TupleSampleFilter::Build(d, opts, &rng);
+  ASSERT_TRUE(filter.ok());
+  std::string bytes = filter->Serialize();
+  // Provenance count u64 lives at offset 5.
+  for (int i = 0; i < 8; ++i) bytes[5 + i] = '\xff';
+  EXPECT_FALSE(TupleSampleFilter::Deserialize(bytes).ok());
+}
+
+TEST(SerializeTest, FileReadRejectsCorruptFile) {
+  std::string path = "/tmp/qikey_serialize_corrupt.bin";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "QIKD\x01\x00\x00\x00 definitely not a dataset";
+  out.close();
+  EXPECT_FALSE(ReadDatasetFile(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, FileRoundTrip) {
   Rng rng(2);
   Dataset d = MakeUniformGridSample(3, 3, 50, &rng);
@@ -100,6 +190,56 @@ TEST(SerializeTest, CsvExportPreservesDictionaryValues) {
   auto back = LoadCsvDatasetFromString(DatasetToCsv(d));
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->FormatRow(0), "hello, world");
+}
+
+// Full-fidelity CSV round trip: every value — quoted, delimiter-laden,
+// newline-laden, empty, whitespace-edged — must come back verbatim.
+TEST(SerializeTest, CsvRoundTripsHostileValues) {
+  DatasetBuilder b({"name", "payload", "tail"});
+  ASSERT_TRUE(b.AddRow({"comma", "a,b,c", "x"}).ok());
+  ASSERT_TRUE(b.AddRow({"quote", "say \"hi\" now", "y"}).ok());
+  ASSERT_TRUE(b.AddRow({"newline", "line1\nline2", "z"}).ok());
+  ASSERT_TRUE(b.AddRow({"crlf", "line1\r\nline2", "w"}).ok());
+  ASSERT_TRUE(b.AddRow({"empty", "", "v"}).ok());
+  ASSERT_TRUE(b.AddRow({"spaces", "  padded  ", "u"}).ok());
+  ASSERT_TRUE(b.AddRow({"mixed", "\"a\",\nb", "t"}).ok());
+  Dataset d = std::move(b).Finish();
+
+  std::string csv = DatasetToCsv(d);
+  auto back = LoadCsvDatasetFromString(csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), d.num_rows());
+  ASSERT_EQ(back->num_attributes(), d.num_attributes());
+  EXPECT_EQ(back->schema().names(), d.schema().names());
+  for (RowIndex i = 0; i < d.num_rows(); ++i) {
+    EXPECT_EQ(back->FormatRow(i), d.FormatRow(i)) << "row " << i;
+  }
+
+  // And a second lap: export of the reload must be byte-identical.
+  EXPECT_EQ(DatasetToCsv(*back), csv);
+}
+
+TEST(SerializeTest, CsvRoundTripsSingleEmptyField) {
+  DatasetBuilder b({"only"});
+  ASSERT_TRUE(b.AddRow({""}).ok());
+  ASSERT_TRUE(b.AddRow({"x"}).ok());
+  ASSERT_TRUE(b.AddRow({""}).ok());
+  Dataset d = std::move(b).Finish();
+  auto back = LoadCsvDatasetFromString(DatasetToCsv(d));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), 3u);
+  EXPECT_EQ(back->FormatRow(0), "");
+  EXPECT_EQ(back->FormatRow(1), "x");
+  EXPECT_EQ(back->FormatRow(2), "");
+}
+
+TEST(SerializeTest, CsvParsesQuotedNewlinesFromRawText) {
+  auto back = LoadCsvDatasetFromString(
+      "a,b\n\"1\n2\",3\n4,\"5,6\"\n");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->FormatRow(0), "1\n2|3");
+  EXPECT_EQ(back->FormatRow(1), "4|5,6");
 }
 
 // --------------------------------------------------------------- filter

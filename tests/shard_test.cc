@@ -1,0 +1,529 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/key_enumeration.h"
+#include "core/mx_pair_filter.h"
+#include "core/tuple_sample_filter.h"
+#include "data/csv_loader.h"
+#include "data/dataset_builder.h"
+#include "data/generators/tabular.h"
+#include "data/generators/uniform_grid.h"
+#include "engine/pipeline.h"
+#include "shard/filter_merger.h"
+#include "shard/shard_artifact.h"
+#include "shard/shard_builder.h"
+#include "shard/sharded_loader.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+std::string WriteTempFile(const std::string& name, const std::string& text) {
+  std::string path = "/tmp/qikey_shard_test_" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return path;
+}
+
+ShardedBuildOptions TupleBuild(uint64_t sample_size, size_t shards,
+                               uint64_t seed) {
+  ShardedBuildOptions options;
+  options.backend = FilterBackend::kTupleSample;
+  options.tuple_sample_size = sample_size;
+  options.num_shards = shards;
+  options.seed = seed;
+  return options;
+}
+
+// ------------------------------------------------------------ primitives
+
+TEST(HypergeometricTest, RespectsSupportAndMean) {
+  Rng rng(7);
+  const uint64_t n1 = 30, n2 = 70, draws = 20;
+  double sum = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    uint64_t k = rng.HypergeometricDraw(draws, n1, n2);
+    ASSERT_LE(k, std::min(draws, n1));
+    ASSERT_GE(draws - k, draws > n2 ? draws - n2 : 0);
+    sum += static_cast<double>(k);
+  }
+  // E[k] = draws * n1 / (n1 + n2) = 6; sd ~ 1.45/sqrt(trials).
+  EXPECT_NEAR(sum / trials, 6.0, 0.12);
+}
+
+TEST(HypergeometricTest, ExhaustsOnePopulation) {
+  Rng rng(8);
+  EXPECT_EQ(rng.HypergeometricDraw(5, 5, 0), 5u);
+  EXPECT_EQ(rng.HypergeometricDraw(5, 0, 5), 0u);
+  EXPECT_EQ(rng.HypergeometricDraw(10, 4, 6), 4u);
+}
+
+// --------------------------------------------------------- tuple merge
+
+// The merged tuple sample must be a uniform r-subset of the union:
+// every row's inclusion frequency matches r/n, which is exactly what a
+// single-pass build produces.
+TEST(FilterMergeTest, TupleMergeInclusionIsUniform) {
+  DatasetBuilder b({"v"});
+  const uint64_t n = 12, r = 5;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(b.AddRow({"row" + std::to_string(i)}).ok());
+  }
+  Dataset d = std::move(b).Finish();
+
+  const int trials = 4000;
+  std::vector<int> hits(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    auto artifacts = BuildShardArtifacts(d, TupleBuild(r, 3, 1000 + t));
+    ASSERT_TRUE(artifacts.ok());
+    FilterMerger::Options merge_options;
+    merge_options.backend = FilterBackend::kTupleSample;
+    merge_options.tuple_sample_size = r;
+    merge_options.seed = 5000 + t;
+    FilterMerger merger(merge_options);
+    for (auto& a : *artifacts) ASSERT_TRUE(merger.Add(std::move(a)).ok());
+    auto merged = std::move(merger).Finish();
+    ASSERT_TRUE(merged.ok());
+    ASSERT_EQ(merged->tuple_filter->sample_size(), r);
+    std::set<RowIndex> rows(merged->tuple_filter->provenance().begin(),
+                            merged->tuple_filter->provenance().end());
+    ASSERT_EQ(rows.size(), r) << "duplicate rows in the merged sample";
+    for (RowIndex row : rows) hits[row]++;
+  }
+  const double expect = static_cast<double>(r) / n;  // 0.4167
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(hits[i] / static_cast<double>(trials), expect, 0.04)
+        << "row " << i;
+  }
+}
+
+// Merged samples must answer like the sample they are: values survive
+// re-encoding through the union dictionary.
+TEST(FilterMergeTest, TupleMergePreservesValues) {
+  DatasetBuilder b({"city", "zip"});
+  ASSERT_TRUE(b.AddRow({"SF", "94103"}).ok());
+  ASSERT_TRUE(b.AddRow({"SD", "92115"}).ok());
+  ASSERT_TRUE(b.AddRow({"SF", "94110"}).ok());
+  ASSERT_TRUE(b.AddRow({"LA", "90001"}).ok());
+  Dataset d = std::move(b).Finish();
+  auto artifacts = BuildShardArtifacts(d, TupleBuild(4, 2, 3));
+  ASSERT_TRUE(artifacts.ok());
+  FilterMerger::Options merge_options;
+  merge_options.tuple_sample_size = 4;
+  FilterMerger merger(merge_options);
+  for (auto& a : *artifacts) ASSERT_TRUE(merger.Add(std::move(a)).ok());
+  auto merged = std::move(merger).Finish();
+  ASSERT_TRUE(merged.ok());
+  const Dataset& sample = merged->tuple_filter->sample();
+  ASSERT_EQ(sample.num_rows(), 4u);
+  std::multiset<std::string> rows;
+  for (RowIndex i = 0; i < sample.num_rows(); ++i) {
+    rows.insert(sample.FormatRow(i));
+  }
+  EXPECT_EQ(rows, (std::multiset<std::string>{
+                      "SF|94103", "SD|92115", "SF|94110", "LA|90001"}));
+}
+
+// ------------------------------------------------------------ MX merge
+
+// With one slot, the merged pair must be uniform over all C(n,2)
+// unordered pairs of the union — the distribution a single-pass MX
+// build draws from.
+TEST(FilterMergeTest, MxMergeSlotDistributionIsUniform) {
+  DatasetBuilder b({"v"});
+  const uint64_t n = 6;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(b.AddRow({"row" + std::to_string(i)}).ok());
+  }
+  Dataset d = std::move(b).Finish();
+
+  const int trials = 6000;
+  std::map<std::pair<std::string, std::string>, int> freq;
+  for (int t = 0; t < trials; ++t) {
+    ShardedBuildOptions options = TupleBuild(n, 2, 2000 + t);
+    options.backend = FilterBackend::kMxPair;
+    options.pair_slots = 1;
+    auto artifacts = BuildShardArtifacts(d, options);
+    ASSERT_TRUE(artifacts.ok());
+    ASSERT_EQ(artifacts->size(), 2u);
+    FilterMerger::Options merge_options;
+    merge_options.backend = FilterBackend::kMxPair;
+    merge_options.tuple_sample_size = n;
+    merge_options.seed = 9000 + t;
+    FilterMerger merger(merge_options);
+    for (auto& a : *artifacts) ASSERT_TRUE(merger.Add(std::move(a)).ok());
+    auto merged = std::move(merger).Finish();
+    ASSERT_TRUE(merged.ok());
+    const Dataset* table = merged->mx_filter->materialized();
+    ASSERT_NE(table, nullptr);
+    ASSERT_EQ(table->num_rows(), 2u);
+    std::string a = table->FormatRow(0), b2 = table->FormatRow(1);
+    if (b2 < a) std::swap(a, b2);
+    EXPECT_NE(a, b2) << "self-pair in merged slot";
+    freq[{a, b2}]++;
+  }
+  const double expect = 1.0 / 15.0;  // C(6,2) pairs
+  EXPECT_EQ(freq.size(), 15u) << "some pair never sampled";
+  for (const auto& [pair, count] : freq) {
+    EXPECT_NEAR(count / static_cast<double>(trials), expect, 0.018)
+        << pair.first << " x " << pair.second;
+  }
+}
+
+// ------------------------------------------------- pipeline equivalence
+
+// The acceptance-criteria property: in the exact regime (sample covers
+// the table) RunSharded must return the same key as the single-process
+// pipeline, and the merged filter must accept exactly the minimal keys
+// a from-scratch enumeration finds — for random tables, shard counts,
+// and seeds.
+TEST(RunShardedTest, MatchesSinglePipelineFrontier) {
+  for (int round = 0; round < 6; ++round) {
+    Rng data_rng(100 + round);
+    Dataset d = MakeUniformGridSample(5, 3, 40 + 10 * round, &data_rng);
+    PipelineOptions options;
+    options.eps = 0.001;
+    options.sample_size = d.num_rows();  // exact regime
+    DiscoveryPipeline pipeline(options);
+
+    Rng run_rng(77);
+    auto single = pipeline.Run(d, &run_rng);
+    ASSERT_TRUE(single.ok());
+
+    Rng shard_pick(500 + round);
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+      ShardedRunOptions sharded;
+      sharded.num_shards = shards;
+      uint64_t seed = shard_pick.Next();
+      auto result = pipeline.RunSharded(d, sharded, seed);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result->key, single->key)
+          << "round " << round << " shards " << shards;
+      EXPECT_EQ(result->covered_sample, single->covered_sample);
+      EXPECT_EQ(result->verdict, single->verdict);
+      EXPECT_EQ(result->rows, d.num_rows());
+
+      // Frontier: merged filter accepts exactly the minimal exact keys.
+      auto artifacts = BuildShardArtifacts(
+          d, TupleBuild(d.num_rows(), shards, seed));
+      ASSERT_TRUE(artifacts.ok());
+      FilterMerger::Options merge_options;
+      merge_options.tuple_sample_size = d.num_rows();
+      merge_options.seed = seed + 1;
+      FilterMerger merger(merge_options);
+      for (auto& a : *artifacts) ASSERT_TRUE(merger.Add(std::move(a)).ok());
+      auto merged = std::move(merger).Finish();
+      ASSERT_TRUE(merged.ok());
+      KeyEnumerationOptions enum_options;
+      enum_options.max_size = 5;
+      auto sharded_frontier = EnumerateMinimalAcceptedSets(
+          *merged->tuple_filter, d.num_attributes(), enum_options);
+      auto exact_frontier = EnumerateMinimalKeys(d, enum_options);
+      ASSERT_TRUE(sharded_frontier.ok());
+      ASSERT_TRUE(exact_frontier.ok());
+      EXPECT_EQ(*sharded_frontier, *exact_frontier)
+          << "round " << round << " shards " << shards;
+    }
+  }
+}
+
+TEST(RunShardedTest, DeterministicAcrossThreadCounts) {
+  Rng data_rng(42);
+  Dataset d = MakeUniformGridSample(6, 4, 300, &data_rng);
+  PipelineOptions serial;
+  serial.eps = 0.01;
+  serial.num_threads = 1;
+  PipelineOptions parallel = serial;
+  parallel.num_threads = 4;
+  ShardedRunOptions sharded;
+  sharded.num_shards = 4;
+  auto a = DiscoveryPipeline(serial).RunSharded(d, sharded, 9);
+  auto b = DiscoveryPipeline(parallel).RunSharded(d, sharded, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->key, b->key);
+  EXPECT_EQ(a->verdict, b->verdict);
+  EXPECT_EQ(a->num_shards, b->num_shards);
+}
+
+TEST(RunShardedTest, MxBackendAcceptsTrueKeyAndIsDeterministic) {
+  Rng data_rng(11);
+  Dataset d = MakeUniformGridSample(5, 4, 200, &data_rng);
+  PipelineOptions options;
+  options.eps = 0.01;
+  options.backend = FilterBackend::kMxPair;
+  options.sample_size = d.num_rows();
+  ShardedRunOptions sharded;
+  sharded.num_shards = 3;
+  auto a = DiscoveryPipeline(options).RunSharded(d, sharded, 21);
+  auto b = DiscoveryPipeline(options).RunSharded(d, sharded, 21);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->key, b->key);
+  // The exact-regime greedy key is a true key; MX never rejects one.
+  EXPECT_EQ(a->verdict, FilterVerdict::kAccept);
+}
+
+// --------------------------------------------------------- CSV ingest
+
+std::string TrickyCsv() {
+  return
+      "name,notes,code\n"
+      "alice,\"line one\nline two\",7\n"
+      "bob,\"comma, inside\",8\n"
+      "carol,,9\n"
+      "\n"
+      "dave,\"quoted \"\"word\"\"\",10\n"
+      "erin,plain,11\n"
+      "frank,\"multi\nline\nagain\",12\n"
+      "grace,last,13\n";
+}
+
+TEST(ShardedLoaderTest, PlanCoversEveryRowAcrossShardCounts) {
+  std::string path = WriteTempFile("plan.csv", TrickyCsv());
+  auto whole = LoadCsvDataset(path);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_EQ(whole->num_rows(), 7u);
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{3}, size_t{4}}) {
+    auto plan = PlanCsvShards(path, shards);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_EQ(plan->total_rows, 7u);
+    EXPECT_EQ(plan->attribute_names,
+              (std::vector<std::string>{"name", "notes", "code"}));
+    uint64_t covered = 0;
+    std::vector<std::vector<std::string>> collected;
+    for (const ShardRange& range : plan->ranges) {
+      EXPECT_EQ(range.first_row, covered);
+      EXPECT_GE(range.num_rows, 2u);
+      covered += range.num_rows;
+      Status st = ForEachCsvRecordInRange(
+          path, range, CsvOptions{},
+          [&](const std::vector<std::string>& fields) {
+            collected.push_back(fields);
+            return Status::OK();
+          });
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    EXPECT_EQ(covered, 7u);
+    ASSERT_EQ(collected.size(), 7u);
+    EXPECT_EQ(collected[0],
+              (std::vector<std::string>{"alice", "line one\nline two", "7"}));
+    EXPECT_EQ(collected[2], (std::vector<std::string>{"carol", "", "9"}));
+    EXPECT_EQ(collected[3],
+              (std::vector<std::string>{"dave", "quoted \"word\"", "10"}));
+    EXPECT_EQ(collected[5],
+              (std::vector<std::string>{"frank", "multi\nline\nagain", "12"}));
+  }
+}
+
+TEST(ShardedLoaderTest, ChunkedIngestMatchesWholeFileLoad) {
+  Rng rng(5);
+  TabularSpec spec = AdultLikeSpec();
+  spec.num_rows = 500;
+  Dataset d = MakeTabular(spec, &rng);
+  std::string path = WriteTempFile("chunks.csv", DatasetToCsv(d));
+
+  ShardedLoaderOptions options;
+  options.shard_rows = 64;
+  ShardedLoader loader(options);
+  std::vector<std::string> rows;
+  uint64_t next_first = 0;
+  auto stats = loader.Load(path, [&](ShardInput chunk) {
+    EXPECT_EQ(chunk.first_row, next_first);
+    next_first += chunk.rows.num_rows();
+    for (RowIndex i = 0; i < chunk.rows.num_rows(); ++i) {
+      rows.push_back(chunk.rows.FormatRow(i));
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->total_rows, 500u);
+  EXPECT_GE(stats->num_shards, 500u / 66);
+
+  auto whole = LoadCsvDataset(path);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_EQ(rows.size(), whole->num_rows());
+  for (RowIndex i = 0; i < whole->num_rows(); ++i) {
+    EXPECT_EQ(rows[i], whole->FormatRow(i));
+  }
+}
+
+TEST(RunShardedTest, CsvMatchesInMemorySharding) {
+  Rng rng(17);
+  Dataset d = MakeUniformGridSample(4, 5, 150, &rng);
+  std::string path = WriteTempFile("match.csv", DatasetToCsv(d));
+  // Reload so both runs see the same dictionary-encoded table.
+  auto reloaded = LoadCsvDataset(path);
+  ASSERT_TRUE(reloaded.ok());
+
+  PipelineOptions options;
+  options.eps = 0.001;
+  options.sample_size = d.num_rows();
+  DiscoveryPipeline pipeline(options);
+  ShardedRunOptions sharded;
+  sharded.num_shards = 3;
+  auto from_memory = pipeline.RunSharded(*reloaded, sharded, 33);
+  auto from_csv = pipeline.RunSharded(path, sharded, 33);
+  ASSERT_TRUE(from_memory.ok());
+  ASSERT_TRUE(from_csv.ok()) << from_csv.status().ToString();
+  EXPECT_EQ(from_csv->key, from_memory->key);
+  EXPECT_EQ(from_csv->rows, from_memory->rows);
+  EXPECT_EQ(from_csv->verdict, from_memory->verdict);
+}
+
+TEST(RunShardedTest, MemoryBudgetIsHonoredOrRefused) {
+  Rng rng(23);
+  TabularSpec spec = AdultLikeSpec();
+  spec.num_rows = 2000;
+  Dataset d = MakeTabular(spec, &rng);
+  std::string path = WriteTempFile("budget.csv", DatasetToCsv(d));
+
+  PipelineOptions options;
+  options.eps = 0.01;
+  DiscoveryPipeline pipeline(options);
+
+  ShardedRunOptions roomy;
+  roomy.memory_budget_bytes = 8 << 20;
+  roomy.shard_rows = 256;
+  auto ok = pipeline.RunSharded(path, roomy, 3);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_GT(ok->num_shards, 4u);
+  EXPECT_LE(ok->peak_tracked_bytes, roomy.memory_budget_bytes);
+  EXPECT_GT(ok->peak_tracked_bytes, 0u);
+
+  ShardedRunOptions tiny;
+  tiny.memory_budget_bytes = 2048;  // absurd: even one chunk won't fit
+  tiny.shard_rows = 256;
+  auto refused = pipeline.RunSharded(path, tiny, 3);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------- artifacts
+
+TEST(ShardArtifactTest, RoundTripsThroughFilesAndMergesIdentically) {
+  Rng rng(29);
+  TabularSpec spec = AdultLikeSpec();
+  spec.num_rows = 400;
+  Dataset d = MakeTabular(spec, &rng);
+  std::string csv = WriteTempFile("artifacts.csv", DatasetToCsv(d));
+
+  ShardedBuildOptions build = TupleBuild(64, 3, 77);
+  build.num_threads = 2;
+  auto artifacts = BuildShardArtifactsFromCsv(csv, build);
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status().ToString();
+  ASSERT_EQ(artifacts->size(), 3u);
+
+  // Persist every artifact, restore, and check the restored merge
+  // answers exactly like the in-process merge (same merge seed).
+  std::vector<ShardFilterArtifact> restored;
+  for (const ShardFilterArtifact& artifact : *artifacts) {
+    std::string path = "/tmp/qikey_shard_test_artifact_" +
+                       std::to_string(artifact.shard_index) + ".bin";
+    ASSERT_TRUE(WriteShardArtifactFile(artifact, path).ok());
+    auto back = ReadShardArtifactFile(path);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->shard_index, artifact.shard_index);
+    EXPECT_EQ(back->rows_seen, artifact.rows_seen);
+    EXPECT_EQ(back->first_row, artifact.first_row);
+    EXPECT_EQ(back->provenance, artifact.provenance);
+    restored.push_back(std::move(back).ValueOrDie());
+    std::remove(path.c_str());
+  }
+
+  auto merge = [&](std::vector<ShardFilterArtifact> parts) {
+    FilterMerger::Options merge_options;
+    merge_options.tuple_sample_size = 64;
+    merge_options.seed = 123;
+    FilterMerger merger(merge_options);
+    // Out-of-order on purpose: 2, 0, 1.
+    std::swap(parts[0], parts[2]);
+    for (auto& p : parts) EXPECT_TRUE(merger.Add(std::move(p)).ok());
+    return std::move(merger).Finish();
+  };
+  auto direct = merge(std::move(*artifacts));
+  auto from_disk = merge(std::move(restored));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(from_disk.ok());
+  ASSERT_EQ(direct->tuple_filter->sample_size(),
+            from_disk->tuple_filter->sample_size());
+  EXPECT_EQ(direct->tuple_filter->provenance(),
+            from_disk->tuple_filter->provenance());
+  Rng qrng(31);
+  for (int t = 0; t < 50; ++t) {
+    AttributeSet attrs =
+        AttributeSet::Random(d.num_attributes(), 0.4, &qrng);
+    EXPECT_EQ(direct->tuple_filter->Query(attrs),
+              from_disk->tuple_filter->Query(attrs));
+  }
+}
+
+TEST(ShardArtifactTest, RejectsCorruptBytes) {
+  Rng rng(37);
+  Dataset d = MakeUniformGridSample(3, 3, 30, &rng);
+  auto artifacts = BuildShardArtifacts(d, TupleBuild(8, 1, 5));
+  ASSERT_TRUE(artifacts.ok());
+  std::string bytes = SerializeShardArtifact((*artifacts)[0]);
+
+  EXPECT_FALSE(DeserializeShardArtifact("").ok());
+  EXPECT_FALSE(DeserializeShardArtifact("garbage").ok());
+  std::string magic = bytes;
+  magic[0] = 'X';
+  EXPECT_FALSE(DeserializeShardArtifact(magic).ok());
+  for (size_t cut : {size_t{5}, size_t{20}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    EXPECT_FALSE(DeserializeShardArtifact(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(DeserializeShardArtifact(bytes + "x").ok());
+  // Hostile provenance count: patch the u64 at offset 29 (after magic,
+  // version, shard index, first_row, rows_seen, backend).
+  std::string hostile = bytes;
+  for (int i = 0; i < 8; ++i) hostile[29 + i] = '\xff';
+  EXPECT_FALSE(DeserializeShardArtifact(hostile).ok());
+}
+
+TEST(FilterMergerTest, RejectsDuplicatesGapsAndMismatches) {
+  Rng rng(41);
+  Dataset d = MakeUniformGridSample(3, 3, 40, &rng);
+  auto artifacts = BuildShardArtifacts(d, TupleBuild(8, 2, 5));
+  ASSERT_TRUE(artifacts.ok());
+  ASSERT_EQ(artifacts->size(), 2u);
+
+  FilterMerger::Options merge_options;
+  merge_options.tuple_sample_size = 8;
+  {
+    FilterMerger merger(merge_options);
+    ShardFilterArtifact copy = (*artifacts)[0];
+    ASSERT_TRUE(merger.Add((*artifacts)[0]).ok());
+    EXPECT_FALSE(merger.Add(std::move(copy)).ok());  // duplicate index
+  }
+  {
+    FilterMerger merger(merge_options);
+    ASSERT_TRUE(merger.Add((*artifacts)[1]).ok());  // shard 0 missing
+    auto merged = std::move(merger).Finish();
+    EXPECT_FALSE(merged.ok());
+  }
+  {
+    FilterMerger merger(merge_options);
+    ShardFilterArtifact wrong = (*artifacts)[0];
+    wrong.backend = FilterBackend::kMxPair;
+    EXPECT_FALSE(merger.Add(std::move(wrong)).ok());
+  }
+  {
+    auto empty = FilterMerger(merge_options);
+    EXPECT_FALSE(std::move(empty).Finish().ok());
+  }
+}
+
+}  // namespace
+}  // namespace qikey

@@ -100,6 +100,80 @@ TEST(ReservoirTest, InclusionProbabilityIsUniform) {
   }
 }
 
+// ----------------------------------------------------------- merge
+
+TEST(ReservoirMergeTest, KeepsUnionOfSmallStreams) {
+  Rng rng(5);
+  ReservoirSampler<int> a(10, &rng);
+  ReservoirSampler<int> b(10, &rng);
+  for (int i = 0; i < 4; ++i) a.Offer(i);
+  for (int i = 4; i < 7; ++i) b.Offer(i);
+  a.Merge(std::move(b));
+  EXPECT_EQ(a.seen(), 7u);
+  std::set<int> kept(a.items().begin(), a.items().end());
+  EXPECT_EQ(kept, (std::set<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+// Merging two reservoirs over disjoint streams must leave every item
+// of the concatenated stream with the same inclusion probability a
+// single reservoir would give it.
+TEST(ReservoirMergeTest, InclusionProbabilityMatchesSinglePass) {
+  constexpr int kTrials = 20000;
+  constexpr int kA = 30, kB = 20, kCap = 10;
+  std::vector<int> counts(kA + kB, 0);
+  Rng rng(7);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler<int> a(kCap, &rng);
+    ReservoirSampler<int> b(kCap, &rng);
+    for (int i = 0; i < kA; ++i) a.Offer(i);
+    for (int i = kA; i < kA + kB; ++i) b.Offer(i);
+    a.Merge(std::move(b));
+    EXPECT_EQ(a.items().size(), static_cast<size_t>(kCap));
+    for (int kept : a.items()) ++counts[kept];
+  }
+  // p = 10/50 for every position, merged or not.
+  for (int i = 0; i < kA + kB; ++i) {
+    EXPECT_NEAR(counts[i], kTrials / 5, kTrials / 50) << "position " << i;
+  }
+}
+
+// A merged reservoir must stay a valid sampler: offering more items
+// afterwards keeps inclusion uniform over the whole stream.
+TEST(ReservoirMergeTest, OffersAfterMergeStayUniform) {
+  constexpr int kTrials = 20000;
+  constexpr int kA = 15, kB = 15, kTail = 20, kCap = 10;
+  const int total = kA + kB + kTail;
+  std::vector<int> counts(total, 0);
+  Rng rng(11);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler<int> a(kCap, &rng);
+    ReservoirSampler<int> b(kCap, &rng);
+    for (int i = 0; i < kA; ++i) a.Offer(i);
+    for (int i = kA; i < kA + kB; ++i) b.Offer(i);
+    a.Merge(std::move(b));
+    for (int i = kA + kB; i < total; ++i) a.Offer(i);
+    for (int kept : a.items()) ++counts[kept];
+  }
+  for (int i = 0; i < total; ++i) {
+    EXPECT_NEAR(counts[i], kTrials * kCap / total, kTrials / 50)
+        << "position " << i;
+  }
+}
+
+TEST(ReservoirMergeTest, DeterministicForFixedSeed) {
+  auto run = [] {
+    Rng rng(13);
+    ReservoirSampler<int> a(5, &rng);
+    ReservoirSampler<int> b(5, &rng);
+    for (int i = 0; i < 40; ++i) a.Offer(i);
+    for (int i = 40; i < 90; ++i) b.Offer(i);
+    a.Merge(std::move(b));
+    for (int i = 90; i < 120; ++i) a.Offer(i);
+    return a.items();
+  };
+  EXPECT_EQ(run(), run());
+}
+
 // ----------------------------------------------------------- pair reservoir
 
 TEST(PairReservoirTest, SlotsHoldDistinctPositions) {

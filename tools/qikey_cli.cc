@@ -19,8 +19,13 @@
 //       Minimal generalization making the table k-anonymous w.r.t. the
 //       given quasi-identifier (interval hierarchies, branching 4).
 //   qikey discover <csv> [--eps E] [--backend tuple|mx] [--threads T]
+//                  [--shards N] [--memory-budget MB] [--shard-rows R]
 //       End-to-end discovery pipeline: sample, filter, parallel greedy,
 //       batched minimization, verify with witness; per-stage timings.
+//       With --shards, per-shard filters are built in parallel over
+//       record-aligned byte ranges of the file and merged; with
+//       --memory-budget, the file is single-passed in bounded chunks
+//       and never loaded whole (out-of-core mode).
 //   qikey monitor <csv> [--eps E] [--max-size K] [--window W]
 //                 [--backend tuple|mx] [--threads T]
 //       Replay the CSV as a live insert stream through the incremental
@@ -68,6 +73,9 @@ struct Args {
   std::string backend = "tuple";
   size_t threads = 1;
   uint64_t window = 0;
+  size_t shards = 0;
+  double memory_budget_mb = 0.0;
+  size_t shard_rows = 0;
 };
 
 void Usage() {
@@ -78,17 +86,40 @@ void Usage() {
                "[--rhs col]\n"
                "             [--error E] [--seed S] [--backend tuple|mx] "
                "[--threads T]\n"
-               "             [--window W]\n");
+               "             [--window W] [--shards N] [--memory-budget MB] "
+               "[--shard-rows R]\n");
 }
 
+/// Parses the command line. Unknown flags and flags missing their value
+/// print what went wrong (the caller points at Usage and exits 2) —
+/// nothing is silently ignored.
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 3) return false;
   args->command = argv[1];
   args->csv_path = argv[2];
   for (int i = 3; i < argc; ++i) {
     std::string flag = argv[i];
+    // Consumes the flag's value; diagnoses a flag at the end of the
+    // line or directly followed by another flag.
     auto next = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s is missing its value\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto next_count = [&](size_t* out) -> bool {
+      const char* v = next();
+      if (!v) return false;
+      char* end = nullptr;
+      long long t = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || t < 0 || t > 1 << 22) {
+        std::fprintf(stderr, "%s must be an integer in [0, %u], got %s\n",
+                     flag.c_str(), 1u << 22, v);
+        return false;
+      }
+      *out = static_cast<size_t>(t);
+      return true;
     };
     if (flag == "--eps") {
       const char* v = next();
@@ -140,6 +171,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->window = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--shards") {
+      if (!next_count(&args->shards)) return false;
+    } else if (flag == "--shard-rows") {
+      if (!next_count(&args->shard_rows)) return false;
+    } else if (flag == "--memory-budget") {
+      const char* v = next();
+      if (!v) return false;
+      char* end = nullptr;
+      double mb = std::strtod(v, &end);
+      if (end == v || *end != '\0' || mb < 0.0) {
+        std::fprintf(stderr,
+                     "--memory-budget must be a non-negative number of "
+                     "megabytes, got %s\n", v);
+        return false;
+      }
+      args->memory_budget_mb = mb;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -375,6 +422,39 @@ int RunDiscover(const Dataset& data, const Args& args, Rng* rng) {
   return 0;
 }
 
+/// Sharded / out-of-core discover: the CSV is ingested by the pipeline
+/// itself (never loaded whole here).
+int RunDiscoverSharded(const Args& args) {
+  PipelineOptions opts;
+  opts.eps = args.eps;
+  opts.num_threads = args.threads;
+  if (!ParseBackend(args.backend, &opts.backend)) return 2;
+  ShardedRunOptions sharded;
+  sharded.num_shards = args.shards;
+  sharded.shard_rows = args.shard_rows;
+  sharded.memory_budget_bytes =
+      static_cast<uint64_t>(args.memory_budget_mb * 1024.0 * 1024.0);
+  DiscoveryPipeline pipeline(opts);
+  auto result = pipeline.RunSharded(args.csv_path, sharded, args.seed);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  // The header is cheap; reload just the names for readable output.
+  Result<std::vector<std::string>> names =
+      ReadCsvAttributeNames(args.csv_path);
+  Schema schema;
+  if (names.ok()) schema = Schema(*names);
+  std::printf("%s",
+              result->Report(names.ok() ? &schema : nullptr).c_str());
+  if (result->verdict != FilterVerdict::kAccept) {
+    std::fprintf(stderr,
+                 "verification failed: the emitted key was rejected\n");
+    return 3;
+  }
+  return 0;
+}
+
 int RunMonitor(const Dataset& data, const Args& args) {
   MonitorOptions opts;
   opts.eps = args.eps;
@@ -420,6 +500,11 @@ int Main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     Usage();
     return 2;
+  }
+  if (args.command == "discover" &&
+      (args.shards > 0 || args.memory_budget_mb > 0.0 ||
+       args.shard_rows > 0)) {
+    return RunDiscoverSharded(args);
   }
   Result<Dataset> data = LoadCsvDataset(args.csv_path);
   if (!data.ok()) {
