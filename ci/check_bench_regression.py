@@ -9,11 +9,15 @@ Entries are matched by (name, params). A current ns_per_op more than
 `threshold` above the baseline emits a GitHub Actions ::warning::
 annotation. Advisory by design: CI hardware differs from the machine
 that recorded the baseline, so regressions warn instead of failing; the
-exit code is non-zero only for malformed input.
+exit code is non-zero only for malformed input. A bench whose baseline
+was never committed (a brand-new bench, or a fork without baselines)
+prints an advisory note and exits 0 — missing history must not block
+the run that would create it.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -33,6 +37,14 @@ def main():
     parser.add_argument("--current", required=True)
     parser.add_argument("--threshold", type=float, default=0.25)
     args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(
+            f"::notice::no committed baseline at {args.baseline}; "
+            "skipping comparison (commit the current BENCH json to start "
+            "tracking regressions)"
+        )
+        return 0
 
     try:
         baseline = load(args.baseline)

@@ -1,0 +1,56 @@
+// Fuzz target: `DeserializeDataset` must return a Status — never crash,
+// overflow, or over-allocate — on arbitrary bytes.
+
+#include <string_view>
+
+#include "data/column.h"
+#include "data/dataset.h"
+#include "data/serialize.h"
+#include "fuzz_target.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  qikey::Result<qikey::Dataset> dataset = qikey::DeserializeDataset(bytes);
+  if (dataset.ok()) {
+    // A payload that decodes must also be internally consistent enough
+    // to use: touch every cell and re-serialize.
+    for (size_t j = 0; j < dataset->num_attributes(); ++j) {
+      for (size_t i = 0; i < dataset->num_rows(); ++i) {
+        (void)dataset->code(static_cast<qikey::RowIndex>(i),
+                            static_cast<qikey::AttributeIndex>(j));
+      }
+    }
+    (void)qikey::SerializeDataset(*dataset);
+  }
+  return 0;
+}
+
+std::vector<std::string> FuzzSeedInputs() {
+  using namespace qikey;
+  std::vector<std::string> seeds;
+  // A plain coded dataset.
+  {
+    std::vector<Column> columns;
+    columns.emplace_back(std::vector<ValueCode>{0, 1, 2, 1});
+    columns.emplace_back(std::vector<ValueCode>{3, 3, 0, 2});
+    seeds.push_back(
+        SerializeDataset(Dataset(Schema::Anonymous(2), std::move(columns))));
+  }
+  // A dataset with dictionaries and names (the CSV-loaded shape).
+  {
+    Dictionary dict_a, dict_b;
+    std::vector<ValueCode> a = {dict_a.GetOrAdd("x"), dict_a.GetOrAdd("y"),
+                                dict_a.GetOrAdd("x")};
+    std::vector<ValueCode> b = {dict_b.GetOrAdd("1"), dict_b.GetOrAdd("2"),
+                                dict_b.GetOrAdd("3")};
+    std::vector<Column> columns;
+    columns.emplace_back(std::move(a), 0,
+                         std::make_shared<Dictionary>(std::move(dict_a)));
+    columns.emplace_back(std::move(b), 0,
+                         std::make_shared<Dictionary>(std::move(dict_b)));
+    seeds.push_back(SerializeDataset(
+        Dataset(Schema({"name", "value"}), std::move(columns))));
+  }
+  seeds.push_back("");  // trivially truncated
+  return seeds;
+}

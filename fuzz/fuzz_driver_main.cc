@@ -1,0 +1,104 @@
+// Seeded-corpus fallback driver (used when libFuzzer is unavailable):
+// replays every seed input verbatim, then runs a deterministic mutation
+// schedule — byte flips, truncations, insertions, and two-seed splices
+// drawn from a fixed-seed xorshift — against the target. Any crash or
+// sanitizer report fails the binary; output is one summary line.
+//
+//   ./fuzz_<target> [iterations] [seed]
+//
+// Set QIKEY_FUZZ_DUMP=<path> to write each input to <path> before it
+// runs; after a crash the file holds the offending bytes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz_target.h"
+
+namespace {
+
+uint64_t XorShift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+std::string Mutate(const std::vector<std::string>& seeds, uint64_t* rng) {
+  std::string input = seeds[XorShift(rng) % seeds.size()];
+  switch (XorShift(rng) % 5) {
+    case 0:  // truncate
+      if (!input.empty()) input.resize(XorShift(rng) % input.size());
+      break;
+    case 1:  // flip bytes
+      for (int i = 0; i < 4 && !input.empty(); ++i) {
+        input[XorShift(rng) % input.size()] =
+            static_cast<char>(XorShift(rng));
+      }
+      break;
+    case 2: {  // insert garbage
+      size_t pos = input.empty() ? 0 : XorShift(rng) % input.size();
+      size_t len = XorShift(rng) % 9;
+      std::string garbage;
+      for (size_t i = 0; i < len; ++i) {
+        garbage.push_back(static_cast<char>(XorShift(rng)));
+      }
+      input.insert(pos, garbage);
+      break;
+    }
+    case 3: {  // splice two seeds
+      const std::string& other = seeds[XorShift(rng) % seeds.size()];
+      size_t cut_a = input.empty() ? 0 : XorShift(rng) % input.size();
+      size_t cut_b = other.empty() ? 0 : XorShift(rng) % other.size();
+      input = input.substr(0, cut_a) + other.substr(cut_b);
+      break;
+    }
+    default: {  // pure noise
+      size_t len = XorShift(rng) % 64;
+      input.clear();
+      for (size_t i = 0; i < len; ++i) {
+        input.push_back(static_cast<char>(XorShift(rng)));
+      }
+      break;
+    }
+  }
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t iterations = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  uint64_t rng = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0x9E3779B9;
+  if (rng == 0) rng = 1;
+
+  std::vector<std::string> seeds = FuzzSeedInputs();
+  if (seeds.empty()) {
+    std::fprintf(stderr, "target provided no seed inputs\n");
+    return 1;
+  }
+  for (const std::string& seed : seeds) {
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(seed.data()),
+                           seed.size());
+  }
+  const char* dump_path = std::getenv("QIKEY_FUZZ_DUMP");
+  for (uint64_t i = 0; i < iterations; ++i) {
+    std::string input = Mutate(seeds, &rng);
+    if (dump_path != nullptr) {
+      std::FILE* f = std::fopen(dump_path, "wb");
+      if (f != nullptr) {
+        std::fwrite(input.data(), 1, input.size(), f);
+        std::fclose(f);
+      }
+    }
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                           input.size());
+  }
+  std::printf("ok: %llu seed(s) + %llu mutated input(s), no crash\n",
+              static_cast<unsigned long long>(seeds.size()),
+              static_cast<unsigned long long>(iterations));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fuzz target: `DeserializeShardArtifact` must return a Status — never
+// crash, overflow, or over-allocate — on arbitrary bytes.
+
+#include <string_view>
+
+#include "data/column.h"
+#include "fuzz_target.h"
+#include "shard/shard_artifact.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  qikey::Result<qikey::ShardFilterArtifact> artifact =
+      qikey::DeserializeShardArtifact(bytes);
+  if (artifact.ok()) {
+    // Decoded payloads must survive a serialize round trip.
+    (void)qikey::SerializeShardArtifact(*artifact);
+    (void)artifact->MemoryBytes();
+  }
+  return 0;
+}
+
+std::vector<std::string> FuzzSeedInputs() {
+  using namespace qikey;
+  auto make_dataset = [](std::vector<std::vector<ValueCode>> cols) {
+    std::vector<Column> columns;
+    for (auto& codes : cols) columns.emplace_back(std::move(codes));
+    Schema schema = Schema::Anonymous(columns.size());
+    return Dataset(std::move(schema), std::move(columns));
+  };
+
+  std::vector<std::string> seeds;
+  // Tuple-backend artifact.
+  {
+    ShardFilterArtifact artifact;
+    artifact.shard_index = 0;
+    artifact.first_row = 0;
+    artifact.rows_seen = 4;
+    artifact.backend = FilterBackend::kTupleSample;
+    artifact.tuple_sample = make_dataset({{0, 1, 2}, {3, 0, 1}});
+    artifact.provenance = {0, 2, 3};
+    seeds.push_back(SerializeShardArtifact(artifact));
+  }
+  // Pair-backend artifact (MX/bitset shape: tuple sample + pair table).
+  {
+    ShardFilterArtifact artifact;
+    artifact.shard_index = 1;
+    artifact.first_row = 4;
+    artifact.rows_seen = 6;
+    artifact.backend = FilterBackend::kBitset;
+    artifact.tuple_sample = make_dataset({{1, 1}, {0, 2}});
+    artifact.provenance = {4, 6};
+    artifact.pair_table = make_dataset({{0, 1, 1, 2}, {2, 2, 0, 1}});
+    seeds.push_back(SerializeShardArtifact(artifact));
+  }
+  seeds.push_back("QIKS");  // magic-only prefix
+  return seeds;
+}

@@ -1,0 +1,27 @@
+#ifndef QIKEY_FUZZ_FUZZ_TARGET_H_
+#define QIKEY_FUZZ_FUZZ_TARGET_H_
+
+// Shared shape of the repo's fuzz targets. Each target .cc defines:
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t n);
+//   std::vector<std::string> FuzzSeedInputs();   // valid payloads, built
+//                                                // programmatically
+//
+// With QIKEY_LIBFUZZER=ON (clang only) the target links against
+// -fsanitize=fuzzer and libFuzzer drives it from a corpus. Otherwise
+// fuzz_driver_main.cc supplies a main() that replays the seeds and a
+// deterministic mutation schedule over them — no corpus files to check
+// in, no toolchain dependency, same crash-or-pass contract — sized by a
+// per-target iteration budget so CI stays fast.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+/// Valid example payloads for the target's input format; the mutation
+/// driver uses them as the corpus seeds.
+std::vector<std::string> FuzzSeedInputs();
+
+#endif  // QIKEY_FUZZ_FUZZ_TARGET_H_

@@ -2,6 +2,7 @@
 #define QIKEY_CORE_ATTRIBUTE_SET_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,11 @@ class AttributeSet {
 
   /// Ascending list of member indices.
   std::vector<AttributeIndex> ToIndices() const;
+
+  /// The packed 64-bit words backing the set, lowest attributes first
+  /// (`⌈universe_size/64⌉` words); the layout the packed-evidence
+  /// kernels AND against.
+  std::span<const uint64_t> words() const { return words_; }
 
   /// Renders as "{a0, a3}" using `schema` names, or indices if null.
   std::string ToString(const Schema* schema = nullptr) const;

@@ -1,0 +1,132 @@
+#include "core/bitset_filter.h"
+
+#include <algorithm>
+
+#include "core/mx_pair_filter.h"
+#include "util/thread_pool.h"
+
+namespace qikey {
+
+Result<BitsetSeparationFilter> BitsetSeparationFilter::Build(
+    const Dataset& dataset, const BitsetFilterOptions& options, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (dataset.num_rows() < 2) {
+    return Status::InvalidArgument("need at least two rows to sample pairs");
+  }
+  if (options.eps <= 0.0 || options.eps >= 1.0) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  // Identical draw to MxPairFilter::Build: same sample-size law, same
+  // SamplePair loop, so a shared seed gives the same sampled pairs and
+  // bit-identical verdicts across the two backends.
+  uint64_t s = options.sample_size > 0
+                   ? options.sample_size
+                   : MxPairSampleSizePaper(
+                         static_cast<uint32_t>(dataset.num_attributes()),
+                         options.eps);
+  std::vector<std::pair<RowIndex, RowIndex>> pairs;
+  pairs.reserve(s);
+  for (uint64_t i = 0; i < s; ++i) {
+    auto [a, b] = rng->SamplePair(dataset.num_rows());
+    pairs.emplace_back(static_cast<RowIndex>(a), static_cast<RowIndex>(b));
+  }
+  return FromPairs(dataset, pairs);
+}
+
+Result<BitsetSeparationFilter> BitsetSeparationFilter::FromMaterializedPairs(
+    Dataset pair_table) {
+  if (pair_table.num_rows() % 2 != 0) {
+    return Status::InvalidArgument("pair table must have an even row count");
+  }
+  auto table = std::make_shared<Dataset>(std::move(pair_table));
+  size_t s = table->num_rows() / 2;
+  std::vector<std::pair<RowIndex, RowIndex>> pairs;
+  pairs.reserve(s);
+  for (size_t i = 0; i < s; ++i) {
+    pairs.emplace_back(static_cast<RowIndex>(2 * i),
+                       static_cast<RowIndex>(2 * i + 1));
+  }
+  BitsetSeparationFilter filter = FromPairs(*table, pairs);
+  filter.materialized_ = std::move(table);
+  return filter;
+}
+
+BitsetSeparationFilter BitsetSeparationFilter::FromPairs(
+    const Dataset& table,
+    std::span<const std::pair<RowIndex, RowIndex>> pairs) {
+  BitsetSeparationFilter filter;
+  filter.declared_pairs_ = pairs.size();
+  filter.evidence_ = PackedEvidence::FromDatasetPairs(table, pairs);
+  return filter;
+}
+
+Result<BitsetSeparationFilter> BitsetSeparationFilter::MergeDisjoint(
+    const BitsetSeparationFilter& a, uint64_t seen_a,
+    const BitsetSeparationFilter& b, uint64_t seen_b, Rng* rng) {
+  if (a.materialized_ == nullptr || b.materialized_ == nullptr) {
+    return Status::InvalidArgument("merge requires materialized pair filters");
+  }
+  // Delegate the slot algebra (exact integer category probabilities,
+  // cross-pair endpoint draws, union-dictionary re-encoding) to the MX
+  // merge; only the packing differs. RNG consumption matches, so
+  // sharded discovery is pair-backend-independent for a fixed seed.
+  Result<MxPairFilter> ma =
+      MxPairFilter::FromMaterializedPairs(Dataset(*a.materialized_));
+  if (!ma.ok()) return ma.status();
+  Result<MxPairFilter> mb =
+      MxPairFilter::FromMaterializedPairs(Dataset(*b.materialized_));
+  if (!mb.ok()) return mb.status();
+  Result<MxPairFilter> merged =
+      MxPairFilter::MergeDisjoint(*ma, seen_a, *mb, seen_b, rng);
+  if (!merged.ok()) return merged.status();
+  return FromMaterializedPairs(Dataset(*merged->materialized()));
+}
+
+FilterVerdict BitsetSeparationFilter::Query(const AttributeSet& attrs) const {
+  return evidence_.FindUnseparated(attrs.words()).has_value()
+             ? FilterVerdict::kReject
+             : FilterVerdict::kAccept;
+}
+
+std::vector<FilterVerdict> BitsetSeparationFilter::QueryBatch(
+    std::span<const AttributeSet> attrs, ThreadPool* pool) const {
+  const size_t count = attrs.size();
+  std::vector<FilterVerdict> verdicts(count, FilterVerdict::kAccept);
+  if (count == 0 || evidence_.num_pairs() == 0) return verdicts;
+  // Stage the masks contiguously once; every worker then streams plain
+  // words instead of re-walking AttributeSet internals per block.
+  const size_t wpp = evidence_.words_per_pair();
+  std::vector<uint64_t> masks(count * wpp);
+  for (size_t i = 0; i < count; ++i) {
+    std::span<const uint64_t> w = attrs[i].words();
+    std::copy(w.begin(), w.begin() + wpp, masks.begin() + i * wpp);
+  }
+  std::vector<uint8_t> rejected(count, 0);
+  ThreadPool::ParallelFor(pool, count, [&](size_t begin, size_t end) {
+    evidence_.TestMasksBlockMajor(masks.data() + begin * wpp, wpp,
+                                  end - begin, rejected.data() + begin);
+  });
+  for (size_t i = 0; i < count; ++i) {
+    if (rejected[i]) verdicts[i] = FilterVerdict::kReject;
+  }
+  return verdicts;
+}
+
+std::optional<std::pair<RowIndex, RowIndex>>
+BitsetSeparationFilter::QueryWitness(const AttributeSet& attrs) const {
+  std::optional<uint32_t> hit = evidence_.FindUnseparated(attrs.words());
+  if (!hit.has_value()) return std::nullopt;
+  auto [a, b] = evidence_.representative(*hit);
+  return std::make_pair(static_cast<RowIndex>(a), static_cast<RowIndex>(b));
+}
+
+uint64_t BitsetSeparationFilter::MemoryBytes() const {
+  uint64_t bytes = evidence_.MemoryBytes();
+  if (materialized_ != nullptr) {
+    bytes += materialized_->num_rows() * materialized_->num_attributes() *
+             sizeof(ValueCode);
+  }
+  return bytes;
+}
+
+}  // namespace qikey

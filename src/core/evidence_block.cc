@@ -1,0 +1,279 @@
+#include "core/evidence_block.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace qikey {
+
+void AlignedWordBuffer::Assign(size_t words) {
+  // One extra cache line of slack: the aligned base can sit up to 7
+  // words past the allocation start.
+  storage_.assign(words + 8, 0);
+  uintptr_t base = reinterpret_cast<uintptr_t>(storage_.data());
+  uintptr_t aligned = (base + 63) & ~uintptr_t{63};
+  data_ = storage_.data() + (aligned - base) / sizeof(uint64_t);
+  size_ = words;
+}
+
+void AlignedWordBuffer::CopyFrom(const AlignedWordBuffer& other) {
+  Assign(other.size_);
+  std::copy(other.data_, other.data_ + other.size_, data_);
+}
+
+/// Shared dedup state of the two builders: pair-major masks plus a
+/// hash index over them (collisions verified word-for-word, so the
+/// dedup is exact and verdicts cannot drift).
+struct PackedEvidence::MaskAccumulator {
+  size_t wpp;
+  std::vector<uint64_t> masks;  // pair-major, wpp words each
+  std::vector<std::pair<uint32_t, uint32_t>> reps;
+  std::unordered_multimap<uint64_t, uint32_t> index;
+
+  explicit MaskAccumulator(size_t words_per_pair) : wpp(words_per_pair) {}
+
+  static uint64_t Hash(const uint64_t* mask, size_t wpp) {
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (size_t w = 0; w < wpp; ++w) {
+      h ^= mask[w];
+      h *= 0xBF58476D1CE4E5B9ULL;
+      h ^= h >> 29;
+    }
+    return h;
+  }
+
+  /// Adds `mask` unless an identical mask is already present.
+  void Offer(const uint64_t* mask, uint32_t rep_a, uint32_t rep_b) {
+    uint64_t h = Hash(mask, wpp);
+    auto range = index.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      const uint64_t* seen = masks.data() + size_t{it->second} * wpp;
+      if (std::equal(seen, seen + wpp, mask)) return;
+    }
+    uint32_t id = static_cast<uint32_t>(reps.size());
+    index.emplace(h, id);
+    masks.insert(masks.end(), mask, mask + wpp);
+    reps.emplace_back(rep_a, rep_b);
+  }
+};
+
+void PackedEvidence::Pack(const std::vector<uint64_t>& masks) {
+  const size_t wpp = words_per_pair_;
+  const size_t m = num_attributes_;
+  const size_t pairs = reps_.size();
+  const size_t blocks = (pairs + kPairsPerBlock - 1) / kPairsPerBlock;
+  // Attribute-major transpose: one word per attribute per block, bit
+  // `lane` = that lane's disagree bit (zero-filled, so padding lanes of
+  // the last block read as "agrees on everything" and are masked out by
+  // `LiveLanes` at query time).
+  words_.Assign(blocks * m);
+  uint64_t* out = words_.data();
+  for (size_t p = 0; p < pairs; ++p) {
+    const size_t b = p / kPairsPerBlock;
+    const uint64_t lane_bit = uint64_t{1} << (p % kPairsPerBlock);
+    for (size_t w = 0; w < wpp; ++w) {
+      uint64_t bits = masks[p * wpp + w];
+      while (bits != 0) {
+        const int j = std::countr_zero(bits);
+        bits &= bits - 1;
+        out[b * m + w * 64 + j] |= lane_bit;
+      }
+    }
+  }
+}
+
+PackedEvidence PackedEvidence::FromDatasetPairs(
+    const Dataset& table, std::span<const std::pair<RowIndex, RowIndex>> pairs) {
+  PackedEvidence out;
+  const size_t m = table.num_attributes();
+  const size_t wpp = (m + 63) / 64;
+  out.num_attributes_ = m;
+  out.words_per_pair_ = wpp;
+  out.source_pairs_ = pairs.size();
+  if (pairs.empty() || m == 0) return out;
+
+  // Column-major mask construction: one column's codes stay resident
+  // while every pair probes it, instead of each pair striding across
+  // all m columns of a large table.
+  std::vector<uint64_t> masks(pairs.size() * wpp, 0);
+  for (size_t j = 0; j < m; ++j) {
+    const Column& col = table.column(static_cast<AttributeIndex>(j));
+    const size_t word = j / 64;
+    const uint64_t bit = uint64_t{1} << (j % 64);
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      if (col.code(pairs[p].first) != col.code(pairs[p].second)) {
+        masks[p * wpp + word] |= bit;
+      }
+    }
+  }
+  MaskAccumulator acc(wpp);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    acc.Offer(masks.data() + p * wpp, pairs[p].first, pairs[p].second);
+  }
+  out.reps_ = std::move(acc.reps);
+  out.Pack(acc.masks);
+  return out;
+}
+
+PackedEvidence PackedEvidence::FromRowMajorPairs(
+    size_t num_attributes,
+    std::span<const std::pair<const ValueCode*, const ValueCode*>> rows,
+    std::span<const std::pair<uint32_t, uint32_t>> ids, bool dedupe) {
+  QIKEY_CHECK(rows.size() == ids.size());
+  PackedEvidence out;
+  const size_t m = num_attributes;
+  const size_t wpp = (m + 63) / 64;
+  out.num_attributes_ = m;
+  out.words_per_pair_ = wpp;
+  out.source_pairs_ = rows.size();
+  if (rows.empty() || m == 0) return out;
+
+  std::vector<uint64_t> mask(wpp);
+  if (dedupe) {
+    MaskAccumulator acc(wpp);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const auto [ra, rb] = rows[i];
+      std::fill(mask.begin(), mask.end(), 0);
+      for (size_t j = 0; j < m; ++j) {
+        mask[j / 64] |= uint64_t{ra[j] != rb[j]} << (j % 64);
+      }
+      acc.Offer(mask.data(), ids[i].first, ids[i].second);
+    }
+    out.reps_ = std::move(acc.reps);
+    out.Pack(acc.masks);
+    return out;
+  }
+  std::vector<uint64_t> masks(rows.size() * wpp, 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto [ra, rb] = rows[i];
+    for (size_t j = 0; j < m; ++j) {
+      masks[i * wpp + j / 64] |= uint64_t{ra[j] != rb[j]} << (j % 64);
+    }
+  }
+  out.reps_.assign(ids.begin(), ids.end());
+  out.Pack(masks);
+  return out;
+}
+
+void PackedEvidence::PatchPair(uint32_t index, const ValueCode* row_a,
+                               const ValueCode* row_b,
+                               std::pair<uint32_t, uint32_t> ids) {
+  QIKEY_DCHECK(index < reps_.size());
+  const size_t m = num_attributes_;
+  uint64_t* block = words_.data() + (index / kPairsPerBlock) * m;
+  const uint64_t lane_bit = uint64_t{1} << (index % kPairsPerBlock);
+  for (size_t j = 0; j < m; ++j) {
+    if (row_a[j] != row_b[j]) {
+      block[j] |= lane_bit;
+    } else {
+      block[j] &= ~lane_bit;
+    }
+  }
+  reps_[index] = ids;
+}
+
+namespace {
+
+/// Lanes of block `b` holding real pairs (the last block may be
+/// partial; its padding lanes read as all-agree and must be ignored).
+inline uint64_t LiveLanes(size_t block, size_t pairs) {
+  const size_t base = block * PackedEvidence::kPairsPerBlock;
+  const size_t active = pairs - base;
+  return active >= 64 ? ~uint64_t{0} : (uint64_t{1} << active) - 1;
+}
+
+/// Flattens a pair-major query mask into its attribute indices (the
+/// per-block loop then costs exactly |A| ORs).
+inline void MaskToIndices(const uint64_t* mask, size_t wpp,
+                          std::vector<uint32_t>* idx) {
+  idx->clear();
+  for (size_t w = 0; w < wpp; ++w) {
+    uint64_t bits = mask[w];
+    while (bits != 0) {
+      idx->push_back(static_cast<uint32_t>(w * 64 + std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// One block, one candidate: bitmap of lanes separated by no attribute
+/// of the candidate.
+inline uint64_t BlockHits(const uint64_t* block, const uint32_t* idx,
+                          size_t count, uint64_t live) {
+  uint64_t acc = 0;
+  for (size_t a = 0; a < count; ++a) acc |= block[idx[a]];
+  return ~acc & live;
+}
+
+}  // namespace
+
+std::optional<uint32_t> PackedEvidence::FindUnseparated(
+    std::span<const uint64_t> mask) const {
+  QIKEY_DCHECK(mask.size() >= words_per_pair_);
+  const size_t pairs = reps_.size();
+  const size_t m = num_attributes_;
+  const uint64_t* words = words_.data();
+  const size_t blocks = num_blocks();
+  std::vector<uint32_t> idx;
+  idx.reserve(m);
+  MaskToIndices(mask.data(), words_per_pair_, &idx);
+  for (size_t b = 0; b < blocks; ++b) {
+    uint64_t hits =
+        BlockHits(words + b * m, idx.data(), idx.size(), LiveLanes(b, pairs));
+    if (hits != 0) {
+      return static_cast<uint32_t>(b * kPairsPerBlock +
+                                   std::countr_zero(hits));
+    }
+  }
+  return std::nullopt;
+}
+
+void PackedEvidence::TestMasksBlockMajor(const uint64_t* masks, size_t stride,
+                                         size_t count,
+                                         uint8_t* rejected) const {
+  QIKEY_DCHECK(stride >= words_per_pair_);
+  const size_t pairs = reps_.size();
+  const size_t m = num_attributes_;
+  const uint64_t* words = words_.data();
+  const size_t blocks = num_blocks();
+  // Flatten every candidate's attribute list once up front.
+  std::vector<uint32_t> flat;
+  std::vector<std::pair<uint32_t, uint32_t>> ranges(count);  // offset, len
+  std::vector<uint32_t> idx;
+  for (size_t i = 0; i < count; ++i) {
+    MaskToIndices(masks + i * stride, words_per_pair_, &idx);
+    ranges[i] = {static_cast<uint32_t>(flat.size()),
+                 static_cast<uint32_t>(idx.size())};
+    flat.insert(flat.end(), idx.begin(), idx.end());
+  }
+  // Dense list of still-undecided candidates; each reject shrinks it,
+  // so later blocks only pay for the survivors.
+  std::vector<uint32_t> active;
+  active.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!rejected[i]) active.push_back(static_cast<uint32_t>(i));
+  }
+  for (size_t b = 0; b < blocks && !active.empty(); ++b) {
+    const uint64_t* block = words + b * m;
+    const uint64_t live = LiveLanes(b, pairs);
+    for (size_t a = 0; a < active.size();) {
+      const auto [offset, len] = ranges[active[a]];
+      if (BlockHits(block, flat.data() + offset, len, live) != 0) {
+        rejected[active[a]] = 1;
+        active[a] = active.back();
+        active.pop_back();
+      } else {
+        ++a;
+      }
+    }
+  }
+}
+
+uint64_t PackedEvidence::MemoryBytes() const {
+  return words_.size() * sizeof(uint64_t) +
+         reps_.size() * sizeof(std::pair<uint32_t, uint32_t>);
+}
+
+}  // namespace qikey

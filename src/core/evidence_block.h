@@ -1,0 +1,174 @@
+#ifndef QIKEY_CORE_EVIDENCE_BLOCK_H_
+#define QIKEY_CORE_EVIDENCE_BLOCK_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace qikey {
+
+/// \brief Cache-line-aligned backing store for packed evidence words.
+///
+/// `std::vector<uint64_t>` only guarantees 8/16-byte alignment; the
+/// block kernels want each 64-pair block to start on a cache line so
+/// one block never straddles three lines. The buffer over-allocates by
+/// one line and hands out an aligned view. Copies re-align into the new
+/// allocation; moves keep the heap block, so the view stays valid.
+class AlignedWordBuffer {
+ public:
+  AlignedWordBuffer() = default;
+  explicit AlignedWordBuffer(size_t words) { Assign(words); }
+
+  AlignedWordBuffer(const AlignedWordBuffer& other) { CopyFrom(other); }
+  AlignedWordBuffer& operator=(const AlignedWordBuffer& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  AlignedWordBuffer(AlignedWordBuffer&& other) noexcept
+      : storage_(std::move(other.storage_)),
+        data_(other.data_),
+        size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  AlignedWordBuffer& operator=(AlignedWordBuffer&& other) noexcept {
+    storage_ = std::move(other.storage_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    return *this;
+  }
+
+  /// Zero-filled buffer of `words` 64-bit words, 64-byte aligned.
+  void Assign(size_t words);
+
+  uint64_t* data() { return data_; }
+  const uint64_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  void CopyFrom(const AlignedWordBuffer& other);
+
+  std::vector<uint64_t> storage_;
+  uint64_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// \brief Bit-packed tuple-pair evidence: the separation-filter hot
+/// path reduced to word ops.
+///
+/// Each retained tuple pair contributes its *disagree set* — the
+/// attributes on which the two tuples differ — as an `m`-bit mask. A
+/// candidate attribute set `A` separates the pair iff `A`'s mask
+/// intersects the pair's disagree mask, so the filter's reject test
+/// ("some retained pair agrees on all of `A`") becomes: does any
+/// evidence mask have an empty AND with `A`?
+///
+/// Layout: structure-of-arrays blocks of 64 pairs, bit-transposed to
+/// attribute-major. Block `b` holds one 64-bit word per attribute at
+/// `words[b*m + j]`, whose bit `lane` is pair `(b*64+lane)`'s disagree
+/// bit for attribute `j`; blocks start on cache-line boundaries. A
+/// lane is unseparated by `A` iff every attribute of `A` has a zero
+/// bit there, so one block costs `|A|` sequential ORs — independent of
+/// the 64 lanes — and the whole query is
+/// `⌈pairs/64⌉ · |A|` word ops:
+///
+///   acc  = OR_{j in A} words[b*m + j]
+///   hits = ~acc & live-lane mask     // any set bit names a witness
+///
+/// Identical disagree masks are deduplicated at build time (one
+/// representative source pair is kept for witness reporting); verdicts
+/// are unchanged because the reject predicate only asks whether *some*
+/// pair's mask misses `A`.
+class PackedEvidence {
+ public:
+  static constexpr size_t kPairsPerBlock = 64;
+
+  PackedEvidence() = default;
+
+  /// Packs the disagree sets of the given row pairs of `table`
+  /// (deduplicated). Representative indices are `table` row indices.
+  /// `O(s · m)` build; the price is paid once and every query
+  /// afterwards is word-wise.
+  static PackedEvidence FromDatasetPairs(
+      const Dataset& table,
+      std::span<const std::pair<RowIndex, RowIndex>> pairs);
+
+  /// As `FromDatasetPairs` for row-major storage: `rows[i]` points at
+  /// the two tuples (of `num_attributes` codes each) of pair `i`, and
+  /// `ids[i]` is the representative pair reported for it (the
+  /// incremental filter's window slot ids). With `dedupe` false the
+  /// packing is LANE-STABLE — evidence pair `i` is input pair `i` —
+  /// which `PatchPair` requires.
+  static PackedEvidence FromRowMajorPairs(
+      size_t num_attributes,
+      std::span<const std::pair<const ValueCode*, const ValueCode*>> rows,
+      std::span<const std::pair<uint32_t, uint32_t>> ids,
+      bool dedupe = true);
+
+  /// \brief Recomputes one pair's lane in place (`O(m)`), for
+  /// lane-stable evidence only: clears/sets `index`'s bit in every
+  /// attribute word from the two tuples' codes and updates the
+  /// representative. This is how the incremental filter absorbs a
+  /// single pair-slot redraw without re-packing all `s` slots.
+  void PatchPair(uint32_t index, const ValueCode* row_a,
+                 const ValueCode* row_b, std::pair<uint32_t, uint32_t> ids);
+
+  size_t num_attributes() const { return num_attributes_; }
+  /// Deduplicated evidence pairs actually packed.
+  size_t num_pairs() const { return reps_.size(); }
+  /// Words of a pair-major disagree mask (`⌈m/64⌉`, the `AttributeSet`
+  /// word count) — the unit of the query-mask inputs below.
+  size_t words_per_pair() const { return words_per_pair_; }
+  size_t num_blocks() const {
+    return (num_pairs() + kPairsPerBlock - 1) / kPairsPerBlock;
+  }
+  /// Pair count before deduplication (the sampled slot count).
+  uint64_t source_pairs() const { return source_pairs_; }
+
+  /// \brief Index of the first evidence pair whose disagree mask does
+  /// not intersect `mask` (i.e. a pair `mask` fails to separate), or
+  /// nullopt when every pair is separated. `mask` must hold
+  /// `words_per_pair()` words in `AttributeSet` bit order.
+  std::optional<uint32_t> FindUnseparated(
+      std::span<const uint64_t> mask) const;
+
+  /// \brief Batch kernel, block-major: tests `count` masks (contiguous,
+  /// `stride` words apart, `stride >= words_per_pair()`) against every
+  /// block before moving to the next block, so each resident block is
+  /// reused across the whole batch. `rejected[i]` is set to 1 iff some
+  /// pair is unseparated by mask `i`; entries already 1 are skipped
+  /// (callers can pre-seed decided candidates).
+  void TestMasksBlockMajor(const uint64_t* masks, size_t stride, size_t count,
+                           uint8_t* rejected) const;
+
+  /// The source pair behind evidence pair `index` (row indices or slot
+  /// ids, per the builder).
+  std::pair<uint32_t, uint32_t> representative(uint32_t index) const {
+    return reps_[index];
+  }
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  struct MaskAccumulator;
+
+  /// Packs pair-major `masks` (num_pairs * words_per_pair words) into
+  /// the block layout.
+  void Pack(const std::vector<uint64_t>& masks);
+
+  size_t num_attributes_ = 0;
+  size_t words_per_pair_ = 0;
+  uint64_t source_pairs_ = 0;
+  AlignedWordBuffer words_;
+  std::vector<std::pair<uint32_t, uint32_t>> reps_;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_CORE_EVIDENCE_BLOCK_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "core/bitset_filter.h"
 #include "core/sample_bounds.h"
 #include "shard/filter_merger.h"
 #include "shard/shard_builder.h"
@@ -86,9 +87,10 @@ Result<PipelineResult> DiscoveryPipeline::RunOnReservoir(
     return Status::InvalidArgument(
         "provenance must be empty or match the sample row count");
   }
-  if (options_.backend != FilterBackend::kTupleSample) {
+  if (IsPairSampledBackend(options_.backend)) {
     return Status::InvalidArgument(
-        "the reservoir entry point supports only the tuple-sample backend");
+        "the reservoir entry point supports only the tuple-sample backend "
+        "(pair backends need pair sampling the reservoir cannot provide)");
   }
   QIKEY_RETURN_NOT_OK(ValidateOptions(options_));
   Result<PipelineResult> result = RunStages(
@@ -144,7 +146,13 @@ MergedInputs TakeMergedInputs(MergedFilter merged) {
   inputs.sample = merged.tuple_filter->shared_sample();
   inputs.total_rows = merged.total_rows;
   inputs.num_shards = merged.num_shards;
-  if (merged.backend == FilterBackend::kMxPair) {
+  if (merged.backend == FilterBackend::kBitset) {
+    // The merged pair slots become the packed evidence; the merged
+    // tuple sample still feeds the greedy stage.
+    inputs.filter = std::make_unique<BitsetSeparationFilter>(
+        BitsetSeparationFilter::FromPairs(*merged.mx_filter->materialized(),
+                                          merged.mx_filter->pairs()));
+  } else if (merged.backend == FilterBackend::kMxPair) {
     inputs.filter =
         std::make_unique<MxPairFilter>(std::move(*merged.mx_filter));
   } else {
@@ -325,6 +333,21 @@ Result<PipelineResult> DiscoveryPipeline::RunStages(
               sample, std::move(provenance), options_.detection));
       break;
     }
+    case FilterBackend::kBitset: {
+      if (full == nullptr) {
+        return Status::InvalidArgument(
+            "bitset backend needs the full data set to sample pairs");
+      }
+      BitsetFilterOptions bitset;
+      bitset.eps = options_.eps;
+      bitset.sample_size = options_.pair_sample_size;
+      Result<BitsetSeparationFilter> built =
+          BitsetSeparationFilter::Build(*full, bitset, rng);
+      if (!built.ok()) return built.status();
+      filter = std::make_unique<BitsetSeparationFilter>(
+          std::move(built).ValueOrDie());
+      break;
+    }
     case FilterBackend::kMxPair: {
       if (full == nullptr) {
         return Status::InvalidArgument(
@@ -403,10 +426,10 @@ Result<PipelineResult> DiscoveryPipeline::FinishStages(
       ++out.pruned_attributes;
       key_changed = true;
     }
-    // The MX filter's pair sample is independent of the greedy tuple
+    // A pair backend's sample is independent of the greedy tuple
     // sample, so a drop it accepts may uncover a sample pair; keep
     // `covered_sample` honest by re-checking against the sample.
-    if (options_.backend == FilterBackend::kMxPair && key_changed &&
+    if (IsPairSampledBackend(options_.backend) && key_changed &&
         out.covered_sample) {
       out.covered_sample = KeySeparatesSample(*sample, out.key);
     }

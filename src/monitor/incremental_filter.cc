@@ -21,6 +21,7 @@ IncrementalFilter::IncrementalFilter(Schema schema,
                     : TupleSampleSizePaper(m, options_.eps);
       break;
     case FilterBackend::kMxPair:
+    case FilterBackend::kBitset:
       target_ = options_.pair_sample_size > 0
                     ? options_.pair_sample_size
                     : MxPairSampleSizePaper(m, options_.eps);
@@ -186,8 +187,7 @@ Result<FilterUpdateDelta> IncrementalFilter::Insert(
     return Status::InvalidArgument("row arity does not match the schema");
   }
   uint32_t slot = AddSlot(row);
-  return options_.backend == FilterBackend::kTupleSample ? InsertTuple(slot)
-                                                         : InsertMx(slot);
+  return UsesTupleSample() ? InsertTuple(slot) : InsertMx(slot);
 }
 
 Result<FilterUpdateDelta> IncrementalFilter::Erase(
@@ -200,9 +200,8 @@ Result<FilterUpdateDelta> IncrementalFilter::Erase(
     return Status::NotFound("no live tuple matches the erased row");
   }
   std::vector<ValueCode> payload = slots_[slot];
-  return options_.backend == FilterBackend::kTupleSample
-             ? EraseTuple(slot, std::move(payload))
-             : EraseMx(slot, std::move(payload));
+  return UsesTupleSample() ? EraseTuple(slot, std::move(payload))
+                           : EraseMx(slot, std::move(payload));
 }
 
 Result<FilterUpdateDelta> IncrementalFilter::InsertTuple(uint32_t slot) {
@@ -269,13 +268,15 @@ Result<FilterUpdateDelta> IncrementalFilter::InsertMx(uint32_t slot) {
     // First moment the window supports pairs: every slot holds the only
     // possible pair.
     pair_slots_.assign(target_, {live_slots_[0], live_slots_[1]});
+    RebuildEvidence();
     delta.sample_changed = true;
     delta.constraints_added = true;
     return delta;
   }
   // Each slot is an independent size-2 reservoir: the new tuple evicts
   // a uniform end with probability 2/n.
-  for (auto& [a, b] : pair_slots_) {
+  for (size_t i = 0; i < pair_slots_.size(); ++i) {
+    auto& [a, b] = pair_slots_[i];
     if (rng_.Uniform(n) >= 2) continue;
     delta.freed_regions.push_back(PairAgreeSet(a, b));
     if (rng_.Uniform(2) == 0) {
@@ -283,6 +284,7 @@ Result<FilterUpdateDelta> IncrementalFilter::InsertMx(uint32_t slot) {
     } else {
       b = slot;
     }
+    PatchEvidencePair(i);
     delta.sample_changed = true;
     delta.constraints_added = true;
   }
@@ -301,9 +303,11 @@ Result<FilterUpdateDelta> IncrementalFilter::EraseMx(
     delta.freed_regions.assign(1, AttributeSet::All(
                                       schema_.num_attributes()));
     pair_slots_.clear();
+    RebuildEvidence();
     return delta;
   }
-  for (auto& pair : pair_slots_) {
+  for (size_t i = 0; i < pair_slots_.size(); ++i) {
+    auto& pair = pair_slots_[i];
     if (pair.first != slot && pair.second != slot) continue;
     // The dropped pair's agree set, computed from the erased payload
     // (its slot is already recycled) and the surviving end.
@@ -315,6 +319,7 @@ Result<FilterUpdateDelta> IncrementalFilter::EraseMx(
     }
     delta.freed_regions.push_back(std::move(region));
     pair = DrawUniformPair();
+    PatchEvidencePair(i);
     delta.sample_changed = true;
     delta.constraints_added = true;
   }
@@ -322,8 +327,29 @@ Result<FilterUpdateDelta> IncrementalFilter::EraseMx(
   return delta;
 }
 
+void IncrementalFilter::RebuildEvidence() {
+  if (options_.backend != FilterBackend::kBitset) return;
+  std::vector<std::pair<const ValueCode*, const ValueCode*>> rows;
+  rows.reserve(pair_slots_.size());
+  for (const auto& [a, b] : pair_slots_) {
+    rows.emplace_back(slots_[a].data(), slots_[b].data());
+  }
+  // Lane-stable (no dedup): evidence pair i IS pair slot i, so single
+  // slot redraws patch one lane instead of re-packing all s slots.
+  evidence_ = PackedEvidence::FromRowMajorPairs(schema_.num_attributes(),
+                                                rows, pair_slots_,
+                                                /*dedupe=*/false);
+}
+
+void IncrementalFilter::PatchEvidencePair(size_t index) {
+  if (options_.backend != FilterBackend::kBitset) return;
+  const auto [a, b] = pair_slots_[index];
+  evidence_.PatchPair(static_cast<uint32_t>(index), slots_[a].data(),
+                      slots_[b].data(), {a, b});
+}
+
 void IncrementalFilter::Resample() {
-  if (options_.backend == FilterBackend::kTupleSample) {
+  if (UsesTupleSample()) {
     for (uint32_t slot : sample_slots_) sample_pos_[slot] = kNone;
     sample_slots_.clear();
     FilterUpdateDelta ignored;
@@ -331,11 +357,13 @@ void IncrementalFilter::Resample() {
     return;
   }
   pair_slots_.clear();
-  if (live_slots_.size() < 2) return;
-  pair_slots_.reserve(target_);
-  for (uint64_t i = 0; i < target_; ++i) {
-    pair_slots_.push_back(DrawUniformPair());
+  if (live_slots_.size() >= 2) {
+    pair_slots_.reserve(target_);
+    for (uint64_t i = 0; i < target_; ++i) {
+      pair_slots_.push_back(DrawUniformPair());
+    }
   }
+  RebuildEvidence();
 }
 
 // ---------------------------------------------------------------- queries
@@ -347,8 +375,29 @@ FilterVerdict IncrementalFilter::Query(const AttributeSet& attrs) const {
 
 std::vector<FilterVerdict> IncrementalFilter::QueryBatch(
     std::span<const AttributeSet> attrs, ThreadPool* pool) const {
-  std::vector<FilterVerdict> verdicts(attrs.size(), FilterVerdict::kAccept);
-  ThreadPool::ParallelFor(pool, attrs.size(), [&](size_t begin, size_t end) {
+  const size_t count = attrs.size();
+  std::vector<FilterVerdict> verdicts(count, FilterVerdict::kAccept);
+  if (options_.backend == FilterBackend::kBitset) {
+    if (count == 0 || evidence_.num_pairs() == 0) return verdicts;
+    // Same block-major staging as BitsetSeparationFilter::QueryBatch:
+    // each resident evidence block serves the whole candidate batch.
+    const size_t wpp = evidence_.words_per_pair();
+    std::vector<uint64_t> masks(count * wpp);
+    for (size_t i = 0; i < count; ++i) {
+      std::span<const uint64_t> w = attrs[i].words();
+      std::copy(w.begin(), w.begin() + wpp, masks.begin() + i * wpp);
+    }
+    std::vector<uint8_t> rejected(count, 0);
+    ThreadPool::ParallelFor(pool, count, [&](size_t begin, size_t end) {
+      evidence_.TestMasksBlockMajor(masks.data() + begin * wpp, wpp,
+                                    end - begin, rejected.data() + begin);
+    });
+    for (size_t i = 0; i < count; ++i) {
+      if (rejected[i]) verdicts[i] = FilterVerdict::kReject;
+    }
+    return verdicts;
+  }
+  ThreadPool::ParallelFor(pool, count, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) verdicts[i] = Query(attrs[i]);
   });
   return verdicts;
@@ -356,6 +405,15 @@ std::vector<FilterVerdict> IncrementalFilter::QueryBatch(
 
 std::optional<std::pair<RowIndex, RowIndex>> IncrementalFilter::QueryWitness(
     const AttributeSet& attrs) const {
+  if (options_.backend == FilterBackend::kBitset) {
+    // Word-wise kernel over the packed pair slots; representatives are
+    // window slot ids, matching the scalar MX path's reporting.
+    std::optional<uint32_t> hit = evidence_.FindUnseparated(attrs.words());
+    if (!hit.has_value()) return std::nullopt;
+    auto [a, b] = evidence_.representative(*hit);
+    return std::make_pair(static_cast<RowIndex>(a),
+                          static_cast<RowIndex>(b));
+  }
   std::vector<AttributeIndex> idx = attrs.ToIndices();
   if (options_.backend == FilterBackend::kMxPair) {
     for (const auto& [a, b] : pair_slots_) {
@@ -400,9 +458,7 @@ std::optional<std::pair<RowIndex, RowIndex>> IncrementalFilter::QueryWitness(
 }
 
 uint64_t IncrementalFilter::sample_size() const {
-  return options_.backend == FilterBackend::kTupleSample
-             ? sample_slots_.size()
-             : pair_slots_.size();
+  return UsesTupleSample() ? sample_slots_.size() : pair_slots_.size();
 }
 
 uint64_t IncrementalFilter::MemoryBytes() const {
@@ -413,6 +469,7 @@ uint64_t IncrementalFilter::MemoryBytes() const {
   bytes += sample_slots_.size() * sizeof(uint32_t);
   bytes += pair_slots_.size() * sizeof(std::pair<uint32_t, uint32_t>);
   bytes += index_.size() * (sizeof(uint64_t) + sizeof(uint32_t));
+  bytes += evidence_.MemoryBytes();
   return bytes;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/attribute_set.h"
+#include "core/evidence_block.h"
 #include "core/filter.h"
 #include "data/dataset.h"
 #include "data/schema.h"
@@ -64,6 +65,11 @@ struct FilterUpdateDelta {
 ///   - MX pair backend: `s = Θ(m/ε)` pair slots, each an independent
 ///     size-2 reservoir over the window; erases redraw the pairs that
 ///     referenced the dropped tuple.
+///   - bitset backend: the SAME pair slots as the MX backend (identical
+///     sampling decisions and RNG consumption, so deltas and verdicts
+///     match bit-for-bit), but queries run against `PackedEvidence`
+///     re-packed whenever the retained slots change — the common
+///     untouched updates pay nothing.
 ///
 /// Queries implement `SeparationFilter` against the current sample, so
 /// all batched machinery (`QueryBatch`, `EnumerateMinimalAcceptedSets`)
@@ -115,6 +121,18 @@ class IncrementalFilter : public SeparationFilter {
  private:
   static constexpr uint32_t kNone = ~uint32_t{0};
 
+  bool UsesTupleSample() const {
+    return options_.backend == FilterBackend::kTupleSample;
+  }
+  /// Bitset backend: re-packs all evidence lanes from the current pair
+  /// slots (no-op otherwise). Only for wholesale slot changes — the
+  /// empty→full transitions and `Resample` — single slot redraws go
+  /// through `PatchEvidencePair`.
+  void RebuildEvidence();
+  /// Bitset backend: recomputes pair slot `index`'s evidence lane in
+  /// place, `O(m)` (no-op otherwise).
+  void PatchEvidencePair(size_t index);
+
   uint32_t AddSlot(const std::vector<ValueCode>& row);
   void RemoveSlot(uint32_t slot);
   uint32_t FindSlot(const std::vector<ValueCode>& row) const;
@@ -164,6 +182,13 @@ class IncrementalFilter : public SeparationFilter {
 
   // MX backend: pair slots over window slot ids.
   std::vector<std::pair<uint32_t, uint32_t>> pair_slots_;
+
+  // Bitset backend: packed disagree masks of the pair slots,
+  // lane-stable (evidence pair i = slot i, representatives are window
+  // slot ids). Kept current eagerly — per-lane patches on slot
+  // redraws, full re-packs on wholesale changes — so concurrent
+  // readers (QueryBatch on a pool) never race a lazy rebuild.
+  PackedEvidence evidence_;
 };
 
 }  // namespace qikey

@@ -31,7 +31,9 @@
 #include "core/afd.h"
 #include "core/anonymity.h"
 #include "core/attribute_set.h"
+#include "core/bitset_filter.h"
 #include "core/bruteforce.h"
+#include "core/evidence_block.h"
 #include "core/filter.h"
 #include "core/generalization.h"
 #include "core/key_enumeration.h"

@@ -11,7 +11,7 @@ Status FilterMerger::Add(ShardFilterArtifact artifact) {
   if (artifact.rows_seen < 2) {
     return Status::InvalidArgument("shard artifacts need >= 2 rows");
   }
-  if (options_.backend == FilterBackend::kMxPair &&
+  if (IsPairSampledBackend(options_.backend) &&
       artifact.pair_table.num_rows() == 0) {
     return Status::InvalidArgument("MX artifact is missing its pair table");
   }
@@ -51,7 +51,7 @@ Status FilterMerger::Fold(ShardFilterArtifact artifact) {
     if (!merged.ok()) return merged.status();
     tuple_ = std::move(merged).ValueOrDie();
   }
-  if (options_.backend == FilterBackend::kMxPair) {
+  if (IsPairSampledBackend(options_.backend)) {
     Result<MxPairFilter> incoming_mx =
         MxPairFilter::FromMaterializedPairs(std::move(artifact.pair_table));
     if (!incoming_mx.ok()) return incoming_mx.status();

@@ -10,7 +10,22 @@ namespace qikey {
 namespace {
 
 constexpr char kMagic[4] = {'Q', 'I', 'K', 'S'};
-constexpr uint32_t kVersion = 1;
+// Version 2 added the bitset backend (byte value 2). The layout is
+// unchanged, so v1 payloads — which can only carry backends 0 and 1 —
+// still deserialize.
+constexpr uint32_t kVersion = 2;
+
+uint8_t EncodeBackend(FilterBackend backend) {
+  switch (backend) {
+    case FilterBackend::kTupleSample:
+      return 0;
+    case FilterBackend::kMxPair:
+      return 1;
+    case FilterBackend::kBitset:
+      return 2;
+  }
+  return 0;
+}
 
 void AppendU8(std::string* out, uint8_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -75,7 +90,7 @@ std::string SerializeShardArtifact(const ShardFilterArtifact& artifact) {
   AppendU32(&out, artifact.shard_index);
   AppendU64(&out, artifact.first_row);
   AppendU64(&out, artifact.rows_seen);
-  AppendU8(&out, artifact.backend == FilterBackend::kTupleSample ? 0 : 1);
+  AppendU8(&out, EncodeBackend(artifact.backend));
   AppendU64(&out, artifact.provenance.size());
   out.append(reinterpret_cast<const char*>(artifact.provenance.data()),
              artifact.provenance.size() * sizeof(RowIndex));
@@ -94,7 +109,7 @@ Result<ShardFilterArtifact> DeserializeShardArtifact(std::string_view bytes) {
   if (!r.Raw(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
     return Status::InvalidArgument("not a qikey shard artifact");
   }
-  if (!r.U32(&version) || version != kVersion) {
+  if (!r.U32(&version) || version < 1 || version > kVersion) {
     return Status::InvalidArgument("unsupported shard artifact version");
   }
   ShardFilterArtifact artifact;
@@ -104,8 +119,14 @@ Result<ShardFilterArtifact> DeserializeShardArtifact(std::string_view bytes) {
       !r.U64(&artifact.rows_seen) || !r.U8(&backend) || !r.U64(&prov)) {
     return Status::InvalidArgument("truncated shard artifact header");
   }
-  artifact.backend =
-      backend == 0 ? FilterBackend::kTupleSample : FilterBackend::kMxPair;
+  // v1 payloads predate the bitset backend; reject byte values their
+  // writers could never have produced instead of guessing.
+  if (backend > (version >= 2 ? 2 : 1)) {
+    return Status::InvalidArgument("unknown shard artifact backend");
+  }
+  artifact.backend = backend == 0   ? FilterBackend::kTupleSample
+                     : backend == 1 ? FilterBackend::kMxPair
+                                    : FilterBackend::kBitset;
   if (prov > r.remaining() / sizeof(RowIndex)) {
     return Status::InvalidArgument("truncated shard provenance");
   }

@@ -88,7 +88,7 @@ struct ShardArtifactBuilder::Impl {
     for (size_t j = 0; j < names.size(); ++j) {
       dicts.push_back(std::make_shared<Dictionary>());
     }
-    if (backend == FilterBackend::kMxPair) {
+    if (IsPairSampledBackend(backend)) {
       pairs = std::make_unique<PairReservoir>(
           static_cast<size_t>(pair_slots), &rng);
     }
@@ -246,7 +246,7 @@ Result<std::vector<ShardFilterArtifact>> BuildShardArtifacts(
       }
       artifact.tuple_sample = dataset.SelectRows(rows);
       artifact.provenance = std::move(rows);
-      if (options.backend == FilterBackend::kMxPair) {
+      if (IsPairSampledBackend(options.backend)) {
         std::vector<RowIndex> pair_rows;
         pair_rows.reserve(2 * static_cast<size_t>(s));
         for (uint64_t p = 0; p < s; ++p) {
@@ -290,7 +290,7 @@ Result<ShardFilterArtifact> BuildArtifactFromChunk(
     artifact.provenance.push_back(static_cast<RowIndex>(first_row + row));
   }
 
-  if (backend == FilterBackend::kMxPair) {
+  if (IsPairSampledBackend(backend)) {
     if (pair_slots == 0) {
       return Status::InvalidArgument("pair slot count must be positive");
     }

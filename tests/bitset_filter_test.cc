@@ -1,0 +1,503 @@
+// Differential property tests for the bit-packed separation backend:
+// for randomized datasets x seeds x thread counts, the bitset filter
+// must produce bit-identical Query/QueryBatch answers to the scalar MX
+// pair filter over the same sampled pairs, and identical minimal-key
+// results through DiscoveryPipeline, RunSharded, and KeyMonitor
+// insert/erase streams — including agreement with the tuple-sample
+// backend wherever every backend is exact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/bitset_filter.h"
+#include "core/evidence_block.h"
+#include "core/key_enumeration.h"
+#include "core/mx_pair_filter.h"
+#include "core/tuple_sample_filter.h"
+#include "data/column.h"
+#include "data/generators/tabular.h"
+#include "data/generators/uniform_grid.h"
+#include "engine/pipeline.h"
+#include "monitor/key_monitor.h"
+#include "shard/shard_artifact.h"
+#include "shard/shard_builder.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace qikey {
+namespace {
+
+using Row = std::vector<ValueCode>;
+using RowPair = std::pair<RowIndex, RowIndex>;
+
+Dataset RowsToDataset(size_t m, const std::vector<Row>& rows) {
+  std::vector<Column> columns;
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<ValueCode> codes;
+    codes.reserve(rows.size());
+    for (const Row& row : rows) codes.push_back(row[j]);
+    columns.emplace_back(std::move(codes));
+  }
+  return Dataset(Schema::Anonymous(m), std::move(columns));
+}
+
+Dataset AdultishTable(uint64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  TabularSpec spec = AdultLikeSpec();
+  spec.num_rows = rows;
+  return MakeTabular(spec, &rng);
+}
+
+// ------------------------------------------------------- packed evidence
+
+TEST(PackedEvidenceTest, AlignedBufferIsCacheLineAlignedAndCopies) {
+  AlignedWordBuffer buffer(130);
+  ASSERT_EQ(buffer.size(), 130u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buffer.data()) % 64, 0u);
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    buffer.data()[i] = i * 0x9E3779B97F4A7C15ULL;
+  }
+  AlignedWordBuffer copy = buffer;
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(copy.data()) % 64, 0u);
+  for (size_t i = 0; i < copy.size(); ++i) {
+    EXPECT_EQ(copy.data()[i], buffer.data()[i]);
+  }
+  AlignedWordBuffer moved = std::move(copy);
+  EXPECT_EQ(moved.size(), 130u);
+  EXPECT_EQ(moved.data()[129], 129 * 0x9E3779B97F4A7C15ULL);
+}
+
+TEST(PackedEvidenceTest, HandDataSemanticsAndDedup) {
+  std::vector<Row> rows = {{0, 0, 1}, {0, 0, 2}, {1, 2, 1}, {1, 2, 2}};
+  Dataset d = RowsToDataset(3, rows);
+  // All six pairs. Disagree masks: {c}, {a,b}, {a,b,c}, {a,b,c}, {a,b},
+  // {c} — three distinct.
+  std::vector<RowPair> pairs = {{0, 1}, {0, 2}, {0, 3},
+                                {1, 2}, {1, 3}, {2, 3}};
+  PackedEvidence ev = PackedEvidence::FromDatasetPairs(d, pairs);
+  EXPECT_EQ(ev.source_pairs(), 6u);
+  EXPECT_EQ(ev.num_pairs(), 3u);
+  EXPECT_EQ(ev.words_per_pair(), 1u);
+
+  // {c} separates pairs (0,1) and (2,3) but not (0,2): reject.
+  AttributeSet c_only = AttributeSet::FromIndices(3, {2});
+  EXPECT_TRUE(ev.FindUnseparated(c_only.words()).has_value());
+  // {a,c} separates everything: accept.
+  AttributeSet ac = AttributeSet::FromIndices(3, {0, 2});
+  EXPECT_FALSE(ev.FindUnseparated(ac.words()).has_value());
+  // The empty set separates nothing: any pair is a witness.
+  AttributeSet none(3);
+  EXPECT_TRUE(ev.FindUnseparated(none.words()).has_value());
+  // The witness pair for the rejected {c} query genuinely agrees on c.
+  auto rep = ev.representative(*ev.FindUnseparated(c_only.words()));
+  EXPECT_TRUE(d.RowsAgreeOn(rep.first, rep.second, c_only.ToIndices()));
+}
+
+TEST(PackedEvidenceTest, NoPairsAcceptsEverything) {
+  Dataset d = RowsToDataset(4, {{1, 2, 3, 4}, {5, 6, 7, 8}});
+  PackedEvidence ev = PackedEvidence::FromDatasetPairs(d, {});
+  EXPECT_EQ(ev.num_pairs(), 0u);
+  AttributeSet none(4);
+  EXPECT_FALSE(ev.FindUnseparated(none.words()).has_value());
+}
+
+TEST(PackedEvidenceTest, BlockMajorBatchMatchesPerMaskScan) {
+  // > 64 pairs to cross a block boundary, 70 attributes to force two
+  // mask words per pair.
+  Rng rng(3);
+  Dataset d = MakeUniformGridSample(70, 2, 500, &rng);
+  std::vector<RowPair> pairs;
+  for (int i = 0; i < 150; ++i) {
+    auto [a, b] = rng.SamplePair(d.num_rows());
+    pairs.emplace_back(static_cast<RowIndex>(a), static_cast<RowIndex>(b));
+  }
+  PackedEvidence ev = PackedEvidence::FromDatasetPairs(d, pairs);
+  EXPECT_EQ(ev.words_per_pair(), 2u);
+  ASSERT_GT(ev.num_blocks(), 1u);
+
+  std::vector<AttributeSet> queries;
+  Rng qrng(4);
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back(AttributeSet::Random(70, 0.02 + 0.3 * (i % 7), &qrng));
+  }
+  std::vector<uint64_t> masks(queries.size() * 2);
+  std::vector<uint8_t> rejected(queries.size(), 0);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::span<const uint64_t> w = queries[i].words();
+    std::copy(w.begin(), w.end(), masks.begin() + i * 2);
+  }
+  ev.TestMasksBlockMajor(masks.data(), 2, queries.size(), rejected.data());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(rejected[i] != 0,
+              ev.FindUnseparated(queries[i].words()).has_value())
+        << i;
+  }
+}
+
+// ------------------------------------------- filter-level differential
+
+void ExpectFiltersAgree(const Dataset& d, uint64_t seed, uint64_t pair_count,
+                        size_t num_threads) {
+  MxPairFilterOptions mx_opts;
+  mx_opts.eps = 0.01;
+  mx_opts.sample_size = pair_count;
+  BitsetFilterOptions bs_opts;
+  bs_opts.eps = 0.01;
+  bs_opts.sample_size = pair_count;
+
+  // Separate Rng instances with one seed: both Build paths make the
+  // same SamplePair calls, so the evidence covers the same pairs.
+  Rng mx_rng(seed), bs_rng(seed);
+  auto mx = MxPairFilter::Build(d, mx_opts, &mx_rng);
+  auto bs = BitsetSeparationFilter::Build(d, bs_opts, &bs_rng);
+  ASSERT_TRUE(mx.ok());
+  ASSERT_TRUE(bs.ok());
+  ASSERT_EQ(mx->sample_size(), bs->sample_size());
+
+  const size_t m = d.num_attributes();
+  Rng qrng(seed ^ 0xABCD);
+  std::vector<AttributeSet> queries;
+  for (int i = 0; i < 120; ++i) {
+    queries.push_back(
+        AttributeSet::Random(m, 0.05 + 0.9 * (i % 11) / 10.0, &qrng));
+  }
+  queries.push_back(AttributeSet(m));       // empty
+  queries.push_back(AttributeSet::All(m));  // full
+
+  std::vector<FilterVerdict> mx_batch = mx->QueryBatch(queries, nullptr);
+  std::vector<FilterVerdict> bs_batch = bs->QueryBatch(queries, nullptr);
+  EXPECT_EQ(mx_batch, bs_batch);
+  ThreadPool pool(num_threads);
+  EXPECT_EQ(bs->QueryBatch(queries, &pool), mx_batch);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(bs->Query(queries[i]), mx->Query(queries[i])) << i;
+    // A bitset witness is some unseparated sampled pair of original
+    // rows; when present it must be a genuine counterexample.
+    auto witness = bs->QueryWitness(queries[i]);
+    ASSERT_EQ(witness.has_value(), mx_batch[i] == FilterVerdict::kReject);
+    if (witness.has_value()) {
+      std::vector<AttributeIndex> idx = queries[i].ToIndices();
+      EXPECT_TRUE(d.RowsAgreeOn(witness->first, witness->second, idx));
+    }
+  }
+}
+
+TEST(BitsetDifferentialTest, QueriesMatchMxFilterAcrossSeedsAndThreads) {
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    Rng drng(seed * 100 + 3);
+    Dataset grid = MakeUniformGridSample(9, 3, 400, &drng);
+    for (size_t threads : {2u, 5u}) {
+      ExpectFiltersAgree(grid, seed, 700, threads);
+      ExpectFiltersAgree(grid, seed + 1, 0, threads);  // paper-size s
+    }
+    Dataset adultish = AdultishTable(700, seed * 100 + 4);
+    ExpectFiltersAgree(adultish, seed, 2000, 3);
+  }
+}
+
+TEST(BitsetDifferentialTest, WideSchemaUsesMultiWordMasks) {
+  // 70 attributes forces two mask words per pair.
+  Rng drng(5);
+  Dataset d = MakeUniformGridSample(70, 2, 300, &drng);
+  BitsetFilterOptions opts;
+  opts.eps = 0.01;
+  opts.sample_size = 500;
+  Rng rng(5);
+  auto bs = BitsetSeparationFilter::Build(d, opts, &rng);
+  ASSERT_TRUE(bs.ok());
+  EXPECT_EQ(bs->evidence().words_per_pair(), 2u);
+  ExpectFiltersAgree(d, 6, 500, 4);
+}
+
+TEST(BitsetDifferentialTest, MergeDisjointMatchesMxMerge) {
+  Dataset d = AdultishTable(600, 99);
+  std::vector<RowIndex> left_rows, right_rows;
+  for (RowIndex i = 0; i < 300; ++i) left_rows.push_back(i);
+  for (RowIndex i = 300; i < 600; ++i) right_rows.push_back(i);
+  Dataset left = d.SelectRows(left_rows);
+  Dataset right = d.SelectRows(right_rows);
+
+  // Materialized MX filters on each half; the bitset twins pack the
+  // same pair tables.
+  MxPairFilterOptions mx_opts;
+  mx_opts.sample_size = 400;
+  mx_opts.materialize = true;
+  Rng build_rng(41);
+  auto mx_a = MxPairFilter::Build(left, mx_opts, &build_rng);
+  auto mx_b = MxPairFilter::Build(right, mx_opts, &build_rng);
+  ASSERT_TRUE(mx_a.ok() && mx_b.ok());
+  auto bs_a = BitsetSeparationFilter::FromMaterializedPairs(
+      Dataset(*mx_a->materialized()));
+  auto bs_b = BitsetSeparationFilter::FromMaterializedPairs(
+      Dataset(*mx_b->materialized()));
+  ASSERT_TRUE(bs_a.ok() && bs_b.ok());
+
+  Rng mx_merge_rng(55), bs_merge_rng(55);
+  auto mx_merged =
+      MxPairFilter::MergeDisjoint(*mx_a, 300, *mx_b, 300, &mx_merge_rng);
+  auto bs_merged = BitsetSeparationFilter::MergeDisjoint(*bs_a, 300, *bs_b,
+                                                         300, &bs_merge_rng);
+  ASSERT_TRUE(mx_merged.ok());
+  ASSERT_TRUE(bs_merged.ok());
+  ASSERT_EQ(mx_merged->sample_size(), bs_merged->sample_size());
+
+  Rng qrng(77);
+  for (int i = 0; i < 200; ++i) {
+    AttributeSet q = AttributeSet::Random(d.num_attributes(), 0.3, &qrng);
+    EXPECT_EQ(bs_merged->Query(q), mx_merged->Query(q)) << i;
+  }
+}
+
+// ---------------------------------------------- pipeline differential
+
+void ExpectSameResult(const PipelineResult& a, const PipelineResult& b) {
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.covered_sample, b.covered_sample);
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.pruned_attributes, b.pruned_attributes);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].chosen, b.steps[i].chosen);
+    EXPECT_EQ(a.steps[i].gain, b.steps[i].gain);
+  }
+}
+
+PipelineOptions BackendOptions(FilterBackend backend, size_t threads) {
+  PipelineOptions options;
+  options.eps = 0.01;
+  options.backend = backend;
+  options.num_threads = threads;
+  return options;
+}
+
+TEST(BitsetDifferentialTest, PipelineMatchesMxBackendBitForBit) {
+  // Same seed -> same greedy sample and the same sampled pairs, so the
+  // pair-backend runs must agree on every stage output.
+  for (uint64_t seed : {3u, 17u, 29u}) {
+    Dataset d = AdultishTable(900, seed + 1000);
+    for (size_t threads : {1u, 4u}) {
+      Rng mx_rng(seed), bs_rng(seed);
+      auto mx =
+          DiscoveryPipeline(BackendOptions(FilterBackend::kMxPair, threads))
+              .Run(d, &mx_rng);
+      auto bs =
+          DiscoveryPipeline(BackendOptions(FilterBackend::kBitset, threads))
+              .Run(d, &bs_rng);
+      ASSERT_TRUE(mx.ok());
+      ASSERT_TRUE(bs.ok());
+      ExpectSameResult(*mx, *bs);
+      EXPECT_EQ(mx->filter_sample_size, bs->filter_sample_size);
+    }
+  }
+}
+
+TEST(BitsetDifferentialTest, PipelineMatchesTupleWhenAllBackendsAreExact) {
+  // Full tuple sample and a saturated pair sample (~64x the pair count
+  // of a 48-row table) make all three backends exact filters of the
+  // same relation, so the emitted keys must coincide.
+  for (uint64_t seed : {2u, 11u}) {
+    Dataset d = AdultishTable(48, seed + 2000);
+    PipelineOptions base = BackendOptions(FilterBackend::kTupleSample, 2);
+    base.sample_size = d.num_rows();
+    base.pair_sample_size = 72000;
+
+    PipelineOptions mx = base;
+    mx.backend = FilterBackend::kMxPair;
+    PipelineOptions bs = base;
+    bs.backend = FilterBackend::kBitset;
+
+    Rng r1(seed), r2(seed), r3(seed);
+    auto ts_res = DiscoveryPipeline(base).Run(d, &r1);
+    auto mx_res = DiscoveryPipeline(mx).Run(d, &r2);
+    auto bs_res = DiscoveryPipeline(bs).Run(d, &r3);
+    ASSERT_TRUE(ts_res.ok() && mx_res.ok() && bs_res.ok());
+    ExpectSameResult(*mx_res, *bs_res);
+    EXPECT_EQ(bs_res->key, ts_res->key);
+    EXPECT_EQ(bs_res->verdict, ts_res->verdict);
+  }
+}
+
+// ----------------------------------------------- sharded differential
+
+TEST(BitsetDifferentialTest, RunShardedMatchesMxBackend) {
+  Dataset d = AdultishTable(1200, 31);
+  for (size_t shards : {1u, 3u, 5u}) {
+    ShardedRunOptions sharded;
+    sharded.num_shards = shards;
+    auto mx = DiscoveryPipeline(BackendOptions(FilterBackend::kMxPair, 2))
+                  .RunSharded(d, sharded, 71);
+    auto bs = DiscoveryPipeline(BackendOptions(FilterBackend::kBitset, 2))
+                  .RunSharded(d, sharded, 71);
+    ASSERT_TRUE(mx.ok());
+    ASSERT_TRUE(bs.ok());
+    EXPECT_EQ(bs->num_shards, shards);
+    ExpectSameResult(*mx, *bs);
+  }
+}
+
+TEST(BitsetDifferentialTest, RunShardedAllBackendsAgreeWhenExact) {
+  // Tiny relation, full per-shard tuple samples, saturated pair slots:
+  // every backend's merged filter is exact, so the sharded frontier is
+  // backend-independent.
+  Dataset d = AdultishTable(60, 83);
+  ShardedRunOptions sharded;
+  sharded.num_shards = 3;
+  PipelineOptions base = BackendOptions(FilterBackend::kTupleSample, 2);
+  base.sample_size = d.num_rows();
+  base.pair_sample_size = 60000;
+  PipelineOptions mx = base;
+  mx.backend = FilterBackend::kMxPair;
+  PipelineOptions bs = base;
+  bs.backend = FilterBackend::kBitset;
+
+  auto ts_res = DiscoveryPipeline(base).RunSharded(d, sharded, 5);
+  auto mx_res = DiscoveryPipeline(mx).RunSharded(d, sharded, 5);
+  auto bs_res = DiscoveryPipeline(bs).RunSharded(d, sharded, 5);
+  ASSERT_TRUE(ts_res.ok() && mx_res.ok() && bs_res.ok());
+  ExpectSameResult(*mx_res, *bs_res);
+  EXPECT_EQ(bs_res->key, ts_res->key);
+  EXPECT_EQ(bs_res->verdict, ts_res->verdict);
+}
+
+TEST(BitsetDifferentialTest, ShardArtifactsRoundTripWithBitsetBackend) {
+  Dataset d = AdultishTable(500, 47);
+  PipelineOptions options = BackendOptions(FilterBackend::kBitset, 1);
+  options.sample_size = 64;
+  options.pair_sample_size = 500;
+
+  ShardedBuildOptions build;
+  build.backend = FilterBackend::kBitset;
+  build.eps = options.eps;
+  build.tuple_sample_size = 64;
+  build.pair_slots = 500;
+  build.num_shards = 3;
+  build.seed = 5;
+  auto artifacts = BuildShardArtifacts(d, build);
+  ASSERT_TRUE(artifacts.ok());
+  ASSERT_EQ(artifacts->size(), 3u);
+
+  // Serialize/deserialize every artifact (version-2 payloads carrying
+  // the bitset backend byte and a pair table) and finish discovery
+  // from the copies.
+  std::vector<ShardFilterArtifact> restored;
+  for (const ShardFilterArtifact& artifact : *artifacts) {
+    EXPECT_EQ(artifact.backend, FilterBackend::kBitset);
+    EXPECT_GT(artifact.pair_table.num_rows(), 0u);
+    std::string bytes = SerializeShardArtifact(artifact);
+    auto back = DeserializeShardArtifact(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->backend, FilterBackend::kBitset);
+    restored.push_back(std::move(back).ValueOrDie());
+  }
+  auto direct = DiscoveryPipeline(options).RunOnShardArtifacts(
+      std::move(artifacts).ValueOrDie(), 13);
+  auto roundtrip =
+      DiscoveryPipeline(options).RunOnShardArtifacts(std::move(restored), 13);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(roundtrip.ok());
+  ExpectSameResult(*direct, *roundtrip);
+}
+
+// ----------------------------------------------- monitor differential
+
+/// Drives two monitors through one interleaved insert/erase stream and
+/// asserts snapshot equality at every epoch (or at checkpoints).
+void ExpectMonitorsTrackEachOther(const MonitorOptions& a_opts,
+                                  const MonitorOptions& b_opts, uint64_t seed,
+                                  bool compare_every_step, int steps = 160) {
+  const size_t m = 6;
+  auto a = KeyMonitor::Make(Schema::Anonymous(m), a_opts, seed);
+  auto b = KeyMonitor::Make(Schema::Anonymous(m), b_opts, seed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  Rng stream_rng(seed * 31 + 7);
+  std::vector<Row> live;
+  for (int step = 0; step < steps; ++step) {
+    if (live.size() > 10 && stream_rng.Uniform(3) == 0) {
+      size_t victim = stream_rng.Uniform(live.size());
+      ASSERT_TRUE((*a)->Erase(live[victim]).ok());
+      ASSERT_TRUE((*b)->Erase(live[victim]).ok());
+      live.erase(live.begin() + victim);
+    } else {
+      Row row(m);
+      for (size_t j = 0; j < m; ++j) {
+        row[j] = static_cast<ValueCode>(stream_rng.Uniform(3));
+      }
+      ASSERT_TRUE((*a)->Insert(row).ok());
+      ASSERT_TRUE((*b)->Insert(row).ok());
+      live.push_back(std::move(row));
+    }
+    if (compare_every_step || step % 20 == 19 || step == steps - 1) {
+      auto sa = (*a)->Snapshot();
+      auto sb = (*b)->Snapshot();
+      ASSERT_EQ(sa->minimal_keys(), sb->minimal_keys()) << "step " << step;
+      // Sample sizes are comparable only within one sampling scheme
+      // (pair slots vs tuples).
+      if (IsPairSampledBackend(a_opts.backend) ==
+          IsPairSampledBackend(b_opts.backend)) {
+        EXPECT_EQ(sa->filter_sample_size, sb->filter_sample_size);
+      }
+    }
+  }
+  // Event-for-event equality only holds when the two monitors agree at
+  // every epoch (sampling differences can flicker transiently between
+  // checkpoints even when the checkpoints themselves coincide).
+  if (compare_every_step) {
+    EXPECT_EQ((*a)->events().size(), (*b)->events().size());
+  }
+}
+
+TEST(BitsetDifferentialTest, MonitorMatchesMxBackendSampledMode) {
+  // Genuinely sampled pair slots; bit-identical slot churn -> the two
+  // monitors must agree at EVERY epoch.
+  for (uint64_t seed : {4u, 13u, 27u}) {
+    MonitorOptions mx;
+    mx.eps = 0.01;
+    mx.backend = FilterBackend::kMxPair;
+    mx.pair_sample_size = 64;
+    mx.max_key_size = 6;
+    MonitorOptions bitset = mx;
+    bitset.backend = FilterBackend::kBitset;
+    ExpectMonitorsTrackEachOther(mx, bitset, seed, true);
+  }
+}
+
+TEST(BitsetDifferentialTest, MonitorMatchesTupleBackendWhenBothAreExact) {
+  // Exact tuple window vs a saturated bitset pair sample: ~40 live
+  // rows have < 800 pairs; 20k slots miss any one of them with
+  // probability ~e^-25 per pair, so for this fixed seed the frontiers
+  // coincide. (Shorter stream: pair backends churn ~2s/n slots per
+  // update.)
+  MonitorOptions tuple;
+  tuple.eps = 0.01;
+  tuple.sample_size = 1u << 30;
+  tuple.max_key_size = 6;
+  MonitorOptions bitset;
+  bitset.eps = 0.01;
+  bitset.backend = FilterBackend::kBitset;
+  bitset.pair_sample_size = 20000;
+  bitset.max_key_size = 6;
+  ExpectMonitorsTrackEachOther(tuple, bitset, 21, false, 60);
+}
+
+// ----------------------------------- deterministic across thread counts
+
+TEST(BitsetDifferentialTest, ShardedBitsetDeterministicAcrossThreads) {
+  Dataset d = AdultishTable(800, 61);
+  ShardedRunOptions sharded;
+  sharded.num_shards = 4;
+  auto serial = DiscoveryPipeline(BackendOptions(FilterBackend::kBitset, 1))
+                    .RunSharded(d, sharded, 19);
+  auto parallel = DiscoveryPipeline(BackendOptions(FilterBackend::kBitset, 6))
+                      .RunSharded(d, sharded, 19);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExpectSameResult(*serial, *parallel);
+}
+
+}  // namespace
+}  // namespace qikey

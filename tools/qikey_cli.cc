@@ -18,7 +18,8 @@
 //   qikey anonymize <csv> --attrs a,b [--k K] [--suppress F]
 //       Minimal generalization making the table k-anonymous w.r.t. the
 //       given quasi-identifier (interval hierarchies, branching 4).
-//   qikey discover <csv> [--eps E] [--backend tuple|mx] [--threads T]
+//   qikey discover <csv> [--eps E] [--backend tuple|mx|bitset]
+//                  [--threads T]
 //                  [--shards N] [--memory-budget MB] [--shard-rows R]
 //       End-to-end discovery pipeline: sample, filter, parallel greedy,
 //       batched minimization, verify with witness; per-stage timings.
@@ -27,7 +28,7 @@
 //       --memory-budget, the file is single-passed in bounded chunks
 //       and never loaded whole (out-of-core mode).
 //   qikey monitor <csv> [--eps E] [--max-size K] [--window W]
-//                 [--backend tuple|mx] [--threads T]
+//                 [--backend tuple|mx|bitset] [--threads T]
 //       Replay the CSV as a live insert stream through the incremental
 //       key monitor (optionally as a sliding window of W rows), report
 //       every key-churn event and the final snapshot.
@@ -84,8 +85,8 @@ void Usage() {
                "anonymize|discover|monitor>\n"
                "             <csv> [--eps E] [--max-size K] [--attrs a,b,c] "
                "[--rhs col]\n"
-               "             [--error E] [--seed S] [--backend tuple|mx] "
-               "[--threads T]\n"
+               "             [--error E] [--seed S] [--backend "
+               "tuple|mx|bitset] [--threads T]\n"
                "             [--window W] [--shards N] [--memory-budget MB] "
                "[--shard-rows R]\n");
 }
@@ -205,7 +206,12 @@ bool ParseBackend(const std::string& name, FilterBackend* backend) {
     *backend = FilterBackend::kMxPair;
     return true;
   }
-  std::fprintf(stderr, "unknown backend: %s (want tuple|mx)\n", name.c_str());
+  if (name == "bitset") {
+    *backend = FilterBackend::kBitset;
+    return true;
+  }
+  std::fprintf(stderr, "unknown backend: %s (want tuple|mx|bitset)\n",
+               name.c_str());
   return false;
 }
 
