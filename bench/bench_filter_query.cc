@@ -39,7 +39,9 @@ Dataset MakeWideTable(uint64_t rows, Rng* rng) {
   spec.num_rows = rows;
   for (int j = 0; j < 64; ++j) {
     AttributeSpec attr;
-    attr.name = "a" + std::to_string(j);
+    // += instead of "a" + to_string: gcc 12 -Wrestrict FP (PR105651).
+    attr.name = "a";
+    attr.name += std::to_string(j);
     switch (j % 4) {
       case 0:
         attr.cardinality = 2;  // indicator

@@ -1,0 +1,214 @@
+// Serve-layer throughput: one discovery snapshot, many concurrent
+// requests.
+//
+//   cold: batched is-key over distinct attribute sets, verdict cache
+//         disabled — every query runs the filter kernel (bitset
+//         backend), fanned out by the engine's ThreadPool.
+//   hot:  the same engine with the sharded LRU verdict cache enabled
+//         and pre-warmed — batches resolve entirely in the parallel
+//         cache sweep.
+//
+// Reports queries/sec at 1..8 threads plus the hot-path hit rate, and
+// (on runners with >= 8 hardware threads) asserts the acceptance gate:
+// batched throughput at 4 threads must be >= 2x the single-thread
+// figure on BOTH paths. Also self-checks that cold and hot answers are
+// identical — the cache must never change verdicts.
+//
+//   ./bench_serve [--json PATH] [--rows N]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "data/generators/tabular.h"
+#include "engine/pipeline.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace qikey {
+namespace {
+
+/// 64-attribute survey-like table (the wide regime the bitset block
+/// kernel targets; same mix as bench_filter_query).
+Dataset MakeWideTable(uint64_t rows, Rng* rng) {
+  TabularSpec spec;
+  spec.num_rows = rows;
+  for (int j = 0; j < 64; ++j) {
+    AttributeSpec attr;
+    // += instead of "a" + to_string: gcc 12 -Wrestrict FP (PR105651).
+    attr.name = "a";
+    attr.name += std::to_string(j);
+    switch (j % 4) {
+      case 0:
+        attr.cardinality = 2;
+        break;
+      case 1:
+        attr.cardinality = 8;
+        attr.zipf_exponent = 0.8;
+        break;
+      case 2:
+        attr.cardinality = 64;
+        attr.zipf_exponent = 0.5;
+        break;
+      default:
+        attr.cardinality = 1024;
+        break;
+    }
+    spec.attributes.push_back(attr);
+  }
+  return MakeTabular(spec, rng);
+}
+
+std::vector<QueryRequest> MakeIsKeyBatch(size_t m, size_t batch,
+                                         size_t distinct, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AttributeSet> pool;
+  pool.reserve(distinct);
+  for (size_t i = 0; i < distinct; ++i) {
+    pool.push_back(AttributeSet::RandomOfSize(m, 8, &rng));
+  }
+  std::vector<QueryRequest> requests;
+  requests.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    QueryRequest request;
+    request.kind = QueryKind::kIsKey;
+    request.attrs = pool[rng.Uniform(distinct)];
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+/// Queries/sec of `rounds` ExecuteBatch passes (one warm pass first).
+double MeasureQps(const QueryEngine& engine,
+                  const std::vector<QueryRequest>& requests, size_t rounds) {
+  (void)engine.ExecuteBatch(requests);
+  Timer timer;
+  for (size_t r = 0; r < rounds; ++r) {
+    (void)engine.ExecuteBatch(requests);
+  }
+  double millis = timer.ElapsedMillis();
+  return 1e3 * static_cast<double>(rounds * requests.size()) / millis;
+}
+
+}  // namespace
+}  // namespace qikey
+
+int main(int argc, char** argv) {
+  using namespace qikey;
+
+  std::string json_path;
+  uint64_t rows = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      rows = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+
+  Rng rng(2024);
+  Dataset data = MakeWideTable(rows, &rng);
+
+  // Build once (the expensive step the serving split amortizes away),
+  // publish, then everything below is pure query traffic.
+  PipelineOptions options;
+  options.eps = 0.001;
+  options.backend = FilterBackend::kBitset;
+  options.num_threads = 0;
+  Rng pipeline_rng(7);
+  auto result = DiscoveryPipeline(options).Run(data, &pipeline_rng);
+  QIKEY_CHECK(result.ok()) << result.status().ToString();
+  auto snapshot = SnapshotFromPipelineResult(*result, options.eps);
+  QIKEY_CHECK(snapshot.ok()) << snapshot.status().ToString();
+  SnapshotStore store;
+  QIKEY_CHECK(store.Publish(std::move(*snapshot)).ok());
+  std::printf("serving %s\n", store.Current()->Describe().c_str());
+
+  const size_t kBatch = 4096;
+  const size_t kDistinct = 512;
+  std::vector<QueryRequest> workload =
+      MakeIsKeyBatch(64, kBatch, kDistinct, 99);
+
+  BenchJsonWriter json;
+  unsigned hardware = std::thread::hardware_concurrency();
+  double cold_qps_1 = 0.0, cold_qps_4 = 0.0;
+  double hot_qps_1 = 0.0, hot_qps_4 = 0.0;
+  double hit_rate = 0.0;
+
+  std::printf("\nbatched is-key, %zu requests over %zu distinct sets:\n",
+              kBatch, kDistinct);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    QueryEngineOptions cold_options;
+    cold_options.num_threads = threads;
+    cold_options.cache_capacity = 0;
+    QueryEngine cold(&store, cold_options);
+    double cold_qps = MeasureQps(cold, workload, 4);
+
+    QueryEngineOptions hot_options;
+    hot_options.num_threads = threads;
+    hot_options.cache_capacity = 16384;
+    hot_options.cache_shards = 64;
+    QueryEngine hot(&store, hot_options);
+    double hot_qps = MeasureQps(hot, workload, 16);
+    double total = static_cast<double>(hot.cache_hits() + hot.cache_misses());
+    hit_rate = total > 0 ? static_cast<double>(hot.cache_hits()) / total : 0;
+
+    // The cache must be answer-transparent.
+    std::vector<QueryResponse> cold_answers = cold.ExecuteBatch(workload);
+    std::vector<QueryResponse> hot_answers = hot.ExecuteBatch(workload);
+    for (size_t i = 0; i < workload.size(); ++i) {
+      QIKEY_CHECK(cold_answers[i].verdict == hot_answers[i].verdict)
+          << "cache changed a verdict at request " << i;
+    }
+
+    std::printf("  threads=%zu  cold %12.0f q/s   hot %12.0f q/s  "
+                "(hit rate %.3f)\n",
+                threads, cold_qps, hot_qps, hit_rate);
+    json.Add("serve_query_batch",
+             {{"threads", std::to_string(threads)}, {"cache", "off"}},
+             1e9 / cold_qps, cold_qps);
+    json.Add("serve_query_batch",
+             {{"threads", std::to_string(threads)}, {"cache", "on"}},
+             1e9 / hot_qps, hot_qps);
+    if (threads == 1) {
+      cold_qps_1 = cold_qps;
+      hot_qps_1 = hot_qps;
+    }
+    if (threads == 4) {
+      cold_qps_4 = cold_qps;
+      hot_qps_4 = hot_qps;
+    }
+  }
+  json.Add("serve_cache_hit_rate", {{"threads", "8"}}, hit_rate, hit_rate);
+
+  // Scaling ratios go to stdout (and the gate), not the JSON: the
+  // regression checker reads ns_per_op as lower-is-better, which is
+  // backwards for a ratio.
+  double cold_scaling = cold_qps_4 / cold_qps_1;
+  double hot_scaling = hot_qps_4 / hot_qps_1;
+  std::printf("\n1 -> 4 thread scaling: cold %.2fx, hot %.2fx "
+              "(hardware threads: %u)\n",
+              cold_scaling, hot_scaling, hardware);
+
+  // Persist before any fatal gate so a tripped gate still uploads the
+  // numbers that explain it.
+  if (!json.WriteToFile(json_path)) return 1;
+
+  if (hardware >= 8) {
+    QIKEY_CHECK(cold_scaling >= 2.0)
+        << "uncached batched throughput scaled only " << cold_scaling
+        << "x from 1 to 4 threads";
+    QIKEY_CHECK(hot_scaling >= 2.0)
+        << "cached batched throughput scaled only " << hot_scaling
+        << "x from 1 to 4 threads";
+  } else {
+    std::printf("scaling gate skipped (< 8 hardware threads)\n");
+  }
+  return 0;
+}

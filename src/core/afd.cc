@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/sample_bounds.h"
 #include "data/partition.h"
 #include "util/logging.h"
 
@@ -64,6 +65,8 @@ Result<std::vector<AfdCandidate>> DiscoverMinimalAfds(
     uint64_t max_candidates) {
   const size_t m = dataset.num_attributes();
   if (rhs >= m) return Status::InvalidArgument("rhs out of range");
+  QIKEY_RETURN_NOT_OK(
+      ValidateUnitFraction(max_conditional_error, "max_conditional_error"));
   max_size = std::min<uint32_t>(max_size, static_cast<uint32_t>(m - 1));
 
   std::vector<AfdCandidate> found;

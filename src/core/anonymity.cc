@@ -47,9 +47,7 @@ std::vector<RowIndex> SuppressForKAnonymity(const Dataset& dataset,
 Result<RiskReport> AuditQuasiIdentifiers(const Dataset& dataset, double eps,
                                          uint32_t max_qi_size, Rng* rng) {
   if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
-  if (eps <= 0.0 || eps >= 1.0) {
-    return Status::InvalidArgument("eps must be in (0, 1)");
-  }
+  QIKEY_RETURN_NOT_OK(ValidateEps(eps));
   // Enumerate candidate QIs on the paper's tuple sample (cheap), then
   // score the survivors exactly on the full data.
   uint64_t r = TupleSampleSizePaper(

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/mx_pair_filter.h"
+#include "core/sample_bounds.h"
 #include "util/thread_pool.h"
 
 namespace qikey {
@@ -13,9 +14,7 @@ Result<BitsetSeparationFilter> BitsetSeparationFilter::Build(
   if (dataset.num_rows() < 2) {
     return Status::InvalidArgument("need at least two rows to sample pairs");
   }
-  if (options.eps <= 0.0 || options.eps >= 1.0) {
-    return Status::InvalidArgument("eps must be in (0, 1)");
-  }
+  QIKEY_RETURN_NOT_OK(ValidateEps(options.eps));
   // Identical draw to MxPairFilter::Build: same sample-size law, same
   // SamplePair loop, so a shared seed gives the same sampled pairs and
   // bit-identical verdicts across the two backends.

@@ -6,6 +6,7 @@
 #include <queue>
 #include <set>
 
+#include "core/sample_bounds.h"
 #include "data/partition.h"
 #include "util/logging.h"
 
@@ -91,6 +92,8 @@ Result<GeneralizationResult> FindMinimalGeneralization(
         "need a non-empty qi with one hierarchy per attribute");
   }
   if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  QIKEY_RETURN_NOT_OK(
+      ValidateUnitFraction(options.max_suppression, "max_suppression"));
   const size_t d = qi.size();
 
   // Bottom-up BFS over the lattice in level-sum order. Roll-up

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/sample_bounds.h"
 #include "data/partition.h"
 #include "util/logging.h"
 
@@ -9,7 +10,10 @@ namespace qikey {
 
 Result<std::vector<AttributeSet>> EnumerateMinimalKeys(
     const Dataset& dataset, const KeyEnumerationOptions& options) {
-  if (options.eps < 0.0 || options.eps >= 1.0) {
+  // NaN compares false against both bounds, so test for membership
+  // rather than for violation (enumeration additionally admits eps = 0,
+  // the exact-key case).
+  if (!(options.eps >= 0.0 && options.eps < 1.0)) {
     return Status::InvalidArgument("eps must be in [0, 1)");
   }
   const size_t m = dataset.num_attributes();

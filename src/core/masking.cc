@@ -66,9 +66,7 @@ Result<MaskingResult> FindMaskingSet(const Dataset& dataset,
   if (dataset.num_rows() < 2) {
     return Status::InvalidArgument("need at least two rows");
   }
-  if (options.eps <= 0.0 || options.eps >= 1.0) {
-    return Status::InvalidArgument("eps must be in (0, 1)");
-  }
+  QIKEY_RETURN_NOT_OK(ValidateEps(options.eps));
   uint64_t r = options.sample_size > 0
                    ? options.sample_size
                    : TupleSampleSizePaper(

@@ -29,9 +29,7 @@ Result<MinKeyResult> FindApproxMinimumEpsKey(const Dataset& dataset,
   if (dataset.num_rows() < 2) {
     return Status::InvalidArgument("need at least two rows");
   }
-  if (options.eps <= 0.0 || options.eps >= 1.0) {
-    return Status::InvalidArgument("eps must be in (0, 1)");
-  }
+  QIKEY_RETURN_NOT_OK(ValidateEps(options.eps));
   uint64_t r = options.sample_size > 0
                    ? options.sample_size
                    : TupleSampleSizePaper(
@@ -54,9 +52,7 @@ Result<MinKeyResult> FindApproxMinimumEpsKeyMx(const Dataset& dataset,
   if (dataset.num_rows() < 2) {
     return Status::InvalidArgument("need at least two rows");
   }
-  if (options.eps <= 0.0 || options.eps >= 1.0) {
-    return Status::InvalidArgument("eps must be in (0, 1)");
-  }
+  QIKEY_RETURN_NOT_OK(ValidateEps(options.eps));
   const size_t m = dataset.num_attributes();
   uint64_t s = options.sample_size > 0
                    ? options.sample_size
@@ -94,9 +90,7 @@ Result<MinKeyResult> FindMinimumEpsKeyExact(const Dataset& dataset,
   if (dataset.num_rows() < 2) {
     return Status::InvalidArgument("need at least two rows");
   }
-  if (options.eps <= 0.0 || options.eps >= 1.0) {
-    return Status::InvalidArgument("eps must be in (0, 1)");
-  }
+  QIKEY_RETURN_NOT_OK(ValidateEps(options.eps));
   const size_t m = dataset.num_attributes();
   uint64_t r = options.sample_size > 0
                    ? options.sample_size

@@ -15,6 +15,25 @@ uint64_t CeilPositive(double x) {
 
 }  // namespace
 
+bool IsValidEps(double eps) {
+  return std::isfinite(eps) && eps > 0.0 && eps < 1.0;
+}
+
+Status ValidateEps(double eps) {
+  if (!IsValidEps(eps)) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+Status ValidateUnitFraction(double value, const char* what) {
+  if (!(std::isfinite(value) && value >= 0.0 && value <= 1.0)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
 uint64_t MxPairSampleSizePaper(uint32_t m, double eps) {
   QIKEY_CHECK(eps > 0.0 && eps < 1.0);
   return CeilPositive(static_cast<double>(m) / eps);

@@ -3,12 +3,30 @@
 
 #include <cstdint>
 
+#include "util/status.h"
+
 namespace qikey {
 
 /// \brief Sample-size formulas from the paper, in two flavors:
 /// *paper-table* sizes (the constants used for Table 1: `m/ε` pairs and
 /// `m/√ε` tuples) and *for-delta* sizes with an explicit failure
 /// probability `δ` against all `2^m` queries.
+
+/// True iff `eps` is a usable separation threshold: finite and strictly
+/// inside `(0, 1)`. The finiteness test matters — NaN compares false
+/// against every bound, so the naive `eps <= 0 || eps >= 1` rejection
+/// lets NaN through to the `Θ(m/ε)` size formulas, which then abort.
+/// Every API boundary that takes an `eps` validates with this.
+bool IsValidEps(double eps);
+
+/// `IsValidEps` as a `Status` (InvalidArgument on failure), so call
+/// sites stay one line: `QIKEY_RETURN_NOT_OK(ValidateEps(options.eps))`.
+Status ValidateEps(double eps);
+
+/// Shared check for the `[0, 1]` error/fraction knobs (`afd_error`,
+/// `max_suppression`, ...): finite and within the closed unit interval.
+/// `what` names the parameter in the error message.
+Status ValidateUnitFraction(double value, const char* what);
 
 /// Motwani–Xu pair sample for Table 1: `⌈m/ε⌉` pairs.
 uint64_t MxPairSampleSizePaper(uint32_t m, double eps);

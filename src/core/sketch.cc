@@ -14,8 +14,8 @@ Result<NonSeparationSketch> NonSeparationSketch::Build(
   if (dataset.num_rows() < 2) {
     return Status::InvalidArgument("need at least two rows");
   }
-  if (options.eps <= 0.0 || options.eps >= 1.0 || options.alpha <= 0.0 ||
-      options.alpha > 1.0) {
+  if (!IsValidEps(options.eps) ||
+      !(options.alpha > 0.0 && options.alpha <= 1.0)) {
     return Status::InvalidArgument("eps in (0,1) and alpha in (0,1] required");
   }
   const uint32_t m = static_cast<uint32_t>(dataset.num_attributes());

@@ -16,9 +16,7 @@ namespace qikey {
 namespace {
 
 Status ValidateOptions(const PipelineOptions& options) {
-  if (options.eps <= 0.0 || options.eps >= 1.0) {
-    return Status::InvalidArgument("eps must be in (0, 1)");
-  }
+  QIKEY_RETURN_NOT_OK(ValidateEps(options.eps));
   return Status::OK();
 }
 
@@ -445,6 +443,8 @@ Result<PipelineResult> DiscoveryPipeline::FinishStages(
   out.stages.push_back({"verify", timer.ElapsedMillis()});
 
   for (const PipelineStage& s : out.stages) out.total_millis += s.millis;
+  out.filter = std::move(filter);
+  out.sample = std::move(sample);
   return out;
 }
 

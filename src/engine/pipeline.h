@@ -92,6 +92,13 @@ struct PipelineResult {
   std::vector<PipelineStage> stages;
   double total_millis = 0.0;
 
+  /// The verify-stage filter and the greedy sample it cross-checked,
+  /// shared out of the run so the result is directly loadable into a
+  /// `ServeSnapshot` (serve/snapshot.h) without re-running discovery.
+  /// Always set on a successful run.
+  std::shared_ptr<const SeparationFilter> filter;
+  std::shared_ptr<const Dataset> sample;
+
   /// Multi-line human-readable summary (names resolved via `schema`).
   std::string Report(const Schema* schema = nullptr) const;
 };

@@ -31,9 +31,7 @@ IncrementalFilter::IncrementalFilter(Schema schema,
 
 Result<IncrementalFilter> IncrementalFilter::Make(
     Schema schema, const IncrementalFilterOptions& options, uint64_t seed) {
-  if (options.eps <= 0.0 || options.eps >= 1.0) {
-    return Status::InvalidArgument("eps must be in (0, 1)");
-  }
+  QIKEY_RETURN_NOT_OK(ValidateEps(options.eps));
   if (schema.num_attributes() == 0) {
     return Status::InvalidArgument("schema must have attributes");
   }

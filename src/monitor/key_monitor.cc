@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/key_enumeration.h"
+#include "core/sample_bounds.h"
 #include "util/logging.h"
 
 namespace qikey {
@@ -64,9 +65,7 @@ KeyMonitor::KeyMonitor(Schema schema, const MonitorOptions& options,
 
 Result<std::unique_ptr<KeyMonitor>> KeyMonitor::Make(
     Schema schema, const MonitorOptions& options, uint64_t seed) {
-  if (options.eps <= 0.0 || options.eps >= 1.0) {
-    return Status::InvalidArgument("eps must be in (0, 1)");
-  }
+  QIKEY_RETURN_NOT_OK(ValidateEps(options.eps));
   if (schema.num_attributes() == 0) {
     return Status::InvalidArgument("schema must have attributes");
   }

@@ -126,6 +126,7 @@ class KeyMonitor {
 
   const Schema& schema() const { return filter_.schema(); }
   const IncrementalFilter& filter() const { return filter_; }
+  const MonitorOptions& options() const { return options_; }
   uint64_t epoch() const { return epoch_; }
   /// Updates (Insert/Erase calls) none of whose deltas — including a
   /// sliding-window eviction — changed a verdict: they cost no repair

@@ -67,6 +67,10 @@
 #include "math/sympoly.h"
 #include "monitor/incremental_filter.h"
 #include "monitor/key_monitor.h"
+#include "serve/query_engine.h"
+#include "serve/request.h"
+#include "serve/snapshot.h"
+#include "serve/verdict_cache.h"
 #include "setcover/set_cover.h"
 #include "shard/filter_merger.h"
 #include "shard/shard_artifact.h"

@@ -1,0 +1,156 @@
+#include "serve/query_engine.h"
+
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "core/anonymity.h"
+#include "core/separation.h"
+
+namespace qikey {
+
+namespace {
+
+size_t ResolveThreads(size_t num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const SnapshotStore* store,
+                         const QueryEngineOptions& options)
+    : store_(store),
+      options_(options),
+      cache_(VerdictCacheOptions{options.cache_capacity,
+                                 options.cache_shards}) {
+  size_t threads = ResolveThreads(options_.num_threads);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Status QueryEngine::ValidateRequest(const ServeSnapshot& snapshot,
+                                    const QueryRequest& request) {
+  size_t m = snapshot.schema().num_attributes();
+  if (request.kind == QueryKind::kMinKey) return Status::OK();
+  if (request.attrs.universe_size() != m) {
+    return Status::InvalidArgument(
+        "request attribute universe does not match the snapshot schema");
+  }
+  if (request.kind == QueryKind::kAfd) {
+    if (request.rhs >= m) {
+      return Status::InvalidArgument("afd rhs out of range");
+    }
+    if (request.attrs.Contains(request.rhs)) {
+      return Status::InvalidArgument("afd rhs must not be part of the lhs");
+    }
+  }
+  if (request.kind == QueryKind::kAnonymity && request.k == 0) {
+    return Status::InvalidArgument("anonymity k must be >= 1");
+  }
+  return Status::OK();
+}
+
+void QueryEngine::AnswerOnSample(const ServeSnapshot& snapshot,
+                                 const QueryRequest& request,
+                                 QueryResponse* response) {
+  const Dataset& sample = *snapshot.sample;
+  switch (request.kind) {
+    case QueryKind::kIsKey:
+      break;  // answered by the filter batch, not here
+    case QueryKind::kSeparation:
+      response->separation_ratio = SeparationRatio(sample, request.attrs);
+      response->separation_class =
+          Classify(sample, request.attrs, snapshot.eps);
+      break;
+    case QueryKind::kMinKey:
+      response->num_minimal_keys = snapshot.keys->size();
+      response->has_key = !snapshot.keys->empty();
+      if (response->has_key) response->key = snapshot.keys->front();
+      break;
+    case QueryKind::kAfd:
+      response->afd = ComputeAfdError(sample, request.attrs, request.rhs);
+      break;
+    case QueryKind::kAnonymity:
+      response->anonymity_level = AnonymityLevel(sample, request.attrs);
+      response->below_k_fraction =
+          RowsBelowK(sample, request.attrs, request.k);
+      break;
+  }
+}
+
+QueryResponse QueryEngine::Execute(const QueryRequest& request) const {
+  QueryRequest copy[1] = {request};
+  return ExecuteBatch(std::span<const QueryRequest>(copy, 1)).front();
+}
+
+std::vector<QueryResponse> QueryEngine::ExecuteBatch(
+    std::span<const QueryRequest> requests) const {
+  std::vector<QueryResponse> responses(requests.size());
+  std::shared_ptr<const ServeSnapshot> snapshot = store_->Current();
+  if (snapshot == nullptr) {
+    for (QueryResponse& response : responses) {
+      response.status = Status::NotFound("no snapshot published yet");
+    }
+    return responses;
+  }
+
+  // Pass 1 (parallel): validate, stamp the pinned epoch, answer the
+  // sample-evaluated kinds, and resolve is-key requests against the
+  // sharded cache — only cache MISSES survive to the filter pass, and
+  // an all-hits batch never leaves this sweep (which is why cached
+  // throughput scales with threads). Each chunk writes disjoint
+  // response slots and every answer is a pure function of
+  // (snapshot, request), so the split cannot change results.
+  std::vector<uint8_t> needs_filter(requests.size(), 0);
+  ThreadPool::ParallelFor(
+      pool_.get(), requests.size(), [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          responses[i].epoch = snapshot->epoch;
+          responses[i].status = ValidateRequest(*snapshot, requests[i]);
+          if (!responses[i].status.ok()) continue;
+          if (requests[i].kind == QueryKind::kIsKey) {
+            FilterVerdict cached;
+            if (cache_.Lookup(snapshot->epoch, requests[i].attrs,
+                              &cached)) {
+              responses[i].verdict = cached;
+              responses[i].cache_hit = true;
+            } else {
+              needs_filter[i] = 1;
+            }
+          } else {
+            AnswerOnSample(*snapshot, requests[i], &responses[i]);
+          }
+        }
+      });
+
+  // Pass 2 (serial, cheap): dedupe the missed is-key sets — duplicates
+  // within the batch share one filter slot.
+  std::vector<std::pair<size_t, size_t>> filter_slots;  // (request, slot)
+  std::vector<AttributeSet> filter_attrs;
+  std::unordered_map<AttributeSet, size_t, AttributeSetHasher> slot_of;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!needs_filter[i]) continue;
+    auto [it, inserted] =
+        slot_of.try_emplace(requests[i].attrs, filter_attrs.size());
+    if (inserted) filter_attrs.push_back(requests[i].attrs);
+    filter_slots.emplace_back(i, it->second);
+  }
+
+  // Pass 3: one batched filter query for all misses (the pipeline's
+  // own batched path — on the bitset backend this is the block
+  // kernel), then populate the cache.
+  if (!filter_attrs.empty()) {
+    std::vector<FilterVerdict> verdicts =
+        snapshot->filter->QueryBatch(filter_attrs, pool_.get());
+    for (size_t j = 0; j < filter_attrs.size(); ++j) {
+      cache_.Insert(snapshot->epoch, filter_attrs[j], verdicts[j]);
+    }
+    for (const auto& [request_index, slot] : filter_slots) {
+      responses[request_index].verdict = verdicts[slot];
+    }
+  }
+  return responses;
+}
+
+}  // namespace qikey

@@ -1,0 +1,85 @@
+#ifndef QIKEY_SERVE_QUERY_ENGINE_H_
+#define QIKEY_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/snapshot.h"
+#include "serve/verdict_cache.h"
+#include "util/thread_pool.h"
+
+namespace qikey {
+
+/// Options for `QueryEngine`.
+struct QueryEngineOptions {
+  /// Worker threads for request batches; 1 = serial, 0 = one per
+  /// hardware thread. Responses are identical at any thread count.
+  size_t num_threads = 1;
+  /// Verdict-cache capacity; 0 disables caching. The cache is
+  /// answer-transparent: it can only change latency.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 16;
+};
+
+/// \brief Concurrent request executor over a `SnapshotStore`.
+///
+/// Each request (or batch) pins the store's current snapshot, answers
+/// purely from it, and stamps the snapshot's epoch on the response —
+/// so a publish racing a batch never mixes epochs within it, and two
+/// responses with equal epochs are mutually consistent.
+///
+/// Batches are executed the way the discovery pipeline queries its own
+/// filter: all uncached `is-key` requests of the batch go through one
+/// `SeparationFilter::QueryBatch` (fanning out over the engine's
+/// `ThreadPool`, hitting the bitset block kernel on that backend), and
+/// the sample-evaluated kinds are split over the same pool. Responses
+/// are positionally aligned with requests and bit-identical across
+/// thread counts and cache configurations.
+///
+/// Thread safety: `Execute`/`ExecuteBatch` are safe to call
+/// concurrently from many threads, concurrently with `Publish` on the
+/// store. (A batch already parallelizes internally; concurrent callers
+/// additionally share the verdict cache.)
+class QueryEngine {
+ public:
+  QueryEngine(const SnapshotStore* store, const QueryEngineOptions& options);
+
+  /// Answers one request against the current snapshot. A response with
+  /// a non-OK status (no snapshot published yet, arity mismatch, ...)
+  /// carries no payload.
+  QueryResponse Execute(const QueryRequest& request) const;
+
+  /// Answers `requests[i]` into the `i`-th response, all against one
+  /// pinned snapshot.
+  std::vector<QueryResponse> ExecuteBatch(
+      std::span<const QueryRequest> requests) const;
+
+  uint64_t cache_hits() const { return cache_.hits(); }
+  uint64_t cache_misses() const { return cache_.misses(); }
+
+  size_t num_threads() const {
+    return pool_ != nullptr ? pool_->num_threads() : 1;
+  }
+
+ private:
+  /// Validates `request` against `snapshot`; OK means the payload can
+  /// be computed.
+  static Status ValidateRequest(const ServeSnapshot& snapshot,
+                                const QueryRequest& request);
+  /// Computes the payload for one valid non-`is-key` request.
+  static void AnswerOnSample(const ServeSnapshot& snapshot,
+                             const QueryRequest& request,
+                             QueryResponse* response);
+
+  const SnapshotStore* store_;
+  QueryEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable VerdictCache cache_;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,92 @@
+#ifndef QIKEY_SERVE_REQUEST_H_
+#define QIKEY_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/afd.h"
+#include "core/attribute_set.h"
+#include "core/filter.h"
+#include "core/separation.h"
+#include "data/schema.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// What a serve-layer request asks of a discovery snapshot.
+enum class QueryKind {
+  kIsKey,       ///< filter verdict: is `attrs` an ε-separation key?
+  kSeparation,  ///< exact separation ratio of `attrs` on the snapshot
+  kMinKey,      ///< the snapshot's discovered minimal key(s)
+  kAfd,         ///< error of the approximate FD `attrs -> rhs`
+  kAnonymity,   ///< k-anonymity level of `attrs`
+};
+
+/// One request against a `ServeSnapshot`. Parsed from the text format
+/// below or constructed directly.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kIsKey;
+  /// The queried attribute set (`is-key`/`separation`/`anonymity`), or
+  /// the FD's left-hand side (`afd`). Unused by `min-key`.
+  AttributeSet attrs;
+  /// `afd` only: the right-hand-side attribute.
+  AttributeIndex rhs = 0;
+  /// `anonymity` only: the k threshold for the below-k fraction.
+  uint64_t k = 2;
+};
+
+/// Answer to one request. `status` is non-OK when the request does not
+/// fit the answering snapshot (arity mismatch, rhs inside the lhs, ...);
+/// the payload fields are then meaningless. Which payload field is
+/// live depends on the request's kind.
+struct QueryResponse {
+  Status status;
+  /// Epoch of the snapshot that answered (all responses of one
+  /// `ExecuteBatch` share it).
+  uint64_t epoch = 0;
+  bool cache_hit = false;
+
+  FilterVerdict verdict = FilterVerdict::kAccept;        // is-key
+  double separation_ratio = 0.0;                         // separation
+  SeparationClass separation_class = SeparationClass::kBad;  // separation
+  bool has_key = false;                                  // min-key
+  AttributeSet key;                                      // min-key
+  size_t num_minimal_keys = 0;                           // min-key
+  AfdError afd;                                          // afd
+  uint64_t anonymity_level = 0;                          // anonymity
+  double below_k_fraction = 0.0;                         // anonymity
+};
+
+/// \brief Parses one request line. Strict: unknown verbs, unknown or
+/// empty attribute names, malformed integers, and trailing junk are
+/// InvalidArgument — nothing is silently coerced.
+///
+/// Grammar (tokens separated by spaces/tabs):
+///   is-key     <attr>[,<attr>...]
+///   separation <attr>[,<attr>...]
+///   min-key
+///   afd        <attr>[,<attr>...] -> <attr>
+///   anonymity  <attr>[,<attr>...] [k]
+Result<QueryRequest> ParseQueryRequest(std::string_view line,
+                                       const Schema& schema);
+
+/// Parses a whole request file body: one request per line, blank lines
+/// and `#` comments skipped. Errors name the offending 1-based line.
+Result<std::vector<QueryRequest>> ParseQueryRequests(std::string_view text,
+                                                     const Schema& schema);
+
+/// Reads `path` and parses it with `ParseQueryRequests`.
+Result<std::vector<QueryRequest>> LoadQueryRequestFile(
+    const std::string& path, const Schema& schema);
+
+/// One-line human-readable rendering of a request's answer, e.g.
+/// `is-key {zip, dob}: ACCEPT (cached)`.
+std::string FormatQueryResponse(const QueryRequest& request,
+                                const QueryResponse& response,
+                                const Schema* schema = nullptr);
+
+}  // namespace qikey
+
+#endif  // QIKEY_SERVE_REQUEST_H_

@@ -1,0 +1,90 @@
+#include "serve/snapshot.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "core/sample_bounds.h"
+#include "core/tuple_sample_filter.h"
+
+namespace qikey {
+
+std::string ServeSnapshot::Describe() const {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "epoch %llu: %llu source rows, %zu-tuple sample, %llu "
+                "filter samples, %zu minimal key(s), eps %g",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(source_rows),
+                sample->num_rows(),
+                static_cast<unsigned long long>(filter->sample_size()),
+                keys->size(), eps);
+  return line;
+}
+
+Result<ServeSnapshot> SnapshotFromPipelineResult(const PipelineResult& result,
+                                                 double eps) {
+  QIKEY_RETURN_NOT_OK(ValidateEps(eps));
+  if (result.filter == nullptr || result.sample == nullptr) {
+    return Status::InvalidArgument(
+        "pipeline result carries no filter/sample (errored or moved-from "
+        "run?)");
+  }
+  ServeSnapshot snapshot;
+  snapshot.eps = eps;
+  snapshot.source_rows = result.rows;
+  snapshot.sample = result.sample;
+  snapshot.filter = result.filter;
+  snapshot.keys = std::make_shared<const std::vector<AttributeSet>>(
+      std::vector<AttributeSet>{result.key});
+  return snapshot;
+}
+
+Result<ServeSnapshot> SnapshotFromMonitor(const KeyMonitor& monitor) {
+  std::shared_ptr<const MonitorSnapshot> latest = monitor.Snapshot();
+  if (latest == nullptr) {
+    return Status::InvalidArgument("monitor has no published snapshot");
+  }
+  ServeSnapshot snapshot;
+  snapshot.eps = monitor.options().eps;
+  snapshot.source_rows = monitor.filter().window_size();
+  // Freeze the live window into an immutable exact filter: the serving
+  // side must not share the writer's mutable sample. Row indices in
+  // witnesses are window positions at freeze time.
+  auto window =
+      std::make_shared<Dataset>(monitor.filter().WindowDataset());
+  snapshot.filter = std::make_shared<const TupleSampleFilter>(
+      TupleSampleFilter::FromSample(window, /*original_rows=*/{},
+                                    DuplicateDetection::kSort));
+  snapshot.sample = std::move(window);
+  snapshot.keys = latest->keys;
+  return snapshot;
+}
+
+Result<ServeSnapshot> SnapshotFromShardArtifacts(
+    std::vector<ShardFilterArtifact> artifacts,
+    const PipelineOptions& options, uint64_t seed) {
+  DiscoveryPipeline pipeline(options);
+  Result<PipelineResult> result =
+      pipeline.RunOnShardArtifacts(std::move(artifacts), seed);
+  if (!result.ok()) return result.status();
+  return SnapshotFromPipelineResult(*result, options.eps);
+}
+
+Result<uint64_t> SnapshotStore::Publish(ServeSnapshot snapshot) {
+  if (snapshot.sample == nullptr || snapshot.filter == nullptr ||
+      snapshot.keys == nullptr) {
+    return Status::InvalidArgument(
+        "snapshot must carry a sample, a filter, and keys");
+  }
+  uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  snapshot.epoch = epoch;
+  current_.store(std::make_shared<const ServeSnapshot>(std::move(snapshot)),
+                 std::memory_order_release);
+  return epoch;
+}
+
+std::shared_ptr<const ServeSnapshot> SnapshotStore::Current() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+}  // namespace qikey

@@ -1,0 +1,112 @@
+#ifndef QIKEY_SERVE_SNAPSHOT_H_
+#define QIKEY_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "core/filter.h"
+#include "data/dataset.h"
+#include "engine/pipeline.h"
+#include "monitor/key_monitor.h"
+#include "shard/shard_artifact.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// \brief One immutable, epoch-numbered unit of serving state: the
+/// artifact a discovery run produces once and a `QueryEngine` answers
+/// from many times.
+///
+/// Everything inside is immutable after `SnapshotStore::Publish`, so
+/// any number of request threads may read it concurrently with no
+/// locking; all answers are pure functions of the snapshot.
+///
+/// `sample` is the retained tuple sample the snapshot evaluates
+/// `separation`/`afd`/`anonymity` requests against — answers are
+/// sample-level estimates, exact whenever the snapshot retains the
+/// full relation (small tables, monitor windows within the sample
+/// target).
+struct ServeSnapshot {
+  /// Assigned by `SnapshotStore::Publish`; 0 = never published.
+  uint64_t epoch = 0;
+  /// The ε the snapshot was discovered with (classifies `separation`).
+  double eps = 0.0;
+  /// Rows of the relation the snapshot summarizes.
+  uint64_t source_rows = 0;
+  /// Evaluation surface for sample-based requests. Never null.
+  std::shared_ptr<const Dataset> sample;
+  /// The ε-separation filter answering `is-key`. Never null.
+  std::shared_ptr<const SeparationFilter> filter;
+  /// Canonically ordered minimal keys (may be empty). Never null.
+  std::shared_ptr<const std::vector<AttributeSet>> keys;
+
+  const Schema& schema() const { return sample->schema(); }
+
+  /// One-line summary ("epoch 3: 150000 rows, 842-tuple sample, ...").
+  std::string Describe() const;
+};
+
+/// Freezes a finished pipeline run into a snapshot: the run's verify
+/// filter and greedy sample are shared (not copied), and the emitted
+/// key becomes the snapshot's single tracked minimal key. `eps` is the
+/// pipeline's option (the result does not carry it).
+Result<ServeSnapshot> SnapshotFromPipelineResult(const PipelineResult& result,
+                                                 double eps);
+
+/// Freezes a live monitor's current state: the window is materialized
+/// into an immutable exact filter (the serving filter must not share
+/// mutable state with the writer) and the frontier is taken from the
+/// monitor's latest published snapshot. Call from the writer thread or
+/// with updates paused — the monitor's window is read directly.
+Result<ServeSnapshot> SnapshotFromMonitor(const KeyMonitor& monitor);
+
+/// Merges shard artifacts (e.g. read back via `ReadShardArtifactFile`)
+/// and finishes discovery under `options`, freezing the outcome. The
+/// central-merge deployment: shard builders ship artifacts, the serving
+/// tier loads them.
+Result<ServeSnapshot> SnapshotFromShardArtifacts(
+    std::vector<ShardFilterArtifact> artifacts,
+    const PipelineOptions& options, uint64_t seed);
+
+/// \brief Thread-safe holder of the current serving snapshot.
+///
+/// One writer (or several, externally ordered) publishes; any number of
+/// readers get the latest snapshot wait-free through an atomic
+/// `shared_ptr` — the `MonitorSnapshot` pattern promoted to a
+/// standalone component. Readers pin a snapshot for the duration of a
+/// request (or batch), so a concurrent publish never changes answers
+/// mid-request; the old snapshot is freed when its last reader drops
+/// it.
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Stamps the next epoch onto `snapshot` and makes it current.
+  /// Returns the assigned epoch (starting at 1). InvalidArgument if the
+  /// snapshot is missing its sample/filter/keys.
+  Result<uint64_t> Publish(ServeSnapshot snapshot);
+
+  /// The latest published snapshot; null before the first `Publish`.
+  /// Safe from any thread.
+  std::shared_ptr<const ServeSnapshot> Current() const;
+
+  /// Epoch of the latest publish; 0 before the first.
+  uint64_t epoch() const {
+    return next_epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const ServeSnapshot>> current_;
+  std::atomic<uint64_t> next_epoch_{0};
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_SERVE_SNAPSHOT_H_

@@ -1,0 +1,70 @@
+#include "serve/verdict_cache.h"
+
+#include <algorithm>
+
+namespace qikey {
+
+VerdictCache::VerdictCache(const VerdictCacheOptions& options) {
+  if (options.capacity == 0) return;
+  size_t shards = std::clamp<size_t>(options.shards, 1, options.capacity);
+  per_shard_capacity_ = (options.capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+VerdictCache::Shard& VerdictCache::ShardFor(uint64_t epoch,
+                                            const AttributeSet& attrs) {
+  return *shards_[KeyHash()(Key{epoch, attrs}) % shards_.size()];
+}
+
+bool VerdictCache::Lookup(uint64_t epoch, const AttributeSet& attrs,
+                          FilterVerdict* verdict) {
+  if (!enabled()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = ShardFor(epoch, attrs);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(Key{epoch, attrs});
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *verdict = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void VerdictCache::Insert(uint64_t epoch, const AttributeSet& attrs,
+                          FilterVerdict verdict) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(epoch, attrs);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Key key{epoch, attrs};
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = verdict;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+  shard.lru.emplace_front(std::move(key), verdict);
+  shard.index.emplace(shard.lru.front().first, shard.lru.begin());
+}
+
+size_t VerdictCache::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace qikey

@@ -1,0 +1,96 @@
+#ifndef QIKEY_SERVE_VERDICT_CACHE_H_
+#define QIKEY_SERVE_VERDICT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/attribute_set.h"
+#include "core/filter.h"
+
+namespace qikey {
+
+/// Options for `VerdictCache`.
+struct VerdictCacheOptions {
+  /// Total retained verdicts across all shards; 0 disables the cache
+  /// (`Lookup` always misses, `Insert` is a no-op).
+  size_t capacity = 4096;
+  /// Lock shards. Requests hash to a shard by (epoch, attrs), so
+  /// concurrent lookups contend only 1/shards of the time. Clamped to
+  /// [1, capacity] when the cache is enabled.
+  size_t shards = 16;
+};
+
+/// \brief Sharded LRU cache of `is-key` filter verdicts, keyed by
+/// (snapshot epoch, attribute set).
+///
+/// The epoch is part of the key, so publishing a new snapshot never
+/// needs an invalidation sweep: entries of dead epochs simply age out
+/// of the LRU. Verdicts are deterministic functions of the snapshot,
+/// so a hit returns exactly what recomputation would — the cache can
+/// change latency, never answers.
+class VerdictCache {
+ public:
+  explicit VerdictCache(const VerdictCacheOptions& options);
+
+  bool enabled() const { return per_shard_capacity_ > 0; }
+
+  /// True (and fills `*verdict`) on a hit; counts hit/miss either way.
+  bool Lookup(uint64_t epoch, const AttributeSet& attrs,
+              FilterVerdict* verdict);
+
+  /// Records a verdict, evicting the shard's least-recently-used entry
+  /// at capacity. Inserting an existing key refreshes its verdict and
+  /// recency.
+  void Insert(uint64_t epoch, const AttributeSet& attrs,
+              FilterVerdict verdict);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Live entries over all shards (test/diagnostic use; takes each
+  /// shard's lock in turn).
+  size_t size() const;
+
+ private:
+  struct Key {
+    uint64_t epoch;
+    AttributeSet attrs;
+    bool operator==(const Key& other) const {
+      return epoch == other.epoch && attrs == other.attrs;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // splitmix-style spread of the epoch over the set hash.
+      uint64_t h = key.attrs.Hash() + key.epoch * 0x9e3779b97f4a7c15ull;
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<Key, FilterVerdict>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, FilterVerdict>>::iterator,
+                       KeyHash>
+        index;
+  };
+
+  Shard& ShardFor(uint64_t epoch, const AttributeSet& attrs);
+
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_SERVE_VERDICT_CACHE_H_

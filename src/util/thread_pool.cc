@@ -35,6 +35,12 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr e = first_exception_;
+    first_exception_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -51,7 +57,12 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop();
       ++active_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;
@@ -69,11 +80,26 @@ void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
   }
   size_t chunks = std::min(n, 4 * pool->num_threads());
   size_t chunk_size = (n + chunks - 1) / chunks;
+  // Exceptions are confined to THIS call, not parked in the pool:
+  // concurrent ParallelFor batches sharing one pool must each see
+  // their own callback's failure, never a sibling batch's (the pool-
+  // level capture in Wait() only attributes correctly for a single
+  // caller).
+  std::mutex mu;
+  std::exception_ptr first;
   for (size_t begin = 0; begin < n; begin += chunk_size) {
     size_t end = std::min(n, begin + chunk_size);
-    pool->Submit([fn, begin, end] { fn(begin, end); });
+    pool->Submit([&fn, &mu, &first, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first) first = std::current_exception();
+      }
+    });
   }
   pool->Wait();
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace qikey

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -14,8 +15,19 @@ namespace qikey {
 /// \brief Minimal fixed-size worker pool.
 ///
 /// Used to parallelize embarrassingly parallel inner loops (per-
-/// attribute greedy gains, batch filter queries). Tasks must not
-/// throw. `Wait()` blocks until every submitted task has finished.
+/// attribute greedy gains, batch filter queries, serve-layer request
+/// batches).
+///
+/// Exception safety: a throwing task does not kill its worker. For
+/// directly `Submit`ted tasks the first exception is captured (later
+/// ones are discarded), every remaining task still runs, and the next
+/// `Wait()` rethrows it once the pool is idle — so a batch with a
+/// throwing task fails deterministically (it always throws, never
+/// half-succeeds silently) and the pool stays usable for the next
+/// batch. `ParallelFor` additionally confines its callback's
+/// exceptions to the invoking call, so concurrent batches sharing one
+/// pool each see their own failure (the Submit/Wait capture alone
+/// cannot attribute an exception to the right concurrent caller).
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -29,12 +41,17 @@ class ThreadPool {
   /// Enqueues a task.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle. If any
+  /// task threw since the last `Wait()`, rethrows the first captured
+  /// exception (and clears it, leaving the pool ready for reuse).
   void Wait();
 
   /// \brief Splits `[0, n)` into contiguous chunks and runs
   /// `fn(begin, end)` for each — on `pool` if non-null, inline
-  /// otherwise. Blocks until all chunks complete.
+  /// otherwise. Blocks until all chunks complete; the first exception
+  /// a chunk throws is rethrown from THIS call (captured per-call, so
+  /// concurrent ParallelFor batches on a shared pool cannot observe
+  /// each other's failures).
   static void ParallelFor(
       ThreadPool* pool, size_t n,
       const std::function<void(size_t, size_t)>& fn);
@@ -49,6 +66,9 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   size_t active_ = 0;
   bool shutdown_ = false;
+  /// First exception thrown by a task since the last Wait() (guarded by
+  /// `mu_`); rethrown and cleared by Wait().
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace qikey

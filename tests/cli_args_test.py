@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Table-driven CLI argument-parsing regression test.
+
+Usage:
+  cli_args_test.py <qikey-binary> <qikey-gen-binary> <golden-csv-dir>
+
+Covers every flag's reject paths and the documented exit codes:
+  0 success
+  1 load/runtime error (missing CSV, malformed --requests file)
+  2 usage error (garbage or out-of-range flag values, unknown flags)
+  3 discover verification failure (emitted key rejected by the filter)
+
+Every numeric flag must parse strictly: garbage ("banana"), partial
+numbers ("3x"), out-of-range values, and NaN must exit 2 with a message
+on stderr — never be silently coerced to 0 (the old atoi/atof behavior,
+where `--eps 0` then fed the Θ(m/ε) pair-count computation).
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(argv):
+    proc = subprocess.run(argv, capture_output=True, text=True, timeout=120)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__)
+        return 2
+    qikey, qikey_gen, golden_dir = sys.argv[1:4]
+    people = os.path.join(golden_dir, "people.csv")
+
+    tmp = tempfile.mkdtemp(prefix="qikey_cli_args_")
+    # Two identical rows: no attribute set separates them, so discover's
+    # verify stage deterministically rejects the emitted key -> exit 3.
+    unkeyable = os.path.join(tmp, "unkeyable.csv")
+    with open(unkeyable, "w") as f:
+        f.write("a,b\nsame,same\nsame,same\n")
+    good_requests = os.path.join(tmp, "good_requests.txt")
+    with open(good_requests, "w") as f:
+        f.write("# comment\nis-key first,last\nmin-key\n")
+    bad_requests = os.path.join(tmp, "bad_requests.txt")
+    with open(bad_requests, "w") as f:
+        f.write("min-key\nis-key no_such_column\n")
+    out_csv = os.path.join(tmp, "gen_out.csv")
+
+    # (binary, args, expected exit code, required stderr substring)
+    cases = [
+        # --- success paths ---
+        (qikey, ["discover", people, "--eps", "0.01"], 0, None),
+        (qikey, ["discover", people, "--eps", "5e-3", "--seed", "7"], 0,
+         None),
+        (qikey, ["query", people, "--requests", good_requests], 0, None),
+        # keys runs exact UCC enumeration, which admits eps = 0
+        (qikey, ["keys", people, "--eps", "0"], 0, None),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "50", "--m", "4",
+                     "--q", "5"], 0, None),
+        # --- exit 1: load/runtime errors ---
+        (qikey, ["discover", os.path.join(tmp, "missing.csv")], 1,
+         "cannot load"),
+        (qikey, ["query", people, "--requests",
+                 os.path.join(tmp, "missing_requests.txt")], 1,
+         "cannot load"),
+        (qikey, ["query", people, "--requests", bad_requests], 1, "line 2"),
+        # --- exit 3: verification failure ---
+        (qikey, ["discover", unkeyable], 3, "verification failed"),
+        # --- exit 2: command-level usage errors ---
+        (qikey, [], 2, None),
+        (qikey, ["frobnicate", people], 2, None),
+        (qikey, ["discover", people, "--frobnicate", "1"], 2,
+         "unknown flag"),
+        (qikey, ["discover", people, "--eps"], 2, "missing its value"),
+        (qikey, ["query", people], 2, "--attrs"),
+        (qikey, ["afd", people], 2, "--rhs"),
+        (qikey, ["discover", people, "--backend", "bogus"], 2,
+         "unknown backend"),
+        # --- exit 2: strict numeric parsing, flag by flag ---
+        # --eps must be a number in (0, 1)
+        (qikey, ["discover", people, "--eps", "0"], 2, "must be"),
+        (qikey, ["discover", people, "--eps", "1"], 2, "must be"),
+        (qikey, ["discover", people, "--eps", "-0.5"], 2, "must be"),
+        (qikey, ["discover", people, "--eps", "banana"], 2, "must be"),
+        (qikey, ["discover", people, "--eps", "nan"], 2, "must be"),
+        (qikey, ["discover", people, "--eps", "inf"], 2, "must be"),
+        (qikey, ["discover", people, "--eps", "0.5x"], 2, "must be"),
+        # --max-size
+        (qikey, ["keys", people, "--max-size", "0"], 2, "must be"),
+        (qikey, ["keys", people, "--max-size", "-1"], 2, "must be"),
+        (qikey, ["keys", people, "--max-size", "banana"], 2, "must be"),
+        (qikey, ["keys", people, "--max-size", "2.5"], 2, "must be"),
+        # --error (afd threshold) in [0, 1]
+        (qikey, ["afd", people, "--rhs", "age", "--error", "-0.1"], 2,
+         "must be"),
+        (qikey, ["afd", people, "--rhs", "age", "--error", "2"], 2,
+         "must be"),
+        (qikey, ["afd", people, "--rhs", "age", "--error", "banana"], 2,
+         "must be"),
+        # --seed
+        (qikey, ["discover", people, "--seed", "banana"], 2, "must be"),
+        (qikey, ["discover", people, "--seed", "-1"], 2, "must be"),
+        # strtoull skips whitespace and wraps negatives; the parser must
+        # not let " -1" become 2^64-1
+        (qikey, ["discover", people, "--seed", " -1"], 2, "must be"),
+        (qikey, ["discover", people, "--seed", "1.5"], 2, "must be"),
+        # --k
+        (qikey, ["anonymize", people, "--attrs", "city", "--k", "0"], 2,
+         "must be"),
+        (qikey, ["anonymize", people, "--attrs", "city", "--k", "banana"],
+         2, "must be"),
+        # --suppress in [0, 1]
+        (qikey, ["anonymize", people, "--attrs", "city", "--suppress",
+                 "-0.1"], 2, "must be"),
+        (qikey, ["anonymize", people, "--attrs", "city", "--suppress",
+                 "1.5"], 2, "must be"),
+        (qikey, ["anonymize", people, "--attrs", "city", "--suppress",
+                 "nan"], 2, "must be"),
+        # --threads
+        (qikey, ["discover", people, "--threads", "-1"], 2, "must be"),
+        (qikey, ["discover", people, "--threads", "99999"], 2, "must be"),
+        (qikey, ["discover", people, "--threads", "banana"], 2, "must be"),
+        # --window
+        (qikey, ["monitor", people, "--window", "banana"], 2, "must be"),
+        (qikey, ["monitor", people, "--window", "-2"], 2, "must be"),
+        # --shards / --shard-rows / --cache (counted flags)
+        (qikey, ["discover", people, "--shards", "banana"], 2, "must be"),
+        (qikey, ["discover", people, "--shards", "-1"], 2, "must be"),
+        (qikey, ["discover", people, "--shard-rows", "x"], 2, "must be"),
+        (qikey, ["query", people, "--cache", "banana"], 2, "must be"),
+        # --memory-budget
+        (qikey, ["discover", people, "--memory-budget", "-1"], 2,
+         "must be"),
+        (qikey, ["discover", people, "--memory-budget", "banana"], 2,
+         "must be"),
+        (qikey, ["discover", people, "--memory-budget", "nan"], 2,
+         "must be"),
+        # --- qikey-gen strict parsing ---
+        (qikey_gen, [], 2, None),
+        (qikey_gen, ["grid", "--rows", "50"], 2, "--out"),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "banana"], 2,
+         "must be"),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "0"], 2,
+         "must be"),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "-5"], 2,
+         "must be"),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "50", "--m",
+                     "banana"], 2, "must be"),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "50", "--m", "0"],
+         2, "must be"),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "50", "--q",
+                     "1.5"], 2, "must be"),
+        (qikey_gen, ["clique", "--out", out_csv, "--rows", "50", "--eps",
+                     "0"], 2, "must be"),
+        (qikey_gen, ["clique", "--out", out_csv, "--rows", "50", "--eps",
+                     "banana"], 2, "must be"),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "50", "--seed",
+                     "banana"], 2, "must be"),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "50", "--seed",
+                     " -1"], 2, "must be"),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "50",
+                     "--frobnicate", "1"], 2, "unknown flag"),
+        (qikey_gen, ["grid", "--out", out_csv, "--rows", "50", "--seed"],
+         2, "missing its value"),
+    ]
+
+    failures = []
+    for binary, args, want_exit, want_stderr in cases:
+        code, out, err = run([binary] + args)
+        label = " ".join([os.path.basename(binary)] + args)
+        if code != want_exit:
+            failures.append(
+                f"{label}\n  exit {code}, want {want_exit}\n"
+                f"  stdout: {out.strip()[:200]}\n"
+                f"  stderr: {err.strip()[:200]}")
+        elif want_stderr is not None and want_stderr not in err:
+            failures.append(
+                f"{label}\n  stderr missing {want_stderr!r}\n"
+                f"  stderr: {err.strip()[:200]}")
+        # Usage errors must say SOMETHING on stderr.
+        elif want_exit == 2 and not err.strip():
+            failures.append(f"{label}\n  exit 2 with empty stderr")
+
+    if failures:
+        print(f"{len(failures)} of {len(cases)} case(s) failed:\n")
+        print("\n\n".join(failures))
+        return 1
+    print(f"ok: all {len(cases)} CLI argument cases behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/minkey.h"
@@ -57,6 +59,116 @@ TEST(ThreadPoolTest, ParallelForEmptyRange) {
   bool called = false;
   ThreadPool::ParallelFor(&pool, 0, [&](size_t, size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskSurfacesInWaitAndKeepsWorkersAlive) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter, i] {
+      if (i == 37) throw std::runtime_error("task 37 failed");
+      counter.fetch_add(1);
+    });
+  }
+  // Deterministic failure: the batch always throws, and every
+  // non-throwing task still ran (the worker survived the exception).
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 99);
+
+  // The pool is reusable after a failed batch; the captured exception
+  // was consumed by the throwing Wait().
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 149);
+}
+
+TEST(ThreadPoolTest, OnlyFirstOfManyExceptionsIsRethrown) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // All later exceptions were discarded: the next Wait is clean.
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesCallbackException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ThreadPool::ParallelFor(
+                   &pool, 1000,
+                   [&](size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       if (i == 500) throw std::invalid_argument("mid-batch");
+                     }
+                   }),
+               std::invalid_argument);
+  // And inline (no pool) the exception propagates directly.
+  EXPECT_THROW(ThreadPool::ParallelFor(
+                   nullptr, 10,
+                   [](size_t, size_t) { throw std::invalid_argument("x"); }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsDoNotStealExceptions) {
+  // Two callers share one pool; only one of them throws. The failing
+  // caller must see its exception every time, and the healthy caller
+  // must never see it (exceptions are captured per ParallelFor call,
+  // not parked in pool state for whichever Wait() wakes first).
+  ThreadPool pool(4);
+  std::atomic<int> bad_caught{0};
+  std::atomic<bool> healthy_threw{false};
+  std::thread bad([&] {
+    for (int round = 0; round < 50; ++round) {
+      try {
+        ThreadPool::ParallelFor(&pool, 64, [](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            if (i == 10) throw std::runtime_error("bad batch");
+          }
+        });
+      } catch (const std::runtime_error&) {
+        bad_caught.fetch_add(1);
+      }
+    }
+  });
+  std::thread good([&] {
+    for (int round = 0; round < 50; ++round) {
+      try {
+        ThreadPool::ParallelFor(&pool, 64, [](size_t, size_t) {});
+      } catch (...) {
+        healthy_threw.store(true);
+      }
+    }
+  });
+  bad.join();
+  good.join();
+  EXPECT_EQ(bad_caught.load(), 50);
+  EXPECT_FALSE(healthy_threw.load());
+  pool.Wait();  // nothing left parked in the pool either
+}
+
+TEST(ThreadPoolTest, ThrowingQueryBatchCallbackDoesNotKillThePool) {
+  // The serve/pipeline pattern: a QueryBatch-style fan-out whose chunk
+  // callback throws must fail the batch without wedging the pool for
+  // the next, well-behaved batch.
+  ThreadPool pool(4);
+  std::atomic<int> queries{0};
+  auto query_batch = [&](bool poisoned) {
+    ThreadPool::ParallelFor(&pool, 256, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (poisoned && i == 128) {
+          throw std::runtime_error("query evaluation failed");
+        }
+        queries.fetch_add(1);
+      }
+    });
+  };
+  EXPECT_THROW(query_batch(true), std::runtime_error);
+  int after_failure = queries.load();
+  EXPECT_GT(after_failure, 0);
+  query_batch(false);
+  EXPECT_EQ(queries.load(), after_failure + 256);
 }
 
 TEST(ThreadPoolTest, ParallelGreedyMatchesSerial) {

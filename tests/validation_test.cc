@@ -1,0 +1,199 @@
+// Regression tests for strict argument validation at the library's API
+// boundaries: degenerate eps values (0, negative, NaN, infinite) must
+// come back as InvalidArgument from every entry point instead of
+// feeding the Θ(m/ε) size formulas (where eps = 0 overflows and NaN —
+// which compares false against every bound — used to slip past the
+// naive range checks and abort deep inside `QIKEY_CHECK`).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/afd.h"
+#include "core/anonymity.h"
+#include "core/bitset_filter.h"
+#include "core/generalization.h"
+#include "core/key_enumeration.h"
+#include "core/masking.h"
+#include "core/minkey.h"
+#include "core/mx_pair_filter.h"
+#include "core/sample_bounds.h"
+#include "core/sketch.h"
+#include "core/tuple_sample_filter.h"
+#include "data/hierarchy.h"
+#include "engine/pipeline.h"
+#include "monitor/incremental_filter.h"
+#include "monitor/key_monitor.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The degenerate thresholds every eps-taking boundary must reject.
+const double kBadEps[] = {0.0, -0.25, 1.0, 1.5, kNan, kInf, -kInf};
+
+Dataset SmallData() {
+  std::vector<Column> columns;
+  columns.emplace_back(std::vector<ValueCode>{0, 1, 2, 3, 0, 1});
+  columns.emplace_back(std::vector<ValueCode>{0, 0, 1, 1, 2, 2});
+  return Dataset(Schema({"x", "y"}), std::move(columns));
+}
+
+TEST(ValidationTest, IsValidEpsRejectsNonFiniteAndOutOfRange) {
+  EXPECT_TRUE(IsValidEps(0.001));
+  EXPECT_TRUE(IsValidEps(0.999));
+  for (double eps : kBadEps) {
+    EXPECT_FALSE(IsValidEps(eps)) << eps;
+    EXPECT_EQ(ValidateEps(eps).code(), StatusCode::kInvalidArgument) << eps;
+  }
+}
+
+TEST(ValidationTest, FiltersRejectDegenerateEps) {
+  Dataset data = SmallData();
+  for (double eps : kBadEps) {
+    Rng rng(1);
+    TupleSampleFilterOptions tuple;
+    tuple.eps = eps;
+    EXPECT_EQ(TupleSampleFilter::Build(data, tuple, &rng).status().code(),
+              StatusCode::kInvalidArgument)
+        << eps;
+
+    MxPairFilterOptions mx;
+    mx.eps = eps;
+    EXPECT_EQ(MxPairFilter::Build(data, mx, &rng).status().code(),
+              StatusCode::kInvalidArgument)
+        << eps;
+
+    BitsetFilterOptions bitset;
+    bitset.eps = eps;
+    EXPECT_EQ(BitsetSeparationFilter::Build(data, bitset, &rng)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << eps;
+  }
+}
+
+TEST(ValidationTest, MinKeyEntryPointsRejectDegenerateEps) {
+  Dataset data = SmallData();
+  for (double eps : kBadEps) {
+    Rng rng(1);
+    MinKeyOptions options;
+    options.eps = eps;
+    EXPECT_EQ(FindApproxMinimumEpsKey(data, options, &rng).status().code(),
+              StatusCode::kInvalidArgument)
+        << eps;
+    EXPECT_EQ(
+        FindApproxMinimumEpsKeyMx(data, options, &rng).status().code(),
+        StatusCode::kInvalidArgument)
+        << eps;
+    EXPECT_EQ(FindMinimumEpsKeyExact(data, options, &rng).status().code(),
+              StatusCode::kInvalidArgument)
+        << eps;
+  }
+}
+
+TEST(ValidationTest, PipelineMonitorAndApplicationsRejectDegenerateEps) {
+  Dataset data = SmallData();
+  for (double eps : kBadEps) {
+    Rng rng(1);
+    PipelineOptions pipeline_options;
+    pipeline_options.eps = eps;
+    EXPECT_EQ(
+        DiscoveryPipeline(pipeline_options).Run(data, &rng).status().code(),
+        StatusCode::kInvalidArgument)
+        << eps;
+
+    MonitorOptions monitor_options;
+    monitor_options.eps = eps;
+    EXPECT_EQ(
+        KeyMonitor::Make(data.schema(), monitor_options, 1).status().code(),
+        StatusCode::kInvalidArgument)
+        << eps;
+
+    IncrementalFilterOptions filter_options;
+    filter_options.eps = eps;
+    EXPECT_EQ(IncrementalFilter::Make(data.schema(), filter_options, 1)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << eps;
+
+    MaskingOptions masking_options;
+    masking_options.eps = eps;
+    EXPECT_EQ(FindMaskingSet(data, masking_options, &rng).status().code(),
+              StatusCode::kInvalidArgument)
+        << eps;
+
+    EXPECT_EQ(AuditQuasiIdentifiers(data, eps, 2, &rng).status().code(),
+              StatusCode::kInvalidArgument)
+        << eps;
+  }
+
+  // Enumeration admits eps = 0 (exact keys) but not NaN or negatives.
+  KeyEnumerationOptions enum_options;
+  enum_options.eps = 0.0;
+  EXPECT_TRUE(EnumerateMinimalKeys(data, enum_options).ok());
+  for (double eps : {-0.25, 1.0, kNan, kInf}) {
+    enum_options.eps = eps;
+    EXPECT_EQ(EnumerateMinimalKeys(data, enum_options).status().code(),
+              StatusCode::kInvalidArgument)
+        << eps;
+  }
+}
+
+TEST(ValidationTest, SketchRejectsDegenerateEpsAndAlpha) {
+  Dataset data = SmallData();
+  for (double eps : kBadEps) {
+    Rng rng(1);
+    NonSeparationSketchOptions options;
+    options.eps = eps;
+    EXPECT_EQ(NonSeparationSketch::Build(data, options, &rng).status().code(),
+              StatusCode::kInvalidArgument)
+        << eps;
+  }
+  for (double alpha : {0.0, -1.0, 1.5, kNan}) {
+    Rng rng(1);
+    NonSeparationSketchOptions options;
+    options.alpha = alpha;
+    EXPECT_EQ(NonSeparationSketch::Build(data, options, &rng).status().code(),
+              StatusCode::kInvalidArgument)
+        << alpha;
+  }
+}
+
+TEST(ValidationTest, AfdRejectsDegenerateErrorThreshold) {
+  Dataset data = SmallData();
+  for (double error : {-0.1, 1.5, kNan, kInf}) {
+    EXPECT_EQ(DiscoverMinimalAfds(data, 1, error, 2).status().code(),
+              StatusCode::kInvalidArgument)
+        << error;
+  }
+  EXPECT_TRUE(DiscoverMinimalAfds(data, 1, 0.0, 2).ok());
+  EXPECT_TRUE(DiscoverMinimalAfds(data, 1, 1.0, 2).ok());
+}
+
+TEST(ValidationTest, GeneralizationRejectsDegenerateSuppression) {
+  Dataset data = SmallData();
+  std::vector<AttributeIndex> qi{0};
+  std::vector<GeneralizationHierarchy> hierarchies{
+      GeneralizationHierarchy::Intervals(4, 2)};
+  for (double suppress : {-0.1, 1.5, kNan, kInf}) {
+    GeneralizationOptions options;
+    options.k = 2;
+    options.max_suppression = suppress;
+    EXPECT_EQ(
+        FindMinimalGeneralization(data, qi, hierarchies, options)
+            .status()
+            .code(),
+        StatusCode::kInvalidArgument)
+        << suppress;
+  }
+}
+
+}  // namespace
+}  // namespace qikey

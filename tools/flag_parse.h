@@ -1,0 +1,77 @@
+#ifndef QIKEY_TOOLS_FLAG_PARSE_H_
+#define QIKEY_TOOLS_FLAG_PARSE_H_
+
+// Strict numeric flag parsing shared by the qikey tools. Everything
+// here uses strtoll/strtoull/strtod with end-pointer checks — never
+// atoi/atof — so garbage, trailing junk, out-of-range values, and NaN
+// are usage errors with a message on stderr, not silent zeros.
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace qikey {
+
+/// Strict integer flag: the whole value must be digits (optionally
+/// signed) and inside `[min, max]`.
+inline bool ParseIntFlag(const std::string& flag, const char* v,
+                         long long min, long long max, long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  long long t = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || t < min || t > max ||
+      std::isspace(static_cast<unsigned char>(v[0]))) {
+    std::fprintf(stderr, "%s must be an integer in [%lld, %lld], got %s\n",
+                 flag.c_str(), min, max, v);
+    return false;
+  }
+  *out = t;
+  return true;
+}
+
+/// Strict uint64 flag (`--seed` wants the full 64-bit range, which
+/// `strtoll` cannot cover). The first character must be a digit:
+/// `strtoull` itself skips whitespace and accepts a sign, silently
+/// wrapping negatives — " -1" must not become 2^64-1.
+inline bool ParseUint64Flag(const std::string& flag, const char* v,
+                            uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long t = std::strtoull(v, &end, 10);
+  if (!std::isdigit(static_cast<unsigned char>(v[0])) || end == v ||
+      *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s must be a non-negative integer, got %s\n",
+                 flag.c_str(), v);
+    return false;
+  }
+  *out = static_cast<uint64_t>(t);
+  return true;
+}
+
+/// Strict double flag: fully consumed, finite (NaN compares false
+/// against any bound, so it is rejected explicitly), and inside the
+/// range described by `range`.
+inline bool ParseDoubleFlag(const std::string& flag, const char* v,
+                            double min, double max, bool min_exclusive,
+                            bool max_exclusive, const char* range,
+                            double* out) {
+  char* end = nullptr;
+  errno = 0;
+  double t = std::strtod(v, &end);
+  bool in_range = min_exclusive ? t > min : t >= min;
+  in_range = in_range && (max_exclusive ? t < max : t <= max);
+  if (end == v || *end != '\0' || !std::isfinite(t) || !in_range) {
+    std::fprintf(stderr, "%s must be a number in %s, got %s\n", flag.c_str(),
+                 range, v);
+    return false;
+  }
+  *out = t;
+  return true;
+}
+
+}  // namespace qikey
+
+#endif  // QIKEY_TOOLS_FLAG_PARSE_H_

@@ -11,6 +11,14 @@
 //       Quasi-identifier risk report (k-anonymity, uniqueness).
 //   qikey query <csv> --attrs a,b,c [--eps E]
 //       eps-separation key filter verdict + exact ground truth.
+//   qikey query <csv> --requests file.txt [--threads N] [--cache C]
+//                [--eps E] [--backend tuple|mx|bitset]
+//       Batch serve executor: run discovery once, publish the result as
+//       an immutable snapshot, and answer every request in the file
+//       concurrently through the serve-layer QueryEngine (sharded LRU
+//       verdict cache of C entries; 0 disables). Request grammar (one
+//       per line; '#' comments): is-key a,b | separation a,b | min-key
+//       | afd a,b -> c | anonymity a,b [k].
 //   qikey mask <csv> [--eps E]
 //       Attributes to suppress so no quasi-identifier remains.
 //   qikey afd <csv> --rhs col [--error E] [--max-size K]
@@ -48,6 +56,8 @@
 
 #include "qikey.h"
 
+#include "flag_parse.h"
+
 #include "core/afd.h"
 #include "core/anonymity.h"
 #include "core/generalization.h"
@@ -56,6 +66,9 @@
 #include "data/hierarchy.h"
 #include "data/statistics.h"
 #include "engine/pipeline.h"
+#include "serve/query_engine.h"
+#include "serve/request.h"
+#include "serve/snapshot.h"
 
 namespace qikey {
 namespace {
@@ -77,6 +90,8 @@ struct Args {
   size_t shards = 0;
   double memory_budget_mb = 0.0;
   size_t shard_rows = 0;
+  std::string requests;
+  size_t cache = 4096;
 };
 
 void Usage() {
@@ -88,8 +103,10 @@ void Usage() {
                "             [--error E] [--seed S] [--backend "
                "tuple|mx|bitset] [--threads T]\n"
                "             [--window W] [--shards N] [--memory-budget MB] "
-               "[--shard-rows R]\n");
+               "[--shard-rows R]\n"
+               "             [--requests FILE] [--cache N]\n");
 }
+
 
 /// Parses the command line. Unknown flags and flags missing their value
 /// print what went wrong (the caller points at Usage and exits 2) —
@@ -122,18 +139,28 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       *out = static_cast<size_t>(t);
       return true;
     };
+    long long n = 0;
     if (flag == "--eps") {
       const char* v = next();
-      if (!v) return false;
-      args->eps = std::atof(v);
+      // `keys` runs exact UCC enumeration, which admits eps = 0; every
+      // other command feeds eps into a Θ(m/ε) or Θ(m/√ε) size and must
+      // reject it here (exit 2) before any sample size is computed.
+      bool zero_ok = args->command == "keys";
+      if (!v || !ParseDoubleFlag(flag, v, 0.0, 1.0, !zero_ok, true,
+                                 zero_ok ? "[0, 1)" : "(0, 1)",
+                                 &args->eps)) {
+        return false;
+      }
     } else if (flag == "--max-size") {
       const char* v = next();
-      if (!v) return false;
-      args->max_size = static_cast<uint32_t>(std::atoi(v));
+      if (!v || !ParseIntFlag(flag, v, 1, 1 << 20, &n)) return false;
+      args->max_size = static_cast<uint32_t>(n);
     } else if (flag == "--error") {
       const char* v = next();
-      if (!v) return false;
-      args->afd_error = std::atof(v);
+      if (!v || !ParseDoubleFlag(flag, v, 0.0, 1.0, false, false, "[0, 1]",
+                                 &args->afd_error)) {
+        return false;
+      }
     } else if (flag == "--rhs") {
       const char* v = next();
       if (!v) return false;
@@ -144,50 +171,46 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->attrs = v;
     } else if (flag == "--seed") {
       const char* v = next();
-      if (!v) return false;
-      args->seed = static_cast<uint64_t>(std::atoll(v));
+      if (!v || !ParseUint64Flag(flag, v, &args->seed)) return false;
     } else if (flag == "--k") {
       const char* v = next();
-      if (!v) return false;
-      args->k = static_cast<uint64_t>(std::atoll(v));
+      if (!v || !ParseIntFlag(flag, v, 1, 1ll << 40, &n)) return false;
+      args->k = static_cast<uint64_t>(n);
     } else if (flag == "--suppress") {
       const char* v = next();
-      if (!v) return false;
-      args->suppress = std::atof(v);
+      if (!v || !ParseDoubleFlag(flag, v, 0.0, 1.0, false, false, "[0, 1]",
+                                 &args->suppress)) {
+        return false;
+      }
     } else if (flag == "--backend") {
       const char* v = next();
       if (!v) return false;
       args->backend = v;
     } else if (flag == "--threads") {
       const char* v = next();
-      if (!v) return false;
-      char* end = nullptr;
-      long long t = std::strtoll(v, &end, 10);
-      if (end == v || *end != '\0' || t < 0 || t > 4096) {
-        std::fprintf(stderr, "--threads must be an integer in [0, 4096]\n");
-        return false;
-      }
-      args->threads = static_cast<size_t>(t);
+      if (!v || !ParseIntFlag(flag, v, 0, 4096, &n)) return false;
+      args->threads = static_cast<size_t>(n);
     } else if (flag == "--window") {
       const char* v = next();
-      if (!v) return false;
-      args->window = static_cast<uint64_t>(std::atoll(v));
+      if (!v || !ParseIntFlag(flag, v, 0, 1ll << 40, &n)) return false;
+      args->window = static_cast<uint64_t>(n);
     } else if (flag == "--shards") {
       if (!next_count(&args->shards)) return false;
     } else if (flag == "--shard-rows") {
       if (!next_count(&args->shard_rows)) return false;
     } else if (flag == "--memory-budget") {
       const char* v = next();
-      if (!v) return false;
-      char* end = nullptr;
-      double mb = std::strtod(v, &end);
-      if (end == v || *end != '\0' || mb < 0.0) {
-        std::fprintf(stderr,
-                     "--memory-budget must be a non-negative number of "
-                     "megabytes, got %s\n", v);
+      if (!v || !ParseDoubleFlag(flag, v, 0.0, 1e12, false, false,
+                                 "[0, 1e12] megabytes",
+                                 &args->memory_budget_mb)) {
         return false;
       }
-      args->memory_budget_mb = mb;
+    } else if (flag == "--requests") {
+      const char* v = next();
+      if (!v) return false;
+      args->requests = v;
+    } else if (flag == "--cache") {
+      if (!next_count(&args->cache)) return false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -292,9 +315,65 @@ int RunAudit(const Dataset& data, const Args& args, Rng* rng) {
   return 0;
 }
 
+/// Batch serve executor: discover once, freeze the result into a
+/// `SnapshotStore`, then answer every request in `--requests` through a
+/// `QueryEngine` — the offline harness for the serving layer (same
+/// snapshot/engine/cache path a network front end would drive).
+int RunServe(const Dataset& data, const Args& args, Rng* rng) {
+  PipelineOptions opts;
+  opts.eps = args.eps;
+  opts.num_threads = args.threads;
+  if (!ParseBackend(args.backend, &opts.backend)) return 2;
+  DiscoveryPipeline pipeline(opts);
+  Result<PipelineResult> result = pipeline.Run(data, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  Result<ServeSnapshot> snapshot =
+      SnapshotFromPipelineResult(*result, args.eps);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  SnapshotStore store;
+  Result<uint64_t> epoch = store.Publish(std::move(*snapshot));
+  if (!epoch.ok()) {
+    std::fprintf(stderr, "%s\n", epoch.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<QueryRequest>> requests =
+      LoadQueryRequestFile(args.requests, data.schema());
+  if (!requests.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", args.requests.c_str(),
+                 requests.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = args.threads;
+  engine_options.cache_capacity = args.cache;
+  QueryEngine engine(&store, engine_options);
+  std::vector<QueryResponse> responses = engine.ExecuteBatch(*requests);
+
+  std::printf("serving %s\n", store.Current()->Describe().c_str());
+  for (size_t i = 0; i < requests->size(); ++i) {
+    std::printf("%s\n",
+                FormatQueryResponse((*requests)[i], responses[i],
+                                    &data.schema()).c_str());
+  }
+  std::printf("served %zu request(s) on %zu thread(s); cache: %llu hit(s), "
+              "%llu miss(es)\n",
+              responses.size(), engine.num_threads(),
+              static_cast<unsigned long long>(engine.cache_hits()),
+              static_cast<unsigned long long>(engine.cache_misses()));
+  return 0;
+}
+
 int RunQuery(const Dataset& data, const Args& args, Rng* rng) {
+  if (!args.requests.empty()) return RunServe(data, args, rng);
   if (args.attrs.empty()) {
-    std::fprintf(stderr, "query needs --attrs a,b,c\n");
+    std::fprintf(stderr, "query needs --attrs a,b,c (or --requests FILE)\n");
     return 2;
   }
   AttributeSet attrs = ResolveAttrs(data, args.attrs);

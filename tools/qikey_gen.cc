@@ -18,6 +18,8 @@
 #include <cstring>
 #include <string>
 
+#include "flag_parse.h"
+
 #include "data/csv_loader.h"
 #include "data/generators/encoding_lb.h"
 #include "data/generators/planted_clique.h"
@@ -54,31 +56,61 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
     auto next = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s is missing its value\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
     };
     const char* v = nullptr;
-    if (flag == "--out" && (v = next())) {
+    long long n = 0;
+    if (flag == "--out") {
+      if (!(v = next())) return false;
       args->out = v;
-    } else if (flag == "--rows" && (v = next())) {
-      args->rows = static_cast<uint64_t>(std::atoll(v));
-    } else if (flag == "--m" && (v = next())) {
-      args->m = static_cast<uint32_t>(std::atoi(v));
-    } else if (flag == "--q" && (v = next())) {
-      args->q = static_cast<uint32_t>(std::atoi(v));
-    } else if (flag == "--k" && (v = next())) {
-      args->k = static_cast<uint32_t>(std::atoi(v));
-    } else if (flag == "--t" && (v = next())) {
-      args->t = static_cast<uint32_t>(std::atoi(v));
-    } else if (flag == "--eps" && (v = next())) {
-      args->eps = std::atof(v);
-    } else if (flag == "--seed" && (v = next())) {
-      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--rows") {
+      if (!(v = next()) || !ParseIntFlag(flag, v, 1, 1ll << 31, &n)) {
+        return false;
+      }
+      args->rows = static_cast<uint64_t>(n);
+    } else if (flag == "--m") {
+      if (!(v = next()) || !ParseIntFlag(flag, v, 1, 1 << 16, &n)) {
+        return false;
+      }
+      args->m = static_cast<uint32_t>(n);
+    } else if (flag == "--q") {
+      if (!(v = next()) || !ParseIntFlag(flag, v, 1, 1 << 22, &n)) {
+        return false;
+      }
+      args->q = static_cast<uint32_t>(n);
+    } else if (flag == "--k") {
+      if (!(v = next()) || !ParseIntFlag(flag, v, 1, 1 << 16, &n)) {
+        return false;
+      }
+      args->k = static_cast<uint32_t>(n);
+    } else if (flag == "--t") {
+      if (!(v = next()) || !ParseIntFlag(flag, v, 1, 1 << 16, &n)) {
+        return false;
+      }
+      args->t = static_cast<uint32_t>(n);
+    } else if (flag == "--eps") {
+      if (!(v = next()) || !ParseDoubleFlag(flag, v, 0.0, 1.0, true, true,
+                                            "(0, 1)", &args->eps)) {
+        return false;
+      }
+    } else if (flag == "--seed") {
+      if (!(v = next()) || !ParseUint64Flag(flag, v, &args->seed)) {
+        return false;
+      }
     } else {
-      std::fprintf(stderr, "bad flag or missing value: %s\n", flag.c_str());
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
-  return !args->out.empty();
+  if (args->out.empty()) {
+    std::fprintf(stderr, "--out FILE is required\n");
+    return false;
+  }
+  return true;
 }
 
 int Main(int argc, char** argv) {
