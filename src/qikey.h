@@ -67,8 +67,11 @@
 #include "math/sympoly.h"
 #include "monitor/incremental_filter.h"
 #include "monitor/key_monitor.h"
+#include "serve/conn.h"
+#include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "serve/request.h"
+#include "serve/server.h"
 #include "serve/snapshot.h"
 #include "serve/verdict_cache.h"
 #include "setcover/set_cover.h"

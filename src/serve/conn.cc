@@ -1,0 +1,36 @@
+#include "serve/conn.h"
+
+namespace qikey {
+
+bool LineSplitter::Ingest(std::string_view bytes,
+                          std::vector<std::string>* out) {
+  if (overflowed_) return false;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    size_t eol = bytes.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      partial_.append(bytes.substr(pos));
+      if (partial_.size() > max_line_bytes_) {
+        // Framing is lost: we cannot tell where this line would have
+        // ended, so no later bytes can be trusted either.
+        partial_.clear();
+        overflowed_ = true;
+        return false;
+      }
+      return true;
+    }
+    partial_.append(bytes.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (partial_.size() > max_line_bytes_) {
+      partial_.clear();
+      overflowed_ = true;
+      return false;
+    }
+    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+    out->push_back(std::move(partial_));
+    partial_.clear();
+  }
+  return true;
+}
+
+}  // namespace qikey

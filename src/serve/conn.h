@@ -1,0 +1,106 @@
+#ifndef QIKEY_SERVE_CONN_H_
+#define QIKEY_SERVE_CONN_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/net.h"
+
+namespace qikey {
+
+/// \brief Splits a TCP byte stream into protocol lines under a hard
+/// per-line size cap.
+///
+/// Pure buffer logic (no sockets), so the framing rules — CRLF
+/// tolerance, the oversized-line trip wire, partial-line carry-over —
+/// are unit-testable without a connection.
+class LineSplitter {
+ public:
+  explicit LineSplitter(size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends raw bytes and moves every complete line (newline stripped,
+  /// trailing CR stripped) into `out`. Returns false — permanently —
+  /// once a line exceeds `max_line_bytes` before its newline arrives:
+  /// framing is lost and the connection must be closed after an
+  /// `err parse` response. Bounded: buffers at most `max_line_bytes`.
+  bool Ingest(std::string_view bytes, std::vector<std::string>* out);
+
+  /// Bytes of the current unterminated line.
+  size_t buffered_bytes() const { return partial_.size(); }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  size_t max_line_bytes_;
+  std::string partial_;
+  bool overflowed_ = false;
+};
+
+/// \brief One client connection of the serve reactor: owned socket,
+/// line framing, the bounded queue of lines awaiting execution, and
+/// the outgoing write buffer.
+///
+/// All state is touched only by the reactor thread; workers never see
+/// a connection, only copies of its request lines keyed by `id`.
+struct ServeConn {
+  ServeConn(OwnedFd socket, uint64_t conn_id, size_t max_line_bytes)
+      : fd(std::move(socket)), id(conn_id), splitter(max_line_bytes) {}
+
+  OwnedFd fd;
+  /// Monotonic across the server's lifetime (never a reused fd number),
+  /// so a completion for a closed connection can never be misdelivered.
+  uint64_t id = 0;
+
+  LineSplitter splitter;
+  /// Parsed-off request lines admitted but not yet handed to a worker.
+  /// Bounded by the server's per-connection admission cap.
+  std::deque<std::string> pending;
+  /// Lines currently executing in a worker batch (0 = none). At most
+  /// one batch per connection is in flight, which is what keeps
+  /// responses in request order without any sequencing metadata.
+  size_t inflight_lines = 0;
+
+  /// Encoded response bytes not yet accepted by the socket.
+  std::string write_buf;
+  /// Prefix of `write_buf` already written (compacted on flush).
+  size_t write_pos = 0;
+
+  /// Reactor-loop timestamp of the last byte received (ms, steady
+  /// clock); drives idle/slow-loris reaping.
+  int64_t last_activity_ms = 0;
+  /// Set when the connection must close once `write_buf` drains
+  /// (oversized line, overload-close policy, drain).
+  bool close_after_flush = false;
+  /// Set when the peer half-closed (EOF read); pending work still
+  /// completes and flushes, then the connection closes.
+  bool peer_eof = false;
+  /// True while registered for EPOLLOUT (write buffer non-empty).
+  bool want_write = false;
+
+  size_t unsent_bytes() const { return write_buf.size() - write_pos; }
+  bool idle() const {
+    return pending.empty() && inflight_lines == 0 && unsent_bytes() == 0;
+  }
+
+  /// Appends `line` + '\n' to the write buffer.
+  void QueueResponse(std::string_view line) {
+    write_buf.append(line);
+    write_buf.push_back('\n');
+  }
+
+  /// Drops the already-written prefix so the buffer cannot grow
+  /// without bound across partial writes.
+  void CompactWriteBuffer() {
+    if (write_pos > 0) {
+      write_buf.erase(0, write_pos);
+      write_pos = 0;
+    }
+  }
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_SERVE_CONN_H_

@@ -1,0 +1,348 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qikey {
+
+namespace {
+
+/// Splits on runs of spaces/tabs (the request grammar's separator).
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+/// Resolves "a,b,c" strictly: every name must be non-empty and in the
+/// schema (so `a,,b` and typos fail instead of shrinking the set).
+Result<AttributeSet> ResolveAttrList(std::string_view spec,
+                                     const Schema& schema) {
+  AttributeSet out(schema.num_attributes());
+  size_t pos = 0;
+  while (true) {
+    size_t comma = spec.find(',', pos);
+    std::string_view name = spec.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    if (name.empty()) {
+      return Status::InvalidArgument("empty attribute name in '" +
+                                     std::string(spec) + "'");
+    }
+    int idx = schema.Find(std::string(name));
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown attribute: " +
+                                     std::string(name));
+    }
+    out.Add(static_cast<AttributeIndex>(idx));
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Strict non-negative integer: the whole token must be digits.
+bool ParseStrictUint(std::string_view token, uint64_t* out) {
+  if (token.empty()) return false;
+  std::string buf(token);
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE ||
+      buf[0] == '-' || buf[0] == '+') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+/// Comma-joined attribute names ("zip,dob"), the wire form of a set
+/// (no braces or spaces — one token on the response line).
+std::string WireAttrList(const AttributeSet& attrs, const Schema& schema) {
+  std::string out;
+  for (AttributeIndex i : attrs.ToIndices()) {
+    if (!out.empty()) out += ',';
+    out += schema.name(i);
+  }
+  return out;
+}
+
+/// Shortest round-trippable float rendering used by every v1 payload.
+std::string WireDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool IsHelloLine(std::string_view line) {
+  constexpr std::string_view kPrefix = "QIKEY/";
+  if (line.substr(0, kPrefix.size()) != kPrefix) return false;
+  std::string_view digits = line.substr(kPrefix.size());
+  if (digits.empty()) return false;
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+Result<ProtocolVersion> ParseHelloLine(std::string_view line) {
+  if (!IsHelloLine(line)) {
+    return Status::InvalidArgument("malformed protocol hello '" +
+                                   std::string(line) +
+                                   "' (want QIKEY/<version>)");
+  }
+  uint64_t version = 0;
+  if (!ParseStrictUint(line.substr(6), &version) ||
+      version != static_cast<uint64_t>(ProtocolVersion::kV1)) {
+    return Status::InvalidArgument(
+        "unsupported protocol version '" + std::string(line) +
+        "' (this build speaks QIKEY/1)");
+  }
+  return ProtocolVersion::kV1;
+}
+
+std::string FormatHelloLine(ProtocolVersion version) {
+  return "QIKEY/" + std::to_string(static_cast<uint32_t>(version)) +
+         " ready";
+}
+
+const char* ServeErrorCodeName(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kNone:
+      return "none";
+    case ServeErrorCode::kParse:
+      return "parse";
+    case ServeErrorCode::kValidation:
+      return "validation";
+    case ServeErrorCode::kOverload:
+      return "overload";
+    case ServeErrorCode::kSnapshotUnavailable:
+      return "unavailable";
+    case ServeErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+ServeErrorCode ServeErrorCodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return ServeErrorCode::kNone;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return ServeErrorCode::kValidation;
+    case StatusCode::kNotFound:
+      return ServeErrorCode::kSnapshotUnavailable;
+    default:
+      return ServeErrorCode::kInternal;
+  }
+}
+
+Result<QueryRequest> ParseQueryRequest(std::string_view line,
+                                       const Schema& schema) {
+  std::vector<std::string_view> tokens = SplitTokens(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request");
+  }
+  std::string_view verb = tokens[0];
+  QueryRequest request;
+  if (verb == "min-key") {
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument("min-key takes no arguments");
+    }
+    request.kind = QueryKind::kMinKey;
+    request.attrs = AttributeSet(schema.num_attributes());
+    return request;
+  }
+  if (verb == "is-key" || verb == "separation") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument(std::string(verb) +
+                                     " wants exactly one attribute list");
+    }
+    Result<AttributeSet> attrs = ResolveAttrList(tokens[1], schema);
+    if (!attrs.ok()) return attrs.status();
+    request.kind =
+        verb == "is-key" ? QueryKind::kIsKey : QueryKind::kSeparation;
+    request.attrs = std::move(*attrs);
+    return request;
+  }
+  if (verb == "afd") {
+    if (tokens.size() != 4 || tokens[2] != "->") {
+      return Status::InvalidArgument("afd wants: afd <lhs,...> -> <rhs>");
+    }
+    Result<AttributeSet> lhs = ResolveAttrList(tokens[1], schema);
+    if (!lhs.ok()) return lhs.status();
+    int rhs = schema.Find(std::string(tokens[3]));
+    if (rhs < 0) {
+      return Status::InvalidArgument("unknown attribute: " +
+                                     std::string(tokens[3]));
+    }
+    request.kind = QueryKind::kAfd;
+    request.attrs = std::move(*lhs);
+    request.rhs = static_cast<AttributeIndex>(rhs);
+    return request;
+  }
+  if (verb == "anonymity") {
+    if (tokens.size() != 2 && tokens.size() != 3) {
+      return Status::InvalidArgument(
+          "anonymity wants: anonymity <attrs,...> [k]");
+    }
+    Result<AttributeSet> attrs = ResolveAttrList(tokens[1], schema);
+    if (!attrs.ok()) return attrs.status();
+    request.kind = QueryKind::kAnonymity;
+    request.attrs = std::move(*attrs);
+    if (tokens.size() == 3) {
+      uint64_t k = 0;
+      if (!ParseStrictUint(tokens[2], &k) || k == 0) {
+        return Status::InvalidArgument("anonymity k must be a positive "
+                                       "integer, got '" +
+                                       std::string(tokens[2]) + "'");
+      }
+      request.k = k;
+    }
+    return request;
+  }
+  return Status::InvalidArgument(
+      "unknown request verb '" + std::string(verb) +
+      "' (want is-key|separation|min-key|afd|anonymity)");
+}
+
+Result<std::vector<QueryRequest>> ParseQueryRequests(std::string_view text,
+                                                     const Schema& schema) {
+  std::vector<QueryRequest> requests;
+  bool saw_request_or_hello = false;
+  size_t line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    // Skip blanks and comments; everything else must parse.
+    size_t first = line.find_first_not_of(" \t");
+    if (first != std::string_view::npos && line[first] != '#') {
+      size_t last = line.find_last_not_of(" \t");
+      std::string_view body = line.substr(first, last - first + 1);
+      // A leading QIKEY/<n> line is the file's version header, not a
+      // request. Files without one are the pre-versioning format and
+      // parse as v1 unchanged; v1 is also the only wire format, so the
+      // header changes nothing but gets validated.
+      if (!saw_request_or_hello && IsHelloLine(body)) {
+        Result<ProtocolVersion> version = ParseHelloLine(body);
+        if (!version.ok()) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_number) + ": " +
+              version.status().message());
+        }
+        saw_request_or_hello = true;
+      } else {
+        saw_request_or_hello = true;
+        Result<QueryRequest> request = ParseQueryRequest(line, schema);
+        if (!request.ok()) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_number) + ": " +
+              request.status().message());
+        }
+        requests.push_back(std::move(*request));
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return requests;
+}
+
+Result<std::vector<QueryRequest>> LoadQueryRequestFile(
+    const std::string& path, const Schema& schema) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("cannot read " + path);
+  return ParseQueryRequests(text, schema);
+}
+
+std::string EncodeResponseLine(const QueryRequest& request,
+                               const QueryResponse& response,
+                               const Schema& schema) {
+  if (!response.status.ok()) {
+    ServeErrorCode code = response.error_code != ServeErrorCode::kNone
+                              ? response.error_code
+                              : ServeErrorCodeFromStatus(response.status);
+    return EncodeErrorLine(code, response.status.message());
+  }
+  std::string out = "ok ";
+  switch (request.kind) {
+    case QueryKind::kIsKey:
+      out += response.verdict == FilterVerdict::kAccept ? "accept" : "reject";
+      break;
+    case QueryKind::kSeparation: {
+      const char* cls =
+          response.separation_class == SeparationClass::kKey ? "key"
+          : response.separation_class == SeparationClass::kBad ? "bad"
+                                                               : "gray";
+      out += WireDouble(response.separation_ratio);
+      out += ' ';
+      out += cls;
+      break;
+    }
+    case QueryKind::kMinKey:
+      if (response.has_key) {
+        out += WireAttrList(response.key, schema);
+      } else {
+        out += "none";
+      }
+      out += ' ';
+      out += std::to_string(response.num_minimal_keys);
+      break;
+    case QueryKind::kAfd:
+      out += WireDouble(response.afd.g2);
+      out += ' ';
+      out += WireDouble(response.afd.conditional);
+      out += ' ';
+      out += std::to_string(response.afd.violating);
+      break;
+    case QueryKind::kAnonymity:
+      out += std::to_string(response.anonymity_level);
+      out += ' ';
+      out += WireDouble(response.below_k_fraction);
+      break;
+  }
+  return out;
+}
+
+std::string EncodeErrorLine(ServeErrorCode code, std::string_view message) {
+  std::string out = "err ";
+  out += ServeErrorCodeName(code == ServeErrorCode::kNone
+                                ? ServeErrorCode::kInternal
+                                : code);
+  if (!message.empty()) {
+    out += ' ';
+    for (char c : message) {
+      out += (c == '\n' || c == '\r') ? ' ' : c;
+    }
+  }
+  return out;
+}
+
+}  // namespace qikey

@@ -91,6 +91,7 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
   if (snapshot == nullptr) {
     for (QueryResponse& response : responses) {
       response.status = Status::NotFound("no snapshot published yet");
+      response.error_code = ServeErrorCode::kSnapshotUnavailable;
     }
     return responses;
   }
@@ -108,7 +109,10 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
         for (size_t i = begin; i < end; ++i) {
           responses[i].epoch = snapshot->epoch;
           responses[i].status = ValidateRequest(*snapshot, requests[i]);
-          if (!responses[i].status.ok()) continue;
+          if (!responses[i].status.ok()) {
+            responses[i].error_code = ServeErrorCode::kValidation;
+            continue;
+          }
           if (requests[i].kind == QueryKind::kIsKey) {
             FilterVerdict cached;
             if (cache_.Lookup(snapshot->epoch, requests[i].attrs,

@@ -1,186 +1,14 @@
 #include "serve/request.h"
 
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
+#include <string>
+
+#include "serve/protocol.h"
 
 namespace qikey {
 
-namespace {
-
-/// Splits on runs of spaces/tabs (the request grammar's separator).
-std::vector<std::string_view> SplitTokens(std::string_view line) {
-  std::vector<std::string_view> tokens;
-  size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-    size_t begin = i;
-    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
-    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
-  }
-  return tokens;
-}
-
-/// Resolves "a,b,c" strictly: every name must be non-empty and in the
-/// schema (so `a,,b` and typos fail instead of shrinking the set).
-Result<AttributeSet> ResolveAttrList(std::string_view spec,
-                                     const Schema& schema) {
-  AttributeSet out(schema.num_attributes());
-  size_t pos = 0;
-  while (true) {
-    size_t comma = spec.find(',', pos);
-    std::string_view name = spec.substr(
-        pos, comma == std::string_view::npos ? std::string_view::npos
-                                             : comma - pos);
-    if (name.empty()) {
-      return Status::InvalidArgument("empty attribute name in '" +
-                                     std::string(spec) + "'");
-    }
-    int idx = schema.Find(std::string(name));
-    if (idx < 0) {
-      return Status::InvalidArgument("unknown attribute: " +
-                                     std::string(name));
-    }
-    out.Add(static_cast<AttributeIndex>(idx));
-    if (comma == std::string_view::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
-
-/// Strict non-negative integer: the whole token must be digits.
-bool ParseStrictUint(std::string_view token, uint64_t* out) {
-  if (token.empty()) return false;
-  std::string buf(token);
-  char* end = nullptr;
-  errno = 0;
-  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
-  if (end != buf.c_str() + buf.size() || errno == ERANGE ||
-      buf[0] == '-' || buf[0] == '+') {
-    return false;
-  }
-  *out = static_cast<uint64_t>(v);
-  return true;
-}
-
-}  // namespace
-
-Result<QueryRequest> ParseQueryRequest(std::string_view line,
-                                       const Schema& schema) {
-  std::vector<std::string_view> tokens = SplitTokens(line);
-  if (tokens.empty()) {
-    return Status::InvalidArgument("empty request");
-  }
-  std::string_view verb = tokens[0];
-  QueryRequest request;
-  if (verb == "min-key") {
-    if (tokens.size() != 1) {
-      return Status::InvalidArgument("min-key takes no arguments");
-    }
-    request.kind = QueryKind::kMinKey;
-    request.attrs = AttributeSet(schema.num_attributes());
-    return request;
-  }
-  if (verb == "is-key" || verb == "separation") {
-    if (tokens.size() != 2) {
-      return Status::InvalidArgument(std::string(verb) +
-                                     " wants exactly one attribute list");
-    }
-    Result<AttributeSet> attrs = ResolveAttrList(tokens[1], schema);
-    if (!attrs.ok()) return attrs.status();
-    request.kind =
-        verb == "is-key" ? QueryKind::kIsKey : QueryKind::kSeparation;
-    request.attrs = std::move(*attrs);
-    return request;
-  }
-  if (verb == "afd") {
-    if (tokens.size() != 4 || tokens[2] != "->") {
-      return Status::InvalidArgument("afd wants: afd <lhs,...> -> <rhs>");
-    }
-    Result<AttributeSet> lhs = ResolveAttrList(tokens[1], schema);
-    if (!lhs.ok()) return lhs.status();
-    int rhs = schema.Find(std::string(tokens[3]));
-    if (rhs < 0) {
-      return Status::InvalidArgument("unknown attribute: " +
-                                     std::string(tokens[3]));
-    }
-    request.kind = QueryKind::kAfd;
-    request.attrs = std::move(*lhs);
-    request.rhs = static_cast<AttributeIndex>(rhs);
-    return request;
-  }
-  if (verb == "anonymity") {
-    if (tokens.size() != 2 && tokens.size() != 3) {
-      return Status::InvalidArgument(
-          "anonymity wants: anonymity <attrs,...> [k]");
-    }
-    Result<AttributeSet> attrs = ResolveAttrList(tokens[1], schema);
-    if (!attrs.ok()) return attrs.status();
-    request.kind = QueryKind::kAnonymity;
-    request.attrs = std::move(*attrs);
-    if (tokens.size() == 3) {
-      uint64_t k = 0;
-      if (!ParseStrictUint(tokens[2], &k) || k == 0) {
-        return Status::InvalidArgument("anonymity k must be a positive "
-                                       "integer, got '" +
-                                       std::string(tokens[2]) + "'");
-      }
-      request.k = k;
-    }
-    return request;
-  }
-  return Status::InvalidArgument(
-      "unknown request verb '" + std::string(verb) +
-      "' (want is-key|separation|min-key|afd|anonymity)");
-}
-
-Result<std::vector<QueryRequest>> ParseQueryRequests(std::string_view text,
-                                                     const Schema& schema) {
-  std::vector<QueryRequest> requests;
-  size_t line_number = 0;
-  size_t pos = 0;
-  while (pos <= text.size()) {
-    size_t eol = text.find('\n', pos);
-    std::string_view line = text.substr(
-        pos, eol == std::string_view::npos ? std::string_view::npos
-                                           : eol - pos);
-    ++line_number;
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    // Skip blanks and comments; everything else must parse.
-    size_t first = line.find_first_not_of(" \t");
-    if (first != std::string_view::npos && line[first] != '#') {
-      Result<QueryRequest> request = ParseQueryRequest(line, schema);
-      if (!request.ok()) {
-        return Status::InvalidArgument(
-            "line " + std::to_string(line_number) + ": " +
-            request.status().message());
-      }
-      requests.push_back(std::move(*request));
-    }
-    if (eol == std::string_view::npos) break;
-    pos = eol + 1;
-  }
-  return requests;
-}
-
-Result<std::vector<QueryRequest>> LoadQueryRequestFile(
-    const std::string& path, const Schema& schema) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + path);
-  }
-  std::string text;
-  char buf[1 << 16];
-  size_t got;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    text.append(buf, got);
-  }
-  bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) return Status::IOError("cannot read " + path);
-  return ParseQueryRequests(text, schema);
-}
+// Request parsing and the wire codec live in serve/protocol.cc; this
+// file only renders the human-readable report form used by the CLI.
 
 std::string FormatQueryResponse(const QueryRequest& request,
                                 const QueryResponse& response,
@@ -210,7 +38,12 @@ std::string FormatQueryResponse(const QueryRequest& request,
   }
   out += ": ";
   if (!response.status.ok()) {
-    out += "error: " + response.status.ToString();
+    ServeErrorCode code = response.error_code != ServeErrorCode::kNone
+                              ? response.error_code
+                              : ServeErrorCodeFromStatus(response.status);
+    out += "error[";
+    out += ServeErrorCodeName(code);
+    out += "]: " + response.status.ToString();
     return out;
   }
   switch (request.kind) {

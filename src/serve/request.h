@@ -24,6 +24,24 @@ enum class QueryKind {
   kAnonymity,   ///< k-anonymity level of `attrs`
 };
 
+/// \brief Stable serve-boundary error taxonomy.
+///
+/// Every error a client can observe at the serve layer — on the wire
+/// (`err <code> <message>` lines) and in `QueryResponse::error_code` —
+/// is one of these. The set is deliberately small and append-only: wire
+/// names (`ServeErrorCodeName`) are part of the versioned protocol, so
+/// codes are never renamed or reused. `Status` messages stay the
+/// human-readable detail; the code is what scripts and clients branch
+/// on.
+enum class ServeErrorCode {
+  kNone = 0,            ///< no error (response line is `ok ...`)
+  kParse,               ///< request line did not parse (bad verb, junk)
+  kValidation,          ///< parsed but does not fit the snapshot/schema
+  kOverload,            ///< admission control shed the request
+  kSnapshotUnavailable, ///< no snapshot published (or gone) to answer from
+  kInternal,            ///< anything else; nothing the client did wrong
+};
+
 /// One request against a `ServeSnapshot`. Parsed from the text format
 /// below or constructed directly.
 struct QueryRequest {
@@ -43,6 +61,11 @@ struct QueryRequest {
 /// live depends on the request's kind.
 struct QueryResponse {
   Status status;
+  /// Taxonomy bucket for `status`; `kNone` iff `status.ok()`. Set by
+  /// whichever layer produced the error (parser, engine validation,
+  /// server admission control), so the wire line and the in-process
+  /// response always agree on the code.
+  ServeErrorCode error_code = ServeErrorCode::kNone;
   /// Epoch of the snapshot that answered (all responses of one
   /// `ExecuteBatch` share it).
   uint64_t epoch = 0;
@@ -59,30 +82,13 @@ struct QueryResponse {
   double below_k_fraction = 0.0;                         // anonymity
 };
 
-/// \brief Parses one request line. Strict: unknown verbs, unknown or
-/// empty attribute names, malformed integers, and trailing junk are
-/// InvalidArgument — nothing is silently coerced.
-///
-/// Grammar (tokens separated by spaces/tabs):
-///   is-key     <attr>[,<attr>...]
-///   separation <attr>[,<attr>...]
-///   min-key
-///   afd        <attr>[,<attr>...] -> <attr>
-///   anonymity  <attr>[,<attr>...] [k]
-Result<QueryRequest> ParseQueryRequest(std::string_view line,
-                                       const Schema& schema);
-
-/// Parses a whole request file body: one request per line, blank lines
-/// and `#` comments skipped. Errors name the offending 1-based line.
-Result<std::vector<QueryRequest>> ParseQueryRequests(std::string_view text,
-                                                     const Schema& schema);
-
-/// Reads `path` and parses it with `ParseQueryRequests`.
-Result<std::vector<QueryRequest>> LoadQueryRequestFile(
-    const std::string& path, const Schema& schema);
+// Parsing (request lines / request files) and wire encoding live in
+// `serve/protocol.h` — the single definition of the versioned wire API
+// shared by the batch executor, the network server, and the tests.
 
 /// One-line human-readable rendering of a request's answer, e.g.
-/// `is-key {zip, dob}: ACCEPT (cached)`.
+/// `is-key {zip, dob}: ACCEPT (cached)`. For the machine-readable wire
+/// form see `EncodeResponseLine` in `serve/protocol.h`.
 std::string FormatQueryResponse(const QueryRequest& request,
                                 const QueryResponse& response,
                                 const Schema* schema = nullptr);

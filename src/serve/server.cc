@@ -1,0 +1,540 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace qikey {
+
+namespace {
+
+/// epoll user-data ids for the two non-connection descriptors;
+/// connection ids start above these and are never reused.
+constexpr uint64_t kWakeId = 0;
+constexpr uint64_t kListenId = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+constexpr int kEpollBatch = 64;
+constexpr int kEpollTickMs = 50;  ///< timeout/reap granularity
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The server's reply to a client's `QIKEY/<n>` version assertion.
+std::string HelloAck(ProtocolVersion version) {
+  return "ok v" + std::to_string(static_cast<uint32_t>(version));
+}
+
+}  // namespace
+
+ServeServer::ServeServer(const QueryEngine* engine, Schema schema,
+                         const ServerOptions& options)
+    : engine_(engine),
+      schema_(std::move(schema)),
+      options_(options),
+      next_conn_id_(kFirstConnId) {}
+
+ServeServer::~ServeServer() {
+  Shutdown();
+  Join();
+}
+
+Status ServeServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  if (options_.max_line_bytes == 0 || options_.max_pending_per_conn == 0 ||
+      options_.max_pending_global == 0 || options_.max_batch == 0) {
+    return Status::InvalidArgument(
+        "max_line_bytes, admission caps, and max_batch must be positive");
+  }
+  Result<OwnedFd> listen_fd = OpenListenSocket(options_.listen, &port_);
+  if (!listen_fd.ok()) return listen_fd.status();
+  listen_fd_ = std::move(*listen_fd);
+
+  epoll_fd_ = OwnedFd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) {
+    return Status::IOError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  wake_fd_ = OwnedFd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wake_fd_.valid()) {
+    return Status::IOError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &event) <
+      0) {
+    return Status::IOError(std::string("epoll_ctl(wake): ") +
+                           std::strerror(errno));
+  }
+  event.events = EPOLLIN;
+  event.data.u64 = kListenId;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(),
+                  &event) < 0) {
+    return Status::IOError(std::string("epoll_ctl(listen): ") +
+                           std::strerror(errno));
+  }
+
+  running_.store(true, std::memory_order_release);
+  size_t workers = options_.worker_threads > 0 ? options_.worker_threads : 1;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  reactor_ = std::thread([this] { ReactorLoop(); });
+  return Status::OK();
+}
+
+void ServeServer::Shutdown() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (shutdown_requested_.exchange(true)) return;
+  uint64_t one = 1;
+  // Best-effort wake; the reactor also polls the flag every tick.
+  [[maybe_unused]] ssize_t n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void ServeServer::Join() {
+  if (reactor_.joinable()) reactor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServerStats ServeServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Reactor thread
+// ---------------------------------------------------------------------------
+
+void ServeServer::ReactorLoop() {
+  epoll_event events[kEpollBatch];
+  while (true) {
+    int n = ::epoll_wait(epoll_fd_.get(), events, kEpollBatch, kEpollTickMs);
+    if (n < 0 && errno != EINTR) break;  // epoll itself failed; bail out
+    int64_t now_ms = NowMs();
+
+    if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+      BeginDrain();
+    }
+
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      uint64_t id = events[i].data.u64;
+      if (id == kWakeId) {
+        uint64_t drained;
+        while (::read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
+        }
+      } else if (id == kListenId) {
+        AcceptNewConnections();
+      } else {
+        // The connection may have been closed by an earlier event in
+        // this same batch — look it up fresh.
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        ServeConn* conn = it->second.get();
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          CloseConn(id);
+          continue;
+        }
+        if (events[i].events & EPOLLIN) {
+          conn->last_activity_ms = now_ms;
+          HandleReadable(conn);
+          if (conns_.find(id) == conns_.end()) continue;
+        }
+        if (events[i].events & EPOLLOUT) HandleWritable(conn);
+      }
+    }
+
+    ProcessCompletions();
+    ReapIdleConns(now_ms);
+
+    if (draining_) {
+      if (now_ms >= drain_deadline_ms_ && !conns_.empty()) {
+        // Drain timeout: force-close whatever is left (stalled clients,
+        // wedged batches). Collect ids first — CloseConn mutates the map.
+        std::vector<uint64_t> remaining;
+        remaining.reserve(conns_.size());
+        for (const auto& [id, conn] : conns_) remaining.push_back(id);
+        for (uint64_t id : remaining) CloseConn(id);
+      }
+      if (DrainComplete()) break;
+    }
+  }
+
+  // Stop the workers: they finish the queue (it is empty by the time
+  // drain completes, non-empty only after a forced drain) and exit.
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    workers_stop_ = true;
+  }
+  work_ready_.notify_all();
+  running_.store(false, std::memory_order_release);
+}
+
+void ServeServer::AcceptNewConnections() {
+  while (true) {
+    int raw = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure (EMFILE, ...): try next tick
+    }
+    OwnedFd fd(raw);
+    if (conns_.size() >= options_.max_connections) {
+      // Best effort: tell the client why before dropping it. The
+      // socket buffer of a fresh connection always has room for one
+      // line, so a short write just means the client never sees it.
+      std::string line =
+          EncodeErrorLine(ServeErrorCode::kOverload,
+                          "connection limit reached") +
+          "\n";
+      [[maybe_unused]] ssize_t n =
+          ::send(fd.get(), line.data(), line.size(), MSG_NOSIGNAL);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.overload_responses;
+      }
+      continue;  // OwnedFd closes it
+    }
+    uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<ServeConn>(std::move(fd), id,
+                                            options_.max_line_bytes);
+    conn->last_activity_ms = NowMs();
+    conn->QueueResponse(FormatHelloLine(kProtocolCurrent));
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLOUT;
+    event.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd.get(),
+                    &event) < 0) {
+      continue;  // conn (and fd) dropped
+    }
+    ServeConn* raw_conn = conn.get();
+    conns_.emplace(id, std::move(conn));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    FlushWrites(raw_conn);
+    if (conns_.find(id) != conns_.end()) UpdateEpollInterest(raw_conn);
+  }
+}
+
+void ServeServer::HandleReadable(ServeConn* conn) {
+  if (draining_ || conn->close_after_flush || conn->peer_eof ||
+      conn->splitter.overflowed()) {
+    return;
+  }
+  uint64_t id = conn->id;
+  char chunk[16384];
+  std::vector<std::string> lines;
+  bool framing_lost = false;
+  while (true) {
+    ssize_t n = ::recv(conn->fd.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(id);
+      return;
+    }
+    if (n == 0) {
+      conn->peer_eof = true;
+      break;
+    }
+    if (!conn->splitter.Ingest(std::string_view(chunk, n), &lines)) {
+      framing_lost = true;
+      break;
+    }
+  }
+
+  size_t admitted = 0;
+  size_t overloaded = 0;
+  size_t received = lines.size();
+  for (std::string& line : lines) {
+    if (conn->close_after_flush) break;  // overload-close already tripped
+    bool conn_full = conn->pending.size() + conn->inflight_lines >=
+                     options_.max_pending_per_conn;
+    if (conn_full || global_pending_ >= options_.max_pending_global) {
+      conn->QueueResponse(EncodeErrorLine(
+          ServeErrorCode::kOverload,
+          conn_full ? "connection request queue full"
+                    : "server request queue full"));
+      ++overloaded;
+      if (options_.close_on_overload) conn->close_after_flush = true;
+      continue;
+    }
+    conn->pending.push_back(std::move(line));
+    ++global_pending_;
+    ++admitted;
+  }
+  if (received > 0 || overloaded > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.lines_received += received;
+    stats_.overload_responses += overloaded;
+    stats_.responses_sent += overloaded;
+  }
+
+  if (framing_lost) {
+    conn->QueueResponse(EncodeErrorLine(
+        ServeErrorCode::kParse,
+        "request line exceeds " + std::to_string(options_.max_line_bytes) +
+            " bytes"));
+    conn->close_after_flush = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.parse_errors;
+    ++stats_.responses_sent;
+  }
+
+  SubmitBatchIfReady(conn);
+  FlushWrites(conn);
+  if (conns_.find(id) == conns_.end()) return;
+  if ((conn->peer_eof || conn->close_after_flush) && conn->idle()) {
+    CloseConn(id);
+    return;
+  }
+  UpdateEpollInterest(conn);
+}
+
+void ServeServer::HandleWritable(ServeConn* conn) {
+  uint64_t id = conn->id;
+  FlushWrites(conn);
+  if (conns_.find(id) == conns_.end()) return;
+  if ((conn->close_after_flush || conn->peer_eof) && conn->idle()) {
+    CloseConn(id);
+    return;
+  }
+  UpdateEpollInterest(conn);
+}
+
+void ServeServer::SubmitBatchIfReady(ServeConn* conn) {
+  if (conn->inflight_lines > 0 || conn->pending.empty()) return;
+  WorkItem work;
+  work.conn_id = conn->id;
+  size_t take = std::min(conn->pending.size(), options_.max_batch);
+  work.lines.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    work.lines.push_back(std::move(conn->pending.front()));
+    conn->pending.pop_front();
+  }
+  conn->inflight_lines = take;
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_queue_.push_back(std::move(work));
+  }
+  work_ready_.notify_one();
+}
+
+void ServeServer::ProcessCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
+    // The admission slots are released even when the connection died
+    // while its batch was executing — otherwise a churning client
+    // could leak the global queue shut.
+    global_pending_ -= completion.num_lines;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.batches_executed;
+      stats_.responses_sent += completion.num_lines;
+    }
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;
+    ServeConn* conn = it->second.get();
+    conn->inflight_lines = 0;
+    conn->write_buf.append(completion.response_bytes);
+    SubmitBatchIfReady(conn);
+    FlushWrites(conn);
+    if (conns_.find(completion.conn_id) == conns_.end()) continue;
+    if ((conn->peer_eof || conn->close_after_flush || draining_) &&
+        conn->idle()) {
+      CloseConn(completion.conn_id);
+      continue;
+    }
+    UpdateEpollInterest(conn);
+  }
+}
+
+void ServeServer::FlushWrites(ServeConn* conn) {
+  while (conn->unsent_bytes() > 0) {
+    ssize_t n = ::send(conn->fd.get(), conn->write_buf.data() + conn->write_pos,
+                       conn->unsent_bytes(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(conn->id);
+      return;
+    }
+    conn->write_pos += static_cast<size_t>(n);
+  }
+  conn->CompactWriteBuffer();
+  // A client that stopped reading its responses does not get to pin
+  // arbitrary memory: past the cap the connection is dropped.
+  if (conn->unsent_bytes() > options_.max_write_buffer_bytes) {
+    CloseConn(conn->id);
+  }
+}
+
+void ServeServer::UpdateEpollInterest(ServeConn* conn) {
+  uint32_t interest = 0;
+  bool reading = !draining_ && !conn->close_after_flush && !conn->peer_eof &&
+                 !conn->splitter.overflowed();
+  if (reading) interest |= EPOLLIN;
+  if (conn->unsent_bytes() > 0) interest |= EPOLLOUT;
+  epoll_event event{};
+  event.events = interest;
+  event.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn->fd.get(), &event);
+}
+
+void ServeServer::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  // Pending (never-submitted) lines release their admission slots here;
+  // in-flight lines release theirs when the orphaned completion lands.
+  global_pending_ -= it->second->pending.size();
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second->fd.get(), nullptr);
+  conns_.erase(it);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_closed;
+}
+
+void ServeServer::ReapIdleConns(int64_t now_ms) {
+  if (options_.idle_timeout_ms <= 0) return;
+  std::vector<uint64_t> expired;
+  for (const auto& [id, conn] : conns_) {
+    // "Idle" = nothing admitted and nothing executing. A half-sent
+    // request line (slow loris) is exactly this state, so the cap on
+    // silent connections is also the slow-loris bound. Stalled readers
+    // (unsent responses piling up) age out the same way.
+    if (conn->inflight_lines == 0 && conn->pending.empty() &&
+        now_ms - conn->last_activity_ms > options_.idle_timeout_ms) {
+      expired.push_back(id);
+    }
+  }
+  if (expired.empty()) return;
+  for (uint64_t id : expired) CloseConn(id);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.idle_reaped += expired.size();
+}
+
+void ServeServer::BeginDrain() {
+  draining_ = true;
+  drain_deadline_ms_ = NowMs() + std::max(options_.drain_timeout_ms, 0);
+  // Stop accepting: deregister and close the listen socket so new
+  // connections are refused by the kernel, not queued behind a drain.
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
+  listen_fd_.Reset();
+  // Stop reading; every already-admitted line still executes and every
+  // response still flushes. Idle connections close immediately.
+  std::vector<uint64_t> idle;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->idle()) {
+      idle.push_back(id);
+    } else {
+      UpdateEpollInterest(conn.get());
+    }
+  }
+  for (uint64_t id : idle) CloseConn(id);
+}
+
+bool ServeServer::DrainComplete() const { return conns_.empty(); }
+
+// ---------------------------------------------------------------------------
+// Worker threads
+// ---------------------------------------------------------------------------
+
+void ServeServer::WorkerLoop() {
+  while (true) {
+    WorkItem work;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_ready_.wait(lock,
+                       [this] { return workers_stop_ || !work_queue_.empty(); });
+      if (work_queue_.empty()) return;  // stop requested and queue drained
+      work = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    Completion completion = ExecuteWork(std::move(work));
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      completions_.push_back(std::move(completion));
+    }
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(wake_fd_.get(), &one, sizeof(one));
+  }
+}
+
+ServeServer::Completion ServeServer::ExecuteWork(WorkItem work) {
+  Completion completion;
+  completion.conn_id = work.conn_id;
+  completion.num_lines = work.lines.size();
+
+  // Parse every line; hello assertions and parse failures are answered
+  // inline, everything else joins one engine batch.
+  std::vector<std::string> immediate(work.lines.size());
+  std::vector<int> slot(work.lines.size(), -1);
+  std::vector<QueryRequest> requests;
+  size_t parse_errors = 0;
+  for (size_t i = 0; i < work.lines.size(); ++i) {
+    const std::string& line = work.lines[i];
+    if (IsHelloLine(line)) {
+      Result<ProtocolVersion> version = ParseHelloLine(line);
+      immediate[i] = version.ok()
+                         ? HelloAck(*version)
+                         : EncodeErrorLine(ServeErrorCode::kValidation,
+                                           version.status().message());
+      continue;
+    }
+    Result<QueryRequest> request = ParseQueryRequest(line, schema_);
+    if (!request.ok()) {
+      immediate[i] = EncodeErrorLine(ServeErrorCode::kParse,
+                                     request.status().message());
+      ++parse_errors;
+      continue;
+    }
+    slot[i] = static_cast<int>(requests.size());
+    requests.push_back(std::move(*request));
+  }
+
+  std::vector<QueryResponse> responses;
+  if (!requests.empty()) {
+    // One pinned snapshot per batch: a concurrent Publish never mixes
+    // epochs inside it (QueryEngine semantics).
+    responses = engine_->ExecuteBatch(requests);
+  }
+
+  for (size_t i = 0; i < work.lines.size(); ++i) {
+    if (slot[i] >= 0) {
+      completion.response_bytes += EncodeResponseLine(
+          requests[slot[i]], responses[slot[i]], schema_);
+    } else {
+      completion.response_bytes += immediate[i];
+    }
+    completion.response_bytes += '\n';
+  }
+  if (parse_errors > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.parse_errors += parse_errors;
+  }
+  return completion;
+}
+
+}  // namespace qikey

@@ -1,0 +1,242 @@
+#ifndef QIKEY_SERVE_SERVER_H_
+#define QIKEY_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "data/schema.h"
+#include "serve/conn.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "util/net.h"
+#include "util/status.h"
+
+namespace qikey {
+
+/// Tuning knobs for `ServeServer`. The defaults keep every buffer and
+/// queue bounded; a flooded or stalled client costs O(caps) memory,
+/// never O(traffic).
+struct ServerOptions {
+  /// Listen address; port 0 binds an ephemeral port (see `port()`).
+  HostPort listen{"127.0.0.1", 0};
+
+  /// Accepted connections beyond this are greeted with
+  /// `err overload ...` and closed immediately.
+  size_t max_connections = 1024;
+  /// Longest request line (bytes, excluding the newline). A longer
+  /// line gets `err parse ...` and the connection is closed (framing
+  /// is lost past this point).
+  size_t max_line_bytes = 4096;
+
+  /// Admission control: request lines queued or executing per
+  /// connection, and across all connections. A line arriving past
+  /// either cap is answered `err overload ...` instead of queued —
+  /// bounded memory, never unbounded buffering.
+  size_t max_pending_per_conn = 256;
+  size_t max_pending_global = 8192;
+  /// When true, a connection that trips the per-connection cap is also
+  /// closed after the overload response flushes (flood containment);
+  /// default keeps it open so well-behaved bursts just shed load.
+  bool close_on_overload = false;
+
+  /// Unsent response bytes a stalled client may accumulate before the
+  /// connection is closed (the reactor never buffers beyond this).
+  size_t max_write_buffer_bytes = 1 << 20;
+
+  /// A connection with no inbound bytes and no queued work for this
+  /// long is closed — this is also what defeats slow-loris partial
+  /// lines. <= 0 disables reaping.
+  int idle_timeout_ms = 60 * 1000;
+  /// On drain: how long to wait for in-flight batches to finish and
+  /// write buffers to flush before force-closing.
+  int drain_timeout_ms = 5000;
+
+  /// Executor threads pulling request batches off the admission queue
+  /// and calling `QueryEngine::ExecuteBatch`. Distinct from (and
+  /// layered on top of) the engine's own ThreadPool: these threads
+  /// decouple connection handling from query execution, the engine's
+  /// pool parallelizes within one batch.
+  size_t worker_threads = 1;
+  /// Most lines handed to one `ExecuteBatch` call.
+  size_t max_batch = 512;
+};
+
+/// Monotonic counters, readable while serving (`ServeServer::stats`).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t lines_received = 0;
+  uint64_t responses_sent = 0;     ///< response lines queued to clients
+  uint64_t overload_responses = 0; ///< `err overload` lines (admission)
+  uint64_t parse_errors = 0;       ///< `err parse` lines
+  uint64_t idle_reaped = 0;        ///< connections closed by the reaper
+  uint64_t batches_executed = 0;
+};
+
+/// \brief The `qikey serve` front end: a non-blocking epoll
+/// acceptor/reactor speaking the newline-delimited `QIKEY/1` protocol
+/// (see `serve/protocol.h`) on one thread, with request execution
+/// decoupled onto worker threads driving a shared `QueryEngine`.
+///
+/// ## Threading model
+///
+///   reactor thread:  accept / read / frame lines / admission control /
+///                    write buffered responses / timeouts / drain
+///   worker threads:  parse + `QueryEngine::ExecuteBatch` + encode
+///   engine pool:     intra-batch parallelism (inside the engine)
+///
+/// Connections are owned exclusively by the reactor; workers receive
+/// only copies of request lines tagged with the connection's id, and
+/// completions for connections that died in the meantime are dropped
+/// by id lookup (ids are never reused). At most one batch per
+/// connection is in flight, which keeps responses in request order
+/// with no sequencing metadata.
+///
+/// ## Backpressure
+///
+/// Every queue is bounded (`ServerOptions`): lines past the per-
+/// connection or global admission caps are answered `err overload`
+/// immediately instead of queued, and a client that stops reading its
+/// responses is closed once `max_write_buffer_bytes` of replies pile
+/// up. Memory per connection is O(caps) regardless of how fast the
+/// client floods.
+///
+/// Every request line still gets exactly one response line, and
+/// responses to ADMITTED requests arrive in request order; an
+/// `err overload` shed is answered immediately, so it may arrive ahead
+/// of responses to earlier, still-executing requests. (Order-preserving
+/// shedding would require queuing the shed — the unbounded buffering
+/// this layer exists to rule out.)
+///
+/// ## Snapshots
+///
+/// The server holds no snapshot itself — it serves whatever the
+/// `SnapshotStore` behind its `QueryEngine` currently publishes.
+/// Publishing a new snapshot while serving is safe and instant:
+/// batches already executing finish on their pinned epoch, the next
+/// batch sees the new one (`SnapshotStore` semantics). The schema must
+/// stay fixed across publishes (request parsing is schema-bound).
+///
+/// ## Lifecycle
+///
+///   ServeServer server(&engine, schema, options);
+///   server.Start();              // binds; reactor + workers running
+///   ... server.port() ...
+///   server.Shutdown();           // begin graceful drain (thread-safe)
+///   server.Join();               // wait until drained and stopped
+///
+/// Graceful drain: stop accepting, stop reading, finish every admitted
+/// line, flush write buffers (up to `drain_timeout_ms`), close. The
+/// CLI translates SIGTERM into exactly this sequence.
+class ServeServer {
+ public:
+  /// `engine` (and the store behind it) must outlive the server.
+  /// `schema` is the request-parsing schema — the served snapshot's.
+  ServeServer(const QueryEngine* engine, Schema schema,
+              const ServerOptions& options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds and starts the reactor and worker threads. InvalidArgument /
+  /// IOError on a bad address or bind failure (nothing started).
+  Status Start();
+
+  /// The bound port (after `Start`); resolves `listen.port == 0`.
+  uint16_t port() const { return port_; }
+
+  /// Initiates graceful drain. Safe from any thread, idempotent, and
+  /// non-blocking — pair with `Join()` to wait for completion.
+  void Shutdown();
+
+  /// Waits for the reactor and workers to stop (after `Shutdown`, or
+  /// returns immediately if never started).
+  void Join();
+
+  /// True from `Start` until the drain completes.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+
+ private:
+  struct WorkItem {
+    uint64_t conn_id = 0;
+    std::vector<std::string> lines;
+  };
+  struct Completion {
+    uint64_t conn_id = 0;
+    size_t num_lines = 0;       ///< admission-queue slots to release
+    std::string response_bytes; ///< newline-terminated response lines
+  };
+
+  void ReactorLoop();
+  void WorkerLoop();
+
+  /// Executes one batch: parse each line (hello/parse errors answered
+  /// inline), one `ExecuteBatch` for the valid requests, encode in
+  /// original line order. Runs on worker threads; touches only the
+  /// engine and the schema (both immutable here).
+  Completion ExecuteWork(WorkItem work);
+
+  // Reactor-thread helpers (all connection state is reactor-owned).
+  void AcceptNewConnections();
+  void HandleReadable(ServeConn* conn);
+  void HandleWritable(ServeConn* conn);
+  void SubmitBatchIfReady(ServeConn* conn);
+  void ProcessCompletions();
+  void FlushWrites(ServeConn* conn);
+  void UpdateEpollInterest(ServeConn* conn);
+  void CloseConn(uint64_t conn_id);
+  void ReapIdleConns(int64_t now_ms);
+  void BeginDrain();
+  bool DrainComplete() const;
+
+  const QueryEngine* engine_;
+  const Schema schema_;
+  ServerOptions options_;
+
+  OwnedFd listen_fd_;
+  OwnedFd epoll_fd_;
+  OwnedFd wake_fd_;  ///< eventfd: completions ready / shutdown requested
+  uint16_t port_ = 0;
+
+  std::thread reactor_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+
+  // Reactor-owned (no locking: reactor thread only).
+  std::unordered_map<uint64_t, std::unique_ptr<ServeConn>> conns_;
+  uint64_t next_conn_id_ = 0;
+  size_t global_pending_ = 0;  ///< admitted lines not yet completed
+  bool draining_ = false;
+  int64_t drain_deadline_ms_ = 0;
+
+  // Worker queue (mutex-guarded).
+  std::mutex work_mu_;
+  std::condition_variable work_ready_;
+  std::deque<WorkItem> work_queue_;
+  bool workers_stop_ = false;
+
+  // Completion queue (mutex-guarded; reactor drains on wake_fd_).
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace qikey
+
+#endif  // QIKEY_SERVE_SERVER_H_

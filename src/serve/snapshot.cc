@@ -1,10 +1,13 @@
 #include "serve/snapshot.h"
 
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "core/sample_bounds.h"
 #include "core/tuple_sample_filter.h"
+#include "data/csv_loader.h"
+#include "util/rng.h"
 
 namespace qikey {
 
@@ -68,6 +71,51 @@ Result<ServeSnapshot> SnapshotFromShardArtifacts(
       pipeline.RunOnShardArtifacts(std::move(artifacts), seed);
   if (!result.ok()) return result.status();
   return SnapshotFromPipelineResult(*result, options.eps);
+}
+
+Result<ServeSnapshot> LoadSnapshot(const SnapshotSource& source) {
+  switch (source.kind) {
+    case SnapshotSource::Kind::kPipelineRun: {
+      Result<Dataset> data = LoadCsvDataset(source.csv_path);
+      if (!data.ok()) return data.status();
+      DiscoveryPipeline pipeline(source.pipeline);
+      Rng rng(source.seed);
+      Result<PipelineResult> result = pipeline.Run(*data, &rng);
+      if (!result.ok()) return result.status();
+      return SnapshotFromPipelineResult(*result, source.pipeline.eps);
+    }
+    case SnapshotSource::Kind::kMonitor: {
+      Result<Dataset> data = LoadCsvDataset(source.csv_path);
+      if (!data.ok()) return data.status();
+      MonitorOptions opts;
+      opts.eps = source.pipeline.eps;
+      opts.backend = source.pipeline.backend;
+      opts.num_threads = source.pipeline.num_threads;
+      opts.max_key_size = source.max_key_size;
+      opts.window_capacity = source.window;
+      Result<std::unique_ptr<KeyMonitor>> monitor =
+          KeyMonitor::Make(data->schema(), opts, source.seed);
+      if (!monitor.ok()) return monitor.status();
+      QIKEY_RETURN_NOT_OK((*monitor)->InsertDataset(*data));
+      return SnapshotFromMonitor(**monitor);
+    }
+    case SnapshotSource::Kind::kShardArtifacts: {
+      if (source.artifact_paths.empty()) {
+        return Status::InvalidArgument(
+            "snapshot source lists no shard artifact files");
+      }
+      std::vector<ShardFilterArtifact> artifacts;
+      artifacts.reserve(source.artifact_paths.size());
+      for (const std::string& path : source.artifact_paths) {
+        Result<ShardFilterArtifact> artifact = ReadShardArtifactFile(path);
+        if (!artifact.ok()) return artifact.status();
+        artifacts.push_back(std::move(*artifact));
+      }
+      return SnapshotFromShardArtifacts(std::move(artifacts),
+                                        source.pipeline, source.seed);
+    }
+  }
+  return Status::InvalidArgument("unknown snapshot source kind");
 }
 
 Result<uint64_t> SnapshotStore::Publish(ServeSnapshot snapshot) {

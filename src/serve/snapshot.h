@@ -72,6 +72,42 @@ Result<ServeSnapshot> SnapshotFromShardArtifacts(
     std::vector<ShardFilterArtifact> artifacts,
     const PipelineOptions& options, uint64_t seed);
 
+/// \brief Declarative description of where a serving snapshot comes
+/// from — the single entry point behind `qikey serve --snapshot-from`.
+///
+/// Three deployments, one loader:
+///   kPipelineRun    — load `csv_path`, run the discovery pipeline once
+///                     (`pipeline`, `seed`), freeze the result.
+///   kMonitor        — replay `csv_path` through an incremental
+///                     `KeyMonitor` (optionally a sliding `window`),
+///                     freeze its final state.
+///   kShardArtifacts — read each of `artifact_paths` (written by shard
+///                     builders via `WriteShardArtifactFile`), merge,
+///                     finish discovery, freeze.
+struct SnapshotSource {
+  enum class Kind { kPipelineRun, kMonitor, kShardArtifacts };
+
+  Kind kind = Kind::kPipelineRun;
+  /// Input CSV (kPipelineRun, kMonitor).
+  std::string csv_path;
+  /// Shard artifact files (kShardArtifacts).
+  std::vector<std::string> artifact_paths;
+  /// eps / backend / threads for discovery; also reused as the
+  /// monitor's eps/backend/threads.
+  PipelineOptions pipeline;
+  uint64_t seed = 1;
+  /// Monitor-only: key-size ceiling and sliding-window capacity
+  /// (0 = unbounded window).
+  uint32_t max_key_size = 4;
+  uint64_t window = 0;
+};
+
+/// Builds a publishable snapshot from `source` by dispatching to the
+/// matching `SnapshotFrom*` builder above. Every error (missing file,
+/// bad artifact, pipeline failure) comes back as a status — callers
+/// need exactly one code path regardless of deployment.
+Result<ServeSnapshot> LoadSnapshot(const SnapshotSource& source);
+
 /// \brief Thread-safe holder of the current serving snapshot.
 ///
 /// One writer (or several, externally ordered) publishes; any number of

@@ -1,0 +1,40 @@
+#include "util/shutdown.h"
+
+#include <csignal>
+
+namespace qikey {
+namespace shutdown_flags {
+
+namespace {
+
+// sig_atomic_t is the only type the standard guarantees a handler may
+// write; nothing here allocates, locks, or calls the serve layer.
+volatile std::sig_atomic_t g_shutdown = 0;
+volatile std::sig_atomic_t g_reload = 0;
+
+void OnShutdownSignal(int) { g_shutdown = 1; }
+void OnReloadSignal(int) { g_reload = 1; }
+
+}  // namespace
+
+void InstallSignalFlags() {
+  struct sigaction sa {};
+  sa.sa_handler = OnShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking sleeps promptly
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  sa.sa_handler = OnReloadSignal;
+  sigaction(SIGHUP, &sa, nullptr);
+}
+
+bool ShutdownRequested() { return g_shutdown != 0; }
+
+bool ReloadRequested() { return g_reload != 0; }
+
+void ClearReload() { g_reload = 0; }
+
+void RequestShutdown() { g_shutdown = 1; }
+
+}  // namespace shutdown_flags
+}  // namespace qikey

@@ -1,0 +1,38 @@
+#ifndef QIKEY_UTIL_SHUTDOWN_H_
+#define QIKEY_UTIL_SHUTDOWN_H_
+
+namespace qikey {
+
+/// \brief Process-wide, async-signal-safe shutdown/reload flags.
+///
+/// `InstallSignalFlags()` registers SIGTERM/SIGINT ("drain and exit")
+/// and SIGHUP ("reload the serving snapshot") handlers that do nothing
+/// but set `volatile sig_atomic_t` flags — the only thing a signal
+/// handler can safely do. Long-running front ends (`qikey serve`) poll
+/// the flags from their main loop and translate them into the orderly
+/// API calls (`ServeServer::Shutdown`, snapshot rebuild + publish);
+/// the handlers themselves never touch locks, the heap, or the server.
+///
+/// The flags are process-global on purpose: signals are process-global.
+/// Not for use by library code or tests that need isolation — tests
+/// drive `ServeServer::Shutdown()` directly.
+namespace shutdown_flags {
+
+/// Installs the SIGTERM/SIGINT/SIGHUP handlers (idempotent).
+void InstallSignalFlags();
+
+/// True once SIGTERM or SIGINT has been received.
+bool ShutdownRequested();
+
+/// True if SIGHUP has been received since the last `ClearReload()`.
+bool ReloadRequested();
+void ClearReload();
+
+/// Test/debug hook: simulates a received SIGTERM.
+void RequestShutdown();
+
+}  // namespace shutdown_flags
+
+}  // namespace qikey
+
+#endif  // QIKEY_UTIL_SHUTDOWN_H_

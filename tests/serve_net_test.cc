@@ -1,0 +1,649 @@
+// Loopback integration tests for the qikey serve network layer: the
+// QIKEY/1 wire protocol, the epoll reactor, admission control, idle
+// reaping, snapshot hot-swap, and graceful drain — all over real
+// sockets against a real QueryEngine, with server responses required
+// to be BIT-IDENTICAL to the shared encoder run directly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators/tabular.h"
+#include "engine/pipeline.h"
+#include "serve/conn.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "util/net.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+// --------------------------------------------------------------------
+// Protocol module (satellite: versioning + old request files parse)
+// --------------------------------------------------------------------
+
+TEST(ProtocolTest, HelloRoundTrip) {
+  EXPECT_TRUE(IsHelloLine("QIKEY/1"));
+  EXPECT_TRUE(IsHelloLine("QIKEY/9"));
+  EXPECT_FALSE(IsHelloLine("is-key a,b"));
+  EXPECT_FALSE(IsHelloLine("QIKEY/"));
+  EXPECT_FALSE(IsHelloLine(""));
+
+  auto v1 = ParseHelloLine(kHelloV1);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(*v1, ProtocolVersion::kV1);
+  EXPECT_EQ(FormatHelloLine(*v1), "QIKEY/1 ready");
+
+  // A version this build does not speak is a validation error, not a
+  // parse error (the line is well-formed protocol).
+  auto v9 = ParseHelloLine("QIKEY/9");
+  EXPECT_FALSE(v9.ok());
+}
+
+TEST(ProtocolTest, UnversionedRequestFileStillParsesAsV1) {
+  Schema schema({"a", "b", "c"});
+  const char* body = "# comment\nis-key a,b\n\nmin-key\n";
+  auto bare = ParseQueryRequests(body, schema);
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  ASSERT_EQ(bare->size(), 2u);
+
+  // The same body with an explicit v1 hello header parses identically:
+  // the header selects the version, it is not a request.
+  auto versioned = ParseQueryRequests(std::string("QIKEY/1\n") + body, schema);
+  ASSERT_TRUE(versioned.ok()) << versioned.status().ToString();
+  ASSERT_EQ(versioned->size(), 2u);
+  EXPECT_EQ((*bare)[0].kind, (*versioned)[0].kind);
+  EXPECT_EQ((*bare)[0].attrs, (*versioned)[0].attrs);
+
+  // An unsupported version header rejects the whole file.
+  EXPECT_FALSE(ParseQueryRequests(std::string("QIKEY/2\n") + body, schema).ok());
+}
+
+TEST(ProtocolTest, ErrorCodeNamesAndStatusMapping) {
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kParse), "parse");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kValidation), "validation");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kOverload), "overload");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kSnapshotUnavailable),
+               "unavailable");
+  EXPECT_STREQ(ServeErrorCodeName(ServeErrorCode::kInternal), "internal");
+
+  EXPECT_EQ(ServeErrorCodeFromStatus(Status::InvalidArgument("x")),
+            ServeErrorCode::kValidation);
+  EXPECT_EQ(ServeErrorCodeFromStatus(Status::NotFound("x")),
+            ServeErrorCode::kSnapshotUnavailable);
+  EXPECT_EQ(ServeErrorCodeFromStatus(Status::IOError("x")),
+            ServeErrorCode::kInternal);
+}
+
+TEST(ProtocolTest, ErrorLineFlattensNewlines) {
+  std::string line = EncodeErrorLine(ServeErrorCode::kOverload, "a\nb\rc");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.find('\r'), std::string::npos);
+  EXPECT_EQ(line.rfind("err overload ", 0), 0u) << line;
+}
+
+// --------------------------------------------------------------------
+// LineSplitter (framing under the per-line cap)
+// --------------------------------------------------------------------
+
+TEST(LineSplitterTest, SplitsAndCarriesPartials) {
+  LineSplitter splitter(64);
+  std::vector<std::string> lines;
+  EXPECT_TRUE(splitter.Ingest("ab", &lines));
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(splitter.buffered_bytes(), 2u);
+  EXPECT_TRUE(splitter.Ingest("c\r\nsecond\nthi", &lines));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "abc");  // CR stripped, partial joined
+  EXPECT_EQ(lines[1], "second");
+  EXPECT_TRUE(splitter.Ingest("rd\n", &lines));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "third");
+}
+
+TEST(LineSplitterTest, OverflowIsPermanent) {
+  LineSplitter splitter(8);
+  std::vector<std::string> lines;
+  EXPECT_FALSE(splitter.Ingest("waaaaay too long for the cap\n", &lines));
+  EXPECT_TRUE(splitter.overflowed());
+  EXPECT_TRUE(lines.empty());
+  // Even a well-framed follow-up is refused: framing is lost for good.
+  EXPECT_FALSE(splitter.Ingest("ok\n", &lines));
+}
+
+// --------------------------------------------------------------------
+// Loopback server fixture
+// --------------------------------------------------------------------
+
+/// A table whose first column is a row id (an exact key by
+/// construction) over low-cardinality columns.
+Dataset MakeKeyedData(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ValueCode> id(rows);
+  for (size_t i = 0; i < rows; ++i) id[i] = static_cast<ValueCode>(i);
+  std::vector<Column> columns;
+  columns.emplace_back(std::move(id));
+  for (uint32_t card : {5u, 7u, 3u, 11u, 2u}) {
+    std::vector<ValueCode> codes(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      codes[i] = static_cast<ValueCode>(rng.Uniform(card));
+    }
+    columns.emplace_back(std::move(codes), card);
+  }
+  return Dataset(
+      Schema({"id", "c1", "c2", "c3", "c4", "c5"}), std::move(columns));
+}
+
+/// Store + engine + running server over one published pipeline
+/// snapshot; tears everything down in order.
+struct TestServer {
+  explicit TestServer(ServerOptions options = {}, bool publish = true,
+                      size_t rows = 96) {
+    data = std::make_unique<Dataset>(MakeKeyedData(rows, /*seed=*/7));
+    if (publish) {
+      PipelineOptions popts;
+      popts.eps = 0.01;
+      Rng rng(11);
+      auto result = DiscoveryPipeline(popts).Run(*data, &rng);
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      auto snapshot = SnapshotFromPipelineResult(*result, popts.eps);
+      EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+      auto epoch = store.Publish(std::move(*snapshot));
+      EXPECT_TRUE(epoch.ok()) << epoch.status().ToString();
+    }
+    QueryEngineOptions eopts;
+    eopts.num_threads = 1;
+    engine = std::make_unique<QueryEngine>(&store, eopts);
+    options.listen = {"127.0.0.1", 0};
+    server = std::make_unique<ServeServer>(engine.get(), data->schema(),
+                                           options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  ~TestServer() {
+    server->Shutdown();
+    server->Join();
+  }
+
+  BlockingLineClient Connect(bool eat_greeting = true,
+                             int recv_timeout_ms = 5000) {
+    auto fd = OpenClientSocket({"127.0.0.1", server->port()},
+                               recv_timeout_ms);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    BlockingLineClient client(std::move(*fd));
+    if (eat_greeting) {
+      auto greeting = client.RecvLine();
+      EXPECT_TRUE(greeting.ok()) << greeting.status().ToString();
+      if (greeting.ok()) {
+        EXPECT_EQ(*greeting, "QIKEY/1 ready");
+      }
+    }
+    return client;
+  }
+
+  std::unique_ptr<Dataset> data;
+  SnapshotStore store;
+  std::unique_ptr<QueryEngine> engine;
+  std::unique_ptr<ServeServer> server;
+};
+
+/// Renders a request back into its wire line using schema names.
+std::string RequestLine(const QueryRequest& request, const Schema& schema) {
+  auto names = [&](const AttributeSet& set) {
+    std::string out;
+    for (AttributeIndex a : set.ToIndices()) {
+      if (!out.empty()) out += ',';
+      out += schema.name(a);
+    }
+    return out;
+  };
+  switch (request.kind) {
+    case QueryKind::kIsKey:
+      return "is-key " + names(request.attrs);
+    case QueryKind::kSeparation:
+      return "separation " + names(request.attrs);
+    case QueryKind::kMinKey:
+      return "min-key";
+    case QueryKind::kAfd:
+      return "afd " + names(request.attrs) + " -> " +
+             schema.name(request.rhs);
+    case QueryKind::kAnonymity:
+      return "anonymity " + names(request.attrs) + " " +
+             std::to_string(request.k);
+  }
+  return "";
+}
+
+/// A deterministic mixed-kind wire workload (every line parses).
+std::vector<std::string> MakeWireWorkload(const Schema& schema, size_t count,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  size_t m = schema.num_attributes();
+  std::vector<std::string> lines;
+  for (size_t i = 0; i < count; ++i) {
+    QueryRequest request;
+    switch (rng.Uniform(5)) {
+      case 0:
+        request.kind = QueryKind::kIsKey;
+        request.attrs = AttributeSet::Random(m, 0.4, &rng);
+        break;
+      case 1:
+        request.kind = QueryKind::kSeparation;
+        request.attrs = AttributeSet::Random(m, 0.4, &rng);
+        break;
+      case 2:
+        request.kind = QueryKind::kMinKey;
+        request.attrs = AttributeSet(m);
+        break;
+      case 3: {
+        request.kind = QueryKind::kAfd;
+        AttributeIndex rhs = static_cast<AttributeIndex>(
+            rng.Uniform(static_cast<uint32_t>(m)));
+        request.attrs = AttributeSet::Random(m, 0.3, &rng);
+        request.attrs.Remove(rhs);
+        request.rhs = rhs;
+        // The grammar needs a non-empty lhs.
+        if (request.attrs.ToIndices().empty()) {
+          request.attrs.Add(rhs == 0 ? 1 : 0);
+        }
+        break;
+      }
+      default:
+        request.kind = QueryKind::kAnonymity;
+        request.attrs = AttributeSet::Random(m, 0.3, &rng);
+        request.k = 2 + rng.Uniform(3);
+        break;
+    }
+    if (request.kind != QueryKind::kMinKey &&
+        request.attrs.ToIndices().empty()) {
+      request.attrs.Add(0);
+    }
+    lines.push_back(RequestLine(request, schema));
+  }
+  return lines;
+}
+
+/// What the server MUST answer for `lines`: parse with the shared
+/// parser, execute directly on the engine, encode with the shared
+/// encoder. Any divergence on the socket is a codec fork.
+std::vector<std::string> ExpectedResponses(
+    const QueryEngine& engine, const Schema& schema,
+    const std::vector<std::string>& lines) {
+  std::vector<QueryRequest> requests;
+  for (const std::string& line : lines) {
+    auto request = ParseQueryRequest(line, schema);
+    EXPECT_TRUE(request.ok()) << line << ": " << request.status().ToString();
+    requests.push_back(std::move(*request));
+  }
+  std::vector<QueryResponse> responses = engine.ExecuteBatch(requests);
+  std::vector<std::string> expected;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    expected.push_back(EncodeResponseLine(requests[i], responses[i], schema));
+  }
+  return expected;
+}
+
+// --------------------------------------------------------------------
+// Bit-identical serving
+// --------------------------------------------------------------------
+
+TEST(ServeNetTest, PipelinedClientGetsBitIdenticalResponses) {
+  TestServer ts;
+  const Schema& schema = ts.data->schema();
+  std::vector<std::string> lines = MakeWireWorkload(schema, 60, 21);
+  std::vector<std::string> expected =
+      ExpectedResponses(*ts.engine, schema, lines);
+
+  BlockingLineClient client = ts.Connect();
+  std::string blob;
+  for (const std::string& line : lines) blob += line + "\n";
+  ASSERT_TRUE(client.SendAll(blob).ok());  // one burst: full pipelining
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto got = client.RecvLine();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, expected[i]) << "line " << i << ": " << lines[i];
+  }
+}
+
+TEST(ServeNetTest, ConcurrentClientsEachBitIdentical) {
+  ServerOptions options;
+  options.worker_threads = 2;
+  TestServer ts(options);
+  const Schema& schema = ts.data->schema();
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kLines = 40;
+  std::vector<std::vector<std::string>> all_lines, all_expected;
+  for (size_t c = 0; c < kClients; ++c) {
+    all_lines.push_back(MakeWireWorkload(schema, kLines, 100 + c));
+    all_expected.push_back(
+        ExpectedResponses(*ts.engine, schema, all_lines.back()));
+  }
+
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      BlockingLineClient client = ts.Connect();
+      for (size_t i = 0; i < kLines; ++i) {
+        // Request/response lockstep: interleaves batches across
+        // clients as hard as a 1-core box allows.
+        if (!client.SendLine(all_lines[c][i]).ok()) {
+          failures[c] = "send failed at line " + std::to_string(i);
+          return;
+        }
+        auto got = client.RecvLine();
+        if (!got.ok() || *got != all_expected[c][i]) {
+          failures[c] = "line " + std::to_string(i) + ": got '" +
+                        (got.ok() ? *got : got.status().ToString()) +
+                        "' want '" + all_expected[c][i] + "'";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+}
+
+// --------------------------------------------------------------------
+// Protocol errors on the wire
+// --------------------------------------------------------------------
+
+TEST(ServeNetTest, MalformedLineAnswersErrAndKeepsConnectionOpen) {
+  TestServer ts;
+  BlockingLineClient client = ts.Connect();
+  ASSERT_TRUE(client.SendLine("gibberish query").ok());
+  auto err = client.RecvLine();
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->rfind("err parse ", 0), 0u) << *err;
+
+  // The connection survives a parse error: framing was never lost.
+  ASSERT_TRUE(client.SendLine("min-key").ok());
+  auto ok = client.RecvLine();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->rfind("ok ", 0), 0u) << *ok;
+}
+
+TEST(ServeNetTest, UnsupportedHelloIsValidationErrorButConnectionSurvives) {
+  TestServer ts;
+  BlockingLineClient client = ts.Connect();
+  ASSERT_TRUE(client.SendLine("QIKEY/2").ok());
+  auto err = client.RecvLine();
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->rfind("err validation ", 0), 0u) << *err;
+
+  ASSERT_TRUE(client.SendLine("QIKEY/1").ok());
+  auto ok = client.RecvLine();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "ok v1");
+}
+
+TEST(ServeNetTest, OversizedLineGetsErrParseThenClose) {
+  ServerOptions options;
+  options.max_line_bytes = 64;
+  TestServer ts(options);
+  BlockingLineClient client = ts.Connect();
+  ASSERT_TRUE(
+      client.SendLine("is-key " + std::string(200, 'x')).ok());
+  auto err = client.RecvLine();
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->rfind("err parse ", 0), 0u) << *err;
+  // Framing is lost, so the server closes: next read is EOF.
+  EXPECT_FALSE(client.RecvLine().ok());
+}
+
+TEST(ServeNetTest, NoSnapshotAnswersErrUnavailable) {
+  TestServer ts({}, /*publish=*/false);
+  BlockingLineClient client = ts.Connect();
+  ASSERT_TRUE(client.SendLine("min-key").ok());
+  auto err = client.RecvLine();
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->rfind("err unavailable ", 0), 0u) << *err;
+}
+
+// --------------------------------------------------------------------
+// Backpressure
+// --------------------------------------------------------------------
+
+TEST(ServeNetTest, FloodIsShedWithErrOverloadNeverUnbounded) {
+  ServerOptions options;
+  options.max_pending_per_conn = 2;
+  options.max_batch = 1;
+  TestServer ts(options);
+  BlockingLineClient client = ts.Connect();
+
+  constexpr size_t kFlood = 64;
+  std::string blob;
+  for (size_t i = 0; i < kFlood; ++i) blob += "min-key\n";
+  ASSERT_TRUE(client.SendAll(blob).ok());
+
+  // Exactly one response per request line — admitted lines answer
+  // `ok`, shed lines answer `err overload` immediately (possibly ahead
+  // of earlier in-flight responses; see server.h).
+  size_t ok = 0, overload = 0;
+  for (size_t i = 0; i < kFlood; ++i) {
+    auto got = client.RecvLine();
+    ASSERT_TRUE(got.ok()) << "response " << i << ": "
+                          << got.status().ToString();
+    if (got->rfind("ok ", 0) == 0) {
+      ++ok;
+    } else {
+      EXPECT_EQ(got->rfind("err overload ", 0), 0u) << *got;
+      ++overload;
+    }
+  }
+  EXPECT_EQ(ok + overload, kFlood);
+  EXPECT_GE(ok, 1u);        // the queue made progress
+  EXPECT_GE(overload, 1u);  // and the flood was shed, not buffered
+  EXPECT_GE(ts.server->stats().overload_responses, overload);
+}
+
+// --------------------------------------------------------------------
+// Snapshot hot-swap
+// --------------------------------------------------------------------
+
+TEST(ServeNetTest, HotSwapServesNewSnapshotWithoutDroppingConnection) {
+  TestServer ts;
+  BlockingLineClient client = ts.Connect();
+
+  ASSERT_TRUE(client.SendLine("min-key").ok());
+  auto before = client.RecvLine();
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rfind("ok ", 0), 0u);
+
+  // Publish a snapshot whose min-key answer is visibly different (two
+  // tracked minimal keys instead of one).
+  ServeSnapshot next = *ts.store.Current();
+  std::vector<AttributeSet> keys = *next.keys;
+  AttributeSet extra(ts.data->schema().num_attributes());
+  extra.Add(1);
+  extra.Add(2);
+  keys.push_back(extra);
+  next.keys =
+      std::make_shared<const std::vector<AttributeSet>>(std::move(keys));
+  ASSERT_TRUE(ts.store.Publish(std::move(next)).ok());
+
+  // Same connection, next request: the new epoch answers.
+  ASSERT_TRUE(client.SendLine("min-key").ok());
+  auto after = client.RecvLine();
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(*after, *before);
+  EXPECT_EQ(after->rfind("ok ", 0), 0u);
+  EXPECT_EQ(after->substr(after->size() - 2), " 2") << *after;
+}
+
+// --------------------------------------------------------------------
+// Lifecycle: graceful drain, EOF, idle reaping
+// --------------------------------------------------------------------
+
+TEST(ServeNetTest, GracefulDrainAnswersEverythingAdmittedThenCloses) {
+  TestServer ts;
+  const Schema& schema = ts.data->schema();
+  std::vector<std::string> lines = MakeWireWorkload(schema, 24, 33);
+  std::vector<std::string> expected =
+      ExpectedResponses(*ts.engine, schema, lines);
+
+  BlockingLineClient client = ts.Connect();
+  std::string blob;
+  for (const std::string& line : lines) blob += line + "\n";
+  ASSERT_TRUE(client.SendAll(blob).ok());
+
+  // Wait until every line is admitted, then drain mid-flight.
+  while (ts.server->stats().lines_received < lines.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ts.server->Shutdown();
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto got = client.RecvLine();
+    ASSERT_TRUE(got.ok()) << "response " << i << " lost in drain: "
+                          << got.status().ToString();
+    EXPECT_EQ(*got, expected[i]) << "line " << i;
+  }
+  EXPECT_FALSE(client.RecvLine().ok());  // then EOF
+  ts.server->Join();
+  EXPECT_FALSE(ts.server->running());
+}
+
+TEST(ServeNetTest, HalfCloseFlushesAllResponsesThenEof) {
+  TestServer ts;
+  BlockingLineClient client = ts.Connect();
+  ASSERT_TRUE(client.SendAll("min-key\nmin-key\nmin-key\n").ok());
+  client.ShutdownWrite();
+  for (int i = 0; i < 3; ++i) {
+    auto got = client.RecvLine();
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(got->rfind("ok ", 0), 0u);
+  }
+  EXPECT_FALSE(client.RecvLine().ok());
+}
+
+TEST(ServeNetTest, SlowLorisIsReapedByIdleTimeout) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  TestServer ts(options);
+  BlockingLineClient client = ts.Connect();
+  // A partial line, never terminated: the classic slow loris.
+  ASSERT_TRUE(client.SendAll("is-key c1,c").ok());
+  // The server must close us, not wait forever.
+  EXPECT_FALSE(client.RecvLine().ok());
+  // The fd closes a moment before the reactor bumps the counter — poll.
+  for (int i = 0; i < 500 && ts.server->stats().idle_reaped == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(ts.server->stats().idle_reaped, 1u);
+}
+
+TEST(ServeNetTest, ConnectionLimitGreetsOverloadAndCloses) {
+  ServerOptions options;
+  options.max_connections = 1;
+  TestServer ts(options);
+  BlockingLineClient first = ts.Connect();
+  // Second connection: greeted with err overload, then EOF.
+  BlockingLineClient second = ts.Connect(/*eat_greeting=*/false);
+  auto greeting = second.RecvLine();
+  ASSERT_TRUE(greeting.ok());
+  EXPECT_EQ(greeting->rfind("err overload ", 0), 0u) << *greeting;
+  EXPECT_FALSE(second.RecvLine().ok());
+  // The first connection is unaffected.
+  ASSERT_TRUE(first.SendLine("min-key").ok());
+  EXPECT_TRUE(first.RecvLine().ok());
+}
+
+// --------------------------------------------------------------------
+// LoadSnapshot facade (satellite: one entry point for all sources)
+// --------------------------------------------------------------------
+
+TEST(LoadSnapshotTest, PipelineRunAndMonitorSources) {
+  std::string path = ::testing::TempDir() + "/qikey_serve_net_src.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n";
+    for (int i = 0; i < 32; ++i) {
+      out << i << "," << (i % 3) << "\n";
+    }
+  }
+  SnapshotSource source;
+  source.kind = SnapshotSource::Kind::kPipelineRun;
+  source.csv_path = path;
+  source.pipeline.eps = 0.01;
+  auto from_run = LoadSnapshot(source);
+  ASSERT_TRUE(from_run.ok()) << from_run.status().ToString();
+  EXPECT_EQ(from_run->schema().num_attributes(), 2u);
+  EXPECT_EQ(from_run->source_rows, 32u);
+
+  source.kind = SnapshotSource::Kind::kMonitor;
+  source.window = 16;
+  auto from_monitor = LoadSnapshot(source);
+  ASSERT_TRUE(from_monitor.ok()) << from_monitor.status().ToString();
+  EXPECT_EQ(from_monitor->schema().num_attributes(), 2u);
+  EXPECT_EQ(from_monitor->source_rows, 16u);  // the sliding window
+
+  std::remove(path.c_str());
+}
+
+TEST(LoadSnapshotTest, ErrorsComeBackAsStatuses) {
+  SnapshotSource source;
+  source.kind = SnapshotSource::Kind::kPipelineRun;
+  source.csv_path = "/nonexistent/qikey.csv";
+  source.pipeline.eps = 0.01;
+  EXPECT_FALSE(LoadSnapshot(source).ok());
+
+  source.kind = SnapshotSource::Kind::kShardArtifacts;
+  source.artifact_paths.clear();
+  EXPECT_FALSE(LoadSnapshot(source).ok());
+
+  source.artifact_paths = {"/nonexistent/shard.qka"};
+  EXPECT_FALSE(LoadSnapshot(source).ok());
+}
+
+// Engine-level error-code population (satellite: ServeErrorCode in
+// QueryResponse, not just on the wire).
+TEST(ServeErrorCodeTest, EngineTagsValidationAndUnavailable) {
+  SnapshotStore store;
+  QueryEngine engine(&store, {});
+  QueryRequest request;
+  request.kind = QueryKind::kMinKey;
+  QueryResponse response = engine.Execute(request);
+  EXPECT_EQ(response.error_code, ServeErrorCode::kSnapshotUnavailable);
+
+  Dataset data = MakeKeyedData(16, 3);
+  PipelineOptions popts;
+  popts.eps = 0.01;
+  Rng rng(5);
+  auto result = DiscoveryPipeline(popts).Run(data, &rng);
+  ASSERT_TRUE(result.ok());
+  auto snapshot = SnapshotFromPipelineResult(*result, popts.eps);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_TRUE(store.Publish(std::move(*snapshot)).ok());
+
+  QueryRequest bad;
+  bad.kind = QueryKind::kAnonymity;
+  bad.attrs = AttributeSet(data.schema().num_attributes());
+  bad.attrs.Add(0);
+  bad.k = 0;  // k must be >= 1
+  response = engine.Execute(bad);
+  EXPECT_EQ(response.error_code, ServeErrorCode::kValidation);
+
+  QueryRequest good;
+  good.kind = QueryKind::kMinKey;
+  response = engine.Execute(good);
+  EXPECT_EQ(response.error_code, ServeErrorCode::kNone);
+  EXPECT_TRUE(response.status.ok());
+}
+
+}  // namespace
+}  // namespace qikey

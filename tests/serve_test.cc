@@ -10,6 +10,7 @@
 #include "data/generators/tabular.h"
 #include "engine/pipeline.h"
 #include "monitor/key_monitor.h"
+#include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "serve/request.h"
 #include "serve/snapshot.h"

@@ -12,13 +12,29 @@
 //   qikey query <csv> --attrs a,b,c [--eps E]
 //       eps-separation key filter verdict + exact ground truth.
 //   qikey query <csv> --requests file.txt [--threads N] [--cache C]
-//                [--eps E] [--backend tuple|mx|bitset]
+//                [--eps E] [--backend tuple|mx|bitset] [--wire]
 //       Batch serve executor: run discovery once, publish the result as
 //       an immutable snapshot, and answer every request in the file
 //       concurrently through the serve-layer QueryEngine (sharded LRU
 //       verdict cache of C entries; 0 disables). Request grammar (one
 //       per line; '#' comments): is-key a,b | separation a,b | min-key
-//       | afd a,b -> c | anonymity a,b [k].
+//       | afd a,b -> c | anonymity a,b [k]. With --wire, print exactly
+//       one QIKEY/1 wire line per request (the same encoder the network
+//       server uses) and nothing else — byte-diffable against a served
+//       session.
+//   qikey serve <csv-or-artifacts> [--listen H:P]
+//               [--snapshot-from run|monitor|artifacts]
+//               [--max-conns N] [--queue-depth N] [--idle-timeout MS]
+//               [--eps E] [--backend B] [--threads T] [--cache C]
+//               [--seed S] [--max-size K] [--window W]
+//       Long-running network server speaking the newline-delimited
+//       QIKEY/1 protocol (see src/serve/protocol.h). Builds one serving
+//       snapshot from the positional input (--snapshot-from artifacts
+//       treats it as a comma-separated shard-artifact list), publishes
+//       it, prints "listening on <host>:<port>" (port 0 binds an
+//       ephemeral port), and serves until SIGTERM/SIGINT (graceful
+//       drain). SIGHUP rebuilds the snapshot from the same source and
+//       hot-swaps it without dropping connections.
 //   qikey mask <csv> [--eps E]
 //       Attributes to suppress so no quasi-identifier remains.
 //   qikey afd <csv> --rhs col [--error E] [--max-size K]
@@ -48,10 +64,12 @@
 // 3 discover verification failure (the emitted key was rejected by the
 // filter), so scripts and CI can gate on it.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "qikey.h"
@@ -66,9 +84,12 @@
 #include "data/hierarchy.h"
 #include "data/statistics.h"
 #include "engine/pipeline.h"
+#include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "serve/request.h"
+#include "serve/server.h"
 #include "serve/snapshot.h"
+#include "util/shutdown.h"
 
 namespace qikey {
 namespace {
@@ -92,19 +113,29 @@ struct Args {
   size_t shard_rows = 0;
   std::string requests;
   size_t cache = 4096;
+  bool wire = false;
+  std::string listen = "127.0.0.1:7421";
+  std::string snapshot_from = "run";
+  size_t max_conns = 1024;
+  size_t queue_depth = 256;
+  long long idle_timeout_ms = 60 * 1000;
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: qikey <profile|minkey|keys|audit|query|mask|afd|"
-               "anonymize|discover|monitor>\n"
+               "anonymize|discover|monitor|serve>\n"
                "             <csv> [--eps E] [--max-size K] [--attrs a,b,c] "
                "[--rhs col]\n"
                "             [--error E] [--seed S] [--backend "
                "tuple|mx|bitset] [--threads T]\n"
                "             [--window W] [--shards N] [--memory-budget MB] "
                "[--shard-rows R]\n"
-               "             [--requests FILE] [--cache N]\n");
+               "             [--requests FILE] [--cache N] [--wire]\n"
+               "             [--listen H:P] [--snapshot-from "
+               "run|monitor|artifacts]\n"
+               "             [--max-conns N] [--queue-depth N] "
+               "[--idle-timeout MS]\n");
 }
 
 
@@ -211,6 +242,31 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->requests = v;
     } else if (flag == "--cache") {
       if (!next_count(&args->cache)) return false;
+    } else if (flag == "--wire") {
+      args->wire = true;  // boolean flag: takes no value
+    } else if (flag == "--listen") {
+      const char* v = next();
+      if (!v) return false;
+      args->listen = v;
+    } else if (flag == "--snapshot-from") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "run") != 0 && std::strcmp(v, "monitor") != 0 &&
+          std::strcmp(v, "artifacts") != 0) {
+        std::fprintf(stderr,
+                     "--snapshot-from must be run|monitor|artifacts, got %s\n",
+                     v);
+        return false;
+      }
+      args->snapshot_from = v;
+    } else if (flag == "--max-conns") {
+      if (!next_count(&args->max_conns)) return false;
+    } else if (flag == "--queue-depth") {
+      if (!next_count(&args->queue_depth)) return false;
+    } else if (flag == "--idle-timeout") {
+      const char* v = next();
+      if (!v || !ParseIntFlag(flag, v, 0, 1ll << 31, &n)) return false;
+      args->idle_timeout_ms = n;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -356,6 +412,19 @@ int RunServe(const Dataset& data, const Args& args, Rng* rng) {
   QueryEngine engine(&store, engine_options);
   std::vector<QueryResponse> responses = engine.ExecuteBatch(*requests);
 
+  if (args.wire) {
+    // Wire mode: exactly one QIKEY/1 line per request, nothing else —
+    // the same encoder the network server runs, so this output is
+    // byte-diffable against a served session (the bit-identical check
+    // the serve tests and the smoke test rely on).
+    for (size_t i = 0; i < requests->size(); ++i) {
+      std::printf("%s\n",
+                  EncodeResponseLine((*requests)[i], responses[i],
+                                     data.schema()).c_str());
+    }
+    return 0;
+  }
+
   std::printf("serving %s\n", store.Current()->Describe().c_str());
   for (size_t i = 0; i < requests->size(); ++i) {
     std::printf("%s\n",
@@ -367,6 +436,129 @@ int RunServe(const Dataset& data, const Args& args, Rng* rng) {
               responses.size(), engine.num_threads(),
               static_cast<unsigned long long>(engine.cache_hits()),
               static_cast<unsigned long long>(engine.cache_misses()));
+  return 0;
+}
+
+/// Splits a comma-separated list of paths ("--snapshot-from artifacts"
+/// positional argument).
+std::vector<std::string> SplitPaths(const std::string& spec) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string piece = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!piece.empty()) out.push_back(std::move(piece));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// `qikey serve`: build + publish one snapshot, run the epoll server
+/// until SIGTERM/SIGINT, hot-swap on SIGHUP. The positional argument is
+/// the CSV (run/monitor) or a comma-separated artifact list.
+int RunServeNet(const Args& args) {
+  SnapshotSource source;
+  if (args.snapshot_from == "run") {
+    source.kind = SnapshotSource::Kind::kPipelineRun;
+    source.csv_path = args.csv_path;
+  } else if (args.snapshot_from == "monitor") {
+    source.kind = SnapshotSource::Kind::kMonitor;
+    source.csv_path = args.csv_path;
+  } else {
+    source.kind = SnapshotSource::Kind::kShardArtifacts;
+    source.artifact_paths = SplitPaths(args.csv_path);
+  }
+  source.pipeline.eps = args.eps;
+  source.pipeline.num_threads = args.threads;
+  if (!ParseBackend(args.backend, &source.pipeline.backend)) return 2;
+  source.seed = args.seed;
+  source.max_key_size = args.max_size;
+  source.window = args.window;
+
+  Result<ServeSnapshot> snapshot = LoadSnapshot(source);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "cannot build snapshot: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  Schema schema = snapshot->schema();
+  SnapshotStore store;
+  Result<uint64_t> epoch = store.Publish(std::move(*snapshot));
+  if (!epoch.ok()) {
+    std::fprintf(stderr, "%s\n", epoch.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = args.threads;
+  engine_options.cache_capacity = args.cache;
+  QueryEngine engine(&store, engine_options);
+
+  ServerOptions options;
+  Result<HostPort> listen = ParseHostPort(args.listen);
+  if (!listen.ok()) {
+    std::fprintf(stderr, "bad --listen: %s\n",
+                 listen.status().ToString().c_str());
+    return 2;
+  }
+  options.listen = *listen;
+  options.max_connections = args.max_conns;
+  options.max_pending_per_conn = args.queue_depth;
+  // The global cap shields the engine from many simultaneously full
+  // connections; scale it with the per-connection depth but keep it
+  // bounded regardless of --max-conns.
+  options.max_pending_global = args.queue_depth * 32;
+  options.idle_timeout_ms = static_cast<int>(args.idle_timeout_ms);
+
+  ServeServer server(&engine, schema, options);
+  shutdown_flags::InstallSignalFlags();
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %s\n", store.Current()->Describe().c_str());
+  // Parsed by scripts (and the smoke test) to discover an ephemeral
+  // port — keep the format stable and flush immediately.
+  std::printf("listening on %s:%u\n", options.listen.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  while (!shutdown_flags::ShutdownRequested() && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (shutdown_flags::ReloadRequested()) {
+      shutdown_flags::ClearReload();
+      // Hot swap: rebuild from the same source and publish. Batches
+      // already executing finish on their pinned epoch; a failure
+      // leaves the current snapshot serving.
+      Result<ServeSnapshot> reloaded = LoadSnapshot(source);
+      if (!reloaded.ok()) {
+        std::fprintf(stderr, "reload failed (still serving): %s\n",
+                     reloaded.status().ToString().c_str());
+        continue;
+      }
+      Result<uint64_t> swapped = store.Publish(std::move(*reloaded));
+      if (swapped.ok()) {
+        std::printf("reloaded: %s\n", store.Current()->Describe().c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+  server.Shutdown();
+  server.Join();
+
+  ServerStats stats = server.stats();
+  std::printf("drained: %llu conn(s), %llu line(s), %llu response(s), "
+              "%llu overload, %llu parse error(s), %llu batch(es)\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.lines_received),
+              static_cast<unsigned long long>(stats.responses_sent),
+              static_cast<unsigned long long>(stats.overload_responses),
+              static_cast<unsigned long long>(stats.parse_errors),
+              static_cast<unsigned long long>(stats.batches_executed));
   return 0;
 }
 
@@ -591,6 +783,8 @@ int Main(int argc, char** argv) {
        args.shard_rows > 0)) {
     return RunDiscoverSharded(args);
   }
+  // serve loads its own input (CSV or artifact files) via LoadSnapshot.
+  if (args.command == "serve") return RunServeNet(args);
   Result<Dataset> data = LoadCsvDataset(args.csv_path);
   if (!data.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", args.csv_path.c_str(),
