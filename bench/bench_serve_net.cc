@@ -12,10 +12,18 @@
 // directly on the engine — the bench aborts on the first divergence,
 // so the latency numbers can never come from wrong answers.
 //
+// The load runs TWICE against the same warmed engine: once with the
+// default (baked-in) instrumentation only, once with an external
+// metrics registry attached and request tracing sampled at 1/64 — the
+// configuration `qikey serve --stats-interval-sec ... --trace-sample`
+// runs in production. Both passes are reported (params:
+// instrumentation=idle|on) so CI can flag when the observability layer
+// itself regresses request latency.
+//
 //   ./bench_serve_net [--json PATH] [--conns C] [--rps R] [--per-conn N]
 //
 // Defaults are sized for a small CI box (4 conns x 500 requests at
-// 2000 req/s aggregate ≈ 1 s of load).
+// 2000 req/s aggregate ≈ 1 s of load, per pass).
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +36,7 @@
 #include "bench_json.h"
 #include "data/generators/tabular.h"
 #include "engine/pipeline.h"
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
@@ -200,19 +209,6 @@ int Run(int argc, char** argv) {
   eopts.num_threads = 1;
   QueryEngine engine(&store, eopts);
 
-  ServerOptions sopts;
-  sopts.listen = {"127.0.0.1", 0};
-  // Generous admission caps: this bench measures latency under load the
-  // server can admit; sheds would poison the latency pool.
-  sopts.max_pending_per_conn = per_conn + 1;
-  sopts.max_pending_global = conns * (per_conn + 1);
-  ServeServer server(&engine, data.schema(), sopts);
-  Status started = server.Start();
-  if (!started.ok()) {
-    std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
-    return 1;
-  }
-
   // Per-connection workloads and the answers the server must produce.
   std::vector<std::vector<std::string>> workloads, expectations;
   for (size_t c = 0; c < conns; ++c) {
@@ -236,59 +232,106 @@ int Run(int argc, char** argv) {
     expectations.push_back(std::move(expected));
   }
 
-  double interval_ns = 1e9 * static_cast<double>(conns) / rps;
-  std::vector<ConnResult> results(conns);
-  Clock::time_point start = Clock::now() + std::chrono::milliseconds(50);
-  std::vector<std::thread> threads;
-  for (size_t c = 0; c < conns; ++c) {
-    threads.emplace_back([&, c] {
-      RunConnection(server.port(), workloads[c], expectations[c], start,
-                    interval_ns, &results[c]);
-    });
-  }
-  for (std::thread& thread : threads) thread.join();
-  Clock::time_point end = Clock::now();
-  server.Shutdown();
-  server.Join();
+  // One measured pass: fresh server over the shared warmed engine,
+  // open-loop load, pooled quantiles. `instrumented` attaches an
+  // external registry and 1-in-64 request tracing (discarded sink) —
+  // the production observability configuration.
+  struct PassResult {
+    double p50 = 0, p99 = 0, p999 = 0, qps = 0;
+  };
+  auto run_pass = [&](bool instrumented, PassResult* pr) -> int {
+    ServerOptions sopts;
+    sopts.listen = {"127.0.0.1", 0};
+    // Generous admission caps: this bench measures latency under load
+    // the server can admit; sheds would poison the latency pool.
+    sopts.max_pending_per_conn = per_conn + 1;
+    sopts.max_pending_global = conns * (per_conn + 1);
+    MetricsRegistry registry;
+    if (instrumented) {
+      sopts.metrics = &registry;
+      sopts.trace_sample = 64;
+      sopts.trace_sink = [](const std::string&) {};  // format, then drop
+    }
+    ServeServer server(&engine, data.schema(), sopts);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
+      return 1;
+    }
 
-  std::vector<double> pooled;
-  size_t mismatches = 0;
-  bool io_error = false;
-  for (const ConnResult& r : results) {
-    pooled.insert(pooled.end(), r.latency_ns.begin(), r.latency_ns.end());
-    mismatches += r.mismatches;
-    io_error |= r.io_error;
-  }
-  if (io_error || pooled.size() != conns * per_conn) {
-    std::fprintf(stderr, "bench I/O failure: %zu/%zu responses\n",
-                 pooled.size(), conns * per_conn);
-    return 1;
-  }
-  if (mismatches > 0) {
-    std::fprintf(stderr,
-                 "SELF-CHECK FAILED: %zu response(s) diverged from the "
-                 "direct engine encoding\n",
-                 mismatches);
-    return 1;
-  }
-  std::sort(pooled.begin(), pooled.end());
+    double interval_ns = 1e9 * static_cast<double>(conns) / rps;
+    std::vector<ConnResult> results(conns);
+    Clock::time_point start = Clock::now() + std::chrono::milliseconds(50);
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        RunConnection(server.port(), workloads[c], expectations[c], start,
+                      interval_ns, &results[c]);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    Clock::time_point end = Clock::now();
+    server.Shutdown();
+    server.Join();
 
-  double wall_s =
-      std::chrono::duration<double>(end - start).count();
-  double achieved_qps = static_cast<double>(pooled.size()) / wall_s;
-  struct Q {
-    const char* name;
-    double q;
-  } quantiles[] = {{"p50", 0.50}, {"p99", 0.99}, {"p999", 0.999}};
+    std::vector<double> pooled;
+    size_t mismatches = 0;
+    bool io_error = false;
+    for (const ConnResult& r : results) {
+      pooled.insert(pooled.end(), r.latency_ns.begin(), r.latency_ns.end());
+      mismatches += r.mismatches;
+      io_error |= r.io_error;
+    }
+    if (io_error || pooled.size() != conns * per_conn) {
+      std::fprintf(stderr, "bench I/O failure: %zu/%zu responses\n",
+                   pooled.size(), conns * per_conn);
+      return 1;
+    }
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "SELF-CHECK FAILED: %zu response(s) diverged from the "
+                   "direct engine encoding\n",
+                   mismatches);
+      return 1;
+    }
+    std::sort(pooled.begin(), pooled.end());
+
+    double wall_s = std::chrono::duration<double>(end - start).count();
+    pr->qps = static_cast<double>(pooled.size()) / wall_s;
+    pr->p50 = Quantile(pooled, 0.50);
+    pr->p99 = Quantile(pooled, 0.99);
+    pr->p999 = Quantile(pooled, 0.999);
+    return 0;
+  };
+
+  PassResult idle, on;
+  if (int rc = run_pass(/*instrumented=*/false, &idle)) return rc;
+  if (int rc = run_pass(/*instrumented=*/true, &on)) return rc;
 
   BenchJsonWriter json;
-  std::printf("serve_net: %zu conns x %zu reqs, offered %.0f req/s, "
-              "achieved %.0f req/s\n",
-              conns, per_conn, rps, achieved_qps);
+  std::printf("serve_net: %zu conns x %zu reqs, offered %.0f req/s per "
+              "pass\n",
+              conns, per_conn, rps);
+  struct Q {
+    const char* name;
+    double PassResult::* field;
+  } quantiles[] = {{"p50", &PassResult::p50},
+                   {"p99", &PassResult::p99},
+                   {"p999", &PassResult::p999}};
   for (const Q& q : quantiles) {
-    double ns = Quantile(pooled, q.q);
-    std::printf("  %-5s %10.1f us\n", q.name, ns / 1e3);
-    json.Add("serve_net_latency", {{"quantile", q.name}}, ns, achieved_qps);
+    double idle_ns = idle.*(q.field);
+    double on_ns = on.*(q.field);
+    double overhead =
+        idle_ns > 0 ? 100.0 * (on_ns - idle_ns) / idle_ns : 0.0;
+    std::printf("  %-5s idle %10.1f us   instrumented %10.1f us   "
+                "overhead %+6.2f%%\n",
+                q.name, idle_ns / 1e3, on_ns / 1e3, overhead);
+    json.Add("serve_net_latency",
+             {{"quantile", q.name}, {"instrumentation", "idle"}}, idle_ns,
+             idle.qps);
+    json.Add("serve_net_latency",
+             {{"quantile", q.name}, {"instrumentation", "on"}}, on_ns,
+             on.qps);
   }
   if (!json.WriteToFile(json_path)) return 1;
   return 0;

@@ -13,6 +13,13 @@ exit code is non-zero only for malformed input. A bench whose baseline
 was never committed (a brand-new bench, or a fork without baselines)
 prints an advisory note and exits 0 — missing history must not block
 the run that would create it.
+
+With --p50-overhead-threshold F, additionally compares WITHIN the
+current file: every (name, params, quantile=p50) pair that differs
+only in instrumentation=idle vs instrumentation=on. An instrumented
+p50 more than F above its idle twin warns — both measurements come
+from the same run on the same hardware, so this comparison is immune
+to the cross-machine noise that keeps the baseline check advisory.
 """
 
 import argparse
@@ -31,12 +38,53 @@ def load(path):
     return out
 
 
+def check_instrumentation_overhead(current, threshold):
+    """Warns when instrumentation=on p50 exceeds its idle twin by more
+    than `threshold` (a fraction). Returns the number of warnings."""
+    warnings = 0
+    for (name, params), idle_ns in sorted(current.items()):
+        pdict = dict(params)
+        if pdict.get("instrumentation") != "idle":
+            continue
+        if pdict.get("quantile") != "p50":
+            continue
+        pdict["instrumentation"] = "on"
+        on_key = (name, tuple(sorted(pdict.items())))
+        on_ns = current.get(on_key)
+        if on_ns is None or idle_ns <= 0:
+            continue
+        overhead = on_ns / idle_ns - 1.0
+        label = f"{name} p50 instrumentation overhead"
+        if overhead > threshold:
+            warnings += 1
+            print(
+                f"::warning::{label}: idle {idle_ns:.0f} -> on {on_ns:.0f} "
+                f"ns ({overhead:+.2%}, budget {threshold:.0%})"
+            )
+        else:
+            print(
+                f"ok: {label} {overhead:+.2%} (budget {threshold:.0%})"
+            )
+    return warnings
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--current", required=True)
     parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument("--p50-overhead-threshold", type=float, default=None)
     args = parser.parse_args()
+
+    try:
+        current = load(args.current)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"::error::cannot read bench json: {err}")
+        return 1
+
+    # Same-run, same-hardware comparison: works without any baseline.
+    if args.p50_overhead_threshold is not None:
+        check_instrumentation_overhead(current, args.p50_overhead_threshold)
 
     if not os.path.exists(args.baseline):
         print(
@@ -48,7 +96,6 @@ def main():
 
     try:
         baseline = load(args.baseline)
-        current = load(args.current)
     except (OSError, ValueError, KeyError) as err:
         print(f"::error::cannot read bench json: {err}")
         return 1

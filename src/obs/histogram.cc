@@ -1,0 +1,111 @@
+#include "obs/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace qikey {
+
+namespace {
+
+/// Inclusive lower edge and width of bucket `index`.
+struct BucketRange {
+  uint64_t lower;
+  uint64_t width;
+};
+
+BucketRange RangeOf(size_t index) {
+  constexpr uint64_t kSub = LatencyHistogram::kSubCount;
+  if (index < kSub) return {index, 1};
+  uint64_t range = index >> LatencyHistogram::kSubBits;  // >= 1
+  uint64_t sub = index & (kSub - 1);
+  int shift = static_cast<int>(range) - 1;
+  return {(kSub + sub) << shift, uint64_t{1} << shift};
+}
+
+}  // namespace
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubCount) return static_cast<size_t>(value);
+  // exponent e = floor(log2(value)) >= kSubBits; the top kSubBits+1
+  // bits of the value select the linear sub-bucket within [2^e, 2^(e+1)).
+  int e = std::bit_width(value) - 1;
+  uint64_t sub = (value >> (e - kSubBits)) - kSubCount;
+  return static_cast<size_t>((e - kSubBits + 1)) * kSubCount +
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::BucketValue(size_t index) {
+  BucketRange r = RangeOf(index);
+  return r.lower + (r.width >> 1);
+}
+
+uint64_t LatencyHistogram::BucketUpperEdge(size_t index) {
+  BucketRange r = RangeOf(index);
+  return r.lower + r.width - 1;
+}
+
+void LatencyHistogram::RecordN(int64_t value, uint64_t n) {
+  if (n == 0) return;
+  uint64_t v = value < 0 ? 0 : static_cast<uint64_t>(value);
+  buckets_[BucketIndex(v)].fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(v * n, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = c;
+    snap.count += c;
+    if (c != 0) snap.max = BucketUpperEdge(i);
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return LatencyHistogram::BucketValue(i);
+  }
+  return max;
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size());
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+}
+
+}  // namespace qikey

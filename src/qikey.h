@@ -67,6 +67,8 @@
 #include "math/sympoly.h"
 #include "monitor/incremental_filter.h"
 #include "monitor/key_monitor.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "serve/conn.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
@@ -83,6 +85,7 @@
 #include "stream/reservoir.h"
 #include "stream/stream_builder.h"
 #include "util/csv.h"
+#include "util/jsonw.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"

@@ -39,6 +39,21 @@ class LineSplitter {
   bool overflowed_ = false;
 };
 
+/// \brief One admitted request line, stamped with the observability
+/// context it was admitted under: its admission timestamp (feeding the
+/// admission-to-flush latency histogram), a server-wide request id,
+/// and whether this request was picked by trace sampling.
+struct PendingLine {
+  std::string line;
+  /// Steady-clock ns at admission (reactor thread).
+  int64_t admit_ns = 0;
+  /// Monotonic across the server's lifetime; labels trace output.
+  uint64_t request_id = 0;
+  /// True when `--trace-sample` selected this request for a per-stage
+  /// timing trace.
+  bool traced = false;
+};
+
 /// \brief One client connection of the serve reactor: owned socket,
 /// line framing, the bounded queue of lines awaiting execution, and
 /// the outgoing write buffer.
@@ -57,7 +72,7 @@ struct ServeConn {
   LineSplitter splitter;
   /// Parsed-off request lines admitted but not yet handed to a worker.
   /// Bounded by the server's per-connection admission cap.
-  std::deque<std::string> pending;
+  std::deque<PendingLine> pending;
   /// Lines currently executing in a worker batch (0 = none). At most
   /// one batch per connection is in flight, which is what keeps
   /// responses in request order without any sequencing metadata.
@@ -79,6 +94,11 @@ struct ServeConn {
   bool peer_eof = false;
   /// True while registered for EPOLLOUT (write buffer non-empty).
   bool want_write = false;
+
+  /// Read/write buffer bytes last folded into the server's aggregate
+  /// buffer gauges (reactor-only bookkeeping; see SyncConnGauges).
+  size_t obs_read_bytes = 0;
+  size_t obs_write_bytes = 0;
 
   size_t unsent_bytes() const { return write_buf.size() - write_pos; }
   bool idle() const {

@@ -37,6 +37,23 @@ namespace qikey {
 /// version; the server answers `ok v1` (an unsupported `QIKEY/<n>`
 /// gets `err validation ...`).
 ///
+/// ## Admin verbs
+///
+///   stats
+///
+/// Answered by the server itself (never the query engine) with one
+/// `ok <json>` line: the server's full metrics snapshot as a single
+/// line of JSON (`MetricsSnapshot::RenderJson` — sorted keys, integer
+/// values), e.g.
+///
+///   client: stats
+///   server: ok {"counters":{...},"gauges":{...},"histograms":{...}}
+///
+/// `stats` goes through normal admission (it is a request line like
+/// any other, counted and shed the same way), so its cost under
+/// overload is bounded. The batch executor (`qikey query --stats`)
+/// reports through the same JSON schema.
+///
 /// ## Requests (grammar, tokens separated by spaces/tabs)
 ///
 ///   is-key     <attr>[,<attr>...]
@@ -76,6 +93,9 @@ inline constexpr ProtocolVersion kProtocolCurrent = ProtocolVersion::kV1;
 
 /// The v1 hello / version-assertion line.
 inline constexpr std::string_view kHelloV1 = "QIKEY/1";
+
+/// The admin verb returning the server's metrics snapshot.
+inline constexpr std::string_view kStatsVerb = "stats";
 
 /// True if `line` looks like a protocol hello (`QIKEY/<digits>`),
 /// whether or not the version is one we support.

@@ -1,5 +1,6 @@
 #include "serve/query_engine.h"
 
+#include <chrono>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -15,6 +16,12 @@ size_t ResolveThreads(size_t num_threads) {
   if (num_threads > 0) return num_threads;
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -84,8 +91,43 @@ QueryResponse QueryEngine::Execute(const QueryRequest& request) const {
   return ExecuteBatch(std::span<const QueryRequest>(copy, 1)).front();
 }
 
+void QueryEngine::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounter("engine.requests", &requests_);
+  registry->RegisterCounter("engine.batches", &batches_);
+  registry->RegisterHistogram("engine.batch_size", &batch_size_);
+  registry->RegisterHistogram("engine.pass.validate_ns", &validate_ns_);
+  registry->RegisterHistogram("engine.pass.dedupe_ns", &dedupe_ns_);
+  registry->RegisterHistogram("engine.pass.execute_ns", &execute_ns_);
+  registry->RegisterCounterFn("cache.hits", [this] { return cache_.hits(); });
+  registry->RegisterCounterFn("cache.misses",
+                              [this] { return cache_.misses(); });
+  registry->RegisterCounterFn("cache.evictions",
+                              [this] { return cache_.evictions(); });
+  registry->RegisterGaugeFn("cache.size", [this] {
+    return static_cast<int64_t>(cache_.size());
+  });
+  const SnapshotStore* store = store_;
+  registry->RegisterGaugeFn("snapshot.epoch", [store] {
+    return static_cast<int64_t>(store->epoch());
+  });
+  registry->RegisterCounterFn("snapshot.publishes",
+                              [store] { return store->epoch(); });
+  registry->RegisterGaugeFn("snapshot.age_ns", [store] {
+    int64_t published = store->last_publish_steady_ns();
+    return published == 0 ? int64_t{0} : NowNs() - published;
+  });
+  if (pool_ != nullptr) {
+    pool_->AttachMetrics(&pool_queue_depth_, &pool_task_ns_);
+    registry->RegisterGauge("pool.queue_depth", &pool_queue_depth_);
+    registry->RegisterHistogram("pool.task_ns", &pool_task_ns_);
+  }
+}
+
 std::vector<QueryResponse> QueryEngine::ExecuteBatch(
     std::span<const QueryRequest> requests) const {
+  batches_.Increment();
+  requests_.Increment(requests.size());
+  batch_size_.Record(static_cast<int64_t>(requests.size()));
   std::vector<QueryResponse> responses(requests.size());
   std::shared_ptr<const ServeSnapshot> snapshot = store_->Current();
   if (snapshot == nullptr) {
@@ -103,6 +145,7 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
   // throughput scales with threads). Each chunk writes disjoint
   // response slots and every answer is a pure function of
   // (snapshot, request), so the split cannot change results.
+  int64_t pass_start = NowNs();
   std::vector<uint8_t> needs_filter(requests.size(), 0);
   ThreadPool::ParallelFor(
       pool_.get(), requests.size(), [&](size_t begin, size_t end) {
@@ -128,6 +171,10 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
         }
       });
 
+  int64_t pass_end = NowNs();
+  validate_ns_.Record(pass_end - pass_start);
+  pass_start = pass_end;
+
   // Pass 2 (serial, cheap): dedupe the missed is-key sets — duplicates
   // within the batch share one filter slot.
   std::vector<std::pair<size_t, size_t>> filter_slots;  // (request, slot)
@@ -140,6 +187,9 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
     if (inserted) filter_attrs.push_back(requests[i].attrs);
     filter_slots.emplace_back(i, it->second);
   }
+  pass_end = NowNs();
+  dedupe_ns_.Record(pass_end - pass_start);
+  pass_start = pass_end;
 
   // Pass 3: one batched filter query for all misses (the pipeline's
   // own batched path — on the bitset backend this is the block
@@ -154,6 +204,7 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
       responses[request_index].verdict = verdicts[slot];
     }
   }
+  execute_ns_.Record(NowNs() - pass_start);
   return responses;
 }
 

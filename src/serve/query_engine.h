@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/request.h"
 #include "serve/snapshot.h"
 #include "serve/verdict_cache.h"
@@ -64,6 +65,15 @@ class QueryEngine {
     return pool_ != nullptr ? pool_->num_threads() : 1;
   }
 
+  /// Registers the engine's metric families with `registry`:
+  /// `engine.*` (request/batch counters, batch-size histogram,
+  /// per-pass validate/dedupe/execute timings), `cache.*`
+  /// (hit/miss/evict/size), `snapshot.*` (epoch, publish count, age),
+  /// and — when the engine owns a pool — `pool.*` (queue depth, task
+  /// latency). The registry must not outlive the engine or its store.
+  /// Recording is always on; registration only exposes the instruments.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
  private:
   /// Validates `request` against `snapshot`; OK means the payload can
   /// be computed.
@@ -78,6 +88,17 @@ class QueryEngine {
   QueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   mutable VerdictCache cache_;
+
+  // Observability (recorded by const ExecuteBatch, hence mutable; all
+  // instruments are internally thread-safe).
+  mutable Counter requests_;
+  mutable Counter batches_;
+  mutable LatencyHistogram batch_size_;
+  mutable LatencyHistogram validate_ns_;
+  mutable LatencyHistogram dedupe_ns_;
+  mutable LatencyHistogram execute_ns_;
+  mutable Gauge pool_queue_depth_;
+  mutable LatencyHistogram pool_task_ns_;
 };
 
 }  // namespace qikey

@@ -9,6 +9,9 @@
 #include <unistd.h>
 #include <utility>
 
+#include "util/jsonw.h"
+#include "util/logging.h"
+
 namespace qikey {
 
 namespace {
@@ -24,6 +27,12 @@ constexpr int kEpollTickMs = 50;  ///< timeout/reap granularity
 
 int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
@@ -85,6 +94,11 @@ Status ServeServer::Start() {
                            std::strerror(errno));
   }
 
+  // Registry wiring happens strictly before any server thread exists,
+  // so workers rendering the `stats` verb see a fully built registry
+  // without synchronization beyond thread creation.
+  RegisterMetrics();
+
   running_.store(true, std::memory_order_release);
   size_t workers = options_.worker_threads > 0 ? options_.worker_threads : 1;
   workers_.reserve(workers);
@@ -113,8 +127,83 @@ void ServeServer::Join() {
 }
 
 ServerStats ServeServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServerStats stats;
+  stats.connections_accepted = connections_accepted_.value();
+  stats.connections_closed = connections_closed_.value();
+  stats.lines_received = lines_received_.value();
+  stats.responses_sent = responses_sent_.value();
+  stats.overload_responses = overload_responses_.value();
+  stats.parse_errors = parse_errors_.value();
+  stats.idle_reaped = idle_reaped_.value();
+  stats.batches_executed = batches_executed_.value();
+  return stats;
+}
+
+void ServeServer::RegisterMetrics() {
+  registry_ = options_.metrics;
+  if (registry_ == nullptr) {
+    own_registry_ = std::make_unique<MetricsRegistry>();
+    registry_ = own_registry_.get();
+  }
+  registry_->RegisterCounter("server.connections_accepted",
+                             &connections_accepted_);
+  registry_->RegisterCounter("server.connections_closed",
+                             &connections_closed_);
+  registry_->RegisterCounter("server.lines_received", &lines_received_);
+  registry_->RegisterCounter("server.lines_admitted", &lines_admitted_);
+  registry_->RegisterCounter("server.responses_sent", &responses_sent_);
+  registry_->RegisterCounter("server.overload_responses",
+                             &overload_responses_);
+  registry_->RegisterCounter("server.parse_errors", &parse_errors_);
+  registry_->RegisterCounter("server.idle_reaped", &idle_reaped_);
+  registry_->RegisterCounter("server.batches_executed", &batches_executed_);
+  registry_->RegisterCounter("server.traces_emitted", &traces_emitted_);
+  registry_->RegisterGauge("server.connections", &connections_);
+  registry_->RegisterGauge("server.admission_queue_depth",
+                           &admission_queue_depth_);
+  registry_->RegisterGauge("server.work_queue_depth", &work_queue_depth_);
+  registry_->RegisterGauge("server.read_buffer_bytes", &read_buffer_bytes_);
+  registry_->RegisterGauge("server.write_buffer_bytes", &write_buffer_bytes_);
+  registry_->RegisterHistogram("server.request_ns", &request_ns_);
+  engine_->RegisterMetrics(registry_);
+}
+
+void ServeServer::SyncConnGauges(ServeConn* conn) {
+  size_t read_bytes = conn->splitter.buffered_bytes();
+  size_t write_bytes = conn->unsent_bytes();
+  read_buffer_bytes_.Add(static_cast<int64_t>(read_bytes) -
+                         static_cast<int64_t>(conn->obs_read_bytes));
+  write_buffer_bytes_.Add(static_cast<int64_t>(write_bytes) -
+                          static_cast<int64_t>(conn->obs_write_bytes));
+  conn->obs_read_bytes = read_bytes;
+  conn->obs_write_bytes = write_bytes;
+}
+
+void ServeServer::EmitTrace(uint64_t conn_id, const TraceRecord& trace,
+                            int64_t flush_done_ns) {
+  std::string line;
+  line.reserve(192);
+  line += "{\"type\":\"trace\",\"request_id\":";
+  line += std::to_string(trace.request_id);
+  line += ",\"conn\":";
+  line += std::to_string(conn_id);
+  line += ",\"parse_ns\":";
+  line += std::to_string(trace.parse_ns);
+  line += ",\"queue_ns\":";
+  line += std::to_string(trace.queue_ns);
+  line += ",\"execute_ns\":";
+  line += std::to_string(trace.execute_ns);
+  line += ",\"flush_ns\":";
+  line += std::to_string(flush_done_ns - trace.done_ns);
+  line += ",\"total_ns\":";
+  line += std::to_string(flush_done_ns - trace.admit_ns);
+  line += '}';
+  traces_emitted_.Increment();
+  if (options_.trace_sink) {
+    options_.trace_sink(line);
+  } else {
+    WriteRawLine(line);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -205,10 +294,7 @@ void ServeServer::AcceptNewConnections() {
           "\n";
       [[maybe_unused]] ssize_t n =
           ::send(fd.get(), line.data(), line.size(), MSG_NOSIGNAL);
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.overload_responses;
-      }
+      overload_responses_.Increment();
       continue;  // OwnedFd closes it
     }
     uint64_t id = next_conn_id_++;
@@ -225,12 +311,13 @@ void ServeServer::AcceptNewConnections() {
     }
     ServeConn* raw_conn = conn.get();
     conns_.emplace(id, std::move(conn));
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.connections_accepted;
-    }
+    connections_accepted_.Increment();
+    connections_.Set(static_cast<int64_t>(conns_.size()));
     FlushWrites(raw_conn);
-    if (conns_.find(id) != conns_.end()) UpdateEpollInterest(raw_conn);
+    if (conns_.find(id) != conns_.end()) {
+      SyncConnGauges(raw_conn);
+      UpdateEpollInterest(raw_conn);
+    }
   }
 }
 
@@ -264,6 +351,7 @@ void ServeServer::HandleReadable(ServeConn* conn) {
   size_t admitted = 0;
   size_t overloaded = 0;
   size_t received = lines.size();
+  int64_t admit_ns = received > 0 ? NowNs() : 0;
   for (std::string& line : lines) {
     if (conn->close_after_flush) break;  // overload-close already tripped
     bool conn_full = conn->pending.size() + conn->inflight_lines >=
@@ -277,16 +365,21 @@ void ServeServer::HandleReadable(ServeConn* conn) {
       if (options_.close_on_overload) conn->close_after_flush = true;
       continue;
     }
-    conn->pending.push_back(std::move(line));
+    PendingLine pending;
+    pending.line = std::move(line);
+    pending.admit_ns = admit_ns;
+    pending.request_id = next_request_id_++;
+    pending.traced = options_.trace_sample > 0 &&
+                     (++trace_seq_ % options_.trace_sample) == 0;
+    conn->pending.push_back(std::move(pending));
     ++global_pending_;
     ++admitted;
   }
-  if (received > 0 || overloaded > 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.lines_received += received;
-    stats_.overload_responses += overloaded;
-    stats_.responses_sent += overloaded;
-  }
+  lines_received_.Increment(received);
+  lines_admitted_.Increment(admitted);
+  overload_responses_.Increment(overloaded);
+  responses_sent_.Increment(overloaded);
+  admission_queue_depth_.Set(static_cast<int64_t>(global_pending_));
 
   if (framing_lost) {
     conn->QueueResponse(EncodeErrorLine(
@@ -294,14 +387,14 @@ void ServeServer::HandleReadable(ServeConn* conn) {
         "request line exceeds " + std::to_string(options_.max_line_bytes) +
             " bytes"));
     conn->close_after_flush = true;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.parse_errors;
-    ++stats_.responses_sent;
+    parse_errors_.Increment();
+    responses_sent_.Increment();
   }
 
   SubmitBatchIfReady(conn);
   FlushWrites(conn);
   if (conns_.find(id) == conns_.end()) return;
+  SyncConnGauges(conn);
   if ((conn->peer_eof || conn->close_after_flush) && conn->idle()) {
     CloseConn(id);
     return;
@@ -313,6 +406,7 @@ void ServeServer::HandleWritable(ServeConn* conn) {
   uint64_t id = conn->id;
   FlushWrites(conn);
   if (conns_.find(id) == conns_.end()) return;
+  SyncConnGauges(conn);
   if ((conn->close_after_flush || conn->peer_eof) && conn->idle()) {
     CloseConn(id);
     return;
@@ -334,6 +428,7 @@ void ServeServer::SubmitBatchIfReady(ServeConn* conn) {
   {
     std::lock_guard<std::mutex> lock(work_mu_);
     work_queue_.push_back(std::move(work));
+    work_queue_depth_.Set(static_cast<int64_t>(work_queue_.size()));
   }
   work_ready_.notify_one();
 }
@@ -349,10 +444,16 @@ void ServeServer::ProcessCompletions() {
     // while its batch was executing — otherwise a churning client
     // could leak the global queue shut.
     global_pending_ -= completion.num_lines;
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.batches_executed;
-      stats_.responses_sent += completion.num_lines;
+    batches_executed_.Increment();
+    responses_sent_.Increment(completion.num_lines);
+    admission_queue_depth_.Set(static_cast<int64_t>(global_pending_));
+    // Admission -> flush latency, recorded BEFORE the response bytes
+    // can reach the client: a lockstep client therefore always
+    // observes its own request already counted, which is what makes
+    // `stats` output reproducible across identical request sequences.
+    int64_t flushed_ns = NowNs();
+    for (int64_t admitted_at : completion.admit_ns) {
+      request_ns_.Record(flushed_ns - admitted_at);
     }
     auto it = conns_.find(completion.conn_id);
     if (it == conns_.end()) continue;
@@ -361,7 +462,14 @@ void ServeServer::ProcessCompletions() {
     conn->write_buf.append(completion.response_bytes);
     SubmitBatchIfReady(conn);
     FlushWrites(conn);
+    if (!completion.traces.empty()) {
+      int64_t flush_done_ns = NowNs();
+      for (const TraceRecord& trace : completion.traces) {
+        EmitTrace(completion.conn_id, trace, flush_done_ns);
+      }
+    }
     if (conns_.find(completion.conn_id) == conns_.end()) continue;
+    SyncConnGauges(conn);
     if ((conn->peer_eof || conn->close_after_flush || draining_) &&
         conn->idle()) {
       CloseConn(completion.conn_id);
@@ -409,10 +517,15 @@ void ServeServer::CloseConn(uint64_t conn_id) {
   // Pending (never-submitted) lines release their admission slots here;
   // in-flight lines release theirs when the orphaned completion lands.
   global_pending_ -= it->second->pending.size();
+  admission_queue_depth_.Set(static_cast<int64_t>(global_pending_));
+  // Back out this connection's contribution to the aggregate buffer
+  // gauges (whatever was last folded in).
+  read_buffer_bytes_.Add(-static_cast<int64_t>(it->second->obs_read_bytes));
+  write_buffer_bytes_.Add(-static_cast<int64_t>(it->second->obs_write_bytes));
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second->fd.get(), nullptr);
   conns_.erase(it);
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.connections_closed;
+  connections_closed_.Increment();
+  connections_.Set(static_cast<int64_t>(conns_.size()));
 }
 
 void ServeServer::ReapIdleConns(int64_t now_ms) {
@@ -430,8 +543,7 @@ void ServeServer::ReapIdleConns(int64_t now_ms) {
   }
   if (expired.empty()) return;
   for (uint64_t id : expired) CloseConn(id);
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.idle_reaped += expired.size();
+  idle_reaped_.Increment(expired.size());
 }
 
 void ServeServer::BeginDrain() {
@@ -470,7 +582,9 @@ void ServeServer::WorkerLoop() {
       if (work_queue_.empty()) return;  // stop requested and queue drained
       work = std::move(work_queue_.front());
       work_queue_.pop_front();
+      work_queue_depth_.Set(static_cast<int64_t>(work_queue_.size()));
     }
+    work.dequeue_ns = NowNs();
     Completion completion = ExecuteWork(std::move(work));
     {
       std::lock_guard<std::mutex> lock(completion_mu_);
@@ -486,39 +600,56 @@ ServeServer::Completion ServeServer::ExecuteWork(WorkItem work) {
   Completion completion;
   completion.conn_id = work.conn_id;
   completion.num_lines = work.lines.size();
+  completion.admit_ns.reserve(work.lines.size());
+  for (const PendingLine& pending : work.lines) {
+    completion.admit_ns.push_back(pending.admit_ns);
+  }
 
-  // Parse every line; hello assertions and parse failures are answered
-  // inline, everything else joins one engine batch.
+  // Parse every line; hello assertions, the `stats` admin verb, and
+  // parse failures are answered inline, everything else joins one
+  // engine batch.
   std::vector<std::string> immediate(work.lines.size());
   std::vector<int> slot(work.lines.size(), -1);
+  std::vector<int64_t> parse_ns(work.lines.size(), 0);
   std::vector<QueryRequest> requests;
   size_t parse_errors = 0;
+  bool any_traced = false;
   for (size_t i = 0; i < work.lines.size(); ++i) {
-    const std::string& line = work.lines[i];
-    if (IsHelloLine(line)) {
+    const std::string& line = work.lines[i].line;
+    any_traced |= work.lines[i].traced;
+    int64_t parse_start = work.lines[i].traced ? NowNs() : 0;
+    if (line == kStatsVerb) {
+      // Rendered by the server, not the engine: one consistent
+      // snapshot of every registered family as a single `ok` line.
+      immediate[i] = "ok " + registry_->RenderJson();
+    } else if (IsHelloLine(line)) {
       Result<ProtocolVersion> version = ParseHelloLine(line);
       immediate[i] = version.ok()
                          ? HelloAck(*version)
                          : EncodeErrorLine(ServeErrorCode::kValidation,
                                            version.status().message());
-      continue;
+    } else {
+      Result<QueryRequest> request = ParseQueryRequest(line, schema_);
+      if (!request.ok()) {
+        immediate[i] = EncodeErrorLine(ServeErrorCode::kParse,
+                                       request.status().message());
+        ++parse_errors;
+      } else {
+        slot[i] = static_cast<int>(requests.size());
+        requests.push_back(std::move(*request));
+      }
     }
-    Result<QueryRequest> request = ParseQueryRequest(line, schema_);
-    if (!request.ok()) {
-      immediate[i] = EncodeErrorLine(ServeErrorCode::kParse,
-                                     request.status().message());
-      ++parse_errors;
-      continue;
-    }
-    slot[i] = static_cast<int>(requests.size());
-    requests.push_back(std::move(*request));
+    if (work.lines[i].traced) parse_ns[i] = NowNs() - parse_start;
   }
 
   std::vector<QueryResponse> responses;
+  int64_t execute_ns = 0;
   if (!requests.empty()) {
     // One pinned snapshot per batch: a concurrent Publish never mixes
     // epochs inside it (QueryEngine semantics).
+    int64_t execute_start = any_traced ? NowNs() : 0;
     responses = engine_->ExecuteBatch(requests);
+    if (any_traced) execute_ns = NowNs() - execute_start;
   }
 
   for (size_t i = 0; i < work.lines.size(); ++i) {
@@ -530,10 +661,23 @@ ServeServer::Completion ServeServer::ExecuteWork(WorkItem work) {
     }
     completion.response_bytes += '\n';
   }
-  if (parse_errors > 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.parse_errors += parse_errors;
+  if (any_traced) {
+    int64_t done_ns = NowNs();
+    for (size_t i = 0; i < work.lines.size(); ++i) {
+      if (!work.lines[i].traced) continue;
+      TraceRecord trace;
+      trace.request_id = work.lines[i].request_id;
+      trace.admit_ns = work.lines[i].admit_ns;
+      trace.parse_ns = parse_ns[i];
+      trace.queue_ns = work.dequeue_ns - work.lines[i].admit_ns;
+      // Batch-shared: the engine executes the whole batch at once, so
+      // a sampled line is attributed the batch's execute wall time.
+      trace.execute_ns = slot[i] >= 0 ? execute_ns : 0;
+      trace.done_ns = done_ns;
+      completion.traces.push_back(trace);
+    }
   }
+  parse_errors_.Increment(parse_errors);
   return completion;
 }
 

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "data/schema.h"
+#include "obs/metrics.h"
 #include "serve/conn.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
@@ -67,9 +69,27 @@ struct ServerOptions {
   size_t worker_threads = 1;
   /// Most lines handed to one `ExecuteBatch` call.
   size_t max_batch = 512;
+
+  /// Registry the server (and its engine) register their metrics with
+  /// at `Start()` — this is what the `stats` wire verb renders. Null
+  /// means the server creates and owns a private registry, so `stats`
+  /// works with zero wiring; pass one to share it with other exposure
+  /// paths (periodic dumps, SIGUSR1). Must outlive the server.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Trace every Nth admitted request line with per-stage timings
+  /// (parse / queue-wait / execute / flush); 0 disables tracing. Each
+  /// sampled request produces one JSON line through `trace_sink`.
+  uint64_t trace_sample = 0;
+  /// Destination for trace lines (called on the reactor thread, line
+  /// has no trailing newline). Null means stderr via `WriteRawLine`.
+  std::function<void(const std::string&)> trace_sink;
 };
 
 /// Monotonic counters, readable while serving (`ServeServer::stats`).
+/// A point-in-time copy assembled from the server's registry-backed
+/// `Counter`s — kept as a plain struct so existing callers and tests
+/// read the same shape they always did.
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_closed = 0;
@@ -167,19 +187,52 @@ class ServeServer {
 
   ServerStats stats() const;
 
+  /// The registry backing the `stats` verb: `options.metrics` when
+  /// provided, the server's own otherwise. Valid after `Start()`.
+  const MetricsRegistry* metrics() const { return registry_; }
+
  private:
   struct WorkItem {
     uint64_t conn_id = 0;
-    std::vector<std::string> lines;
+    std::vector<PendingLine> lines;
+    int64_t dequeue_ns = 0;  ///< stamped by the worker (queue wait)
+  };
+  /// Per-stage timings of one trace-sampled request (steady ns).
+  struct TraceRecord {
+    uint64_t request_id = 0;
+    int64_t admit_ns = 0;    ///< admission timestamp
+    int64_t parse_ns = 0;    ///< time parsing this line
+    int64_t queue_ns = 0;    ///< admission -> worker dequeue
+    int64_t execute_ns = 0;  ///< engine batch execution (shared by batch)
+    int64_t done_ns = 0;     ///< timestamp when the worker finished encoding
   };
   struct Completion {
     uint64_t conn_id = 0;
     size_t num_lines = 0;       ///< admission-queue slots to release
     std::string response_bytes; ///< newline-terminated response lines
+    /// Admission timestamps of the batch's lines (request latency).
+    std::vector<int64_t> admit_ns;
+    /// Trace records for the batch's sampled lines (usually empty).
+    std::vector<TraceRecord> traces;
   };
 
   void ReactorLoop();
   void WorkerLoop();
+
+  /// Registers the server's own metric families (`server.*`) with
+  /// `registry_` and attaches the engine's. Called once from `Start()`
+  /// before any thread exists.
+  void RegisterMetrics();
+
+  /// Folds this connection's read/write buffer sizes into the
+  /// aggregate buffer gauges (delta vs what was last folded in).
+  /// Reactor thread only.
+  void SyncConnGauges(ServeConn* conn);
+
+  /// Emits one trace line (reactor thread) for a sampled request whose
+  /// response was just queued for flushing.
+  void EmitTrace(uint64_t conn_id, const TraceRecord& trace,
+                 int64_t flush_done_ns);
 
   /// Executes one batch: parse each line (hello/parse errors answered
   /// inline), one `ExecuteBatch` for the valid requests, encode in
@@ -220,6 +273,8 @@ class ServeServer {
   std::unordered_map<uint64_t, std::unique_ptr<ServeConn>> conns_;
   uint64_t next_conn_id_ = 0;
   size_t global_pending_ = 0;  ///< admitted lines not yet completed
+  uint64_t next_request_id_ = 0;
+  uint64_t trace_seq_ = 0;  ///< admitted-line counter for sampling
   bool draining_ = false;
   int64_t drain_deadline_ms_ = 0;
 
@@ -233,8 +288,26 @@ class ServeServer {
   std::mutex completion_mu_;
   std::vector<Completion> completions_;
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  // Observability. Counters/gauges are internally thread-safe; the
+  // registry is set up in Start() before any server thread runs.
+  MetricsRegistry* registry_ = nullptr;
+  std::unique_ptr<MetricsRegistry> own_registry_;
+  Counter connections_accepted_;
+  Counter connections_closed_;
+  Counter lines_received_;
+  Counter lines_admitted_;
+  Counter responses_sent_;
+  Counter overload_responses_;
+  Counter parse_errors_;
+  Counter idle_reaped_;
+  Counter batches_executed_;
+  Counter traces_emitted_;
+  Gauge connections_;            ///< currently open connections
+  Gauge admission_queue_depth_;  ///< == global_pending_
+  Gauge work_queue_depth_;       ///< batches awaiting a worker
+  Gauge read_buffer_bytes_;      ///< partial request bytes, all conns
+  Gauge write_buffer_bytes_;     ///< unsent response bytes, all conns
+  LatencyHistogram request_ns_;  ///< admission -> response flushed
 };
 
 }  // namespace qikey

@@ -1,5 +1,6 @@
 #include "serve/snapshot.h"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <utility>
@@ -128,6 +129,11 @@ Result<uint64_t> SnapshotStore::Publish(ServeSnapshot snapshot) {
   snapshot.epoch = epoch;
   current_.store(std::make_shared<const ServeSnapshot>(std::move(snapshot)),
                  std::memory_order_release);
+  last_publish_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
   return epoch;
 }
 

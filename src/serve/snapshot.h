@@ -138,9 +138,16 @@ class SnapshotStore {
     return next_epoch_.load(std::memory_order_acquire);
   }
 
+  /// Steady-clock timestamp (ns) of the latest publish; 0 before the
+  /// first. Observability reads this to report current-snapshot age.
+  int64_t last_publish_steady_ns() const {
+    return last_publish_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<std::shared_ptr<const ServeSnapshot>> current_;
   std::atomic<uint64_t> next_epoch_{0};
+  std::atomic<int64_t> last_publish_ns_{0};
 };
 
 }  // namespace qikey

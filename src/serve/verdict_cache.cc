@@ -22,19 +22,19 @@ VerdictCache::Shard& VerdictCache::ShardFor(uint64_t epoch,
 bool VerdictCache::Lookup(uint64_t epoch, const AttributeSet& attrs,
                           FilterVerdict* verdict) {
   if (!enabled()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    disabled_misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   Shard& shard = ShardFor(epoch, attrs);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(Key{epoch, attrs});
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *verdict = it->second->second;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   return true;
 }
 
@@ -53,9 +53,37 @@ void VerdictCache::Insert(uint64_t epoch, const AttributeSet& attrs,
   if (shard.lru.size() >= per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
+    ++shard.evictions;
   }
   shard.lru.emplace_front(std::move(key), verdict);
   shard.index.emplace(shard.lru.front().first, shard.lru.begin());
+}
+
+uint64_t VerdictCache::hits() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->hits;
+  }
+  return total;
+}
+
+uint64_t VerdictCache::misses() const {
+  uint64_t total = disabled_misses_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->misses;
+  }
+  return total;
+}
+
+uint64_t VerdictCache::evictions() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->evictions;
+  }
+  return total;
 }
 
 size_t VerdictCache::size() const {

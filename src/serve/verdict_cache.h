@@ -50,8 +50,12 @@ class VerdictCache {
   void Insert(uint64_t epoch, const AttributeSet& attrs,
               FilterVerdict verdict);
 
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Hit/miss/eviction totals, summed over the per-shard counters
+  /// (each shard counts under its own lock, so the hot path adds no
+  /// shared atomic traffic).
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
   /// Live entries over all shards (test/diagnostic use; takes each
   /// shard's lock in turn).
   size_t size() const;
@@ -81,14 +85,18 @@ class VerdictCache {
     std::unordered_map<Key, std::list<std::pair<Key, FilterVerdict>>::iterator,
                        KeyHash>
         index;
+    /// Guarded by `mu` (bumped while the shard lock is already held).
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
   };
 
   Shard& ShardFor(uint64_t epoch, const AttributeSet& attrs);
 
   size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  /// Misses recorded while the cache is disabled (no shard to charge).
+  std::atomic<uint64_t> disabled_misses_{0};
 };
 
 }  // namespace qikey

@@ -1,0 +1,19 @@
+#ifndef QIKEY_UTIL_JSONW_H_
+#define QIKEY_UTIL_JSONW_H_
+
+#include <string>
+#include <string_view>
+
+namespace qikey {
+
+/// Appends `s` to `*out` as a quoted JSON string literal, escaping the
+/// characters RFC 8259 requires (quote, backslash, control bytes).
+/// Bytes >= 0x80 are passed through untouched (UTF-8 stays UTF-8).
+void AppendJsonString(std::string_view s, std::string* out);
+
+/// Returns `s` as a quoted JSON string literal.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace qikey
+
+#endif  // QIKEY_UTIL_JSONW_H_

@@ -1,12 +1,19 @@
 #include "util/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <chrono>
+
+#include "util/jsonw.h"
 
 namespace qikey {
 
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+std::atomic<bool> g_json_lines{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,16 +31,44 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   if (level_ >= threshold() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    std::string out;
+    if (json_lines()) {
+      out += "{\"ts_ms\":";
+      out += std::to_string(NowMillis());
+      out += ",\"level\":";
+      AppendJsonString(LevelName(level_), &out);
+      out += ",\"src\":";
+      std::string src = file_;
+      src += ':';
+      src += std::to_string(line_);
+      AppendJsonString(src, &out);
+      out += ",\"msg\":";
+      AppendJsonString(stream_.str(), &out);
+      out += '}';
+    } else {
+      out += '[';
+      out += LevelName(level_);
+      out += ' ';
+      out += file_;
+      out += ':';
+      out += std::to_string(line_);
+      out += "] ";
+      out += stream_.str();
+    }
+    WriteRawLine(out);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();
@@ -43,5 +78,27 @@ LogMessage::~LogMessage() {
 void LogMessage::SetThreshold(LogLevel level) { g_threshold.store(level); }
 
 LogLevel LogMessage::threshold() { return g_threshold.load(); }
+
+void LogMessage::SetJsonLines(bool enabled) { g_json_lines.store(enabled); }
+
+bool LogMessage::json_lines() { return g_json_lines.load(); }
+
+void WriteRawLine(std::string_view line) {
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf.push_back('\n');
+  const char* data = buf.data();
+  size_t remaining = buf.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(2, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // stderr gone; nothing sensible left to do
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+}
 
 }  // namespace qikey

@@ -2,9 +2,9 @@
 #define QIKEY_UTIL_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace qikey {
 
@@ -16,6 +16,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 /// Usage: `QIKEY_LOG(INFO) << "built filter with " << r << " samples";`
 /// Messages below the global threshold (default: kInfo) are dropped.
 /// kFatal aborts the process after emitting the message.
+///
+/// The full line (prefix + message + newline) is buffered and emitted
+/// with a single `write(2)` to stderr, so concurrent log lines from
+/// the reactor, workers, and pool tasks never interleave mid-line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -30,10 +34,24 @@ class LogMessage {
   static void SetThreshold(LogLevel level);
   static LogLevel threshold();
 
+  /// Switches log emission to JSON lines:
+  ///   {"ts_ms":...,"level":"INFO","src":"file.cc:42","msg":"..."}
+  /// (one object per line, message JSON-escaped). Default: plain text.
+  static void SetJsonLines(bool enabled);
+  static bool json_lines();
+
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
+
+/// Writes `line` plus a trailing newline to stderr as one `write(2)`
+/// (retrying on partial writes / EINTR), so it cannot interleave with
+/// concurrent log or trace lines. Used for metrics dumps and request
+/// traces, which are already fully formatted JSON.
+void WriteRawLine(std::string_view line);
 
 /// Internal: expands to a LogMessage for the given severity name.
 #define QIKEY_LOG(severity)                                               \

@@ -11,9 +11,11 @@ namespace {
 // write; nothing here allocates, locks, or calls the serve layer.
 volatile std::sig_atomic_t g_shutdown = 0;
 volatile std::sig_atomic_t g_reload = 0;
+volatile std::sig_atomic_t g_stats_dump = 0;
 
 void OnShutdownSignal(int) { g_shutdown = 1; }
 void OnReloadSignal(int) { g_reload = 1; }
+void OnStatsDumpSignal(int) { g_stats_dump = 1; }
 
 }  // namespace
 
@@ -26,6 +28,8 @@ void InstallSignalFlags() {
   sigaction(SIGINT, &sa, nullptr);
   sa.sa_handler = OnReloadSignal;
   sigaction(SIGHUP, &sa, nullptr);
+  sa.sa_handler = OnStatsDumpSignal;
+  sigaction(SIGUSR1, &sa, nullptr);
 }
 
 bool ShutdownRequested() { return g_shutdown != 0; }
@@ -33,6 +37,10 @@ bool ShutdownRequested() { return g_shutdown != 0; }
 bool ReloadRequested() { return g_reload != 0; }
 
 void ClearReload() { g_reload = 0; }
+
+bool StatsDumpRequested() { return g_stats_dump != 0; }
+
+void ClearStatsDump() { g_stats_dump = 0; }
 
 void RequestShutdown() { g_shutdown = 1; }
 

@@ -5,8 +5,9 @@ namespace qikey {
 
 /// \brief Process-wide, async-signal-safe shutdown/reload flags.
 ///
-/// `InstallSignalFlags()` registers SIGTERM/SIGINT ("drain and exit")
-/// and SIGHUP ("reload the serving snapshot") handlers that do nothing
+/// `InstallSignalFlags()` registers SIGTERM/SIGINT ("drain and exit"),
+/// SIGHUP ("reload the serving snapshot"), and SIGUSR1 ("dump a stats
+/// snapshot") handlers that do nothing
 /// but set `volatile sig_atomic_t` flags — the only thing a signal
 /// handler can safely do. Long-running front ends (`qikey serve`) poll
 /// the flags from their main loop and translate them into the orderly
@@ -18,7 +19,7 @@ namespace qikey {
 /// drive `ServeServer::Shutdown()` directly.
 namespace shutdown_flags {
 
-/// Installs the SIGTERM/SIGINT/SIGHUP handlers (idempotent).
+/// Installs the SIGTERM/SIGINT/SIGHUP/SIGUSR1 handlers (idempotent).
 void InstallSignalFlags();
 
 /// True once SIGTERM or SIGINT has been received.
@@ -27,6 +28,12 @@ bool ShutdownRequested();
 /// True if SIGHUP has been received since the last `ClearReload()`.
 bool ReloadRequested();
 void ClearReload();
+
+/// True if SIGUSR1 has been received since the last
+/// `ClearStatsDump()` — the front end answers by dumping a metrics
+/// snapshot to stderr.
+bool StatsDumpRequested();
+void ClearStatsDump();
 
 /// Test/debug hook: simulates a received SIGTERM.
 void RequestShutdown();

@@ -1,10 +1,21 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/logging.h"
 
 namespace qikey {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   QIKEY_CHECK(num_threads >= 1);
@@ -24,12 +35,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  int64_t submit_ns =
+      task_ns_.load(std::memory_order_acquire) != nullptr ? NowNs() : 0;
+  Gauge* depth = queue_depth_.load(std::memory_order_acquire);
   {
     std::unique_lock<std::mutex> lock(mu_);
     QIKEY_CHECK(!shutdown_) << "Submit after shutdown";
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), submit_ns});
+    if (depth != nullptr) depth->Set(static_cast<int64_t>(tasks_.size()));
   }
   task_ready_.notify_one();
+}
+
+void ThreadPool::AttachMetrics(Gauge* queue_depth, LatencyHistogram* task_ns) {
+  queue_depth_.store(queue_depth, std::memory_order_release);
+  task_ns_.store(task_ns, std::memory_order_release);
 }
 
 void ThreadPool::Wait() {
@@ -45,7 +65,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
@@ -56,12 +76,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
       ++active_;
+      Gauge* depth = queue_depth_.load(std::memory_order_acquire);
+      if (depth != nullptr) depth->Set(static_cast<int64_t>(tasks_.size()));
     }
     try {
-      task();
+      task.fn();
     } catch (...) {
       std::unique_lock<std::mutex> lock(mu_);
       if (!first_exception_) first_exception_ = std::current_exception();
+    }
+    if (task.submit_ns != 0) {
+      LatencyHistogram* hist = task_ns_.load(std::memory_order_acquire);
+      if (hist != nullptr) hist->Record(NowNs() - task.submit_ns);
     }
     {
       std::unique_lock<std::mutex> lock(mu_);

@@ -1,14 +1,18 @@
 #ifndef QIKEY_UTIL_THREAD_POOL_H_
 #define QIKEY_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace qikey {
 
@@ -41,6 +45,15 @@ class ThreadPool {
   /// Enqueues a task.
   void Submit(std::function<void()> task);
 
+  /// Attaches borrowed observability instruments: `queue_depth` tracks
+  /// the number of queued (not yet started) tasks, `task_ns` records
+  /// submit-to-completion wall time per task. Either may be null.
+  /// The instruments must outlive the pool; the pointers are atomics
+  /// (release/acquire) because workers started before the attach read
+  /// them concurrently. Tasks already queued at attach time are not
+  /// timed (their submit timestamp was never taken).
+  void AttachMetrics(Gauge* queue_depth, LatencyHistogram* task_ns);
+
   /// Blocks until the queue is empty and all workers are idle. If any
   /// task threw since the last `Wait()`, rethrows the first captured
   /// exception (and clears it, leaving the pool ready for reuse).
@@ -57,13 +70,20 @@ class ThreadPool {
       const std::function<void(size_t, size_t)>& fn);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    int64_t submit_ns = 0;  ///< 0 when task latency is not being timed.
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable all_idle_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
+  std::atomic<Gauge*> queue_depth_{nullptr};
+  std::atomic<LatencyHistogram*> task_ns_{nullptr};
   size_t active_ = 0;
   bool shutdown_ = false;
   /// First exception thrown by a task since the last Wait() (guarded by

@@ -137,6 +137,24 @@ def main():
          "must be"),
         (qikey, ["discover", people, "--memory-budget", "nan"], 2,
          "must be"),
+        # --stats-interval-sec
+        (qikey, ["serve", people, "--stats-interval-sec", "banana"], 2,
+         "must be"),
+        (qikey, ["serve", people, "--stats-interval-sec", "-1"], 2,
+         "must be"),
+        (qikey, ["serve", people, "--stats-interval-sec"], 2,
+         "missing its value"),
+        # --trace-sample: N or 1/N, strictly numeric either way
+        (qikey, ["serve", people, "--trace-sample", "banana"], 2,
+         "must be"),
+        (qikey, ["serve", people, "--trace-sample", "-5"], 2, "must be"),
+        (qikey, ["serve", people, "--trace-sample", "1/"], 2, "must be"),
+        (qikey, ["serve", people, "--trace-sample", "1/banana"], 2,
+         "must be"),
+        (qikey, ["serve", people, "--trace-sample", "2/3"], 2, "must be"),
+        # --stats with the engine metrics snapshot appended as JSON
+        (qikey, ["query", people, "--requests", good_requests, "--stats"],
+         0, None),
         # --- qikey-gen strict parsing ---
         (qikey_gen, [], 2, None),
         (qikey_gen, ["grid", "--rows", "50"], 2, "--out"),

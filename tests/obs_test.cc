@@ -1,0 +1,319 @@
+// Tests for the observability primitives (src/obs/): sharded counters,
+// gauges, the log-linear latency histogram (quantile accuracy against a
+// sorted-sample oracle, bucket-exact merges, multi-threaded recording),
+// and the metrics registry's deterministic JSON rendering.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+
+TEST(CounterTest, SingleThreadCounts) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket scheme
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below 2 * kSubCount = 64 get unit-width buckets: the
+  // representative equals the value.
+  for (uint64_t v = 0; v < 2 * LatencyHistogram::kSubCount; ++v) {
+    size_t idx = LatencyHistogram::BucketIndex(v);
+    EXPECT_EQ(LatencyHistogram::BucketValue(idx), v) << "value " << v;
+    EXPECT_EQ(LatencyHistogram::BucketUpperEdge(idx), v) << "value " << v;
+  }
+}
+
+TEST(HistogramTest, BucketIndexIsMonotoneAndInRange) {
+  size_t prev = 0;
+  for (uint64_t v = 0; v < 1 << 16; ++v) {
+    size_t idx = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(idx, LatencyHistogram::kNumBuckets);
+    ASSERT_GE(idx, prev) << "index decreased at value " << v;
+    prev = idx;
+  }
+  // The largest representable value maps to the last bucket.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~uint64_t{0}),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketEdgesCoverTheValue) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    // Random magnitudes across all ranges: a random bit width, then
+    // random bits below it.
+    uint64_t v = rng.Next() >> rng.Uniform(64);
+    size_t idx = LatencyHistogram::BucketIndex(v);
+    EXPECT_LE(LatencyHistogram::BucketValue(idx),
+              LatencyHistogram::BucketUpperEdge(idx));
+    EXPECT_GE(LatencyHistogram::BucketUpperEdge(idx), v);
+    if (idx > 0) {
+      EXPECT_LT(LatencyHistogram::BucketUpperEdge(idx - 1), v);
+    }
+  }
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  LatencyHistogram h;
+  h.Record(-5);
+  h.Record(-1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0u);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.max, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles vs a sorted-sample oracle
+
+// Records `values` and checks p50/p90/p99/p999 against the exact
+// order statistics, requiring the histogram's answer to be within the
+// documented 1/kSubCount relative error of the true sample.
+void CheckQuantilesAgainstOracle(const std::vector<uint64_t>& values) {
+  LatencyHistogram h;
+  std::vector<uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t v : sorted) h.Record(static_cast<int64_t>(v));
+  ASSERT_EQ(h.count(), sorted.size());
+
+  const double kMaxRelErr =
+      1.0 / static_cast<double>(LatencyHistogram::kSubCount);
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    uint64_t exact = sorted[rank - 1];
+    uint64_t approx = h.ValueAtQuantile(q);
+    // The reported value is the midpoint of the bucket holding the
+    // exact order statistic, so it differs by at most half a bucket
+    // width — bounded by the relative error of the bucket scheme.
+    double err = std::abs(static_cast<double>(approx) -
+                          static_cast<double>(exact));
+    double bound = kMaxRelErr * static_cast<double>(exact) + 1.0;
+    EXPECT_LE(err, bound) << "q=" << q << " exact=" << exact
+                          << " approx=" << approx;
+  }
+}
+
+TEST(HistogramTest, QuantilesUniform) {
+  Rng rng(1);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.Uniform(10000000));
+  CheckQuantilesAgainstOracle(values);
+}
+
+TEST(HistogramTest, QuantilesZipf) {
+  // Heavy-tailed: value ~ floor(1/u^1.2), spanning many decades — the
+  // regime log-linear bucketing exists for.
+  Rng rng(2);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    double u = rng.UniformDouble();
+    if (u < 1e-9) u = 1e-9;
+    values.push_back(static_cast<uint64_t>(1.0 / std::pow(u, 1.2)));
+  }
+  CheckQuantilesAgainstOracle(values);
+}
+
+TEST(HistogramTest, QuantilesBimodal) {
+  // Fast-path/slow-path mixture: 90% near 1us, 10% near 50ms.
+  Rng rng(3);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.Bernoulli(0.9)) {
+      values.push_back(800 + rng.Uniform(400));
+    } else {
+      values.push_back(45000000 + rng.Uniform(10000000));
+    }
+  }
+  CheckQuantilesAgainstOracle(values);
+}
+
+TEST(HistogramTest, SumIsExactNotBucketed) {
+  LatencyHistogram h;
+  uint64_t expect = 0;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(1u << 30);
+    h.Record(static_cast<int64_t>(v));
+    expect += v;
+  }
+  EXPECT_EQ(h.sum(), expect);
+}
+
+// ---------------------------------------------------------------------------
+// Merge semantics
+
+TEST(HistogramTest, MergeIsCommutativeBucketExact) {
+  Rng rng(5);
+  LatencyHistogram a, b, ab, ba, all;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t va = static_cast<int64_t>(rng.Uniform(1u << 20));
+    int64_t vb = static_cast<int64_t>(rng.Uniform(1u << 28));
+    a.Record(va);
+    b.Record(vb);
+    all.Record(va);
+    all.Record(vb);
+  }
+  ab.MergeFrom(a);
+  ab.MergeFrom(b);
+  ba.MergeFrom(b);
+  ba.MergeFrom(a);
+  HistogramSnapshot sab = ab.Snapshot();
+  HistogramSnapshot sba = ba.Snapshot();
+  HistogramSnapshot sall = all.Snapshot();
+  EXPECT_EQ(sab.buckets, sba.buckets);
+  EXPECT_EQ(sab.buckets, sall.buckets);
+  EXPECT_EQ(sab.count, sall.count);
+  EXPECT_EQ(sab.sum, sall.sum);
+  EXPECT_EQ(sab.max, sall.max);
+}
+
+TEST(HistogramTest, SnapshotMergeMatchesHistogramMerge) {
+  Rng rng(6);
+  LatencyHistogram a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.Record(static_cast<int64_t>(rng.Uniform(1000)));
+    b.Record(static_cast<int64_t>(rng.Uniform(1u << 24)));
+  }
+  HistogramSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  LatencyHistogram combined;
+  combined.MergeFrom(a);
+  combined.MergeFrom(b);
+  HistogramSnapshot expect = combined.Snapshot();
+  EXPECT_EQ(merged.buckets, expect.buckets);
+  EXPECT_EQ(merged.count, expect.count);
+  EXPECT_EQ(merged.sum, expect.sum);
+  EXPECT_EQ(merged.max, expect.max);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded recording
+
+TEST(HistogramTest, ConcurrentRecordsLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<int64_t>(rng.Uniform(1u << 22)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  // Bucket totals agree with the count (no torn or dropped updates).
+  HistogramSnapshot s = h.Snapshot();
+  uint64_t bucket_total = 0;
+  for (uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(RegistryTest, RenderJsonIsDeterministicAndSorted) {
+  Counter c;
+  c.Increment(3);
+  Gauge g;
+  g.Set(-2);
+  LatencyHistogram h;
+  h.Record(10);
+  MetricsRegistry registry;
+  registry.RegisterCounter("b.count", &c);
+  registry.RegisterGauge("a.gauge", &g);
+  registry.RegisterHistogram("c.lat_ns", &h);
+  registry.RegisterCounterFn("a.count", [] { return uint64_t{9}; });
+  registry.RegisterGaugeFn("z.gauge", [] { return int64_t{4}; });
+
+  std::string first = registry.RenderJson();
+  std::string second = registry.RenderJson();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first,
+            "{\"counters\":{\"a.count\":9,\"b.count\":3},"
+            "\"gauges\":{\"a.gauge\":-2,\"z.gauge\":4},"
+            "\"histograms\":{\"c.lat_ns\":{\"count\":1,\"sum\":10,"
+            "\"p50\":10,\"p99\":10,\"p999\":10,\"max\":10}}}");
+}
+
+TEST(RegistryTest, ReRegisterReplacesAcrossKinds) {
+  Counter c;
+  c.Increment(5);
+  MetricsRegistry registry;
+  registry.RegisterCounterFn("x", [] { return uint64_t{1}; });
+  registry.RegisterCounter("x", &c);  // replaces the fn entry
+  MetricsSnapshot snap = registry.SnapshotAll();
+  ASSERT_EQ(snap.counters.count("x"), 1u);
+  EXPECT_EQ(snap.counters.at("x"), 5u);
+
+  // And the other way around: a fn replaces a pointer registration.
+  registry.RegisterCounterFn("x", [] { return uint64_t{77}; });
+  snap = registry.SnapshotAll();
+  EXPECT_EQ(snap.counters.at("x"), 77u);
+}
+
+TEST(RegistryTest, SnapshotReadsLiveValues) {
+  Counter c;
+  MetricsRegistry registry;
+  registry.RegisterCounter("events", &c);
+  EXPECT_EQ(registry.SnapshotAll().counters.at("events"), 0u);
+  c.Increment(12);
+  EXPECT_EQ(registry.SnapshotAll().counters.at("events"), 12u);
+}
+
+}  // namespace
+}  // namespace qikey

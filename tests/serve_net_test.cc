@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -608,6 +611,194 @@ TEST(LoadSnapshotTest, ErrorsComeBackAsStatuses) {
 
   source.artifact_paths = {"/nonexistent/shard.qka"};
   EXPECT_FALSE(LoadSnapshot(source).ok());
+}
+
+// --------------------------------------------------------------------
+// Observability: the stats verb, bit-stable snapshots, request traces
+// --------------------------------------------------------------------
+
+/// Zeroes every time-valued number in a rendered metrics JSON line:
+/// the sum/p50/p99/p999/max of histograms whose name ends in `_ns`
+/// and the value of `_ns`-named gauges. Counts and all non-timing
+/// metrics are left untouched, so two normalized snapshots are equal
+/// exactly when the servers did the same (counted) work.
+std::string NormalizeTimings(std::string json) {
+  std::vector<std::pair<size_t, size_t>> spans;  // digit runs to zero
+  size_t pos = 0;
+  while ((pos = json.find("_ns\":", pos)) != std::string::npos) {
+    size_t v = pos + 5;
+    pos = v;
+    if (v >= json.size()) break;
+    if (json[v] == '{') {
+      size_t close = json.find('}', v);
+      for (const char* key :
+           {"\"sum\":", "\"p50\":", "\"p99\":", "\"p999\":", "\"max\":"}) {
+        size_t k = json.find(key, v);
+        if (k == std::string::npos || k > close) continue;
+        size_t d = k + std::strlen(key);
+        size_t e = d;
+        while (e < json.size() &&
+               std::isdigit(static_cast<unsigned char>(json[e]))) {
+          ++e;
+        }
+        spans.emplace_back(d, e - d);
+      }
+    } else {
+      size_t e = v;
+      if (json[e] == '-') ++e;
+      while (e < json.size() &&
+             std::isdigit(static_cast<unsigned char>(json[e]))) {
+        ++e;
+      }
+      spans.emplace_back(v, e - v);
+    }
+  }
+  std::sort(spans.begin(), spans.end());
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+    if (it->second == 0) continue;
+    json[it->first] = '0';
+    json.erase(it->first + 1, it->second - 1);
+  }
+  return json;
+}
+
+TEST(ServeNetTest, StatsVerbReturnsJsonCoveringAllFamilies) {
+  TestServer ts;
+  BlockingLineClient client = ts.Connect();
+  ASSERT_TRUE(client.SendLine("is-key c1,c2").ok());
+  ASSERT_TRUE(client.RecvLine().ok());
+  ASSERT_TRUE(client.SendLine("min-key").ok());
+  ASSERT_TRUE(client.RecvLine().ok());
+
+  ASSERT_TRUE(client.SendLine("stats").ok());
+  auto got = client.RecvLine();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->rfind("ok {", 0), 0u) << *got;
+  std::string json = got->substr(3);
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+
+  // Every required metric family is present in the one snapshot:
+  // connections, admission, request latency, cache, snapshot epoch,
+  // engine passes.
+  for (const char* family :
+       {"\"server.connections\":", "\"server.connections_accepted\":",
+        "\"server.admission_queue_depth\":", "\"server.lines_admitted\":",
+        "\"server.request_ns\":", "\"cache.hits\":", "\"cache.misses\":",
+        "\"snapshot.epoch\":", "\"engine.pass.validate_ns\":",
+        "\"engine.pass.execute_ns\":", "\"engine.batch_size\":"}) {
+    EXPECT_NE(json.find(family), std::string::npos) << family;
+  }
+  // The counted state at render time is exact under lockstep: three
+  // lines were received and admitted (two queries + stats itself), and
+  // both query responses were flushed before stats was sent.
+  EXPECT_NE(json.find("\"server.lines_received\":3"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"server.lines_admitted\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"server.connections\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot.epoch\":1"), std::string::npos);
+
+  // The same snapshot is visible through the embedding API.
+  ASSERT_NE(ts.server->metrics(), nullptr);
+  std::string direct = ts.server->metrics()->RenderJson();
+  EXPECT_EQ(NormalizeTimings(direct).substr(0, 12), json.substr(0, 12));
+}
+
+TEST(ServeNetTest, StatsSnapshotIsBitStableAcrossIdenticalRuns) {
+  // Two fresh servers, the same lockstep request sequence: after
+  // normalizing wall-clock timings, the stats JSON must be
+  // byte-identical — every counter, gauge, histogram count, and the
+  // key order itself is deterministic.
+  auto run = [](const std::vector<std::string>& lines) {
+    TestServer ts;
+    BlockingLineClient client = ts.Connect();
+    for (const std::string& line : lines) {
+      EXPECT_TRUE(client.SendLine(line).ok());
+      auto got = client.RecvLine();
+      EXPECT_TRUE(got.ok()) << got.status().ToString();
+    }
+    EXPECT_TRUE(client.SendLine("stats").ok());
+    auto got = client.RecvLine();
+    EXPECT_TRUE(got.ok()) << got.status().ToString();
+    return got.ok() ? got->substr(3) : std::string();
+  };
+
+  std::vector<std::string> lines =
+      MakeWireWorkload(MakeKeyedData(4, 7).schema(), 24, 55);
+  lines.push_back("not a verb");  // parse errors are counted state too
+  lines.push_back("QIKEY/1");
+  std::string first = NormalizeTimings(run(lines));
+  std::string second = NormalizeTimings(run(lines));
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(ServeNetTest, TraceSampleEmitsPerStageTimings) {
+  ServerOptions options;
+  options.trace_sample = 1;  // trace every request
+  std::mutex mu;
+  std::vector<std::string> traces;
+  options.trace_sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    traces.push_back(line);
+  };
+  TestServer ts(options);
+  BlockingLineClient client = ts.Connect();
+  for (const char* line : {"min-key", "is-key c1,c2", "separation c1"}) {
+    ASSERT_TRUE(client.SendLine(line).ok());
+    ASSERT_TRUE(client.RecvLine().ok());
+  }
+  // Traces are emitted by the reactor after the response flush; the
+  // last one may land a beat after our read returns.
+  for (int i = 0; i < 500; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (traces.size() >= 3) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(traces.size(), 3u);
+  for (const std::string& trace : traces) {
+    EXPECT_EQ(trace.rfind("{\"type\":\"trace\"", 0), 0u) << trace;
+    for (const char* field :
+         {"\"request_id\":", "\"conn\":", "\"parse_ns\":", "\"queue_ns\":",
+          "\"execute_ns\":", "\"flush_ns\":", "\"total_ns\":"}) {
+      EXPECT_NE(trace.find(field), std::string::npos)
+          << field << " missing in " << trace;
+    }
+    EXPECT_EQ(trace.find('\n'), std::string::npos);
+  }
+  // Distinct, monotonically increasing request ids.
+  EXPECT_NE(traces[0].find("\"request_id\":0"), std::string::npos);
+  EXPECT_NE(traces[2].find("\"request_id\":2"), std::string::npos);
+  EXPECT_GE(ts.server->stats().lines_received, 3u);
+}
+
+TEST(ServeNetTest, TraceSampleEveryNthPicksOneInN) {
+  ServerOptions options;
+  options.trace_sample = 3;
+  std::mutex mu;
+  std::vector<std::string> traces;
+  options.trace_sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    traces.push_back(line);
+  };
+  TestServer ts(options);
+  BlockingLineClient client = ts.Connect();
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(client.SendLine("min-key").ok());
+    ASSERT_TRUE(client.RecvLine().ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (traces.size() >= 3) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(traces.size(), 3u);  // 9 requests at 1-in-3
 }
 
 // Engine-level error-code population (satellite: ServeErrorCode in

@@ -15,6 +15,7 @@ Drives the shipped binary the way an operator would:
 Usage: serve_smoke_test.py <qikey-binary> <csv>
 """
 
+import json
 import signal
 import socket
 import subprocess
@@ -113,6 +114,29 @@ def main():
             ok = f.readline().strip()
             if not ok.startswith("ok "):
                 fail(f"connection died after parse error: {ok!r}")
+
+            # The stats admin verb answers one line of valid JSON
+            # covering the server/engine/cache/snapshot families.
+            f.write("stats\n")
+            f.flush()
+            stats = f.readline().strip()
+            if not stats.startswith("ok {"):
+                fail(f"stats verb did not answer ok <json>: {stats!r}")
+            try:
+                doc = json.loads(stats[3:])
+            except ValueError as exc:
+                fail(f"stats payload is not valid JSON: {exc}")
+            for section, key in [
+                    ("counters", "server.responses_sent"),
+                    ("counters", "cache.misses"),
+                    ("gauges", "server.connections"),
+                    ("gauges", "snapshot.epoch"),
+                    ("histograms", "server.request_ns"),
+                    ("histograms", "engine.pass.execute_ns")]:
+                if key not in doc.get(section, {}):
+                    fail(f"stats JSON missing {section}/{key}: {stats}")
+            if doc["gauges"]["server.connections"] != 1:
+                fail(f"stats server.connections != 1: {stats}")
 
         # Graceful drain: SIGTERM must exit 0, promptly.
         server.send_signal(signal.SIGTERM)

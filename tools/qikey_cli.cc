@@ -13,6 +13,7 @@
 //       eps-separation key filter verdict + exact ground truth.
 //   qikey query <csv> --requests file.txt [--threads N] [--cache C]
 //                [--eps E] [--backend tuple|mx|bitset] [--wire]
+//                [--stats]
 //       Batch serve executor: run discovery once, publish the result as
 //       an immutable snapshot, and answer every request in the file
 //       concurrently through the serve-layer QueryEngine (sharded LRU
@@ -21,12 +22,14 @@
 //       | afd a,b -> c | anonymity a,b [k]. With --wire, print exactly
 //       one QIKEY/1 wire line per request (the same encoder the network
 //       server uses) and nothing else — byte-diffable against a served
-//       session.
+//       session. With --stats, one final line with the engine metrics
+//       snapshot as JSON (same schema as the server's `stats` verb).
 //   qikey serve <csv-or-artifacts> [--listen H:P]
 //               [--snapshot-from run|monitor|artifacts]
 //               [--max-conns N] [--queue-depth N] [--idle-timeout MS]
 //               [--eps E] [--backend B] [--threads T] [--cache C]
 //               [--seed S] [--max-size K] [--window W]
+//               [--stats-interval-sec N] [--trace-sample N] [--log-json]
 //       Long-running network server speaking the newline-delimited
 //       QIKEY/1 protocol (see src/serve/protocol.h). Builds one serving
 //       snapshot from the positional input (--snapshot-from artifacts
@@ -34,7 +37,11 @@
 //       it, prints "listening on <host>:<port>" (port 0 binds an
 //       ephemeral port), and serves until SIGTERM/SIGINT (graceful
 //       drain). SIGHUP rebuilds the snapshot from the same source and
-//       hot-swaps it without dropping connections.
+//       hot-swaps it without dropping connections. SIGUSR1 (or
+//       --stats-interval-sec N, periodically) dumps one JSON stats
+//       line to stderr; --trace-sample N (also accepted as "1/N")
+//       emits a per-stage timing trace for every Nth request;
+//       --log-json switches log output to JSON lines.
 //   qikey mask <csv> [--eps E]
 //       Attributes to suppress so no quasi-identifier remains.
 //   qikey afd <csv> --rhs col [--error E] [--max-size K]
@@ -89,6 +96,8 @@
 #include "serve/request.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
 #include "util/shutdown.h"
 
 namespace qikey {
@@ -119,6 +128,10 @@ struct Args {
   size_t max_conns = 1024;
   size_t queue_depth = 256;
   long long idle_timeout_ms = 60 * 1000;
+  bool stats = false;
+  long long stats_interval_sec = 0;
+  uint64_t trace_sample = 0;
+  bool log_json = false;
 };
 
 void Usage() {
@@ -135,7 +148,9 @@ void Usage() {
                "             [--listen H:P] [--snapshot-from "
                "run|monitor|artifacts]\n"
                "             [--max-conns N] [--queue-depth N] "
-               "[--idle-timeout MS]\n");
+               "[--idle-timeout MS]\n"
+               "             [--stats] [--stats-interval-sec N] "
+               "[--trace-sample N] [--log-json]\n");
 }
 
 
@@ -267,6 +282,21 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v || !ParseIntFlag(flag, v, 0, 1ll << 31, &n)) return false;
       args->idle_timeout_ms = n;
+    } else if (flag == "--stats") {
+      args->stats = true;  // boolean flag: takes no value
+    } else if (flag == "--stats-interval-sec") {
+      const char* v = next();
+      if (!v || !ParseIntFlag(flag, v, 0, 1ll << 31, &n)) return false;
+      args->stats_interval_sec = n;
+    } else if (flag == "--trace-sample") {
+      // Sample rate: every Nth request (0 disables). "1/N" is accepted
+      // as an alias for N, matching the "sample 1 in N" reading.
+      const char* v = next();
+      if (!v) return false;
+      const char* rate = (v[0] == '1' && v[1] == '/') ? v + 2 : v;
+      if (!ParseUint64Flag(flag, rate, &args->trace_sample)) return false;
+    } else if (flag == "--log-json") {
+      args->log_json = true;  // boolean flag: takes no value
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -410,18 +440,24 @@ int RunServe(const Dataset& data, const Args& args, Rng* rng) {
   engine_options.num_threads = args.threads;
   engine_options.cache_capacity = args.cache;
   QueryEngine engine(&store, engine_options);
+  // Registered before the batch runs so every pass timing and cache
+  // touch lands in the snapshot printed at the end.
+  MetricsRegistry registry;
+  if (args.stats) engine.RegisterMetrics(&registry);
   std::vector<QueryResponse> responses = engine.ExecuteBatch(*requests);
 
   if (args.wire) {
     // Wire mode: exactly one QIKEY/1 line per request, nothing else —
     // the same encoder the network server runs, so this output is
     // byte-diffable against a served session (the bit-identical check
-    // the serve tests and the smoke test rely on).
+    // the serve tests and the smoke test rely on). --stats appends one
+    // extra JSON line after the wire lines.
     for (size_t i = 0; i < requests->size(); ++i) {
       std::printf("%s\n",
                   EncodeResponseLine((*requests)[i], responses[i],
                                      data.schema()).c_str());
     }
+    if (args.stats) std::printf("%s\n", registry.RenderJson().c_str());
     return 0;
   }
 
@@ -436,7 +472,24 @@ int RunServe(const Dataset& data, const Args& args, Rng* rng) {
               responses.size(), engine.num_threads(),
               static_cast<unsigned long long>(engine.cache_hits()),
               static_cast<unsigned long long>(engine.cache_misses()));
+  if (args.stats) std::printf("%s\n", registry.RenderJson().c_str());
   return 0;
+}
+
+/// Emits one `{"type":"stats",...}` JSON line to stderr — the
+/// periodic / SIGUSR1-triggered dump format of `qikey serve`. One
+/// `write(2)` per line, so dumps never interleave with log or trace
+/// output.
+void DumpStatsLine(const MetricsRegistry& registry) {
+  int64_t ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  std::string line = "{\"type\":\"stats\",\"ts_ms\":";
+  line += std::to_string(ts_ms);
+  line += ",\"metrics\":";
+  line += registry.RenderJson();
+  line += "}";
+  WriteRawLine(line);
 }
 
 /// Splits a comma-separated list of paths ("--snapshot-from artifacts"
@@ -511,6 +564,13 @@ int RunServeNet(const Args& args) {
   // bounded regardless of --max-conns.
   options.max_pending_global = args.queue_depth * 32;
   options.idle_timeout_ms = static_cast<int>(args.idle_timeout_ms);
+  // One registry for the whole process: the server registers its own
+  // reactor/worker metrics into it and chains the engine's (cache,
+  // snapshot, pass timings), so the `stats` verb, the periodic dump,
+  // and SIGUSR1 all render the same families.
+  MetricsRegistry registry;
+  options.metrics = &registry;
+  options.trace_sample = args.trace_sample;
 
   ServeServer server(&engine, schema, options);
   shutdown_flags::InstallSignalFlags();
@@ -527,8 +587,21 @@ int RunServeNet(const Args& args) {
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point next_dump =
+      Clock::now() + std::chrono::seconds(args.stats_interval_sec);
   while (!shutdown_flags::ShutdownRequested() && server.running()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    bool dump = false;
+    if (shutdown_flags::StatsDumpRequested()) {
+      shutdown_flags::ClearStatsDump();
+      dump = true;
+    }
+    if (args.stats_interval_sec > 0 && Clock::now() >= next_dump) {
+      next_dump += std::chrono::seconds(args.stats_interval_sec);
+      dump = true;
+    }
+    if (dump) DumpStatsLine(registry);
     if (shutdown_flags::ReloadRequested()) {
       shutdown_flags::ClearReload();
       // Hot swap: rebuild from the same source and publish. Batches
@@ -550,6 +623,9 @@ int RunServeNet(const Args& args) {
   server.Shutdown();
   server.Join();
 
+  // Final snapshot after the drain, so an interval-scraping consumer
+  // always sees the complete totals.
+  if (args.stats_interval_sec > 0) DumpStatsLine(registry);
   ServerStats stats = server.stats();
   std::printf("drained: %llu conn(s), %llu line(s), %llu response(s), "
               "%llu overload, %llu parse error(s), %llu batch(es)\n",
@@ -778,6 +854,7 @@ int Main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (args.log_json) LogMessage::SetJsonLines(true);
   if (args.command == "discover" &&
       (args.shards > 0 || args.memory_budget_mb > 0.0 ||
        args.shard_rows > 0)) {
