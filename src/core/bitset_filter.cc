@@ -59,6 +59,18 @@ BitsetSeparationFilter BitsetSeparationFilter::FromPairs(
   return filter;
 }
 
+Result<BitsetSeparationFilter> BitsetSeparationFilter::FromPackedEvidence(
+    PackedEvidence evidence, uint64_t declared_pairs) {
+  if (declared_pairs < evidence.num_pairs()) {
+    return Status::InvalidArgument(
+        "declared pair count below the packed evidence's pair count");
+  }
+  BitsetSeparationFilter filter;
+  filter.declared_pairs_ = declared_pairs;
+  filter.evidence_ = std::move(evidence);
+  return filter;
+}
+
 Result<BitsetSeparationFilter> BitsetSeparationFilter::MergeDisjoint(
     const BitsetSeparationFilter& a, uint64_t seen_a,
     const BitsetSeparationFilter& b, uint64_t seen_b, Rng* rng) {

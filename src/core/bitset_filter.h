@@ -53,6 +53,13 @@ class BitsetSeparationFilter : public SeparationFilter {
       const Dataset& table,
       std::span<const std::pair<RowIndex, RowIndex>> pairs);
 
+  /// Wraps already-packed evidence (the snapshot-file path — typically
+  /// borrowed straight out of an mmap-ed section). `declared_pairs` is
+  /// the pre-dedup slot count reported by `sample_size()` and must be
+  /// at least the evidence's packed pair count.
+  static Result<BitsetSeparationFilter> FromPackedEvidence(
+      PackedEvidence evidence, uint64_t declared_pairs);
+
   /// \brief Sharded-construction primitive, mirroring
   /// `MxPairFilter::MergeDisjoint` (same preconditions: materialized
   /// inputs, equal slot counts, disjoint populations of `seen_a` and

@@ -16,11 +16,64 @@ void AlignedWordBuffer::Assign(size_t words) {
   uintptr_t aligned = (base + 63) & ~uintptr_t{63};
   data_ = storage_.data() + (aligned - base) / sizeof(uint64_t);
   size_ = words;
+  borrowed_ = false;
+}
+
+void AlignedWordBuffer::Borrow(const uint64_t* data, size_t words) {
+  QIKEY_CHECK(words == 0 ||
+              (reinterpret_cast<uintptr_t>(data) & uintptr_t{63}) == 0);
+  storage_.clear();
+  data_ = data;
+  size_ = words;
+  borrowed_ = true;
 }
 
 void AlignedWordBuffer::CopyFrom(const AlignedWordBuffer& other) {
+  if (other.borrowed_) {
+    // A borrowed buffer is a view; its copies view the same external
+    // storage (which outlives them by contract).
+    storage_.clear();
+    data_ = other.data_;
+    size_ = other.size_;
+    borrowed_ = true;
+    return;
+  }
   Assign(other.size_);
-  std::copy(other.data_, other.data_ + other.size_, data_);
+  std::copy(other.data_, other.data_ + other.size_, data());
+}
+
+void PackedEvidence::CopyFrom(const PackedEvidence& other) {
+  num_attributes_ = other.num_attributes_;
+  words_per_pair_ = other.words_per_pair_;
+  source_pairs_ = other.source_pairs_;
+  num_pairs_ = other.num_pairs_;
+  words_ = other.words_;
+  reps_storage_ = other.reps_storage_;
+  // Owned reps follow the freshly copied vector; borrowed reps keep
+  // viewing the external storage, mirroring `words_`.
+  reps_ = other.reps_storage_.empty() ? other.reps_ : reps_storage_.data();
+}
+
+void PackedEvidence::MoveFrom(PackedEvidence&& other) noexcept {
+  num_attributes_ = other.num_attributes_;
+  words_per_pair_ = other.words_per_pair_;
+  source_pairs_ = other.source_pairs_;
+  num_pairs_ = other.num_pairs_;
+  words_ = std::move(other.words_);
+  reps_storage_ = std::move(other.reps_storage_);
+  reps_ = reps_storage_.empty() ? other.reps_ : reps_storage_.data();
+  other.num_attributes_ = 0;
+  other.words_per_pair_ = 0;
+  other.source_pairs_ = 0;
+  other.num_pairs_ = 0;
+  other.reps_ = nullptr;
+}
+
+void PackedEvidence::SetOwnedReps(std::vector<uint32_t> flat) {
+  QIKEY_DCHECK(flat.size() % 2 == 0);
+  reps_storage_ = std::move(flat);
+  reps_ = reps_storage_.data();
+  num_pairs_ = reps_storage_.size() / 2;
 }
 
 /// Shared dedup state of the two builders: pair-major masks plus a
@@ -29,7 +82,7 @@ void AlignedWordBuffer::CopyFrom(const AlignedWordBuffer& other) {
 struct PackedEvidence::MaskAccumulator {
   size_t wpp;
   std::vector<uint64_t> masks;  // pair-major, wpp words each
-  std::vector<std::pair<uint32_t, uint32_t>> reps;
+  std::vector<uint32_t> reps;   // flat endpoints, 2 per kept mask
   std::unordered_multimap<uint64_t, uint32_t> index;
 
   explicit MaskAccumulator(size_t words_per_pair) : wpp(words_per_pair) {}
@@ -52,17 +105,18 @@ struct PackedEvidence::MaskAccumulator {
       const uint64_t* seen = masks.data() + size_t{it->second} * wpp;
       if (std::equal(seen, seen + wpp, mask)) return;
     }
-    uint32_t id = static_cast<uint32_t>(reps.size());
+    uint32_t id = static_cast<uint32_t>(reps.size() / 2);
     index.emplace(h, id);
     masks.insert(masks.end(), mask, mask + wpp);
-    reps.emplace_back(rep_a, rep_b);
+    reps.push_back(rep_a);
+    reps.push_back(rep_b);
   }
 };
 
 void PackedEvidence::Pack(const std::vector<uint64_t>& masks) {
   const size_t wpp = words_per_pair_;
   const size_t m = num_attributes_;
-  const size_t pairs = reps_.size();
+  const size_t pairs = num_pairs_;
   const size_t blocks = (pairs + kPairsPerBlock - 1) / kPairsPerBlock;
   // Attribute-major transpose: one word per attribute per block, bit
   // `lane` = that lane's disagree bit (zero-filled, so padding lanes of
@@ -112,7 +166,7 @@ PackedEvidence PackedEvidence::FromDatasetPairs(
   for (size_t p = 0; p < pairs.size(); ++p) {
     acc.Offer(masks.data() + p * wpp, pairs[p].first, pairs[p].second);
   }
-  out.reps_ = std::move(acc.reps);
+  out.SetOwnedReps(std::move(acc.reps));
   out.Pack(acc.masks);
   return out;
 }
@@ -141,7 +195,7 @@ PackedEvidence PackedEvidence::FromRowMajorPairs(
       }
       acc.Offer(mask.data(), ids[i].first, ids[i].second);
     }
-    out.reps_ = std::move(acc.reps);
+    out.SetOwnedReps(std::move(acc.reps));
     out.Pack(acc.masks);
     return out;
   }
@@ -152,15 +206,56 @@ PackedEvidence PackedEvidence::FromRowMajorPairs(
       masks[i * wpp + j / 64] |= uint64_t{ra[j] != rb[j]} << (j % 64);
     }
   }
-  out.reps_.assign(ids.begin(), ids.end());
+  std::vector<uint32_t> flat;
+  flat.reserve(ids.size() * 2);
+  for (const auto& [a, b] : ids) {
+    flat.push_back(a);
+    flat.push_back(b);
+  }
+  out.SetOwnedReps(std::move(flat));
   out.Pack(masks);
+  return out;
+}
+
+Result<PackedEvidence> PackedEvidence::FromBorrowed(
+    size_t num_attributes, uint64_t source_pairs, size_t num_pairs,
+    const uint64_t* words, size_t num_words, const uint32_t* reps) {
+  const size_t m = num_attributes;
+  const size_t blocks = (num_pairs + kPairsPerBlock - 1) / kPairsPerBlock;
+  if (num_pairs > 0 && m == 0) {
+    return Status::InvalidArgument(
+        "packed evidence with pairs but no attributes");
+  }
+  if (num_words != blocks * m) {
+    return Status::InvalidArgument(
+        "packed evidence word count does not match its pair count");
+  }
+  if (num_pairs > source_pairs) {
+    return Status::InvalidArgument(
+        "packed evidence holds more pairs than its sample drew");
+  }
+  if (num_words > 0 &&
+      (reinterpret_cast<uintptr_t>(words) & uintptr_t{63}) != 0) {
+    return Status::InvalidArgument("packed evidence words are misaligned");
+  }
+  if (num_pairs > 0 && reps == nullptr) {
+    return Status::InvalidArgument("packed evidence is missing its reps");
+  }
+  PackedEvidence out;
+  out.num_attributes_ = m;
+  out.words_per_pair_ = (m + 63) / 64;
+  out.source_pairs_ = source_pairs;
+  out.num_pairs_ = num_pairs;
+  out.words_.Borrow(words, num_words);
+  out.reps_ = reps;
   return out;
 }
 
 void PackedEvidence::PatchPair(uint32_t index, const ValueCode* row_a,
                                const ValueCode* row_b,
                                std::pair<uint32_t, uint32_t> ids) {
-  QIKEY_DCHECK(index < reps_.size());
+  QIKEY_CHECK(!borrowed());
+  QIKEY_DCHECK(index < num_pairs_);
   const size_t m = num_attributes_;
   uint64_t* block = words_.data() + (index / kPairsPerBlock) * m;
   const uint64_t lane_bit = uint64_t{1} << (index % kPairsPerBlock);
@@ -171,7 +266,8 @@ void PackedEvidence::PatchPair(uint32_t index, const ValueCode* row_a,
       block[j] &= ~lane_bit;
     }
   }
-  reps_[index] = ids;
+  reps_storage_[2 * size_t{index}] = ids.first;
+  reps_storage_[2 * size_t{index} + 1] = ids.second;
 }
 
 namespace {
@@ -212,7 +308,7 @@ inline uint64_t BlockHits(const uint64_t* block, const uint32_t* idx,
 std::optional<uint32_t> PackedEvidence::FindUnseparated(
     std::span<const uint64_t> mask) const {
   QIKEY_DCHECK(mask.size() >= words_per_pair_);
-  const size_t pairs = reps_.size();
+  const size_t pairs = num_pairs_;
   const size_t m = num_attributes_;
   const uint64_t* words = words_.data();
   const size_t blocks = num_blocks();
@@ -234,7 +330,7 @@ void PackedEvidence::TestMasksBlockMajor(const uint64_t* masks, size_t stride,
                                          size_t count,
                                          uint8_t* rejected) const {
   QIKEY_DCHECK(stride >= words_per_pair_);
-  const size_t pairs = reps_.size();
+  const size_t pairs = num_pairs_;
   const size_t m = num_attributes_;
   const uint64_t* words = words_.data();
   const size_t blocks = num_blocks();
@@ -273,7 +369,7 @@ void PackedEvidence::TestMasksBlockMajor(const uint64_t* masks, size_t stride,
 
 uint64_t PackedEvidence::MemoryBytes() const {
   return words_.size() * sizeof(uint64_t) +
-         reps_.size() * sizeof(std::pair<uint32_t, uint32_t>);
+         num_pairs_ * 2 * sizeof(uint32_t);
 }
 
 }  // namespace qikey

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/status.h"
 
 namespace qikey {
 
@@ -18,6 +19,12 @@ namespace qikey {
 /// one block never straddles three lines. The buffer over-allocates by
 /// one line and hands out an aligned view. Copies re-align into the new
 /// allocation; moves keep the heap block, so the view stays valid.
+///
+/// `Borrow` turns the buffer into a read-only view over words owned
+/// elsewhere (an mmap-ed snapshot section): no allocation, and copies
+/// keep pointing at the external words. The external storage must stay
+/// 64-byte aligned and alive for the lifetime of the buffer and all its
+/// copies, and must never be written through this view.
 class AlignedWordBuffer {
  public:
   AlignedWordBuffer() = default;
@@ -31,23 +38,36 @@ class AlignedWordBuffer {
   AlignedWordBuffer(AlignedWordBuffer&& other) noexcept
       : storage_(std::move(other.storage_)),
         data_(other.data_),
-        size_(other.size_) {
+        size_(other.size_),
+        borrowed_(other.borrowed_) {
     other.data_ = nullptr;
     other.size_ = 0;
+    other.borrowed_ = false;
   }
   AlignedWordBuffer& operator=(AlignedWordBuffer&& other) noexcept {
     storage_ = std::move(other.storage_);
     data_ = other.data_;
     size_ = other.size_;
+    borrowed_ = other.borrowed_;
     other.data_ = nullptr;
     other.size_ = 0;
+    other.borrowed_ = false;
     return *this;
   }
 
   /// Zero-filled buffer of `words` 64-bit words, 64-byte aligned.
   void Assign(size_t words);
 
-  uint64_t* data() { return data_; }
+  /// Read-only view of `words` words at `data` (must be 64-byte
+  /// aligned; checked). The caller keeps the storage alive and
+  /// immutable.
+  void Borrow(const uint64_t* data, size_t words);
+
+  /// True when the words are a view into storage this buffer does not
+  /// own. Mutation (via the non-const `data()`) is forbidden then.
+  bool borrowed() const { return borrowed_; }
+
+  uint64_t* data() { return const_cast<uint64_t*>(data_); }
   const uint64_t* data() const { return data_; }
   size_t size() const { return size_; }
 
@@ -55,8 +75,9 @@ class AlignedWordBuffer {
   void CopyFrom(const AlignedWordBuffer& other);
 
   std::vector<uint64_t> storage_;
-  uint64_t* data_ = nullptr;
+  const uint64_t* data_ = nullptr;
   size_t size_ = 0;
+  bool borrowed_ = false;
 };
 
 /// \brief Bit-packed tuple-pair evidence: the separation-filter hot
@@ -85,11 +106,29 @@ class AlignedWordBuffer {
 /// representative source pair is kept for witness reporting); verdicts
 /// are unchanged because the reject predicate only asks whether *some*
 /// pair's mask misses `A`.
+///
+/// The words and representatives are stored exactly as the snapshot
+/// file lays them out (blocks of words, then a flat `2·pairs` array of
+/// u32 representative endpoints), so `FromBorrowed` can serve straight
+/// out of an mmap-ed section with zero copies.
 class PackedEvidence {
  public:
   static constexpr size_t kPairsPerBlock = 64;
 
   PackedEvidence() = default;
+
+  PackedEvidence(const PackedEvidence& other) { CopyFrom(other); }
+  PackedEvidence& operator=(const PackedEvidence& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  PackedEvidence(PackedEvidence&& other) noexcept {
+    MoveFrom(std::move(other));
+  }
+  PackedEvidence& operator=(PackedEvidence&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
 
   /// Packs the disagree sets of the given row pairs of `table`
   /// (deduplicated). Representative indices are `table` row indices.
@@ -111,17 +150,32 @@ class PackedEvidence {
       std::span<const std::pair<uint32_t, uint32_t>> ids,
       bool dedupe = true);
 
+  /// \brief Zero-copy reconstruction from storage laid out by
+  /// `raw_words()`/`raw_reps()` (the snapshot reader): `words` must
+  /// hold exactly `⌈num_pairs/64⌉ · num_attributes` 64-byte-aligned
+  /// words and `reps` exactly `2 · num_pairs` u32 endpoints, both
+  /// staying alive and immutable for the evidence's lifetime. Verdicts
+  /// are bit-identical to the evidence the storage was written from.
+  static Result<PackedEvidence> FromBorrowed(size_t num_attributes,
+                                             uint64_t source_pairs,
+                                             size_t num_pairs,
+                                             const uint64_t* words,
+                                             size_t num_words,
+                                             const uint32_t* reps);
+
   /// \brief Recomputes one pair's lane in place (`O(m)`), for
   /// lane-stable evidence only: clears/sets `index`'s bit in every
   /// attribute word from the two tuples' codes and updates the
   /// representative. This is how the incremental filter absorbs a
   /// single pair-slot redraw without re-packing all `s` slots.
+  /// Forbidden (checked) on borrowed evidence — an mmap view is
+  /// read-only.
   void PatchPair(uint32_t index, const ValueCode* row_a,
                  const ValueCode* row_b, std::pair<uint32_t, uint32_t> ids);
 
   size_t num_attributes() const { return num_attributes_; }
   /// Deduplicated evidence pairs actually packed.
-  size_t num_pairs() const { return reps_.size(); }
+  size_t num_pairs() const { return num_pairs_; }
   /// Words of a pair-major disagree mask (`⌈m/64⌉`, the `AttributeSet`
   /// word count) — the unit of the query-mask inputs below.
   size_t words_per_pair() const { return words_per_pair_; }
@@ -130,6 +184,10 @@ class PackedEvidence {
   }
   /// Pair count before deduplication (the sampled slot count).
   uint64_t source_pairs() const { return source_pairs_; }
+
+  /// True when words/representatives are views into storage the
+  /// evidence does not own (see `FromBorrowed`).
+  bool borrowed() const { return words_.borrowed(); }
 
   /// \brief Index of the first evidence pair whose disagree mask does
   /// not intersect `mask` (i.e. a pair `mask` fails to separate), or
@@ -150,13 +208,30 @@ class PackedEvidence {
   /// The source pair behind evidence pair `index` (row indices or slot
   /// ids, per the builder).
   std::pair<uint32_t, uint32_t> representative(uint32_t index) const {
-    return reps_[index];
+    return {reps_[2 * size_t{index}], reps_[2 * size_t{index} + 1]};
+  }
+
+  /// The packed block words exactly as stored (`num_blocks · m` words)
+  /// — the snapshot writer's evidence section.
+  std::span<const uint64_t> raw_words() const {
+    return {words_.data(), words_.size()};
+  }
+  /// The representative endpoints as stored: `reps[2i], reps[2i+1]`
+  /// are evidence pair `i`'s source rows — the snapshot writer's reps
+  /// section.
+  std::span<const uint32_t> raw_reps() const {
+    return {reps_, 2 * num_pairs_};
   }
 
   uint64_t MemoryBytes() const;
 
  private:
   struct MaskAccumulator;
+
+  void CopyFrom(const PackedEvidence& other);
+  void MoveFrom(PackedEvidence&& other) noexcept;
+  /// Takes ownership of flat representative endpoints (2 per pair).
+  void SetOwnedReps(std::vector<uint32_t> flat);
 
   /// Packs pair-major `masks` (num_pairs * words_per_pair words) into
   /// the block layout.
@@ -165,8 +240,10 @@ class PackedEvidence {
   size_t num_attributes_ = 0;
   size_t words_per_pair_ = 0;
   uint64_t source_pairs_ = 0;
+  size_t num_pairs_ = 0;
   AlignedWordBuffer words_;
-  std::vector<std::pair<uint32_t, uint32_t>> reps_;
+  std::vector<uint32_t> reps_storage_;  // empty when borrowed
+  const uint32_t* reps_ = nullptr;      // 2*num_pairs_ endpoints
 };
 
 }  // namespace qikey

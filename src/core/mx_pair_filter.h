@@ -63,6 +63,14 @@ class MxPairFilter : public SeparationFilter {
   /// The private pair table when materialized (null otherwise).
   const Dataset* materialized() const { return materialized_.get(); }
 
+  /// \brief Copies the sampled pairs' values into a standalone pair
+  /// table (rows `2i`/`2i+1` = pair `i`), regardless of whether this
+  /// filter is materialized — the snapshot writer's source, since a
+  /// non-materialized filter's verdicts depend on a data set that will
+  /// not exist at load time. `FromMaterializedPairs` over the result
+  /// answers identically.
+  Dataset MaterializePairTable() const;
+
   FilterVerdict Query(const AttributeSet& attrs) const override;
   std::optional<std::pair<RowIndex, RowIndex>> QueryWitness(
       const AttributeSet& attrs) const override;

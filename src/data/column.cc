@@ -8,26 +8,70 @@ namespace qikey {
 
 Column::Column(std::vector<ValueCode> codes, uint32_t cardinality,
                std::shared_ptr<Dictionary> dictionary)
-    : codes_(std::move(codes)),
+    : storage_(std::move(codes)),
+      data_(storage_.data()),
+      size_(storage_.size()),
       cardinality_(cardinality),
       dictionary_(std::move(dictionary)) {
   if (cardinality_ == 0) {
     ValueCode max_code = 0;
-    for (ValueCode c : codes_) max_code = std::max(max_code, c);
-    cardinality_ = codes_.empty() ? 0 : max_code + 1;
+    for (ValueCode c : storage_) max_code = std::max(max_code, c);
+    cardinality_ = storage_.empty() ? 0 : max_code + 1;
   } else {
-    for (ValueCode c : codes_) {
+    for (ValueCode c : storage_) {
       QIKEY_DCHECK(c < cardinality_);
       (void)c;
     }
   }
 }
 
+Column Column::Borrowed(const ValueCode* codes, size_t size,
+                        uint32_t cardinality,
+                        std::shared_ptr<Dictionary> dictionary) {
+  Column col;
+  col.data_ = codes;
+  col.size_ = size;
+  col.borrowed_ = true;
+  col.cardinality_ = cardinality;
+  col.dictionary_ = std::move(dictionary);
+  return col;
+}
+
+void Column::CopyFrom(const Column& other) {
+  storage_ = other.storage_;
+  // An owned column's view must follow its (re-allocated) storage; a
+  // borrowed column's view keeps pointing at the external storage.
+  data_ = other.borrowed_ ? other.data_ : storage_.data();
+  size_ = other.size_;
+  borrowed_ = other.borrowed_;
+  cardinality_ = other.cardinality_;
+  distinct_ = other.distinct_;
+  dictionary_ = other.dictionary_;
+}
+
+void Column::MoveFrom(Column&& other) noexcept {
+  storage_ = std::move(other.storage_);
+  // Moving a vector transfers its heap buffer, so an owned view stays
+  // valid without re-pointing; re-point anyway to keep the invariant
+  // `data_ == storage_.data()` explicit for owned columns.
+  data_ = other.borrowed_ ? other.data_ : storage_.data();
+  size_ = other.size_;
+  borrowed_ = other.borrowed_;
+  cardinality_ = other.cardinality_;
+  distinct_ = other.distinct_;
+  dictionary_ = std::move(other.dictionary_);
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.borrowed_ = false;
+  other.distinct_ = 0;
+}
+
 uint32_t Column::CountDistinct() const {
-  if (distinct_ != 0 || codes_.empty()) return distinct_;
+  if (distinct_ != 0 || size_ == 0) return distinct_;
   std::vector<bool> seen(cardinality_, false);
   uint32_t count = 0;
-  for (ValueCode c : codes_) {
+  for (size_t i = 0; i < size_; ++i) {
+    ValueCode c = data_[i];
     if (!seen[c]) {
       seen[c] = true;
       ++count;

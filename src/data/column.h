@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -13,18 +14,48 @@ namespace qikey {
 /// \brief One dictionary-encoded attribute: a dense vector of codes plus
 /// an optional dictionary (absent for synthetic data, where codes are the
 /// values).
+///
+/// Codes are either OWNED (the common case: the column holds its own
+/// vector) or BORROWED (`Borrowed()`: the column is a read-only view
+/// over codes that live elsewhere — an mmap-ed snapshot section — and
+/// whoever created the view is responsible for keeping those bytes
+/// alive). Copying an owned column copies its codes; copying a borrowed
+/// column copies the view, so a `Dataset` of borrowed columns stays
+/// zero-copy through `Dataset` copies.
 class Column {
  public:
   Column() = default;
 
-  /// Builds a column from codes. `cardinality` must exceed every code;
-  /// pass 0 to have it computed as `max(code)+1`.
+  /// Builds a column owning `codes`. `cardinality` must exceed every
+  /// code; pass 0 to have it computed as `max(code)+1`.
   explicit Column(std::vector<ValueCode> codes, uint32_t cardinality = 0,
                   std::shared_ptr<Dictionary> dictionary = nullptr);
 
-  size_t size() const { return codes_.size(); }
-  ValueCode code(size_t row) const { return codes_[row]; }
-  const std::vector<ValueCode>& codes() const { return codes_; }
+  /// A read-only view over `size` codes at `codes`, which must stay
+  /// alive (and contain only codes `< cardinality`) for the lifetime of
+  /// this column and every copy of it.
+  static Column Borrowed(const ValueCode* codes, size_t size,
+                         uint32_t cardinality,
+                         std::shared_ptr<Dictionary> dictionary = nullptr);
+
+  Column(const Column& other) { CopyFrom(other); }
+  Column& operator=(const Column& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Column(Column&& other) noexcept { MoveFrom(std::move(other)); }
+  Column& operator=(Column&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  ValueCode code(size_t row) const { return data_[row]; }
+  std::span<const ValueCode> codes() const { return {data_, size_}; }
+
+  /// True when the codes are a view into storage this column does not
+  /// own.
+  bool borrowed() const { return borrowed_; }
 
   /// Upper bound on codes: all codes are in `[0, cardinality())`.
   uint32_t cardinality() const { return cardinality_; }
@@ -37,7 +68,13 @@ class Column {
   std::shared_ptr<Dictionary> shared_dictionary() const { return dictionary_; }
 
  private:
-  std::vector<ValueCode> codes_;
+  void CopyFrom(const Column& other);
+  void MoveFrom(Column&& other) noexcept;
+
+  std::vector<ValueCode> storage_;      // empty when borrowed
+  const ValueCode* data_ = nullptr;     // view into storage_ or borrowed
+  size_t size_ = 0;
+  bool borrowed_ = false;
   uint32_t cardinality_ = 0;
   mutable uint32_t distinct_ = 0;  // 0 = not yet computed (columns are
                                    // non-empty in practice)

@@ -1,9 +1,9 @@
 #include "data/serialize.h"
 
 #include <cstring>
-#include <fstream>
 #include <memory>
 
+#include "data/wire_codec.h"
 #include "util/logging.h"
 
 namespace qikey {
@@ -13,59 +13,10 @@ namespace {
 constexpr char kMagic[4] = {'Q', 'I', 'K', 'D'};
 constexpr uint32_t kVersion = 1;
 
-class Writer {
- public:
-  void Raw(const void* src, size_t n) {
-    size_t at = out_.size();
-    out_.resize(at + n);
-    std::memcpy(out_.data() + at, src, n);
-  }
-  void U8(uint8_t v) { Raw(&v, sizeof(v)); }
-  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
-  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    Raw(s.data(), s.size());
-  }
-  std::string Take() && { return std::move(out_); }
-
- private:
-  std::string out_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  bool Raw(void* dst, size_t n) {
-    if (pos_ + n > bytes_.size()) return false;
-    std::memcpy(dst, bytes_.data() + pos_, n);
-    pos_ += n;
-    return true;
-  }
-  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
-  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
-  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
-  bool Str(std::string* s) {
-    uint32_t len = 0;
-    if (!U32(&len)) return false;
-    if (pos_ + len > bytes_.size()) return false;
-    s->assign(bytes_.data() + pos_, len);
-    pos_ += len;
-    return true;
-  }
-  bool AtEnd() const { return pos_ == bytes_.size(); }
-  size_t remaining() const { return bytes_.size() - pos_; }
-
- private:
-  std::string_view bytes_;
-  size_t pos_ = 0;
-};
-
 }  // namespace
 
 std::string SerializeDataset(const Dataset& dataset) {
-  Writer w;
+  ByteWriter w;
   w.Raw(kMagic, sizeof(kMagic));
   w.U32(kVersion);
   w.U32(static_cast<uint32_t>(dataset.num_attributes()));
@@ -86,7 +37,7 @@ std::string SerializeDataset(const Dataset& dataset) {
 }
 
 Result<Dataset> DeserializeDataset(std::string_view bytes) {
-  Reader r(bytes);
+  ByteReader r(bytes);
   char magic[4];
   uint32_t version = 0, m = 0;
   uint64_t n = 0;
@@ -114,10 +65,12 @@ Result<Dataset> DeserializeDataset(std::string_view bytes) {
   if (m > 0 && n > r.remaining() / (sizeof(ValueCode) * m)) {
     return Status::InvalidArgument("row count exceeds payload size");
   }
+  // No reserve(m) here on purpose: sizeof(Column) and sizeof(string)
+  // dwarf the 9-byte-per-column floor above, so a hostile header could
+  // otherwise force an allocation several times the payload size. The
+  // vectors grow as columns actually parse.
   std::vector<std::string> names;
   std::vector<Column> columns;
-  names.reserve(m);
-  columns.reserve(m);
   for (uint32_t j = 0; j < m; ++j) {
     std::string name;
     uint32_t cardinality = 0;
@@ -173,20 +126,13 @@ Result<Dataset> DeserializeDataset(std::string_view bytes) {
 }
 
 Status WriteDatasetFile(const Dataset& dataset, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  std::string bytes = SerializeDataset(dataset);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteFileBytes(SerializeDataset(dataset), path);
 }
 
 Result<Dataset> ReadDatasetFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open: " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  return DeserializeDataset(bytes);
+  Result<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return DeserializeDataset(*bytes);
 }
 
 }  // namespace qikey

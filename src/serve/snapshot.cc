@@ -79,11 +79,21 @@ Result<ServeSnapshot> LoadSnapshot(const SnapshotSource& source) {
     case SnapshotSource::Kind::kPipelineRun: {
       Result<Dataset> data = LoadCsvDataset(source.csv_path);
       if (!data.ok()) return data.status();
+      auto full = std::make_shared<Dataset>(std::move(*data));
       DiscoveryPipeline pipeline(source.pipeline);
       Rng rng(source.seed);
-      Result<PipelineResult> result = pipeline.Run(*data, &rng);
+      Result<PipelineResult> result = pipeline.Run(*full, &rng);
       if (!result.ok()) return result.status();
-      return SnapshotFromPipelineResult(*result, source.pipeline.eps);
+      Result<ServeSnapshot> snapshot =
+          SnapshotFromPipelineResult(*result, source.pipeline.eps);
+      if (!snapshot.ok()) return snapshot;
+      // A non-materialized pair filter reads through to the relation it
+      // was built over; tie the loaded relation's lifetime to the
+      // filter's so the snapshot never outlives its backing rows.
+      std::shared_ptr<const SeparationFilter> filter = snapshot->filter;
+      snapshot->filter = std::shared_ptr<const SeparationFilter>(
+          filter.get(), [filter, full](const SeparationFilter*) {});
+      return snapshot;
     }
     case SnapshotSource::Kind::kMonitor: {
       Result<Dataset> data = LoadCsvDataset(source.csv_path);

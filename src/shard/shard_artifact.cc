@@ -1,9 +1,9 @@
 #include "shard/shard_artifact.h"
 
 #include <cstring>
-#include <fstream>
 
 #include "data/serialize.h"
+#include "data/wire_codec.h"
 
 namespace qikey {
 
@@ -27,50 +27,6 @@ uint8_t EncodeBackend(FilterBackend backend) {
   return 0;
 }
 
-void AppendU8(std::string* out, uint8_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void AppendU32(std::string* out, uint32_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void AppendU64(std::string* out, uint64_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void AppendBlob(std::string* out, const std::string& blob) {
-  AppendU64(out, blob.size());
-  out->append(blob);
-}
-
-/// Bounds-checked little-endian reader over the artifact payload.
-class ArtifactReader {
- public:
-  explicit ArtifactReader(std::string_view bytes) : bytes_(bytes) {}
-
-  bool Raw(void* dst, size_t n) {
-    if (n > remaining()) return false;
-    std::memcpy(dst, bytes_.data() + pos_, n);
-    pos_ += n;
-    return true;
-  }
-  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
-  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
-  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
-  bool Blob(std::string_view* blob) {
-    uint64_t len = 0;
-    if (!U64(&len)) return false;
-    if (len > remaining()) return false;
-    *blob = bytes_.substr(pos_, static_cast<size_t>(len));
-    pos_ += static_cast<size_t>(len);
-    return true;
-  }
-  size_t remaining() const { return bytes_.size() - pos_; }
-  bool AtEnd() const { return pos_ == bytes_.size(); }
-
- private:
-  std::string_view bytes_;
-  size_t pos_ = 0;
-};
-
 }  // namespace
 
 uint64_t ShardFilterArtifact::MemoryBytes() const {
@@ -84,26 +40,26 @@ uint64_t ShardFilterArtifact::MemoryBytes() const {
 }
 
 std::string SerializeShardArtifact(const ShardFilterArtifact& artifact) {
-  std::string out;
-  out.append(kMagic, sizeof(kMagic));
-  AppendU32(&out, kVersion);
-  AppendU32(&out, artifact.shard_index);
-  AppendU64(&out, artifact.first_row);
-  AppendU64(&out, artifact.rows_seen);
-  AppendU8(&out, EncodeBackend(artifact.backend));
-  AppendU64(&out, artifact.provenance.size());
-  out.append(reinterpret_cast<const char*>(artifact.provenance.data()),
-             artifact.provenance.size() * sizeof(RowIndex));
-  AppendBlob(&out, SerializeDataset(artifact.tuple_sample));
-  AppendU8(&out, artifact.pair_table.num_attributes() > 0 ? 1 : 0);
+  ByteWriter w;
+  w.Raw(kMagic, sizeof(kMagic));
+  w.U32(kVersion);
+  w.U32(artifact.shard_index);
+  w.U64(artifact.first_row);
+  w.U64(artifact.rows_seen);
+  w.U8(EncodeBackend(artifact.backend));
+  w.U64(artifact.provenance.size());
+  w.Raw(artifact.provenance.data(),
+        artifact.provenance.size() * sizeof(RowIndex));
+  w.Blob(SerializeDataset(artifact.tuple_sample));
+  w.U8(artifact.pair_table.num_attributes() > 0 ? 1 : 0);
   if (artifact.pair_table.num_attributes() > 0) {
-    AppendBlob(&out, SerializeDataset(artifact.pair_table));
+    w.Blob(SerializeDataset(artifact.pair_table));
   }
-  return out;
+  return std::move(w).Take();
 }
 
 Result<ShardFilterArtifact> DeserializeShardArtifact(std::string_view bytes) {
-  ArtifactReader r(bytes);
+  ByteReader r(bytes);
   char magic[4];
   uint32_t version = 0;
   if (!r.Raw(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
@@ -173,20 +129,13 @@ Result<ShardFilterArtifact> DeserializeShardArtifact(std::string_view bytes) {
 
 Status WriteShardArtifactFile(const ShardFilterArtifact& artifact,
                               const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  std::string bytes = SerializeShardArtifact(artifact);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteFileBytes(SerializeShardArtifact(artifact), path);
 }
 
 Result<ShardFilterArtifact> ReadShardArtifactFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open: " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  return DeserializeShardArtifact(bytes);
+  Result<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return DeserializeShardArtifact(*bytes);
 }
 
 }  // namespace qikey

@@ -1,0 +1,155 @@
+#include "snapfile/format.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "data/wire_codec.h"
+
+namespace qikey {
+namespace snapfile {
+
+std::string SectionName(uint32_t id) {
+  switch (static_cast<SectionId>(id)) {
+    case SectionId::kMeta:
+      return "meta";
+    case SectionId::kSampleCodes:
+      return "sample_codes";
+    case SectionId::kKeys:
+      return "keys";
+    case SectionId::kEvidenceWords:
+      return "evidence_words";
+    case SectionId::kEvidenceReps:
+      return "evidence_reps";
+    case SectionId::kPairCodes:
+      return "pair_codes";
+    case SectionId::kFilterSampleBlob:
+      return "filter_sample";
+  }
+  return "unknown(" + std::to_string(id) + ")";
+}
+
+const SectionEntry* SnapshotLayout::Find(SectionId id) const {
+  for (const SectionEntry& s : sections) {
+    if (s.id == static_cast<uint32_t>(id)) return &s;
+  }
+  return nullptr;
+}
+
+Result<SnapshotLayout> ParseLayout(const uint8_t* data, size_t size,
+                                   bool verify_checksums) {
+  if (data == nullptr ||
+      (reinterpret_cast<uintptr_t>(data) & (kSectionAlign - 1)) != 0) {
+    return Status::InvalidArgument("snapshot image base is not 64-byte "
+                                   "aligned");
+  }
+  if (size < kHeaderBytes) {
+    return Status::InvalidArgument("snapshot file shorter than its header");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a qikey snapshot file (bad magic)");
+  }
+  ByteReader r(std::string_view(reinterpret_cast<const char*>(data), size));
+  r.Skip(sizeof(kMagic));
+  SnapshotLayout layout;
+  SnapshotHeader& h = layout.header;
+  uint32_t reserved = 0;
+  // The header is a fixed 64 bytes and `size >= kHeaderBytes`, so these
+  // reads cannot fail; the reader keeps them bounds-checked anyway.
+  if (!r.U32(&h.version) || !r.U32(&h.section_count) || !r.F64(&h.eps) ||
+      !r.U64(&h.source_rows) || !r.U64(&h.declared_sample_size) ||
+      !r.U64(&h.file_bytes) || !r.U8(&h.backend) || !r.U8(&h.detection) ||
+      !r.U16(&h.flags) || !r.U32(&reserved) || !r.U64(&h.checksum)) {
+    return Status::InvalidArgument("snapshot header truncated");
+  }
+  if (h.version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot format version " +
+                                   std::to_string(h.version));
+  }
+  if (h.file_bytes != size) {
+    return Status::InvalidArgument(
+        "snapshot file size does not match its header");
+  }
+  if (reserved != 0) {
+    return Status::InvalidArgument("snapshot header reserved field is set");
+  }
+  if (h.section_count == 0 || h.section_count > kMaxSections) {
+    return Status::InvalidArgument("snapshot section count out of range");
+  }
+  const uint64_t table_bytes =
+      uint64_t{h.section_count} * kSectionEntryBytes;
+  if (table_bytes > size - kHeaderBytes) {
+    return Status::InvalidArgument("snapshot section table truncated");
+  }
+  if (verify_checksums) {
+    uint64_t expect = Fnv1a64(data, kHeaderBytes - sizeof(uint64_t));
+    expect = Fnv1a64(data + kHeaderBytes, table_bytes, expect);
+    if (expect != h.checksum) {
+      return Status::InvalidArgument("snapshot header checksum mismatch");
+    }
+  }
+  layout.sections.reserve(h.section_count);
+  for (uint32_t i = 0; i < h.section_count; ++i) {
+    SectionEntry s;
+    uint32_t entry_reserved = 0;
+    if (!r.U32(&s.id) || !r.U32(&entry_reserved) || !r.U64(&s.offset) ||
+        !r.U64(&s.bytes) || !r.U64(&s.checksum)) {
+      return Status::InvalidArgument("snapshot section table truncated");
+    }
+    if (entry_reserved != 0) {
+      return Status::InvalidArgument(
+          "snapshot section entry reserved field is set");
+    }
+    if (s.id < static_cast<uint32_t>(SectionId::kMeta) ||
+        s.id > static_cast<uint32_t>(SectionId::kFilterSampleBlob)) {
+      // v1 readers reject ids v1 writers cannot produce; additions bump
+      // the format version.
+      return Status::InvalidArgument("unknown snapshot section id " +
+                                     std::to_string(s.id));
+    }
+    if ((s.offset & (kSectionAlign - 1)) != 0) {
+      return Status::InvalidArgument("snapshot section is misaligned");
+    }
+    // Overflow-safe bounds: offset and bytes are both validated against
+    // the real file size before their sum is formed.
+    if (s.offset > size || s.bytes > size - s.offset) {
+      return Status::InvalidArgument("snapshot section out of bounds");
+    }
+    if (s.offset < kHeaderBytes + table_bytes) {
+      return Status::InvalidArgument(
+          "snapshot section overlaps the header");
+    }
+    layout.sections.push_back(s);
+  }
+  // Disjointness and id uniqueness over the (small, bounded) table.
+  std::vector<SectionEntry> sorted = layout.sections;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SectionEntry& a, const SectionEntry& b) {
+              return a.offset < b.offset;
+            });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].offset < sorted[i - 1].offset + sorted[i - 1].bytes) {
+      return Status::InvalidArgument("snapshot sections overlap");
+    }
+  }
+  for (size_t i = 0; i < layout.sections.size(); ++i) {
+    for (size_t j = i + 1; j < layout.sections.size(); ++j) {
+      if (layout.sections[i].id == layout.sections[j].id) {
+        return Status::InvalidArgument("duplicate snapshot section id " +
+                                       std::to_string(layout.sections[i].id));
+      }
+    }
+  }
+  if (verify_checksums) {
+    for (const SectionEntry& s : layout.sections) {
+      if (Fnv1a64(data + s.offset, s.bytes) != s.checksum) {
+        return Status::InvalidArgument("snapshot section '" +
+                                       SectionName(s.id) +
+                                       "' checksum mismatch");
+      }
+    }
+  }
+  return layout;
+}
+
+}  // namespace snapfile
+}  // namespace qikey

@@ -1,0 +1,76 @@
+#include "snapfile/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qikey {
+namespace snapfile {
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat '" + path +
+                           "': " + std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError("'" + path + "' is not a regular file");
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::InvalidArgument("'" + path + "' is empty");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The fd can be closed immediately; the mapping pins the file.
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return Status::IOError("cannot mmap '" + path +
+                           "': " + std::strerror(errno));
+  }
+  MappedFile file;
+  file.data_ = static_cast<const uint8_t*>(base);
+  file.size_ = size;
+  return file;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace snapfile
+}  // namespace qikey

@@ -1,0 +1,43 @@
+#ifndef QIKEY_SNAPFILE_MAPPED_FILE_H_
+#define QIKEY_SNAPFILE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace qikey {
+namespace snapfile {
+
+/// \brief RAII read-only memory mapping of a whole file.
+///
+/// The mapping is `PROT_READ`/`MAP_PRIVATE`: the pages come straight
+/// from (and stay in) the page cache, shared with every other process
+/// mapping the same file, and nothing here can write the file. The base
+/// is page-aligned, which satisfies the 64-byte section alignment the
+/// snapshot format is laid out for.
+class MappedFile {
+ public:
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace snapfile
+}  // namespace qikey
+
+#endif  // QIKEY_SNAPFILE_MAPPED_FILE_H_

@@ -1,0 +1,77 @@
+#ifndef QIKEY_SNAPFILE_SNAPFILE_H_
+#define QIKEY_SNAPFILE_SNAPFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/snapshot.h"
+#include "snapfile/format.h"
+#include "util/status.h"
+
+namespace qikey {
+namespace snapfile {
+
+/// \brief QSNP1 snapshot artifacts: a `ServeSnapshot` frozen into one
+/// mmap-able file (see format.h for the layout and docs/architecture.md
+/// for the reference).
+///
+/// The writer lays the hot structures out exactly as their in-memory
+/// owners hold them — packed-evidence words as `AlignedWordBuffer`
+/// does, code columns 64-byte aligned — so the reader's snapshot is a
+/// set of borrowed views into the mapping: serving starts as soon as
+/// the file is validated, and the data pages are faulted in from page
+/// cache on first touch, shared across processes.
+
+/// The whole file image of `snapshot`, in memory. The snapshot's epoch
+/// is not stored: epochs are assigned by the `SnapshotStore` a loaded
+/// snapshot is published through. Unimplemented when the snapshot's
+/// filter is not one of the three library backends.
+Result<std::string> SerializeSnapshot(const ServeSnapshot& snapshot);
+
+/// Serializes `snapshot` and writes it to `path` (truncating).
+Status WriteSnapshotFile(const ServeSnapshot& snapshot,
+                         const std::string& path);
+
+/// \brief Reconstructs a servable snapshot from a snapshot image,
+/// borrowing storage from it: sample (and pair-table) codes and the
+/// packed-evidence words/representatives are views into `data`, kept
+/// alive by storing `owner` in every component's deleter.
+///
+/// `data` must be 64-byte aligned and stay immutable while any piece of
+/// the returned snapshot (or a copy) is alive. The image is fully
+/// validated — bounds, alignment, checksums, code ranges — before any
+/// borrowed pointer is created; a malformed image yields a `Status`,
+/// never a crash.
+Result<ServeSnapshot> SnapshotFromBytes(const uint8_t* data, size_t size,
+                                        std::shared_ptr<const void> owner);
+
+/// As `SnapshotFromBytes` for unaligned/ephemeral bytes: copies them
+/// into an aligned buffer owned by the returned snapshot. For tests and
+/// fuzzing; file serving goes through `ReadSnapshotFile`.
+Result<ServeSnapshot> SnapshotFromOwnedBytes(std::string_view bytes);
+
+/// Maps `path` and reconstructs the snapshot it holds; the mapping
+/// lives exactly as long as the snapshot's components do.
+Result<ServeSnapshot> ReadSnapshotFile(const std::string& path);
+
+/// Header + section table of a snapshot file, structurally validated
+/// (`ParseLayout`, including checksums) but without reconstructing the
+/// snapshot.
+struct SnapshotFileInfo {
+  SnapshotHeader header;
+  std::vector<SectionEntry> sections;
+};
+
+Result<SnapshotFileInfo> InspectSnapshotFile(const std::string& path);
+
+/// `qikey snapshot inspect` output: the info as one sorted-key JSON
+/// object (stable field order; checksums rendered as hex strings).
+std::string RenderSnapshotInfoJson(const SnapshotFileInfo& info);
+
+}  // namespace snapfile
+}  // namespace qikey
+
+#endif  // QIKEY_SNAPFILE_SNAPFILE_H_

@@ -47,6 +47,12 @@ def main():
     with open(bad_requests, "w") as f:
         f.write("min-key\nis-key no_such_column\n")
     out_csv = os.path.join(tmp, "gen_out.csv")
+    snap_file = os.path.join(tmp, "people.qsnp")
+    missing_snap = os.path.join(tmp, "missing.qsnp")
+    # Right magic, garbage body: inspect must diagnose it, exit 2.
+    not_snap = os.path.join(tmp, "not_a_snapshot.qsnp")
+    with open(not_snap, "wb") as f:
+        f.write(b"QSNP1\x00\x00\x00 but then garbage all the way down")
 
     # (binary, args, expected exit code, required stderr substring)
     cases = [
@@ -155,6 +161,28 @@ def main():
         # --stats with the engine metrics snapshot appended as JSON
         (qikey, ["query", people, "--requests", good_requests, "--stats"],
          0, None),
+        # --- qikey snapshot save / inspect (order matters: the save
+        # case writes the file the inspect-success case reads) ---
+        (qikey, ["snapshot", "save", people, "--out", snap_file], 0, None),
+        (qikey, ["snapshot", "inspect", snap_file], 0, None),
+        (qikey, ["snapshot"], 2, None),
+        (qikey, ["snapshot", "save"], 2, None),
+        (qikey, ["snapshot", "frobnicate", people], 2, "save|inspect"),
+        (qikey, ["snapshot", "save", people], 2, "--out"),
+        (qikey, ["snapshot", "save", people, "--out", snap_file, "--eps",
+                 "banana"], 2, "must be"),
+        (qikey, ["snapshot", "save", os.path.join(tmp, "missing.csv"),
+                 "--out", snap_file + ".tmp"], 1, "cannot build snapshot"),
+        # malformed / missing artifacts: exit 2 with a diagnosis
+        (qikey, ["snapshot", "inspect", not_snap], 2, None),
+        (qikey, ["snapshot", "inspect", missing_snap], 2, None),
+        # --- qikey serve --snapshot-file plumbing ---
+        (qikey, ["serve"], 2, None),
+        (qikey, ["serve", "--snapshot-file"], 2, "missing its value"),
+        (qikey, ["serve", people, "--snapshot-file", snap_file], 2,
+         "not both"),
+        (qikey, ["serve", "--snapshot-file", missing_snap], 1,
+         "cannot build snapshot"),
         # --- qikey-gen strict parsing ---
         (qikey_gen, [], 2, None),
         (qikey_gen, ["grid", "--rows", "50"], 2, "--out"),

@@ -90,6 +90,21 @@ TEST(SerializeTest, RejectsHostileDictionaryEntryCount) {
   EXPECT_FALSE(DeserializeDataset(bytes).ok());
 }
 
+TEST(SerializeTest, HostileDictionaryCountFailsBeforeAllocating) {
+  std::string bytes = SerializeDataset(DictDataset());
+  // A mid-range count (256M entries) fits comfortably in the u32 field,
+  // so only comparing the declared count against the bytes actually
+  // remaining stops the decoder from reserving gigabytes up front.
+  ASSERT_EQ(bytes.substr(24, 4), "word");
+  bytes[33] = 0;
+  bytes[34] = 0;
+  bytes[35] = 0;
+  bytes[36] = 0x10;  // 0x10000000 entries declared
+  auto result = DeserializeDataset(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(SerializeTest, RejectsDuplicateDictionaryEntries) {
   std::string bytes = SerializeDataset(DictDataset());
   // Rewrite the entry "beta" as a second "alpha": a code would then
@@ -140,6 +155,12 @@ TEST(SerializeTest, FilterDeserializeRejectsHostileProvenance) {
   std::string bytes = filter->Serialize();
   // Provenance count u64 lives at offset 5.
   for (int i = 0; i < 8; ++i) bytes[5 + i] = '\xff';
+  EXPECT_FALSE(TupleSampleFilter::Deserialize(bytes).ok());
+  // A mid-range bomb (128M rows declared, ~512MB if resized eagerly)
+  // must fail against the remaining byte count, not get allocated.
+  bytes = filter->Serialize();
+  for (int i = 0; i < 8; ++i) bytes[5 + i] = 0;
+  bytes[8] = 0x08;  // 0x08000000 provenance entries declared
   EXPECT_FALSE(TupleSampleFilter::Deserialize(bytes).ok());
 }
 

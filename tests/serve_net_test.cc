@@ -24,6 +24,7 @@
 #include "serve/query_engine.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "snapfile/snapfile.h"
 #include "util/net.h"
 #include "util/rng.h"
 
@@ -486,6 +487,44 @@ TEST(ServeNetTest, HotSwapServesNewSnapshotWithoutDroppingConnection) {
   EXPECT_NE(*after, *before);
   EXPECT_EQ(after->rfind("ok ", 0), 0u);
   EXPECT_EQ(after->substr(after->size() - 2), " 2") << *after;
+}
+
+TEST(ServeNetTest, HotSwapFromSnapshotFileMidConnection) {
+  TestServer ts;
+  BlockingLineClient client = ts.Connect();
+
+  ASSERT_TRUE(client.SendLine("min-key").ok());
+  auto before = client.RecvLine();
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rfind("ok ", 0), 0u);
+
+  // Freeze a visibly different snapshot (an extra tracked minimal key)
+  // into a QSNP1 artifact, load it back through the mmap reader, and
+  // publish the loaded snapshot — the serve --snapshot-file SIGHUP
+  // path, minus the signal.
+  ServeSnapshot next = *ts.store.Current();
+  std::vector<AttributeSet> keys = *next.keys;
+  AttributeSet extra(ts.data->schema().num_attributes());
+  extra.Add(1);
+  extra.Add(2);
+  keys.push_back(extra);
+  next.keys =
+      std::make_shared<const std::vector<AttributeSet>>(std::move(keys));
+  const std::string path = "/tmp/qikey_serve_net_hotswap.qsnp";
+  ASSERT_TRUE(snapfile::WriteSnapshotFile(next, path).ok());
+  auto loaded = snapfile::ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(ts.store.Publish(std::move(*loaded)).ok());
+
+  // Same connection, next request: answered from the mmap-backed
+  // snapshot without a reconnect.
+  ASSERT_TRUE(client.SendLine("min-key").ok());
+  auto after = client.RecvLine();
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(*after, *before);
+  EXPECT_EQ(after->rfind("ok ", 0), 0u);
+  EXPECT_EQ(after->substr(after->size() - 2), " 2") << *after;
+  std::remove(path.c_str());
 }
 
 // --------------------------------------------------------------------

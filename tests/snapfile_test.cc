@@ -1,0 +1,483 @@
+// QSNP1 snapshot artifacts (src/snapfile/): a serve snapshot frozen
+// into one mmap-able file must load back as a snapshot that answers
+// BIT-IDENTICALLY on the wire — across every filter backend, seed, and
+// engine thread count — and a corrupted file must come back as a
+// Status, never a crash or a wild read.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tuple_sample_filter.h"
+#include "data/wire_codec.h"
+#include "engine/pipeline.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "serve/request.h"
+#include "serve/snapshot.h"
+#include "snapfile/format.h"
+#include "snapfile/snapfile.h"
+#include "util/rng.h"
+
+namespace qikey {
+namespace {
+
+/// A table whose first column is a row id (an exact key by
+/// construction) over low-cardinality columns.
+Dataset MakeKeyedData(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ValueCode> id(rows);
+  for (size_t i = 0; i < rows; ++i) id[i] = static_cast<ValueCode>(i);
+  std::vector<Column> columns;
+  columns.emplace_back(std::move(id));
+  for (uint32_t card : {5u, 7u, 3u, 11u, 2u}) {
+    std::vector<ValueCode> codes(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      codes[i] = static_cast<ValueCode>(rng.Uniform(card));
+    }
+    columns.emplace_back(std::move(codes), card);
+  }
+  return Dataset(
+      Schema({"id", "c1", "c2", "c3", "c4", "c5"}), std::move(columns));
+}
+
+/// One discovery run frozen into an (unpublished) serve snapshot.
+ServeSnapshot BuildPipelineSnapshot(const Dataset& data,
+                                    FilterBackend backend, double eps,
+                                    uint64_t seed) {
+  PipelineOptions options;
+  options.eps = eps;
+  options.backend = backend;
+  Rng rng(seed);
+  auto result = DiscoveryPipeline(options).Run(data, &rng);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  auto snapshot = SnapshotFromPipelineResult(*result, eps);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  return std::move(*snapshot);
+}
+
+/// A deterministic mixed-kind workload over `schema`.
+std::vector<QueryRequest> MakeWorkload(const Schema& schema, size_t count,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  size_t m = schema.num_attributes();
+  std::vector<QueryRequest> requests;
+  for (size_t i = 0; i < count; ++i) {
+    QueryRequest request;
+    switch (rng.Uniform(5)) {
+      case 0:
+        request.kind = QueryKind::kIsKey;
+        request.attrs = AttributeSet::Random(m, 0.4, &rng);
+        break;
+      case 1:
+        request.kind = QueryKind::kSeparation;
+        request.attrs = AttributeSet::Random(m, 0.4, &rng);
+        break;
+      case 2:
+        request.kind = QueryKind::kMinKey;
+        request.attrs = AttributeSet(m);
+        break;
+      case 3: {
+        request.kind = QueryKind::kAfd;
+        AttributeIndex rhs = static_cast<AttributeIndex>(
+            rng.Uniform(static_cast<uint32_t>(m)));
+        request.attrs = AttributeSet::Random(m, 0.3, &rng);
+        request.attrs.Remove(rhs);
+        request.rhs = rhs;
+        break;
+      }
+      default:
+        request.kind = QueryKind::kAnonymity;
+        request.attrs = AttributeSet::Random(m, 0.3, &rng);
+        request.k = 2 + rng.Uniform(3);
+        break;
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+/// Publishes `snapshot` into a fresh store and answers `requests`
+/// through a QueryEngine, encoding every response with the shared wire
+/// encoder. Fresh store => epoch 1 on both sides of a comparison.
+std::vector<std::string> WireAnswers(ServeSnapshot snapshot,
+                                     const std::vector<QueryRequest>& requests,
+                                     size_t threads) {
+  const Schema schema = snapshot.schema();
+  SnapshotStore store;
+  auto epoch = store.Publish(std::move(snapshot));
+  EXPECT_TRUE(epoch.ok()) << epoch.status().ToString();
+  QueryEngineOptions options;
+  options.num_threads = threads;
+  options.cache_capacity = 0;  // raw answers, no cache interference
+  QueryEngine engine(&store, options);
+  std::vector<QueryResponse> responses = engine.ExecuteBatch(requests);
+  std::vector<std::string> lines;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    lines.push_back(EncodeResponseLine(requests[i], responses[i], schema));
+  }
+  return lines;
+}
+
+/// Recomputes the header checksum after a deliberate header/table patch
+/// so a test reaches the validation rule behind the checksum.
+void RestampHeaderChecksum(std::string* image) {
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, image->data() + 12, sizeof(section_count));
+  size_t table_at = snapfile::kHeaderBytes;
+  size_t table_bytes = section_count * snapfile::kSectionEntryBytes;
+  uint64_t checksum = Fnv1a64(image->data(), 56);
+  checksum = Fnv1a64(image->data() + table_at, table_bytes, checksum);
+  std::memcpy(image->data() + 56, &checksum, sizeof(checksum));
+}
+
+void PatchU64(std::string* image, size_t at, uint64_t value) {
+  std::memcpy(image->data() + at, &value, sizeof(value));
+}
+
+uint64_t ReadU64(const std::string& image, size_t at) {
+  uint64_t value = 0;
+  std::memcpy(&value, image.data() + at, sizeof(value));
+  return value;
+}
+
+// ---------------------------------------------------------- round trip
+
+TEST(SnapfileTest, RoundTripBitIdenticalAcrossBackendsSeedsThreads) {
+  for (FilterBackend backend : {FilterBackend::kTupleSample,
+                                FilterBackend::kMxPair,
+                                FilterBackend::kBitset}) {
+    for (uint64_t seed : {3u, 17u}) {
+      Dataset data = MakeKeyedData(120, seed);
+      ServeSnapshot built =
+          BuildPipelineSnapshot(data, backend, 0.01, seed);
+      auto image = snapfile::SerializeSnapshot(built);
+      ASSERT_TRUE(image.ok()) << image.status().ToString();
+      std::vector<QueryRequest> workload =
+          MakeWorkload(built.schema(), 60, seed + 100);
+      std::vector<std::string> want =
+          WireAnswers(std::move(built), workload, 1);
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        auto loaded = snapfile::SnapshotFromOwnedBytes(*image);
+        ASSERT_TRUE(loaded.ok())
+            << static_cast<int>(backend) << ": "
+            << loaded.status().ToString();
+        std::vector<std::string> got =
+            WireAnswers(std::move(*loaded), workload, threads);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(got[i], want[i])
+              << "backend " << static_cast<int>(backend) << " seed "
+              << seed << " threads " << threads << " line " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SnapfileTest, FileRoundTripServesIdentically) {
+  const std::string path = "/tmp/qikey_snapfile_roundtrip.qsnp";
+  Dataset data = MakeKeyedData(150, 5);
+  for (FilterBackend backend :
+       {FilterBackend::kTupleSample, FilterBackend::kBitset}) {
+    ServeSnapshot built = BuildPipelineSnapshot(data, backend, 0.01, 9);
+    std::vector<QueryRequest> workload =
+        MakeWorkload(built.schema(), 40, 77);
+    ASSERT_TRUE(snapfile::WriteSnapshotFile(built, path).ok());
+    std::vector<std::string> want =
+        WireAnswers(std::move(built), workload, 2);
+    auto loaded = snapfile::ReadSnapshotFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(WireAnswers(std::move(*loaded), workload, 2), want);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapfileTest, LoadedSnapshotOutlivesTheSourceBytes) {
+  Dataset data = MakeKeyedData(80, 2);
+  ServeSnapshot built =
+      BuildPipelineSnapshot(data, FilterBackend::kBitset, 0.01, 2);
+  auto image = snapfile::SerializeSnapshot(built);
+  ASSERT_TRUE(image.ok());
+  auto loaded = snapfile::SnapshotFromOwnedBytes(*image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // The load copied into its own aligned buffer: clobbering (and
+  // freeing) the input image must not change a single answer.
+  std::vector<QueryRequest> workload = MakeWorkload(built.schema(), 30, 8);
+  std::vector<std::string> want = WireAnswers(*loaded, workload, 1);
+  std::fill(image->begin(), image->end(), '\xff');
+  image->clear();
+  image->shrink_to_fit();
+  // Copies of the components keep the backing buffer alive on their
+  // own; dropping the originals must not invalidate them.
+  ServeSnapshot copy = *loaded;
+  *loaded = ServeSnapshot{};
+  EXPECT_EQ(WireAnswers(std::move(copy), workload, 1), want);
+}
+
+// --------------------------------------------- tuple sample ownership
+
+TEST(SnapfileTest, TupleFilterSharingTheSampleRoundTripsShared) {
+  Dataset data = MakeKeyedData(90, 4);
+  ServeSnapshot built =
+      BuildPipelineSnapshot(data, FilterBackend::kTupleSample, 0.01, 4);
+  const auto* tuple =
+      dynamic_cast<const TupleSampleFilter*>(built.filter.get());
+  ASSERT_NE(tuple, nullptr);
+  ASSERT_EQ(tuple->shared_sample().get(), built.sample.get())
+      << "pipeline tuple snapshots share the greedy sample";
+
+  const std::string path = "/tmp/qikey_snapfile_shared.qsnp";
+  ASSERT_TRUE(snapfile::WriteSnapshotFile(built, path).ok());
+  auto info = snapfile::InspectSnapshotFile(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->header.flags & snapfile::kFlagFilterSharesSample,
+            snapfile::kFlagFilterSharesSample);
+
+  auto loaded = snapfile::ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto* loaded_tuple =
+      dynamic_cast<const TupleSampleFilter*>(loaded->filter.get());
+  ASSERT_NE(loaded_tuple, nullptr);
+  // Sharing survives the file: one table, viewed zero-copy by both.
+  EXPECT_EQ(loaded_tuple->shared_sample().get(), loaded->sample.get());
+  EXPECT_EQ(loaded_tuple->provenance(), tuple->provenance());
+  std::remove(path.c_str());
+}
+
+TEST(SnapfileTest, TupleFilterWithPrivateSampleRoundTrips) {
+  // A filter whose sample diverges from the snapshot's evaluation
+  // sample (the monitor-freeze shape): carried as a nested blob.
+  Dataset data = MakeKeyedData(100, 6);
+  Rng rng(6);
+  TupleSampleFilterOptions options;
+  options.eps = 0.01;
+  options.sample_size = 24;
+  auto filter = TupleSampleFilter::Build(data, options, &rng);
+  ASSERT_TRUE(filter.ok());
+
+  ServeSnapshot built;
+  built.eps = 0.01;
+  built.source_rows = data.num_rows();
+  built.sample = std::make_shared<const Dataset>(MakeKeyedData(100, 6));
+  built.filter =
+      std::make_shared<const TupleSampleFilter>(std::move(*filter));
+  built.keys = std::make_shared<const std::vector<AttributeSet>>();
+
+  const std::string path = "/tmp/qikey_snapfile_private.qsnp";
+  ASSERT_TRUE(snapfile::WriteSnapshotFile(built, path).ok());
+  auto info = snapfile::InspectSnapshotFile(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->header.flags & snapfile::kFlagFilterSharesSample, 0u);
+  bool has_blob = false;
+  for (const auto& section : info->sections) {
+    if (section.id ==
+        static_cast<uint32_t>(snapfile::SectionId::kFilterSampleBlob)) {
+      has_blob = true;
+    }
+  }
+  EXPECT_TRUE(has_blob);
+
+  auto loaded = snapfile::ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::vector<QueryRequest> workload = MakeWorkload(built.schema(), 30, 99);
+  EXPECT_EQ(WireAnswers(std::move(*loaded), workload, 1),
+            WireAnswers(std::move(built), workload, 1));
+  std::remove(path.c_str());
+}
+
+TEST(SnapfileTest, EmptyKeyListRoundTrips) {
+  Dataset data = MakeKeyedData(60, 3);
+  ServeSnapshot built =
+      BuildPipelineSnapshot(data, FilterBackend::kTupleSample, 0.01, 3);
+  built.keys = std::make_shared<const std::vector<AttributeSet>>();
+  auto image = snapfile::SerializeSnapshot(built);
+  ASSERT_TRUE(image.ok());
+  auto loaded = snapfile::SnapshotFromOwnedBytes(*image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->keys->empty());
+}
+
+TEST(SnapfileTest, SerializeRejectsIncompleteSnapshots) {
+  auto image = snapfile::SerializeSnapshot(ServeSnapshot{});
+  EXPECT_FALSE(image.ok());
+}
+
+// ----------------------------------------------------------- inspect
+
+TEST(SnapfileTest, InspectRendersSortedKeyJson) {
+  Dataset data = MakeKeyedData(70, 8);
+  ServeSnapshot built =
+      BuildPipelineSnapshot(data, FilterBackend::kBitset, 0.01, 8);
+  const std::string path = "/tmp/qikey_snapfile_inspect.qsnp";
+  ASSERT_TRUE(snapfile::WriteSnapshotFile(built, path).ok());
+  auto info = snapfile::InspectSnapshotFile(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->header.version, snapfile::kFormatVersion);
+  EXPECT_EQ(info->header.backend, 2);
+  EXPECT_EQ(info->header.source_rows, 70u);
+  EXPECT_EQ(info->header.section_count, info->sections.size());
+
+  std::string json = snapfile::RenderSnapshotInfoJson(*info);
+  EXPECT_EQ(json.rfind("{\"backend\":\"bitset\"", 0), 0u) << json;
+  for (const char* field :
+       {"\"declared_sample_size\":", "\"eps\":", "\"file_bytes\":",
+        "\"header_checksum\":\"0x", "\"sections\":[", "\"source_rows\":70",
+        "\"version\":1", "\"name\":\"meta\"",
+        "\"name\":\"evidence_words\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field << "\n" << json;
+  }
+  EXPECT_FALSE(snapfile::InspectSnapshotFile("/nonexistent.qsnp").ok());
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- corruption
+
+/// The base image every corruption case below mutates.
+std::string ValidImage(FilterBackend backend = FilterBackend::kBitset) {
+  Dataset data = MakeKeyedData(64, 12);
+  ServeSnapshot built = BuildPipelineSnapshot(data, backend, 0.01, 12);
+  auto image = snapfile::SerializeSnapshot(built);
+  EXPECT_TRUE(image.ok());
+  return *image;
+}
+
+TEST(SnapfileTest, RejectsTruncationAtEveryPrefix) {
+  std::string image = ValidImage();
+  // Every header-sized prefix, then coarse steps through the body.
+  for (size_t n = 0; n <= 2 * snapfile::kHeaderBytes; ++n) {
+    EXPECT_FALSE(
+        snapfile::SnapshotFromOwnedBytes({image.data(), n}).ok()) << n;
+  }
+  for (size_t n = 2 * snapfile::kHeaderBytes; n < image.size(); n += 37) {
+    EXPECT_FALSE(
+        snapfile::SnapshotFromOwnedBytes({image.data(), n}).ok()) << n;
+  }
+}
+
+TEST(SnapfileTest, RejectsBadMagicVersionAndReserved) {
+  std::string image = ValidImage();
+  std::string bad = image;
+  bad[0] = 'X';
+  EXPECT_FALSE(snapfile::SnapshotFromOwnedBytes(bad).ok());
+
+  bad = image;
+  bad[8] = 9;  // version
+  RestampHeaderChecksum(&bad);
+  auto status = snapfile::SnapshotFromOwnedBytes(bad).status();
+  EXPECT_NE(status.message().find("version"), std::string::npos)
+      << status.ToString();
+
+  bad = image;
+  bad[52] = 1;  // reserved header field
+  RestampHeaderChecksum(&bad);
+  EXPECT_FALSE(snapfile::SnapshotFromOwnedBytes(bad).ok());
+
+  bad = image;
+  bad[48] = 7;  // unknown backend
+  RestampHeaderChecksum(&bad);
+  EXPECT_FALSE(snapfile::SnapshotFromOwnedBytes(bad).ok());
+}
+
+TEST(SnapfileTest, RejectsHeaderAndSectionChecksumMismatch) {
+  std::string image = ValidImage();
+  std::string bad = image;
+  bad[16] ^= 0x40;  // eps bits; checksum not restamped
+  auto status = snapfile::SnapshotFromOwnedBytes(bad).status();
+  EXPECT_NE(status.message().find("checksum"), std::string::npos)
+      << status.ToString();
+
+  // One flipped byte inside each section must trip that section's
+  // checksum (padding bytes between sections are not covered, so walk
+  // the table rather than flipping blindly).
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, image.data() + 12, sizeof(section_count));
+  for (uint32_t i = 0; i < section_count; ++i) {
+    size_t entry = snapfile::kHeaderBytes + i * snapfile::kSectionEntryBytes;
+    uint64_t offset = ReadU64(image, entry + 8);
+    uint64_t bytes = ReadU64(image, entry + 16);
+    if (bytes == 0) continue;
+    bad = image;
+    bad[offset + bytes / 2] ^= 0x01;
+    status = snapfile::SnapshotFromOwnedBytes(bad).status();
+    EXPECT_FALSE(status.ok()) << "section " << i;
+    EXPECT_NE(status.message().find("checksum"), std::string::npos)
+        << "section " << i << ": " << status.ToString();
+  }
+}
+
+TEST(SnapfileTest, RejectsMisalignedOverlappingAndOutOfBoundsSections) {
+  std::string image = ValidImage();
+  size_t entry0 = snapfile::kHeaderBytes;
+  size_t entry1 = entry0 + snapfile::kSectionEntryBytes;
+
+  // Misaligned offset (stays inside the file, but off the 64 grid).
+  std::string bad = image;
+  PatchU64(&bad, entry0 + 8, ReadU64(bad, entry0 + 8) + 8);
+  RestampHeaderChecksum(&bad);
+  auto status = snapfile::SnapshotFromOwnedBytes(bad).status();
+  EXPECT_NE(status.message().find("align"), std::string::npos)
+      << status.ToString();
+
+  // Two sections at the same offset.
+  bad = image;
+  PatchU64(&bad, entry1 + 8, ReadU64(bad, entry0 + 8));
+  PatchU64(&bad, entry1 + 16, ReadU64(bad, entry0 + 16));
+  PatchU64(&bad, entry1 + 24, ReadU64(bad, entry0 + 24));
+  RestampHeaderChecksum(&bad);
+  EXPECT_FALSE(snapfile::SnapshotFromOwnedBytes(bad).ok());
+
+  // Section length running past the end of the file — including the
+  // offset+bytes overflow shape.
+  for (uint64_t length : {uint64_t{1} << 40, ~uint64_t{0} - 32}) {
+    bad = image;
+    PatchU64(&bad, entry0 + 16, length);
+    RestampHeaderChecksum(&bad);
+    EXPECT_FALSE(snapfile::SnapshotFromOwnedBytes(bad).ok());
+  }
+
+  // file_bytes disagreeing with the actual size.
+  bad = image;
+  PatchU64(&bad, 40, image.size() + 64);
+  RestampHeaderChecksum(&bad);
+  EXPECT_FALSE(snapfile::SnapshotFromOwnedBytes(bad).ok());
+}
+
+TEST(SnapfileTest, SurvivesRandomByteFlipsOnEveryBackend) {
+  for (FilterBackend backend : {FilterBackend::kTupleSample,
+                                FilterBackend::kMxPair,
+                                FilterBackend::kBitset}) {
+    std::string image = ValidImage(backend);
+    Rng rng(31);
+    for (int t = 0; t < 300; ++t) {
+      std::string mutated = image;
+      size_t at = static_cast<size_t>(rng.Uniform(mutated.size()));
+      mutated[at] = static_cast<char>(rng.Uniform(256));
+      auto loaded = snapfile::SnapshotFromOwnedBytes(mutated);
+      if (loaded.ok()) {
+        // Flips in inter-section padding load fine; the snapshot must
+        // then actually work.
+        AttributeSet all(loaded->schema().num_attributes());
+        for (size_t j = 0; j < loaded->schema().num_attributes(); ++j) {
+          all.Add(static_cast<AttributeIndex>(j));
+        }
+        (void)loaded->filter->Query(all);
+      }
+    }
+  }
+}
+
+TEST(SnapfileTest, ReadSnapshotFileRejectsMissingAndEmptyFiles) {
+  EXPECT_FALSE(snapfile::ReadSnapshotFile("/nonexistent.qsnp").ok());
+  const std::string path = "/tmp/qikey_snapfile_empty.qsnp";
+  std::fclose(std::fopen(path.c_str(), "wb"));
+  EXPECT_FALSE(snapfile::ReadSnapshotFile(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qikey

@@ -26,6 +26,7 @@
 //       snapshot as JSON (same schema as the server's `stats` verb).
 //   qikey serve <csv-or-artifacts> [--listen H:P]
 //               [--snapshot-from run|monitor|artifacts]
+//               [--snapshot-file FILE]
 //               [--max-conns N] [--queue-depth N] [--idle-timeout MS]
 //               [--eps E] [--backend B] [--threads T] [--cache C]
 //               [--seed S] [--max-size K] [--window W]
@@ -37,11 +38,26 @@
 //       it, prints "listening on <host>:<port>" (port 0 binds an
 //       ephemeral port), and serves until SIGTERM/SIGINT (graceful
 //       drain). SIGHUP rebuilds the snapshot from the same source and
-//       hot-swaps it without dropping connections. SIGUSR1 (or
+//       hot-swaps it without dropping connections. With
+//       --snapshot-file FILE (instead of a positional input) the
+//       snapshot is mapped from a QSNP1 artifact written by `snapshot
+//       save` — serving starts without re-running discovery, and SIGHUP
+//       re-reads the file. SIGUSR1 (or
 //       --stats-interval-sec N, periodically) dumps one JSON stats
 //       line to stderr; --trace-sample N (also accepted as "1/N")
 //       emits a per-stage timing trace for every Nth request;
 //       --log-json switches log output to JSON lines.
+//   qikey snapshot save <csv-or-artifacts> --out FILE
+//                 [--snapshot-from run|monitor|artifacts] [--eps E]
+//                 [--backend B] [--threads T] [--seed S] [--max-size K]
+//                 [--window W]
+//       Build one serving snapshot (same sources as `serve`) and freeze
+//       it into a QSNP1 snapshot artifact at FILE — a checksummed,
+//       64-byte-aligned image that `serve --snapshot-file` maps and
+//       serves zero-copy (see docs/architecture.md).
+//   qikey snapshot inspect <file>
+//       Validate FILE's header, section table, and checksums, and print
+//       them as one sorted-key JSON object. Exit 2 if malformed.
 //   qikey mask <csv> [--eps E]
 //       Attributes to suppress so no quasi-identifier remains.
 //   qikey afd <csv> --rhs col [--error E] [--max-size K]
@@ -89,6 +105,7 @@
 #include "core/key_enumeration.h"
 #include "core/masking.h"
 #include "data/hierarchy.h"
+#include "data/wire_codec.h"
 #include "data/statistics.h"
 #include "engine/pipeline.h"
 #include "serve/protocol.h"
@@ -96,6 +113,7 @@
 #include "serve/request.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "snapfile/snapfile.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/shutdown.h"
@@ -105,6 +123,7 @@ namespace {
 
 struct Args {
   std::string command;
+  std::string sub;  // `snapshot` subcommand: save | inspect
   std::string csv_path;
   double eps = 0.001;
   uint32_t max_size = 4;
@@ -128,6 +147,8 @@ struct Args {
   size_t max_conns = 1024;
   size_t queue_depth = 256;
   long long idle_timeout_ms = 60 * 1000;
+  std::string out;
+  std::string snapshot_file;
   bool stats = false;
   long long stats_interval_sec = 0;
   uint64_t trace_sample = 0;
@@ -137,7 +158,7 @@ struct Args {
 void Usage() {
   std::fprintf(stderr,
                "usage: qikey <profile|minkey|keys|audit|query|mask|afd|"
-               "anonymize|discover|monitor|serve>\n"
+               "anonymize|discover|monitor|serve|snapshot>\n"
                "             <csv> [--eps E] [--max-size K] [--attrs a,b,c] "
                "[--rhs col]\n"
                "             [--error E] [--seed S] [--backend "
@@ -150,7 +171,10 @@ void Usage() {
                "             [--max-conns N] [--queue-depth N] "
                "[--idle-timeout MS]\n"
                "             [--stats] [--stats-interval-sec N] "
-               "[--trace-sample N] [--log-json]\n");
+               "[--trace-sample N] [--log-json]\n"
+               "       qikey snapshot save <input> --out FILE\n"
+               "       qikey snapshot inspect <file>\n"
+               "       qikey serve --snapshot-file FILE [flags]\n");
 }
 
 
@@ -158,10 +182,29 @@ void Usage() {
 /// print what went wrong (the caller points at Usage and exits 2) —
 /// nothing is silently ignored.
 bool ParseArgs(int argc, char** argv, Args* args) {
-  if (argc < 3) return false;
+  if (argc < 2) return false;
   args->command = argv[1];
-  args->csv_path = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int flag_start = 3;
+  if (args->command == "snapshot") {
+    // qikey snapshot <save|inspect> <input> [flags]
+    if (argc < 4) return false;
+    args->sub = argv[2];
+    if (args->sub != "save" && args->sub != "inspect") {
+      std::fprintf(stderr, "snapshot wants save|inspect, got %s\n",
+                   args->sub.c_str());
+      return false;
+    }
+    args->csv_path = argv[3];
+    flag_start = 4;
+  } else if (args->command == "serve" && argc >= 3 && argv[2][0] == '-') {
+    // `serve --snapshot-file FILE` has no positional input; let the
+    // flag loop start right at argv[2].
+    flag_start = 2;
+  } else {
+    if (argc < 3) return false;
+    args->csv_path = argv[2];
+  }
+  for (int i = flag_start; i < argc; ++i) {
     std::string flag = argv[i];
     // Consumes the flag's value; diagnoses a flag at the end of the
     // line or directly followed by another flag.
@@ -295,6 +338,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!v) return false;
       const char* rate = (v[0] == '1' && v[1] == '/') ? v + 2 : v;
       if (!ParseUint64Flag(flag, rate, &args->trace_sample)) return false;
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      args->out = v;
+    } else if (flag == "--snapshot-file") {
+      const char* v = next();
+      if (!v) return false;
+      args->snapshot_file = v;
     } else if (flag == "--log-json") {
       args->log_json = true;  // boolean flag: takes no value
     } else {
@@ -508,29 +559,98 @@ std::vector<std::string> SplitPaths(const std::string& spec) {
   return out;
 }
 
+/// Assembles the discovery-side `SnapshotSource` shared by `serve` and
+/// `snapshot save` from the positional input and flags.
+bool BuildSnapshotSource(const Args& args, SnapshotSource* source) {
+  if (args.snapshot_from == "run") {
+    source->kind = SnapshotSource::Kind::kPipelineRun;
+    source->csv_path = args.csv_path;
+  } else if (args.snapshot_from == "monitor") {
+    source->kind = SnapshotSource::Kind::kMonitor;
+    source->csv_path = args.csv_path;
+  } else {
+    source->kind = SnapshotSource::Kind::kShardArtifacts;
+    source->artifact_paths = SplitPaths(args.csv_path);
+  }
+  source->pipeline.eps = args.eps;
+  source->pipeline.num_threads = args.threads;
+  if (!ParseBackend(args.backend, &source->pipeline.backend)) return false;
+  source->seed = args.seed;
+  source->max_key_size = args.max_size;
+  source->window = args.window;
+  return true;
+}
+
+/// `qikey snapshot save`: build one serving snapshot (same sources as
+/// `serve`) and freeze it into a QSNP1 artifact at --out.
+int RunSnapshotSave(const Args& args) {
+  if (args.out.empty()) {
+    std::fprintf(stderr, "snapshot save needs --out FILE\n");
+    return 2;
+  }
+  SnapshotSource source;
+  if (!BuildSnapshotSource(args, &source)) return 2;
+  Result<ServeSnapshot> snapshot = LoadSnapshot(source);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "cannot build snapshot: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::string> image = snapfile::SerializeSnapshot(*snapshot);
+  if (!image.ok()) {
+    std::fprintf(stderr, "cannot serialize snapshot: %s\n",
+                 image.status().ToString().c_str());
+    return 1;
+  }
+  Status written = WriteFileBytes(*image, args.out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu bytes, %s\n", args.out.c_str(), image->size(),
+              snapshot->Describe().c_str());
+  return 0;
+}
+
+/// `qikey snapshot inspect`: validate the file's layout and print the
+/// header + section table as one JSON object. Exit 2 on a malformed
+/// file so scripts can distinguish corruption from runtime errors.
+int RunSnapshotInspect(const Args& args) {
+  Result<snapfile::SnapshotFileInfo> info =
+      snapfile::InspectSnapshotFile(args.csv_path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", snapfile::RenderSnapshotInfoJson(*info).c_str());
+  return 0;
+}
+
 /// `qikey serve`: build + publish one snapshot, run the epoll server
 /// until SIGTERM/SIGINT, hot-swap on SIGHUP. The positional argument is
-/// the CSV (run/monitor) or a comma-separated artifact list.
+/// the CSV (run/monitor) or a comma-separated artifact list; with
+/// --snapshot-file the snapshot is mapped from a QSNP1 artifact instead
+/// and SIGHUP re-reads the file.
 int RunServeNet(const Args& args) {
-  SnapshotSource source;
-  if (args.snapshot_from == "run") {
-    source.kind = SnapshotSource::Kind::kPipelineRun;
-    source.csv_path = args.csv_path;
-  } else if (args.snapshot_from == "monitor") {
-    source.kind = SnapshotSource::Kind::kMonitor;
-    source.csv_path = args.csv_path;
-  } else {
-    source.kind = SnapshotSource::Kind::kShardArtifacts;
-    source.artifact_paths = SplitPaths(args.csv_path);
+  const bool from_file = !args.snapshot_file.empty();
+  if (from_file == !args.csv_path.empty()) {
+    std::fprintf(stderr, from_file
+                             ? "serve takes a positional input or "
+                               "--snapshot-file, not both\n"
+                             : "serve needs an input "
+                               "(csv/artifacts or --snapshot-file)\n");
+    return 2;
   }
-  source.pipeline.eps = args.eps;
-  source.pipeline.num_threads = args.threads;
-  if (!ParseBackend(args.backend, &source.pipeline.backend)) return 2;
-  source.seed = args.seed;
-  source.max_key_size = args.max_size;
-  source.window = args.window;
+  SnapshotSource source;
+  if (!from_file && !BuildSnapshotSource(args, &source)) return 2;
+  // One loader for startup and every SIGHUP: rebuild from the source,
+  // or re-map the artifact (picking up a newly written file).
+  auto load = [&]() -> Result<ServeSnapshot> {
+    if (from_file) return snapfile::ReadSnapshotFile(args.snapshot_file);
+    return LoadSnapshot(source);
+  };
 
-  Result<ServeSnapshot> snapshot = LoadSnapshot(source);
+  Result<ServeSnapshot> snapshot = load();
   if (!snapshot.ok()) {
     std::fprintf(stderr, "cannot build snapshot: %s\n",
                  snapshot.status().ToString().c_str());
@@ -604,10 +724,10 @@ int RunServeNet(const Args& args) {
     if (dump) DumpStatsLine(registry);
     if (shutdown_flags::ReloadRequested()) {
       shutdown_flags::ClearReload();
-      // Hot swap: rebuild from the same source and publish. Batches
-      // already executing finish on their pinned epoch; a failure
-      // leaves the current snapshot serving.
-      Result<ServeSnapshot> reloaded = LoadSnapshot(source);
+      // Hot swap: rebuild from the same source (or re-map the snapshot
+      // file) and publish. Batches already executing finish on their
+      // pinned epoch; a failure leaves the current snapshot serving.
+      Result<ServeSnapshot> reloaded = load();
       if (!reloaded.ok()) {
         std::fprintf(stderr, "reload failed (still serving): %s\n",
                      reloaded.status().ToString().c_str());
@@ -860,8 +980,13 @@ int Main(int argc, char** argv) {
        args.shard_rows > 0)) {
     return RunDiscoverSharded(args);
   }
-  // serve loads its own input (CSV or artifact files) via LoadSnapshot.
+  // serve and snapshot load their own input (CSV, artifact files, or a
+  // snapshot file) via LoadSnapshot / the snapfile reader.
   if (args.command == "serve") return RunServeNet(args);
+  if (args.command == "snapshot") {
+    return args.sub == "save" ? RunSnapshotSave(args)
+                              : RunSnapshotInspect(args);
+  }
   Result<Dataset> data = LoadCsvDataset(args.csv_path);
   if (!data.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", args.csv_path.c_str(),
