@@ -7,8 +7,11 @@
 // Part 1 regenerates the per-query separation behind Table 1's T
 // columns, now including the packed backend. Part 2 is the batched
 // enumeration workload (QueryBatch over a 512-candidate pool): the
-// bitset backend must beat the scalar tuple-sample backend by >= 4x
+// bitset backend must beat the scalar tuple-sample backend by >= 10x
 // there — asserted, and recorded in the JSON for CI's baseline check.
+// Part 3 forces each evidence-kernel dispatch tier (scalar / avx2 /
+// avx512) over the same batch, self-checking bit-identical verdicts;
+// the scalar rows double as the differential oracle's timing.
 //
 //   ./bench_filter_query [--json PATH]
 
@@ -21,6 +24,7 @@
 
 #include "bench_json.h"
 #include "core/bitset_filter.h"
+#include "core/evidence_block.h"
 #include "core/mx_pair_filter.h"
 #include "core/tuple_sample_filter.h"
 #include "data/generators/tabular.h"
@@ -212,6 +216,43 @@ double BenchBatch(const Fixture& fx, size_t query_size,
   return speedup;
 }
 
+/// Scalar vs SIMD on the SAME filter and pool: forces each dispatch
+/// tier in turn, timing the batched kernel and self-checking that every
+/// tier reproduces the scalar verdicts bit-for-bit (the scalar path is
+/// the differential oracle). Returns best_simd_speedup over scalar, or
+/// 1.0 when the CPU has no vector tier.
+double BenchKernelTiers(const Fixture& fx, size_t query_size,
+                        BenchJsonWriter* json) {
+  std::vector<AttributeSet> pool = MakeQueries(64, query_size, 512, 99);
+  QIKEY_CHECK(SetEvidenceKernel("scalar").ok());
+  std::vector<FilterVerdict> expect = fx.bitset->QueryBatch(pool, nullptr);
+  double scalar_ns = BatchNsPerQuery(*fx.bitset, pool, &expect, 24);
+  std::printf("  kernel eps=%-6g |A|=%-3zu %-7s %10.1f ns/q\n", fx.eps,
+              query_size, "scalar", scalar_ns);
+  json->Add("filter_query_kernel",
+            {{"kernel", "scalar"},
+             {"eps", FmtEps(fx.eps)},
+             {"query_size", std::to_string(query_size)}},
+            scalar_ns, 1e9 / scalar_ns);
+  double best_speedup = 1.0;
+  for (const char* kernel : {"avx2", "avx512"}) {
+    if (!SetEvidenceKernel(kernel).ok()) continue;  // CPU lacks the tier
+    double ns = BatchNsPerQuery(*fx.bitset, pool, &expect, 24);
+    double speedup = scalar_ns / ns;
+    best_speedup = std::max(best_speedup, speedup);
+    std::printf("  kernel eps=%-6g |A|=%-3zu %-7s %10.1f ns/q  %6.2fx over "
+                "scalar\n",
+                fx.eps, query_size, kernel, ns, speedup);
+    json->Add("filter_query_kernel",
+              {{"kernel", kernel},
+               {"eps", FmtEps(fx.eps)},
+               {"query_size", std::to_string(query_size)}},
+              ns, 1e9 / ns);
+  }
+  QIKEY_CHECK(SetEvidenceKernel("auto").ok());
+  return best_speedup;
+}
+
 }  // namespace
 }  // namespace qikey
 
@@ -250,15 +291,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::printf("\nevidence-kernel dispatch tiers (512-candidate batch, "
+              "active: %s):\n",
+              qikey::EvidenceKernelName(qikey::ActiveEvidenceKernel()));
+  for (double eps : {0.01, 0.001}) {
+    qikey::Fixture fx = qikey::MakeFixture(d, eps);
+    for (size_t query_size : {8u, 24u}) {
+      (void)qikey::BenchKernelTiers(fx, query_size, &json);
+    }
+  }
+
   std::printf("\nReading: the bitset backend answers the same verdicts from "
-              "the same sample;\nthe acceptance gate is >= 4x batched "
+              "the same sample;\nthe acceptance gate is >= 10x batched "
               "throughput at eps=0.001 (got %.1fx).\n", min_speedup);
   // Persist the measurements BEFORE the fatal gate: when the gate trips
   // on a throttled runner, the uploaded json is the diagnosis.
   if (!json.WriteToFile(json_path)) return 1;
-  // The tentpole's acceptance criterion; loud and fatal so CI catches a
-  // kernel regression immediately.
-  QIKEY_CHECK(min_speedup >= 4.0)
-      << "bitset QueryBatch speedup fell below 4x: " << min_speedup;
+  // The acceptance criterion, raised from the scalar-era 4x once the
+  // SIMD tiers landed: the block kernel measures ~42x over tuple-sort
+  // at eps=0.001 (30x before vectorization); 10x still leaves margin
+  // for throttled CI runners while catching any dispatch regression
+  // that silently drops the kernel back below the scalar floor.
+  QIKEY_CHECK(min_speedup >= 10.0)
+      << "bitset QueryBatch speedup fell below 10x: " << min_speedup;
   return 0;
 }

@@ -20,6 +20,17 @@ only in instrumentation=idle vs instrumentation=on. An instrumented
 p50 more than F above its idle twin warns — both measurements come
 from the same run on the same hardware, so this comparison is immune
 to the cross-machine noise that keeps the baseline check advisory.
+
+With --serve-anti-scaling, additionally HARD-FAILS (exit 1) when the
+current file's serve_query_batch cache=off ns_per_op at the highest
+benched thread count that the runner actually has cores for exceeds
+the 1-thread figure. Adding threads making the serve path slower is
+the anti-scaling bug this repo already shipped once; like the p50
+check this is current-file-only, so it is exact on any runner. The
+runner's parallelism is read from the bench's own serve_env row
+(hardware_threads param); the gate skips, loudly, when that row is
+missing or the runner has a single core. serve_env rows describe the
+runner, not the code, and are excluded from baseline comparison.
 """
 
 import argparse
@@ -68,12 +79,54 @@ def check_instrumentation_overhead(current, threshold):
     return warnings
 
 
+def check_serve_anti_scaling(current):
+    """Hard gate: cache-off serve throughput must not degrade between 1
+    thread and the highest benched thread count the runner can actually
+    run in parallel. Returns 0 (ok/skip) or 1 (gate tripped)."""
+    hardware = None
+    cold = {}
+    for (name, params) in current:
+        pdict = dict(params)
+        if name == "serve_env" and "hardware_threads" in pdict:
+            hardware = int(pdict["hardware_threads"])
+        elif name == "serve_query_batch" and pdict.get("cache") == "off":
+            cold[int(pdict["threads"])] = current[(name, params)]
+    if hardware is None:
+        print(
+            "::notice::serve anti-scaling gate skipped: no serve_env "
+            "row in the current bench json"
+        )
+        return 0
+    eligible = [t for t in cold if t <= hardware]
+    if 1 not in cold or not eligible or max(eligible) <= 1:
+        print(
+            f"::notice::serve anti-scaling gate skipped: runner has "
+            f"{hardware} hardware thread(s)"
+        )
+        return 0
+    t_max = max(eligible)
+    one_ns, top_ns = cold[1], cold[t_max]
+    if top_ns > one_ns:
+        print(
+            f"::error::serve anti-scaling: cache=off {top_ns:.0f} ns/op "
+            f"at {t_max} threads vs {one_ns:.0f} ns/op at 1 thread "
+            f"({top_ns / one_ns:.2f}x) — more threads made serving slower"
+        )
+        return 1
+    print(
+        f"ok: serve cache=off scaling 1 -> {t_max} threads: "
+        f"{one_ns:.0f} -> {top_ns:.0f} ns/op ({one_ns / top_ns:.2f}x faster)"
+    )
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--current", required=True)
     parser.add_argument("--threshold", type=float, default=0.25)
     parser.add_argument("--p50-overhead-threshold", type=float, default=None)
+    parser.add_argument("--serve-anti-scaling", action="store_true")
     args = parser.parse_args()
 
     try:
@@ -82,9 +135,12 @@ def main():
         print(f"::error::cannot read bench json: {err}")
         return 1
 
-    # Same-run, same-hardware comparison: works without any baseline.
+    # Same-run, same-hardware comparisons: work without any baseline.
     if args.p50_overhead_threshold is not None:
         check_instrumentation_overhead(current, args.p50_overhead_threshold)
+    if args.serve_anti_scaling:
+        if check_serve_anti_scaling(current):
+            return 1
 
     if not os.path.exists(args.baseline):
         print(
@@ -102,6 +158,8 @@ def main():
 
     regressions = 0
     for key, base_ns in sorted(baseline.items()):
+        if key[0] == "serve_env":
+            continue  # describes the runner, not the code
         cur_ns = current.get(key)
         if cur_ns is None or base_ns <= 0:
             continue
@@ -117,6 +175,8 @@ def main():
             print(f"ok: {name} {base_ns:.0f} -> {cur_ns:.0f} ns/op ({ratio:.2f}x)")
     missing = sorted(set(baseline) - set(current))
     for key in missing:
+        if key[0] == "serve_env":
+            continue
         print(f"::warning::bench entry missing from current run: {key[0]}")
     print(f"{regressions} regression(s) beyond {args.threshold:.0%}")
     return 0

@@ -113,10 +113,17 @@ std::vector<FilterVerdict> BitsetSeparationFilter::QueryBatch(
     std::copy(w.begin(), w.begin() + wpp, masks.begin() + i * wpp);
   }
   std::vector<uint8_t> rejected(count, 0);
-  ThreadPool::ParallelFor(pool, count, [&](size_t begin, size_t end) {
-    evidence_.TestMasksBlockMajor(masks.data() + begin * wpp, wpp,
-                                  end - begin, rejected.data() + begin);
-  });
+  // Each chunk owns a contiguous [begin, end) of the rejected bytes, so
+  // per-worker writes never interleave on one cache line except at the
+  // chunk seams; the grain keeps the block-major kernel's per-call
+  // setup (mask flattening) amortized over enough candidates.
+  ThreadPool::ParallelFor(
+      pool, count,
+      [&](size_t begin, size_t end) {
+        evidence_.TestMasksBlockMajor(masks.data() + begin * wpp, wpp,
+                                      end - begin, rejected.data() + begin);
+      },
+      /*min_grain=*/8);
   for (size_t i = 0; i < count; ++i) {
     if (rejected[i]) verdicts[i] = FilterVerdict::kReject;
   }

@@ -1,10 +1,22 @@
 #include "core/evidence_block.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstdlib>
+#include <string>
 #include <unordered_map>
 
 #include "util/logging.h"
+
+/// Vector tiers need the gcc/clang vector extensions plus per-function
+/// target attributes and `__builtin_cpu_supports`; both compilers
+/// provide all three on x86-64.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QIKEY_EVIDENCE_SIMD 1
+#else
+#define QIKEY_EVIDENCE_SIMD 0
+#endif
 
 namespace qikey {
 
@@ -303,7 +315,256 @@ inline uint64_t BlockHits(const uint64_t* block, const uint32_t* idx,
   return ~acc & live;
 }
 
+// ---------------------------------------------------------------------------
+// Kernel dispatch
+// ---------------------------------------------------------------------------
+
+bool ForceScalarFromEnv() {
+  const char* e = std::getenv("QIKEY_FORCE_SCALAR");
+  return e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0');
+}
+
+EvidenceKernel DetectEvidenceKernel() {
+  if (ForceScalarFromEnv()) return EvidenceKernel::kScalar;
+#if QIKEY_EVIDENCE_SIMD
+  if (__builtin_cpu_supports("avx512f")) return EvidenceKernel::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return EvidenceKernel::kAvx2;
+#endif
+  return EvidenceKernel::kScalar;
+}
+
+/// Resolved tier; -1 until first use.
+std::atomic<int> g_evidence_kernel{-1};
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (the oracle) — block ranges so vector tiers can reuse
+// them for the remainder after their full-block groups.
+// ---------------------------------------------------------------------------
+
+std::optional<uint32_t> FindUnseparatedScalarBlocks(
+    const uint64_t* words, size_t m, size_t pairs, const uint32_t* idx,
+    size_t count, size_t b_begin, size_t b_end) {
+  for (size_t b = b_begin; b < b_end; ++b) {
+    uint64_t hits = BlockHits(words + b * m, idx, count, LiveLanes(b, pairs));
+    if (hits != 0) {
+      return static_cast<uint32_t>(b * PackedEvidence::kPairsPerBlock +
+                                   std::countr_zero(hits));
+    }
+  }
+  return std::nullopt;
+}
+
+void TestMasksScalarBlocks(const uint64_t* words, size_t m, size_t pairs,
+                           const uint32_t* flat,
+                           const std::pair<uint32_t, uint32_t>* ranges,
+                           std::vector<uint32_t>& active, uint8_t* rejected,
+                           size_t b_begin, size_t b_end) {
+  for (size_t b = b_begin; b < b_end && !active.empty(); ++b) {
+    const uint64_t* block = words + b * m;
+    const uint64_t live = LiveLanes(b, pairs);
+    for (size_t a = 0; a < active.size();) {
+      const auto [offset, len] = ranges[active[a]];
+      if (BlockHits(block, flat + offset, len, live) != 0) {
+        rejected[active[a]] = 1;
+        active[a] = active.back();
+        active.pop_back();
+      } else {
+        ++a;
+      }
+    }
+  }
+}
+
+#if QIKEY_EVIDENCE_SIMD
+
+// ---------------------------------------------------------------------------
+// Vector kernels. The storage stays attribute-major (one word per
+// attribute per block — the mmap contract), so a lane-OR gathers the
+// same attribute's word from 4 (AVX2) or 8 (AVX-512F) CONSECUTIVE
+// fully-live blocks: strided loads m words apart, then one vector OR.
+// Only full blocks enter a group — the partial last block (LiveLanes
+// masking) and the sub-group remainder run through the scalar oracle,
+// so verdicts and first-witness indices are bit-identical by
+// construction: groups scan blocks in ascending order and lanes low-
+// to-high, exactly like the scalar loop.
+// ---------------------------------------------------------------------------
+
+typedef uint64_t V4 __attribute__((vector_size(32)));
+typedef uint64_t V8 __attribute__((vector_size(64)));
+
+__attribute__((target("avx2"))) std::optional<uint32_t> FindUnseparatedAvx2(
+    const uint64_t* words, size_t m, size_t full_blocks, const uint32_t* idx,
+    size_t count, size_t* resume_block) {
+  size_t b = 0;
+  for (; b + 4 <= full_blocks; b += 4) {
+    const uint64_t* base = words + b * m;
+    V4 acc = {0, 0, 0, 0};
+    for (size_t a = 0; a < count; ++a) {
+      const uint64_t* w = base + idx[a];
+      acc |= V4{w[0], w[m], w[2 * m], w[3 * m]};
+    }
+    const V4 hits = ~acc;
+    if ((hits[0] | hits[1] | hits[2] | hits[3]) != 0) {
+      for (size_t lane = 0; lane < 4; ++lane) {
+        if (hits[lane] != 0) {
+          return static_cast<uint32_t>((b + lane) *
+                                           PackedEvidence::kPairsPerBlock +
+                                       std::countr_zero(hits[lane]));
+        }
+      }
+    }
+  }
+  *resume_block = b;
+  return std::nullopt;
+}
+
+__attribute__((target("avx512f"))) std::optional<uint32_t>
+FindUnseparatedAvx512(const uint64_t* words, size_t m, size_t full_blocks,
+                      const uint32_t* idx, size_t count,
+                      size_t* resume_block) {
+  size_t b = 0;
+  for (; b + 8 <= full_blocks; b += 8) {
+    const uint64_t* base = words + b * m;
+    V8 acc = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (size_t a = 0; a < count; ++a) {
+      const uint64_t* w = base + idx[a];
+      acc |= V8{w[0],     w[m],     w[2 * m], w[3 * m],
+                w[4 * m], w[5 * m], w[6 * m], w[7 * m]};
+    }
+    const V8 hits = ~acc;
+    const uint64_t any = (hits[0] | hits[1] | hits[2] | hits[3]) |
+                         (hits[4] | hits[5] | hits[6] | hits[7]);
+    if (any != 0) {
+      for (size_t lane = 0; lane < 8; ++lane) {
+        if (hits[lane] != 0) {
+          return static_cast<uint32_t>((b + lane) *
+                                           PackedEvidence::kPairsPerBlock +
+                                       std::countr_zero(hits[lane]));
+        }
+      }
+    }
+  }
+  *resume_block = b;
+  return std::nullopt;
+}
+
+__attribute__((target("avx2"))) size_t TestMasksAvx2Groups(
+    const uint64_t* words, size_t m, size_t full_blocks, const uint32_t* flat,
+    const std::pair<uint32_t, uint32_t>* ranges, std::vector<uint32_t>& active,
+    uint8_t* rejected) {
+  size_t b = 0;
+  for (; b + 4 <= full_blocks && !active.empty(); b += 4) {
+    const uint64_t* base = words + b * m;
+    for (size_t a = 0; a < active.size();) {
+      const auto [offset, len] = ranges[active[a]];
+      const uint32_t* idx = flat + offset;
+      V4 acc = {0, 0, 0, 0};
+      for (size_t i = 0; i < len; ++i) {
+        const uint64_t* w = base + idx[i];
+        acc |= V4{w[0], w[m], w[2 * m], w[3 * m]};
+      }
+      const V4 hits = ~acc;
+      if ((hits[0] | hits[1] | hits[2] | hits[3]) != 0) {
+        rejected[active[a]] = 1;
+        active[a] = active.back();
+        active.pop_back();
+      } else {
+        ++a;
+      }
+    }
+  }
+  return b;
+}
+
+__attribute__((target("avx512f"))) size_t TestMasksAvx512Groups(
+    const uint64_t* words, size_t m, size_t full_blocks, const uint32_t* flat,
+    const std::pair<uint32_t, uint32_t>* ranges, std::vector<uint32_t>& active,
+    uint8_t* rejected) {
+  size_t b = 0;
+  for (; b + 8 <= full_blocks && !active.empty(); b += 8) {
+    const uint64_t* base = words + b * m;
+    for (size_t a = 0; a < active.size();) {
+      const auto [offset, len] = ranges[active[a]];
+      const uint32_t* idx = flat + offset;
+      V8 acc = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (size_t i = 0; i < len; ++i) {
+        const uint64_t* w = base + idx[i];
+        acc |= V8{w[0],     w[m],     w[2 * m], w[3 * m],
+                  w[4 * m], w[5 * m], w[6 * m], w[7 * m]};
+      }
+      const V8 hits = ~acc;
+      const uint64_t any = (hits[0] | hits[1] | hits[2] | hits[3]) |
+                           (hits[4] | hits[5] | hits[6] | hits[7]);
+      if (any != 0) {
+        rejected[active[a]] = 1;
+        active[a] = active.back();
+        active.pop_back();
+      } else {
+        ++a;
+      }
+    }
+  }
+  return b;
+}
+
+#endif  // QIKEY_EVIDENCE_SIMD
+
 }  // namespace
+
+const char* EvidenceKernelName(EvidenceKernel kernel) {
+  switch (kernel) {
+    case EvidenceKernel::kScalar:
+      return "scalar";
+    case EvidenceKernel::kAvx2:
+      return "avx2";
+    case EvidenceKernel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+EvidenceKernel ActiveEvidenceKernel() {
+  int k = g_evidence_kernel.load(std::memory_order_acquire);
+  if (k < 0) {
+    // A racing first use detects twice and stores the same answer.
+    k = static_cast<int>(DetectEvidenceKernel());
+    g_evidence_kernel.store(k, std::memory_order_release);
+  }
+  return static_cast<EvidenceKernel>(k);
+}
+
+Status SetEvidenceKernel(std::string_view name) {
+  EvidenceKernel kernel;
+  if (name == "auto") {
+    kernel = DetectEvidenceKernel();
+  } else if (name == "scalar") {
+    kernel = EvidenceKernel::kScalar;
+  } else if (name == "avx2") {
+    kernel = EvidenceKernel::kAvx2;
+  } else if (name == "avx512") {
+    kernel = EvidenceKernel::kAvx512;
+  } else {
+    return Status::InvalidArgument("unknown evidence kernel \"" +
+                                   std::string(name) +
+                                   "\" (want scalar|avx2|avx512|auto)");
+  }
+#if QIKEY_EVIDENCE_SIMD
+  if (kernel == EvidenceKernel::kAvx2 && !__builtin_cpu_supports("avx2")) {
+    return Status::InvalidArgument("this CPU does not support avx2");
+  }
+  if (kernel == EvidenceKernel::kAvx512 &&
+      !__builtin_cpu_supports("avx512f")) {
+    return Status::InvalidArgument("this CPU does not support avx512f");
+  }
+#else
+  if (kernel != EvidenceKernel::kScalar) {
+    return Status::InvalidArgument(
+        "vector kernels are not compiled into this build");
+  }
+#endif
+  g_evidence_kernel.store(static_cast<int>(kernel), std::memory_order_release);
+  return Status::OK();
+}
 
 std::optional<uint32_t> PackedEvidence::FindUnseparated(
     std::span<const uint64_t> mask) const {
@@ -315,15 +576,31 @@ std::optional<uint32_t> PackedEvidence::FindUnseparated(
   std::vector<uint32_t> idx;
   idx.reserve(m);
   MaskToIndices(mask.data(), words_per_pair_, &idx);
-  for (size_t b = 0; b < blocks; ++b) {
-    uint64_t hits =
-        BlockHits(words + b * m, idx.data(), idx.size(), LiveLanes(b, pairs));
-    if (hits != 0) {
-      return static_cast<uint32_t>(b * kPairsPerBlock +
-                                   std::countr_zero(hits));
+  size_t b = 0;
+#if QIKEY_EVIDENCE_SIMD
+  // Vector tiers cover groups of fully-live blocks; everything after
+  // `b` (group remainder + partial last block) falls through to the
+  // scalar oracle below.
+  const size_t full_blocks = pairs / kPairsPerBlock;
+  switch (ActiveEvidenceKernel()) {
+    case EvidenceKernel::kAvx512: {
+      auto hit = FindUnseparatedAvx512(words, m, full_blocks, idx.data(),
+                                       idx.size(), &b);
+      if (hit.has_value()) return hit;
+      break;
     }
+    case EvidenceKernel::kAvx2: {
+      auto hit = FindUnseparatedAvx2(words, m, full_blocks, idx.data(),
+                                     idx.size(), &b);
+      if (hit.has_value()) return hit;
+      break;
+    }
+    case EvidenceKernel::kScalar:
+      break;
   }
-  return std::nullopt;
+#endif
+  return FindUnseparatedScalarBlocks(words, m, pairs, idx.data(), idx.size(),
+                                     b, blocks);
 }
 
 void PackedEvidence::TestMasksBlockMajor(const uint64_t* masks, size_t stride,
@@ -351,25 +628,36 @@ void PackedEvidence::TestMasksBlockMajor(const uint64_t* masks, size_t stride,
   for (size_t i = 0; i < count; ++i) {
     if (!rejected[i]) active.push_back(static_cast<uint32_t>(i));
   }
-  for (size_t b = 0; b < blocks && !active.empty(); ++b) {
-    const uint64_t* block = words + b * m;
-    const uint64_t live = LiveLanes(b, pairs);
-    for (size_t a = 0; a < active.size();) {
-      const auto [offset, len] = ranges[active[a]];
-      if (BlockHits(block, flat.data() + offset, len, live) != 0) {
-        rejected[active[a]] = 1;
-        active[a] = active.back();
-        active.pop_back();
-      } else {
-        ++a;
-      }
-    }
+  size_t b = 0;
+#if QIKEY_EVIDENCE_SIMD
+  const size_t full_blocks = pairs / kPairsPerBlock;
+  switch (ActiveEvidenceKernel()) {
+    case EvidenceKernel::kAvx512:
+      b = TestMasksAvx512Groups(words, m, full_blocks, flat.data(),
+                                ranges.data(), active, rejected);
+      break;
+    case EvidenceKernel::kAvx2:
+      b = TestMasksAvx2Groups(words, m, full_blocks, flat.data(),
+                              ranges.data(), active, rejected);
+      break;
+    case EvidenceKernel::kScalar:
+      break;
   }
+#endif
+  TestMasksScalarBlocks(words, m, pairs, flat.data(), ranges.data(), active,
+                        rejected, b, blocks);
 }
 
 uint64_t PackedEvidence::MemoryBytes() const {
+  uint64_t bytes = reps_storage_.size() * sizeof(uint32_t);
+  if (!words_.borrowed()) bytes += words_.size() * sizeof(uint64_t);
+  return bytes;
+}
+
+uint64_t PackedEvidence::BorrowedBytes() const {
+  if (!words_.borrowed()) return 0;
   return words_.size() * sizeof(uint64_t) +
-         num_pairs_ * 2 * sizeof(uint32_t);
+         uint64_t{num_pairs_} * 2 * sizeof(uint32_t);
 }
 
 }  // namespace qikey

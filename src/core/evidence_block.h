@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,40 @@
 #include "util/status.h"
 
 namespace qikey {
+
+/// \brief SIMD tier of the block kernels (`FindUnseparated`,
+/// `TestMasksBlockMajor`).
+///
+/// The scalar tier is always compiled in and serves as the differential
+/// oracle for the vector tiers; every tier produces bit-identical
+/// verdicts and witness indices. Vector tiers widen the per-attribute
+/// OR to 4 (AVX2) or 8 (AVX-512F) consecutive 64-pair blocks per lane
+/// without changing the storage layout, so mmap-borrowed snapshot words
+/// are served unmodified.
+enum class EvidenceKernel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Tier name: "scalar", "avx2", or "avx512".
+const char* EvidenceKernelName(EvidenceKernel kernel);
+
+/// \brief The tier block queries dispatch to right now.
+///
+/// The first call resolves it from the CPU (`__builtin_cpu_supports`,
+/// preferring AVX-512F over AVX2 over scalar) — unless the
+/// `QIKEY_FORCE_SCALAR` environment variable is set to anything other
+/// than empty or "0", which pins the scalar oracle for differential
+/// runs. The resolved tier is cached process-wide.
+EvidenceKernel ActiveEvidenceKernel();
+
+/// \brief Overrides kernel dispatch: "scalar", "avx2", "avx512", or
+/// "auto" (re-run CPU detection, still honoring QIKEY_FORCE_SCALAR).
+/// Fails without changing dispatch when this build or CPU lacks the
+/// requested tier. Thread-compatible with concurrent queries (the tier
+/// is an atomic), but meant for test/bench setup, not steady state.
+Status SetEvidenceKernel(std::string_view name);
 
 /// \brief Cache-line-aligned backing store for packed evidence words.
 ///
@@ -223,7 +258,15 @@ class PackedEvidence {
     return {reps_, 2 * num_pairs_};
   }
 
+  /// \brief Heap bytes this instance OWNS. Borrowed (mmap-served)
+  /// words and reps are excluded: they live in the file mapping,
+  /// shared with the page cache, so charging them against a process
+  /// memory budget would double-count the snapshot image. See
+  /// `BorrowedBytes()` for the mapped footprint.
   uint64_t MemoryBytes() const;
+
+  /// Bytes viewed through borrowed storage (0 for owning instances).
+  uint64_t BorrowedBytes() const;
 
  private:
   struct MaskAccumulator;

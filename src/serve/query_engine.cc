@@ -1,6 +1,9 @@
 #include "serve/query_engine.h"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -110,8 +113,11 @@ void QueryEngine::RegisterMetrics(MetricsRegistry* registry) const {
   registry->RegisterGaugeFn("snapshot.epoch", [store] {
     return static_cast<int64_t>(store->epoch());
   });
+  // Publishes THIS process performed — not the epoch, which survives
+  // snapshot-file restores and would misreport work done by a previous
+  // incarnation.
   registry->RegisterCounterFn("snapshot.publishes",
-                              [store] { return store->epoch(); });
+                              [store] { return store->publishes(); });
   registry->RegisterGaugeFn("snapshot.age_ns", [store] {
     int64_t published = store->last_publish_steady_ns();
     return published == 0 ? int64_t{0} : NowNs() - published;
@@ -146,9 +152,25 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
   // response slots and every answer is a pure function of
   // (snapshot, request), so the split cannot change results.
   int64_t pass_start = NowNs();
-  std::vector<uint8_t> needs_filter(requests.size(), 0);
+  // A miss is an is-key request the cache could not answer. Chunks
+  // collect them in PER-WORKER scratch and merge once under a mutex —
+  // no per-request shared byte array for worker threads to false-share
+  // — tagged with the hash shard the dedupe pass will route them to.
+  constexpr size_t kDedupeShards = 16;
+  struct Miss {
+    uint32_t index;  ///< Request position.
+    uint32_t shard;  ///< Hash shard of the request's attribute set.
+  };
+  struct MissChunk {
+    size_t begin;
+    std::vector<Miss> misses;
+  };
+  std::mutex miss_mu;
+  std::vector<MissChunk> miss_chunks;
   ThreadPool::ParallelFor(
-      pool_.get(), requests.size(), [&](size_t begin, size_t end) {
+      pool_.get(), requests.size(),
+      [&](size_t begin, size_t end) {
+        std::vector<Miss> local;
         for (size_t i = begin; i < end; ++i) {
           responses[i].epoch = snapshot->epoch;
           responses[i].status = ValidateRequest(*snapshot, requests[i]);
@@ -158,34 +180,84 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
           }
           if (requests[i].kind == QueryKind::kIsKey) {
             FilterVerdict cached;
-            if (cache_.Lookup(snapshot->epoch, requests[i].attrs,
-                              &cached)) {
+            if (cache_.Lookup(snapshot->epoch, requests[i].attrs, &cached)) {
               responses[i].verdict = cached;
               responses[i].cache_hit = true;
             } else {
-              needs_filter[i] = 1;
+              local.push_back(
+                  Miss{static_cast<uint32_t>(i),
+                       static_cast<uint32_t>(
+                           AttributeSetHasher{}(requests[i].attrs) %
+                           kDedupeShards)});
             }
           } else {
             AnswerOnSample(*snapshot, requests[i], &responses[i]);
           }
         }
-      });
+        if (!local.empty()) {
+          std::lock_guard<std::mutex> lock(miss_mu);
+          miss_chunks.push_back(MissChunk{begin, std::move(local)});
+        }
+      },
+      options_.min_batch_grain);
+
+  // Chunks finish in arbitrary order; sorting by chunk origin restores
+  // request order, so everything downstream — slot assignment, cache
+  // insertion, the filter batch — is independent of the thread count.
+  std::sort(miss_chunks.begin(), miss_chunks.end(),
+            [](const MissChunk& a, const MissChunk& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<Miss> misses;
+  for (MissChunk& chunk : miss_chunks) {
+    misses.insert(misses.end(), chunk.misses.begin(), chunk.misses.end());
+  }
 
   int64_t pass_end = NowNs();
   validate_ns_.Record(pass_end - pass_start);
   pass_start = pass_end;
 
-  // Pass 2 (serial, cheap): dedupe the missed is-key sets — duplicates
-  // within the batch share one filter slot.
+  // Pass 2 (sharded): dedupe the missed is-key sets — duplicates
+  // within the batch share one filter slot. Sharding is by attribute-
+  // set hash, NOT by thread, so the shard contents (and thus the slot
+  // numbering below) are a pure function of the request sequence.
+  struct ShardDedupe {
+    std::vector<uint32_t> unique_miss;  ///< First-occurrence miss positions.
+    std::vector<std::pair<uint32_t, uint32_t>> assign;  ///< (miss, local slot)
+  };
+  std::array<ShardDedupe, kDedupeShards> dedupe_shards;
+  ThreadPool::ParallelFor(
+      pool_.get(), kDedupeShards, [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          ShardDedupe& shard = dedupe_shards[s];
+          std::unordered_map<AttributeSet, uint32_t, AttributeSetHasher>
+              slot_of;
+          for (size_t p = 0; p < misses.size(); ++p) {
+            if (misses[p].shard != s) continue;
+            auto [it, inserted] = slot_of.try_emplace(
+                requests[misses[p].index].attrs,
+                static_cast<uint32_t>(shard.unique_miss.size()));
+            if (inserted) {
+              shard.unique_miss.push_back(static_cast<uint32_t>(p));
+            }
+            shard.assign.emplace_back(static_cast<uint32_t>(p), it->second);
+          }
+        }
+      });
+
+  // Serial stitch: shard-local slots become global filter slots.
   std::vector<std::pair<size_t, size_t>> filter_slots;  // (request, slot)
   std::vector<AttributeSet> filter_attrs;
-  std::unordered_map<AttributeSet, size_t, AttributeSetHasher> slot_of;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (!needs_filter[i]) continue;
-    auto [it, inserted] =
-        slot_of.try_emplace(requests[i].attrs, filter_attrs.size());
-    if (inserted) filter_attrs.push_back(requests[i].attrs);
-    filter_slots.emplace_back(i, it->second);
+  filter_slots.reserve(misses.size());
+  size_t shard_base = 0;
+  for (const ShardDedupe& shard : dedupe_shards) {
+    for (uint32_t p : shard.unique_miss) {
+      filter_attrs.push_back(requests[misses[p].index].attrs);
+    }
+    for (const auto& [p, local_slot] : shard.assign) {
+      filter_slots.emplace_back(misses[p].index, shard_base + local_slot);
+    }
+    shard_base += shard.unique_miss.size();
   }
   pass_end = NowNs();
   dedupe_ns_.Record(pass_end - pass_start);

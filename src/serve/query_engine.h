@@ -23,6 +23,11 @@ struct QueryEngineOptions {
   /// answer-transparent: it can only change latency.
   size_t cache_capacity = 4096;
   size_t cache_shards = 16;
+  /// Smallest number of requests worth handing to another thread in
+  /// the validate/cache sweep. Below this, fan-out overhead (chunk
+  /// claims, cold request cache lines on another core) outweighs the
+  /// work; batches of at most this size run inline on the caller.
+  size_t min_batch_grain = 64;
 };
 
 /// \brief Concurrent request executor over a `SnapshotStore`.

@@ -1,5 +1,6 @@
 #include "serve/snapshot.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -135,8 +136,17 @@ Result<uint64_t> SnapshotStore::Publish(ServeSnapshot snapshot) {
     return Status::InvalidArgument(
         "snapshot must carry a sample, a filter, and keys");
   }
-  uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // A restored snapshot re-enters the epoch sequence where its file
+  // left off; a fresh one just takes the next number. CAS loop because
+  // max-then-advance is not a single fetch_add.
+  uint64_t prev = next_epoch_.load(std::memory_order_acquire);
+  uint64_t epoch;
+  do {
+    epoch = std::max(prev + 1, snapshot.epoch);
+  } while (!next_epoch_.compare_exchange_weak(prev, epoch,
+                                              std::memory_order_acq_rel));
   snapshot.epoch = epoch;
+  publishes_.fetch_add(1, std::memory_order_relaxed);
   current_.store(std::make_shared<const ServeSnapshot>(std::move(snapshot)),
                  std::memory_order_release);
   last_publish_ns_.store(

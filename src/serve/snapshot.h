@@ -31,7 +31,10 @@ namespace qikey {
 /// full relation (small tables, monitor windows within the sample
 /// target).
 struct ServeSnapshot {
-  /// Assigned by `SnapshotStore::Publish`; 0 = never published.
+  /// Assigned by `SnapshotStore::Publish`; 0 = never published. A
+  /// snapshot restored from a QSNP1 file carries the epoch recorded at
+  /// save time, which `Publish` treats as a floor (epoch continuity
+  /// across restarts).
   uint64_t epoch = 0;
   /// The ε the snapshot was discovered with (classifies `separation`).
   double eps = 0.0;
@@ -127,15 +130,29 @@ class SnapshotStore {
   /// Stamps the next epoch onto `snapshot` and makes it current.
   /// Returns the assigned epoch (starting at 1). InvalidArgument if the
   /// snapshot is missing its sample/filter/keys.
+  ///
+  /// A snapshot arriving with a nonzero epoch (restored from a QSNP1
+  /// file that recorded it) re-enters the sequence at
+  /// `max(store epoch + 1, its recorded epoch)` — epochs stay
+  /// monotonic across restarts, and clients comparing epochs across a
+  /// restart never see time move backwards.
   Result<uint64_t> Publish(ServeSnapshot snapshot);
 
   /// The latest published snapshot; null before the first `Publish`.
   /// Safe from any thread.
   std::shared_ptr<const ServeSnapshot> Current() const;
 
-  /// Epoch of the latest publish; 0 before the first.
+  /// Epoch of the latest publish; 0 before the first. NOT a publish
+  /// count: a snapshot restored with a recorded epoch fast-forwards
+  /// this (see `Publish`).
   uint64_t epoch() const {
     return next_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes THIS store performed (1 per successful `Publish`),
+  /// regardless of where the epoch sequence started.
+  uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
   }
 
   /// Steady-clock timestamp (ns) of the latest publish; 0 before the
@@ -147,6 +164,7 @@ class SnapshotStore {
  private:
   std::atomic<std::shared_ptr<const ServeSnapshot>> current_;
   std::atomic<uint64_t> next_epoch_{0};
+  std::atomic<uint64_t> publishes_{0};
   std::atomic<int64_t> last_publish_ns_{0};
 };
 

@@ -52,13 +52,12 @@ Result<SnapshotLayout> ParseLayout(const uint8_t* data, size_t size,
   r.Skip(sizeof(kMagic));
   SnapshotLayout layout;
   SnapshotHeader& h = layout.header;
-  uint32_t reserved = 0;
   // The header is a fixed 64 bytes and `size >= kHeaderBytes`, so these
   // reads cannot fail; the reader keeps them bounds-checked anyway.
   if (!r.U32(&h.version) || !r.U32(&h.section_count) || !r.F64(&h.eps) ||
       !r.U64(&h.source_rows) || !r.U64(&h.declared_sample_size) ||
       !r.U64(&h.file_bytes) || !r.U8(&h.backend) || !r.U8(&h.detection) ||
-      !r.U16(&h.flags) || !r.U32(&reserved) || !r.U64(&h.checksum)) {
+      !r.U16(&h.flags) || !r.U32(&h.epoch) || !r.U64(&h.checksum)) {
     return Status::InvalidArgument("snapshot header truncated");
   }
   if (h.version != kFormatVersion) {
@@ -68,9 +67,6 @@ Result<SnapshotLayout> ParseLayout(const uint8_t* data, size_t size,
   if (h.file_bytes != size) {
     return Status::InvalidArgument(
         "snapshot file size does not match its header");
-  }
-  if (reserved != 0) {
-    return Status::InvalidArgument("snapshot header reserved field is set");
   }
   if (h.section_count == 0 || h.section_count > kMaxSections) {
     return Status::InvalidArgument("snapshot section count out of range");

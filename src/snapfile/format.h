@@ -34,7 +34,11 @@ namespace snapfile {
 ///   off 48  u8       backend (0 tuple, 1 mx-pair, 2 bitset)
 ///   off 49  u8       duplicate detection (0 sort, 1 hash)
 ///   off 50  u16      flags
-///   off 52  u32      reserved (0)
+///   off 52  u32      store epoch at save time (0 = unrecorded; files
+///                    written before epochs were stored carry 0 here,
+///                    the field's former reserved value, so they stay
+///                    readable — as do epochs above 2^32-1, which are
+///                    saved as 0 rather than truncated)
 ///   off 56  u64      FNV-1a over header[0..56) ++ section table
 ///
 /// Section table entry (32 bytes each, immediately after the header):
@@ -94,6 +98,8 @@ struct SnapshotHeader {
   uint8_t backend = 0;
   uint8_t detection = 0;
   uint16_t flags = 0;
+  /// Store epoch when the snapshot was saved; 0 = unrecorded.
+  uint32_t epoch = 0;
   uint64_t checksum = 0;
 };
 

@@ -352,6 +352,9 @@ Result<ServeSnapshot> SnapshotFromBytes(const uint8_t* data, size_t size,
   }
 
   ServeSnapshot snapshot;
+  // The recorded epoch rides along so publishing the restored snapshot
+  // resumes the store's epoch sequence instead of restarting it.
+  snapshot.epoch = h.epoch;
   snapshot.eps = h.eps;
   snapshot.source_rows = h.source_rows;
   snapshot.sample = sample;
@@ -455,6 +458,8 @@ std::string RenderSnapshotInfoJson(const SnapshotFileInfo& info) {
   out += std::to_string(info.header.declared_sample_size);
   out += ",\"detection\":";
   AppendJsonString(DetectionName(info.header.detection), &out);
+  out += ",\"epoch\":";
+  out += std::to_string(info.header.epoch);
   out += ",\"eps\":";
   AppendDouble(info.header.eps, &out);
   out += ",\"file_bytes\":";

@@ -26,9 +26,11 @@ namespace snapfile {
 /// cache on first touch, shared across processes.
 
 /// The whole file image of `snapshot`, in memory. The snapshot's epoch
-/// is not stored: epochs are assigned by the `SnapshotStore` a loaded
-/// snapshot is published through. Unimplemented when the snapshot's
-/// filter is not one of the three library backends.
+/// is recorded in the header (u32; 0 when it never was published), and
+/// a loaded snapshot carries it back so `SnapshotStore::Publish`
+/// resumes the epoch sequence instead of restarting at 1.
+/// Unimplemented when the snapshot's filter is not one of the three
+/// library backends.
 Result<std::string> SerializeSnapshot(const ServeSnapshot& snapshot);
 
 /// Serializes `snapshot` and writes it to `path` (truncating).

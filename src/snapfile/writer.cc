@@ -91,6 +91,12 @@ Result<std::string> SerializeSnapshot(const ServeSnapshot& snapshot) {
   header.eps = snapshot.eps;
   header.source_rows = snapshot.source_rows;
   header.declared_sample_size = snapshot.filter->sample_size();
+  // Epochs that overflow the u32 field are saved as "unrecorded"
+  // rather than truncated — a restore then starts a fresh sequence
+  // instead of silently rewinding.
+  header.epoch = snapshot.epoch <= 0xFFFFFFFFull
+                     ? static_cast<uint32_t>(snapshot.epoch)
+                     : 0;
   // Meta stream: counts, schema, dictionaries, backend extras. Every
   // variable-size structure of the file is declared here and
   // cross-checked against exact section sizes by the reader.
@@ -205,7 +211,7 @@ Result<std::string> SerializeSnapshot(const ServeSnapshot& snapshot) {
   head.U8(header.backend);
   head.U8(header.detection);
   head.U16(header.flags);
-  head.U32(0);  // reserved
+  head.U32(header.epoch);
   std::string head_bytes = std::move(head).Take();
 
   ByteWriter table;

@@ -41,10 +41,38 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     QIKEY_CHECK(!shutdown_) << "Submit after shutdown";
-    tasks_.push(Task{std::move(task), submit_ns});
+    Task t;
+    t.fn = std::move(task);
+    t.submit_ns = submit_ns;
+    tasks_.push(std::move(t));
     if (depth != nullptr) depth->Set(static_cast<int64_t>(tasks_.size()));
   }
   task_ready_.notify_one();
+}
+
+void ThreadPool::SubmitBatch(void (*raw_fn)(void*), std::shared_ptr<void> state,
+                             size_t copies) {
+  if (copies == 0) return;
+  int64_t submit_ns =
+      task_ns_.load(std::memory_order_acquire) != nullptr ? NowNs() : 0;
+  Gauge* depth = queue_depth_.load(std::memory_order_acquire);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    QIKEY_CHECK(!shutdown_) << "Submit after shutdown";
+    for (size_t i = 0; i < copies; ++i) {
+      Task t;
+      t.raw_fn = raw_fn;
+      t.state = state;
+      t.submit_ns = submit_ns;
+      tasks_.push(std::move(t));
+    }
+    if (depth != nullptr) depth->Set(static_cast<int64_t>(tasks_.size()));
+  }
+  if (copies == 1) {
+    task_ready_.notify_one();
+  } else {
+    task_ready_.notify_all();
+  }
 }
 
 void ThreadPool::AttachMetrics(Gauge* queue_depth, LatencyHistogram* task_ns) {
@@ -80,7 +108,11 @@ void ThreadPool::WorkerLoop() {
       if (depth != nullptr) depth->Set(static_cast<int64_t>(tasks_.size()));
     }
     try {
-      task.fn();
+      if (task.raw_fn != nullptr) {
+        task.raw_fn(task.state.get());
+      } else {
+        task.fn();
+      }
     } catch (...) {
       std::unique_lock<std::mutex> lock(mu_);
       if (!first_exception_) first_exception_ = std::current_exception();
@@ -89,6 +121,10 @@ void ThreadPool::WorkerLoop() {
       LatencyHistogram* hist = task_ns_.load(std::memory_order_acquire);
       if (hist != nullptr) hist->Record(NowNs() - task.submit_ns);
     }
+    // Drop the batch-state reference before going idle so the last
+    // worker to finish a batch doesn't pin its control block while
+    // parked on the condvar.
+    task = Task{};
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;
@@ -97,34 +133,98 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
-                             const std::function<void(size_t, size_t)>& fn) {
-  if (n == 0) return;
-  if (pool == nullptr || pool->num_threads() == 1 || n == 1) {
-    fn(0, n);
-    return;
-  }
-  size_t chunks = std::min(n, 4 * pool->num_threads());
-  size_t chunk_size = (n + chunks - 1) / chunks;
-  // Exceptions are confined to THIS call, not parked in the pool:
-  // concurrent ParallelFor batches sharing one pool must each see
-  // their own callback's failure, never a sibling batch's (the pool-
-  // level capture in Wait() only attributes correctly for a single
-  // caller).
+namespace {
+
+/// Shared control block of one ParallelFor batch. Helpers and the
+/// calling thread claim fixed-size chunks off `next` — one relaxed
+/// fetch_add per chunk, no queue traffic — so chunks can stay small
+/// enough to load-balance without paying a mutex per chunk. Heap-owned
+/// via shared_ptr: a helper task that only runs after the caller has
+/// already returned (every chunk was claimed by others) still touches
+/// live memory. `fn` is the caller's reference; it is only invoked for
+/// a successfully claimed chunk, and the caller cannot return before
+/// every claimed chunk has completed, so the reference never dangles.
+///
+/// Exceptions are confined to THIS batch, not parked in the pool:
+/// concurrent ParallelFor batches sharing one pool must each see their
+/// own callback's failure, never a sibling batch's.
+struct ParallelForState {
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  size_t n = 0;
+  size_t chunk = 0;
+  size_t num_chunks = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> chunks_done{0};
   std::mutex mu;
-  std::exception_ptr first;
-  for (size_t begin = 0; begin < n; begin += chunk_size) {
-    size_t end = std::min(n, begin + chunk_size);
-    pool->Submit([&fn, &mu, &first, begin, end] {
+  std::condition_variable done;
+  std::exception_ptr first;  ///< Guarded by `mu`.
+
+  void Drain() {
+    for (;;) {
+      size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      size_t begin = c * chunk;
+      size_t end = std::min(n, begin + chunk);
       try {
-        fn(begin, end);
+        (*fn)(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu);
         if (!first) first = std::current_exception();
       }
-    });
+      if (chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        // Lock before notifying so the waiter cannot check the
+        // predicate and park between our load and our notify.
+        std::lock_guard<std::mutex> lock(mu);
+        done.notify_all();
+      }
+    }
   }
-  pool->Wait();
+};
+
+void DrainParallelFor(void* state) {
+  static_cast<ParallelForState*>(state)->Drain();
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
+                             const std::function<void(size_t, size_t)>& fn,
+                             size_t min_grain) {
+  if (n == 0) return;
+  if (min_grain == 0) min_grain = 1;
+  if (pool == nullptr || pool->num_threads() == 1 || n <= min_grain) {
+    fn(0, n);
+    return;
+  }
+  const size_t threads = pool->num_threads();
+  // 8 claimable chunks per thread bounds tail imbalance at ~1/8 of one
+  // thread's share; the grain floor keeps cheap per-element bodies
+  // from drowning in per-chunk overhead.
+  const size_t chunk =
+      std::max(min_grain, (n + 8 * threads - 1) / (8 * threads));
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  if (num_chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>();
+  state->fn = &fn;
+  state->n = n;
+  state->chunk = chunk;
+  state->num_chunks = num_chunks;
+  // The caller participates, so at most num_chunks - 1 helpers can
+  // ever claim work.
+  pool->SubmitBatch(&DrainParallelFor, state,
+                    std::min(threads, num_chunks - 1));
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] {
+    return state->chunks_done.load(std::memory_order_acquire) ==
+           state->num_chunks;
+  });
+  std::exception_ptr first = state->first;
+  lock.unlock();
   if (first) std::rethrow_exception(first);
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -65,15 +66,37 @@ class ThreadPool {
   /// a chunk throws is rethrown from THIS call (captured per-call, so
   /// concurrent ParallelFor batches on a shared pool cannot observe
   /// each other's failures).
-  static void ParallelFor(
-      ThreadPool* pool, size_t n,
-      const std::function<void(size_t, size_t)>& fn);
+  ///
+  /// `min_grain` is the smallest chunk worth fanning out: ranges of at
+  /// most `min_grain` run inline, and no chunk is smaller (so cheap
+  /// per-element bodies amortize the per-chunk claim). Fan-out is a
+  /// batch path, not a queue path: the call enqueues at most one
+  /// helper task per worker under a single queue-lock acquisition, the
+  /// helpers and the calling thread claim fixed-size chunks off one
+  /// shared atomic counter (no per-chunk heap `std::function`, no per-
+  /// chunk queue mutex), and the caller returns as soon as the last
+  /// chunk completes — it does not wait for the rest of the pool to go
+  /// idle, so concurrent batches on a shared pool do not serialize
+  /// behind each other.
+  static void ParallelFor(ThreadPool* pool, size_t n,
+                          const std::function<void(size_t, size_t)>& fn,
+                          size_t min_grain = 1);
 
  private:
   struct Task {
     std::function<void()> fn;
+    /// Batch fast path: when set, the worker runs `raw_fn(state.get())`
+    /// instead of `fn`. Copies of one batch's Task share `state`
+    /// (refcount bump, no allocation).
+    void (*raw_fn)(void*) = nullptr;
+    std::shared_ptr<void> state;
     int64_t submit_ns = 0;  ///< 0 when task latency is not being timed.
   };
+
+  /// Enqueues `copies` identical batch-helper tasks under one lock
+  /// acquisition and wakes enough workers for them.
+  void SubmitBatch(void (*raw_fn)(void*), std::shared_ptr<void> state,
+                   size_t copies);
 
   void WorkerLoop();
 

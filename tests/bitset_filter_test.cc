@@ -10,6 +10,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/bitset_filter.h"
@@ -134,6 +138,210 @@ TEST(PackedEvidenceTest, BlockMajorBatchMatchesPerMaskScan) {
     EXPECT_EQ(rejected[i] != 0,
               ev.FindUnseparated(queries[i].words()).has_value())
         << i;
+  }
+}
+
+// ------------------------------------------------ kernel tiers (SIMD)
+
+/// Restores automatic kernel dispatch when a test scope ends, so a
+/// failing assertion cannot leak a pinned tier into later tests.
+struct KernelGuard {
+  ~KernelGuard() { (void)SetEvidenceKernel("auto"); }
+};
+
+/// The tiers this build and CPU can actually run; scalar (the oracle)
+/// is always first.
+std::vector<const char*> AvailableKernels() {
+  std::vector<const char*> tiers = {"scalar"};
+  for (const char* name : {"avx2", "avx512"}) {
+    if (SetEvidenceKernel(name).ok()) tiers.push_back(name);
+  }
+  (void)SetEvidenceKernel("auto");
+  return tiers;
+}
+
+/// Random lane-stable evidence: `pairs` pairs over `m` attributes with
+/// mixed agree/disagree structure.
+PackedEvidence MakeRandomEvidence(size_t m, size_t pairs, uint64_t seed,
+                                  std::vector<std::vector<ValueCode>>* store) {
+  Rng rng(seed);
+  store->clear();
+  store->reserve(2 * pairs);
+  std::vector<std::pair<const ValueCode*, const ValueCode*>> rows;
+  std::vector<std::pair<uint32_t, uint32_t>> ids;
+  for (size_t p = 0; p < pairs; ++p) {
+    std::vector<ValueCode> a(m), b(m);
+    for (size_t j = 0; j < m; ++j) {
+      a[j] = static_cast<ValueCode>(rng.Uniform(3));
+      b[j] = static_cast<ValueCode>(rng.Uniform(3));
+    }
+    store->push_back(std::move(a));
+    store->push_back(std::move(b));
+    ids.emplace_back(static_cast<uint32_t>(p), static_cast<uint32_t>(p + 1));
+  }
+  for (size_t p = 0; p < pairs; ++p) {
+    rows.emplace_back((*store)[2 * p].data(), (*store)[2 * p + 1].data());
+  }
+  return PackedEvidence::FromRowMajorPairs(m, rows, ids, /*dedupe=*/false);
+}
+
+TEST(EvidenceKernelTest, DispatchNamesAndOverrides) {
+  KernelGuard guard;
+  EXPECT_STREQ(EvidenceKernelName(EvidenceKernel::kScalar), "scalar");
+  EXPECT_STREQ(EvidenceKernelName(EvidenceKernel::kAvx2), "avx2");
+  EXPECT_STREQ(EvidenceKernelName(EvidenceKernel::kAvx512), "avx512");
+  // The scalar oracle and auto detection are always available.
+  ASSERT_TRUE(SetEvidenceKernel("scalar").ok());
+  EXPECT_EQ(ActiveEvidenceKernel(), EvidenceKernel::kScalar);
+  ASSERT_TRUE(SetEvidenceKernel("auto").ok());
+  // Unknown names fail without changing dispatch.
+  EvidenceKernel before = ActiveEvidenceKernel();
+  EXPECT_FALSE(SetEvidenceKernel("sse9").ok());
+  EXPECT_EQ(ActiveEvidenceKernel(), before);
+}
+
+TEST(EvidenceKernelTest, TiersBitIdenticalOnBlockAndWidthEdges) {
+  KernelGuard guard;
+  const std::vector<const char*> tiers = AvailableKernels();
+  // m crosses the 1-word (40), 2-word (70), and many-word (600)
+  // mask widths; pairs covers sub-block, exact-block, partial-last-
+  // block, and multi-superblock shapes (the LiveLanes padding edge
+  // and the 4-/8-block vector group remainders).
+  for (size_t m : {40u, 70u, 600u}) {
+    for (size_t pairs : {1u, 63u, 64u, 129u, 256u, 257u, 1000u}) {
+      std::vector<std::vector<ValueCode>> store;
+      PackedEvidence ev =
+          MakeRandomEvidence(m, pairs, m * 10007 + pairs, &store);
+      const size_t wpp = ev.words_per_pair();
+      Rng qrng(m + pairs);
+      const size_t count = 37;
+      std::vector<uint64_t> masks(count * wpp, 0);
+      for (size_t i = 0; i < count; ++i) {
+        for (size_t j = 0; j < m; ++j) {
+          if (qrng.Uniform(4) == 0) {
+            masks[i * wpp + j / 64] |= uint64_t{1} << (j % 64);
+          }
+        }
+      }
+      // Mask 5 is empty (rejects immediately on any live block).
+      std::fill(masks.begin() + 5 * wpp, masks.begin() + 6 * wpp, 0);
+
+      std::vector<uint8_t> want_rejected;
+      std::vector<std::optional<uint32_t>> want_first;
+      for (const char* tier : tiers) {
+        ASSERT_TRUE(SetEvidenceKernel(tier).ok());
+        std::vector<uint8_t> rejected(count, 0);
+        rejected[3] = 1;  // pre-seeded entries must be skipped
+        ev.TestMasksBlockMajor(masks.data(), wpp, count, rejected.data());
+        std::vector<std::optional<uint32_t>> first(count);
+        for (size_t i = 0; i < count; ++i) {
+          first[i] = ev.FindUnseparated(
+              std::span<const uint64_t>(masks.data() + i * wpp, wpp));
+        }
+        if (std::string(tier) == "scalar") {
+          want_rejected = std::move(rejected);
+          want_first = std::move(first);
+        } else {
+          // Bit-identical to the oracle: same rejections AND the same
+          // first-witness pair index.
+          EXPECT_EQ(rejected, want_rejected)
+              << tier << " m=" << m << " pairs=" << pairs;
+          EXPECT_EQ(first, want_first)
+              << tier << " m=" << m << " pairs=" << pairs;
+        }
+      }
+    }
+  }
+}
+
+TEST(EvidenceKernelTest, TiersAgreeOnDegenerateInputs) {
+  KernelGuard guard;
+  std::vector<std::vector<ValueCode>> store;
+  PackedEvidence ev = MakeRandomEvidence(70, 100, 77, &store);
+  PackedEvidence empty;
+  for (const char* tier : AvailableKernels()) {
+    ASSERT_TRUE(SetEvidenceKernel(tier).ok());
+    // Empty candidate set: a no-op at every tier.
+    ev.TestMasksBlockMajor(nullptr, 2, 0, nullptr);
+    // All candidates pre-rejected: nothing is touched.
+    std::vector<uint64_t> masks(2, ~uint64_t{0});
+    std::vector<uint8_t> rejected = {1};
+    ev.TestMasksBlockMajor(masks.data(), 2, 1, rejected.data());
+    EXPECT_EQ(rejected[0], 1) << tier;
+    // Evidence with no pairs accepts everything.
+    EXPECT_FALSE(empty.FindUnseparated(std::span<const uint64_t>())
+                     .has_value())
+        << tier;
+  }
+}
+
+TEST(PackedEvidenceTest, MemoryBytesCountsOwnedBytesOnly) {
+  std::vector<std::vector<ValueCode>> store;
+  PackedEvidence owned = MakeRandomEvidence(70, 100, 5, &store);
+  EXPECT_EQ(owned.BorrowedBytes(), 0u);
+  EXPECT_EQ(owned.MemoryBytes(),
+            owned.raw_words().size_bytes() + owned.raw_reps().size_bytes());
+
+  auto borrowed = PackedEvidence::FromBorrowed(
+      owned.num_attributes(), owned.source_pairs(), owned.num_pairs(),
+      owned.raw_words().data(), owned.raw_words().size(),
+      owned.raw_reps().data());
+  ASSERT_TRUE(borrowed.ok()) << borrowed.status().ToString();
+  ASSERT_TRUE(borrowed->borrowed());
+  // A borrowed instance owns nothing — its words and reps live in the
+  // (notionally mmap-ed) donor storage, shared with the page cache.
+  // Charging them as owned would double-count the snapshot image
+  // against a process memory budget.
+  EXPECT_EQ(borrowed->MemoryBytes(), 0u);
+  EXPECT_EQ(borrowed->BorrowedBytes(),
+            owned.raw_words().size_bytes() + owned.raw_reps().size_bytes());
+}
+
+TEST(EvidenceKernelTest, RandomizedFilterPropertyAcrossSeedsAndThreads) {
+  KernelGuard guard;
+  const std::vector<const char*> tiers = AvailableKernels();
+  for (uint64_t seed : {11u, 29u}) {
+    for (size_t m : {70u, 600u}) {
+      Rng drng(seed * 1000 + m);
+      Dataset d = MakeUniformGridSample(m, 2, 300, &drng);
+      BitsetFilterOptions opts;
+      opts.eps = 0.01;
+      opts.sample_size = 500;
+      Rng brng(seed);
+      auto bs = BitsetSeparationFilter::Build(d, opts, &brng);
+      ASSERT_TRUE(bs.ok());
+
+      Rng qrng(seed ^ 0x5EED);
+      std::vector<AttributeSet> queries;
+      for (int i = 0; i < 100; ++i) {
+        queries.push_back(
+            AttributeSet::Random(m, 0.02 + 0.5 * (i % 9) / 9.0, &qrng));
+      }
+      queries.push_back(AttributeSet(m));
+      queries.push_back(AttributeSet::All(m));
+
+      ASSERT_TRUE(SetEvidenceKernel("scalar").ok());
+      const std::vector<FilterVerdict> want = bs->QueryBatch(queries, nullptr);
+      std::vector<std::optional<std::pair<RowIndex, RowIndex>>> witnesses;
+      for (const AttributeSet& q : queries) {
+        witnesses.push_back(bs->QueryWitness(q));
+      }
+      for (const char* tier : tiers) {
+        ASSERT_TRUE(SetEvidenceKernel(tier).ok());
+        EXPECT_EQ(bs->QueryBatch(queries, nullptr), want) << tier;
+        for (size_t threads : {3u, 8u}) {
+          ThreadPool pool(threads);
+          EXPECT_EQ(bs->QueryBatch(queries, &pool), want)
+              << tier << " threads=" << threads;
+        }
+        // Witness reporting (first unseparated pair) is also tier-
+        // independent, not just the verdict.
+        for (size_t i = 0; i < queries.size(); ++i) {
+          EXPECT_EQ(bs->QueryWitness(queries[i]), witnesses[i])
+              << tier << " query " << i;
+        }
+      }
+    }
   }
 }
 

@@ -359,7 +359,7 @@ TEST(SnapfileTest, RejectsTruncationAtEveryPrefix) {
   }
 }
 
-TEST(SnapfileTest, RejectsBadMagicVersionAndReserved) {
+TEST(SnapfileTest, RejectsBadMagicAndVersionAcceptsRecordedEpoch) {
   std::string image = ValidImage();
   std::string bad = image;
   bad[0] = 'X';
@@ -372,10 +372,15 @@ TEST(SnapfileTest, RejectsBadMagicVersionAndReserved) {
   EXPECT_NE(status.message().find("version"), std::string::npos)
       << status.ToString();
 
+  // Byte 52 is the recorded store epoch (formerly reserved-must-be-
+  // zero): a nonzero value is data, not corruption, and rides back on
+  // the restored snapshot.
   bad = image;
-  bad[52] = 1;  // reserved header field
+  bad[52] = 7;
   RestampHeaderChecksum(&bad);
-  EXPECT_FALSE(snapfile::SnapshotFromOwnedBytes(bad).ok());
+  auto restored = snapfile::SnapshotFromOwnedBytes(bad);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->epoch, 7u);
 
   bad = image;
   bad[48] = 7;  // unknown backend
@@ -469,6 +474,40 @@ TEST(SnapfileTest, SurvivesRandomByteFlipsOnEveryBackend) {
       }
     }
   }
+}
+
+TEST(SnapfileTest, PublishRestoredSnapshotResumesEpochAndCountsPublishes) {
+  Dataset data = MakeKeyedData(64, 9);
+  ServeSnapshot built =
+      BuildPipelineSnapshot(data, FilterBackend::kBitset, 0.01, 5);
+  // Advance a store past epoch 1, then save its current snapshot so
+  // the file records a nonzero epoch.
+  SnapshotStore first;
+  ASSERT_TRUE(first.Publish(built).ok());
+  auto saved_epoch = first.Publish(built);
+  ASSERT_TRUE(saved_epoch.ok()) << saved_epoch.status().ToString();
+  ASSERT_EQ(*saved_epoch, 2u);
+  auto image = snapfile::SerializeSnapshot(*first.Current());
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  auto restored = snapfile::SnapshotFromOwnedBytes(*image);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->epoch, 2u);
+
+  // A fresh store resumes the file's epoch sequence but counts only
+  // its own publishes — the regression was reporting `epoch` as the
+  // publish count, claiming work a previous incarnation did.
+  SnapshotStore store;
+  auto resumed = store.Publish(std::move(*restored));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(*resumed, 2u);
+  EXPECT_EQ(store.epoch(), 2u);
+  EXPECT_EQ(store.publishes(), 1u);
+
+  auto next = store.Publish(built);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(*next, 3u);
+  EXPECT_EQ(store.publishes(), 2u);
 }
 
 TEST(SnapfileTest, ReadSnapshotFileRejectsMissingAndEmptyFiles) {

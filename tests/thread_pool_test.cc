@@ -46,6 +46,48 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForMinGrainBoundsChunkSizeAndStillCovers) {
+  ThreadPool pool(8);
+  for (size_t min_grain : {1u, 7u, 64u, 1000u, 100000u}) {
+    std::vector<std::atomic<int>> hits(10000);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    ThreadPool::ParallelFor(
+        &pool, hits.size(),
+        [&](size_t b, size_t e) {
+          for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+          std::lock_guard<std::mutex> lock(mu);
+          chunks.emplace_back(b, e);
+        },
+        min_grain);
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << min_grain;
+    for (const auto& [b, e] : chunks) {
+      // Every chunk except possibly the final remainder honors the
+      // grain floor.
+      if (e != hits.size()) {
+        EXPECT_GE(e - b, min_grain);
+      }
+    }
+    // A range at or below the grain must not fan out at all.
+    if (min_grain >= hits.size()) {
+      EXPECT_EQ(chunks.size(), 1u);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForManyBatchesReuseThePool) {
+  // The batch path enqueues helper tasks; back-to-back batches (the
+  // serve pattern) must not leak state between batches or deadlock
+  // when stale helpers from batch k drain during batch k+1.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<size_t> sum{0};
+    ThreadPool::ParallelFor(
+        &pool, 97, [&](size_t b, size_t e) { sum.fetch_add(e - b); }, 4);
+    ASSERT_EQ(sum.load(), 97u) << round;
+  }
+}
+
 TEST(ThreadPoolTest, ParallelForInlineWithoutPool) {
   std::vector<int> hits(100, 0);
   ThreadPool::ParallelFor(nullptr, hits.size(), [&](size_t b, size_t e) {
