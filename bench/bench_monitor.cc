@@ -26,6 +26,7 @@
 #include "core/tuple_sample_filter.h"
 #include "data/generators/tabular.h"
 #include "monitor/key_monitor.h"
+#include "util/flag_parse.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -179,13 +180,17 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--rows") == 0) {
       const char* v = next();
-      if (v) rows = static_cast<uint64_t>(std::atoll(v));
+      if (v && !qikey::ParseUint64Flag("--rows", v, &rows)) return 2;
     } else if (std::strcmp(argv[i], "--updates") == 0) {
       const char* v = next();
-      if (v) updates = static_cast<uint64_t>(std::atoll(v));
+      if (v && !qikey::ParseUint64Flag("--updates", v, &updates)) return 2;
     } else if (std::strcmp(argv[i], "--max-size") == 0) {
       const char* v = next();
-      if (v) max_key_size = static_cast<uint32_t>(std::atoi(v));
+      long long k = 0;
+      if (v) {
+        if (!qikey::ParseIntFlag("--max-size", v, 1, 64, &k)) return 2;
+        max_key_size = static_cast<uint32_t>(k);
+      }
     } else if (std::strcmp(argv[i], "--json") == 0) {
       const char* v = next();
       if (v) json_path = v;

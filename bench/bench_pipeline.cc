@@ -27,6 +27,7 @@
 #include "core/tuple_sample_filter.h"
 #include "data/generators/tabular.h"
 #include "engine/pipeline.h"
+#include "util/flag_parse.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -121,7 +122,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
-      max_threads = static_cast<size_t>(std::atoi(argv[i]));
+      long long t = 0;
+      if (!qikey::ParseIntFlag("max_threads", argv[i], 0, 1 << 16, &t)) {
+        return 2;
+      }
+      max_threads = static_cast<size_t>(t);
     }
   }
   if (max_threads == 0) max_threads = std::thread::hardware_concurrency();

@@ -41,6 +41,7 @@
 #include "serve/query_engine.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "util/flag_parse.h"
 #include "util/net.h"
 #include "util/rng.h"
 
@@ -168,11 +169,19 @@ int Run(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--conns") == 0 && i + 1 < argc) {
-      conns = static_cast<size_t>(std::atoll(argv[++i]));
+      uint64_t v = 0;
+      if (!ParseUint64Flag("--conns", argv[++i], &v)) return 2;
+      conns = static_cast<size_t>(v);
     } else if (std::strcmp(argv[i], "--per-conn") == 0 && i + 1 < argc) {
-      per_conn = static_cast<size_t>(std::atoll(argv[++i]));
+      uint64_t v = 0;
+      if (!ParseUint64Flag("--per-conn", argv[++i], &v)) return 2;
+      per_conn = static_cast<size_t>(v);
     } else if (std::strcmp(argv[i], "--rps") == 0 && i + 1 < argc) {
-      rps = std::atof(argv[++i]);
+      if (!ParseDoubleFlag("--rps", argv[++i], 0.0, 1e9,
+                           /*min_exclusive=*/true, /*max_exclusive=*/false,
+                           "(0, 1e9]", &rps)) {
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_serve_net [--json PATH] [--conns C] "

@@ -33,6 +33,7 @@
 #include "engine/pipeline.h"
 #include "shard/filter_merger.h"
 #include "shard/shard_builder.h"
+#include "util/flag_parse.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -58,7 +59,8 @@ uint64_t PeakRssBytes() {
   std::string line;
   while (std::getline(in, line)) {
     if (line.rfind("VmHWM:", 0) == 0) {
-      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+      char* end = nullptr;
+      return std::strtoull(line.c_str() + 6, &end, 10) * 1024;
     }
   }
   return 0;
@@ -100,7 +102,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
-      rows = std::strtoull(argv[++i], nullptr, 10);
+      if (!ParseUint64Flag("--rows", argv[++i], &rows)) return 2;
     }
   }
   BenchJsonWriter json;

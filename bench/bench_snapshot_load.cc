@@ -24,6 +24,7 @@
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
 #include "snapfile/snapfile.h"
+#include "util/flag_parse.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -100,7 +101,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
-      rows = std::strtoull(argv[++i], nullptr, 10);
+      if (!ParseUint64Flag("--rows", argv[++i], &rows)) return 2;
     }
   }
   const double eps = 1e-4;

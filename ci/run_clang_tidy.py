@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""clang-tidy gate for qikey.
+
+Runs clang-tidy (config: .clang-tidy at the repo root) over every
+first-party translation unit in the compilation database, then compares
+the findings against a tracked baseline (ci/clang_tidy_baseline.json).
+The baseline is zero-warning: any finding fails the gate. The file
+exists so that, should an unavoidable finding ever appear (e.g. a new
+clang-tidy release adds a check that misfires on a pinned idiom), it
+can be suppressed explicitly, reviewed, and burned down — instead of
+the gate being loosened wholesale.
+
+Per-path strictness: bugprone-narrowing-conversions is disabled
+globally (too noisy for math/engine code) but re-enabled here for files
+that feed the wire format or parse untrusted input, where a silent
+narrowing is a protocol bug rather than a style issue.
+
+Exit codes: 0 clean (or clang-tidy unavailable without --strict),
+1 findings diverge from the baseline, 2 usage/environment error.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# First-party code the gate covers (relative to the repo root).
+SOURCE_PREFIXES = ("src/", "tools/", "bench/", "examples/", "fuzz/")
+
+# Wire/parse paths where narrowing conversions are protocol bugs.
+# Matched as prefixes of the repo-relative path.
+NARROWING_STRICT_PREFIXES = (
+    "src/data/serialize",
+    "src/data/wire_codec",
+    "src/serve/protocol",
+    "src/serve/request",
+    "src/snapfile/",
+)
+
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+(?P<message>.*?)\s+\[(?P<checks>[^\]]+)\]$"
+)
+
+CANDIDATE_BINARIES = ("clang-tidy",) + tuple(
+    f"clang-tidy-{v}" for v in range(21, 13, -1)
+)
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in CANDIDATE_BINARIES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_compile_db(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.stderr.write(
+            f"error: {db_path} not found; configure with "
+            "cmake -B build -S . first (CMAKE_EXPORT_COMPILE_COMMANDS "
+            "is on by default)\n"
+        )
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as fp:
+        return json.load(fp)
+
+
+def first_party_sources(compile_db):
+    files = set()
+    for entry in compile_db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+        )
+        rel = os.path.relpath(path, REPO_ROOT)
+        if rel.startswith(".."):
+            continue
+        if rel.startswith(SOURCE_PREFIXES):
+            files.add(rel)
+    return sorted(files)
+
+
+def extra_checks_for(rel_path):
+    if rel_path.startswith(NARROWING_STRICT_PREFIXES):
+        # -checks APPENDS to the .clang-tidy Checks list.
+        return "bugprone-narrowing-conversions"
+    return None
+
+
+def run_one(binary, build_dir, rel_path):
+    cmd = [binary, "-p", build_dir, "--quiet"]
+    extra = extra_checks_for(rel_path)
+    if extra:
+        cmd.append(f"-checks={extra}")
+    cmd.append(os.path.join(REPO_ROOT, rel_path))
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, cwd=REPO_ROOT, check=False
+    )
+    findings = []
+    for line in proc.stdout.splitlines():
+        match = FINDING_RE.match(line)
+        if not match:
+            continue
+        path = os.path.normpath(match.group("path"))
+        if os.path.isabs(path):
+            path = os.path.relpath(path, REPO_ROOT)
+        if path.startswith(".."):
+            continue  # system / toolchain header
+        for check in match.group("checks").split(","):
+            findings.append({"file": path, "check": check.strip()})
+    # clang-tidy exits nonzero on hard compile errors too; surface those
+    # rather than silently reporting the file clean.
+    hard_error = proc.returncode != 0 and not findings
+    return rel_path, findings, hard_error, proc.stderr
+
+
+def summarize(findings):
+    """Collapses findings to {(file, check): count} — line numbers churn
+    with unrelated edits, so the baseline is keyed structurally."""
+    counts = {}
+    for f in findings:
+        key = (f["file"], f["check"])
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path):
+    with open(path, encoding="utf-8") as fp:
+        data = json.load(fp)
+    return {
+        (e["file"], e["check"]): e["count"] for e in data.get("findings", [])
+    }
+
+
+def write_baseline(path, counts):
+    findings = [
+        {"file": file, "check": check, "count": count}
+        for (file, check), count in sorted(counts.items())
+    ]
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump({"findings": findings}, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "ci", "clang_tidy_baseline.json"),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (instead of skipping) when clang-tidy is unavailable",
+    )
+    parser.add_argument("--clang-tidy", default=None, help="binary override")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    parser.add_argument(
+        "files", nargs="*", help="restrict to these repo-relative sources"
+    )
+    args = parser.parse_args()
+
+    binary = find_clang_tidy(args.clang_tidy)
+    if binary is None:
+        if args.strict:
+            sys.stderr.write("error: clang-tidy not found (--strict)\n")
+            return 2
+        print("run_clang_tidy: clang-tidy not found; skipping (CI runs it)")
+        return 0
+
+    compile_db = load_compile_db(args.build_dir)
+    sources = first_party_sources(compile_db)
+    if args.files:
+        wanted = {os.path.normpath(f) for f in args.files}
+        sources = [s for s in sources if s in wanted]
+        missing = wanted - set(sources)
+        if missing:
+            sys.stderr.write(
+                "error: not in compile_commands.json: "
+                + ", ".join(sorted(missing))
+                + "\n"
+            )
+            return 2
+    if not sources:
+        sys.stderr.write("error: no first-party sources selected\n")
+        return 2
+
+    all_findings = []
+    hard_errors = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, binary, args.build_dir, rel)
+            for rel in sources
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            rel_path, findings, hard_error, stderr = future.result()
+            all_findings.extend(findings)
+            if hard_error:
+                hard_errors.append((rel_path, stderr))
+
+    if hard_errors:
+        for rel_path, stderr in hard_errors:
+            sys.stderr.write(f"clang-tidy failed on {rel_path}:\n{stderr}\n")
+        return 2
+
+    counts = summarize(all_findings)
+    if args.update_baseline:
+        write_baseline(args.baseline, counts)
+        print(
+            f"baseline updated: {sum(counts.values())} finding(s) across "
+            f"{len(counts)} (file, check) pair(s)"
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    regressions = {
+        key: count
+        for key, count in counts.items()
+        if count > baseline.get(key, 0)
+    }
+    stale = {
+        key: count
+        for key, count in baseline.items()
+        if counts.get(key, 0) < count
+    }
+
+    if regressions:
+        print(f"clang-tidy gate FAILED: {len(regressions)} regression(s)")
+        for (file, check), count in sorted(regressions.items()):
+            over = count - baseline.get((file, check), 0)
+            print(f"  {file}: {check} (+{over})")
+        print("fix the findings, or (after review) re-run with "
+              "--update-baseline")
+        return 1
+    if stale:
+        # Improvements should be locked in so they cannot silently
+        # regress back to the old baseline.
+        print(f"clang-tidy gate: {len(stale)} baseline entry(ies) no longer "
+              "fire; run with --update-baseline to lock in the improvement")
+    print(
+        f"clang-tidy gate passed: {len(sources)} file(s), "
+        f"{sum(counts.values())} finding(s) (baseline "
+        f"{sum(baseline.values())})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

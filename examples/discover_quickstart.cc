@@ -4,12 +4,18 @@
 //   ./discover_quickstart [num_threads]
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "qikey.h"
+#include "util/flag_parse.h"
 
 int main(int argc, char** argv) {
-  size_t threads = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 0;
+  long long threads_flag = 0;
+  if (argc > 1 &&
+      !qikey::ParseIntFlag("num_threads", argv[1], 0, 1 << 16,
+                           &threads_flag)) {
+    return 2;
+  }
+  size_t threads = static_cast<size_t>(threads_flag);
 
   qikey::Rng rng(42);
   qikey::TabularSpec spec = qikey::CovtypeLikeSpec();

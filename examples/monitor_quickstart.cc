@@ -6,14 +6,17 @@
 //   ./monitor_quickstart [num_updates]
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "qikey.h"
+#include "util/flag_parse.h"
 
 int main(int argc, char** argv) {
-  uint64_t num_updates =
-      argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 2000;
+  uint64_t num_updates = 2000;
+  if (argc > 1 &&
+      !qikey::ParseUint64Flag("num_updates", argv[1], &num_updates)) {
+    return 2;
+  }
 
   qikey::Rng rng(42);
   qikey::TabularSpec spec = qikey::AdultLikeSpec();

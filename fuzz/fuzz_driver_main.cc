@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "fuzz_target.h"
+#include "util/flag_parse.h"
 
 namespace {
 
@@ -71,8 +72,14 @@ std::string Mutate(const std::vector<std::string>& seeds, uint64_t* rng) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  uint64_t iterations = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
-  uint64_t rng = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0x9E3779B9;
+  uint64_t iterations = 20000;
+  uint64_t rng = 0x9E3779B9;
+  if (argc > 1 && !qikey::ParseUint64Flag("iterations", argv[1], &iterations)) {
+    return 2;
+  }
+  if (argc > 2 && !qikey::ParseUint64Flag("seed", argv[2], &rng)) {
+    return 2;
+  }
   if (rng == 0) rng = 1;
 
   std::vector<std::string> seeds = FuzzSeedInputs();

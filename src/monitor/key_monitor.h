@@ -175,6 +175,11 @@ class KeyMonitor {
   std::vector<KeyEvent> events_;
   std::deque<std::vector<ValueCode>> fifo_;  // sliding-window eviction order
 
+  /// The single cross-thread member: `Publish()` (writer thread) stores
+  /// an immutable snapshot here, `Snapshot()` (any thread) loads it.
+  /// Everything above is writer-thread-only by contract — there is no
+  /// mutex to hang a GUARDED_BY off, the atomic shared_ptr IS the
+  /// synchronization (same seam as `SnapshotStore::current_`).
   std::atomic<std::shared_ptr<const MonitorSnapshot>> snapshot_;
 };
 

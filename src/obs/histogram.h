@@ -93,6 +93,9 @@ class LatencyHistogram {
   static uint64_t BucketUpperEdge(size_t index);
 
  private:
+  // Lock-free by design: every cell is an independent relaxed atomic,
+  // so there is no capability to annotate — concurrent Record/Snapshot
+  // tearing across buckets is accepted and documented above.
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> sum_{0};
 };

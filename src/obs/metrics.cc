@@ -13,40 +13,40 @@ size_t Counter::SlotIndex() {
 
 void MetricsRegistry::RegisterCounter(const std::string& name,
                                       const Counter* counter) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counter_fns_.erase(name);
   counters_[name] = counter;
 }
 
 void MetricsRegistry::RegisterCounterFn(const std::string& name,
                                         std::function<uint64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.erase(name);
   counter_fns_[name] = std::move(fn);
 }
 
 void MetricsRegistry::RegisterGauge(const std::string& name,
                                     const Gauge* gauge) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauge_fns_.erase(name);
   gauges_[name] = gauge;
 }
 
 void MetricsRegistry::RegisterGaugeFn(const std::string& name,
                                       std::function<int64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_.erase(name);
   gauge_fns_[name] = std::move(fn);
 }
 
 void MetricsRegistry::RegisterHistogram(const std::string& name,
                                         const LatencyHistogram* histogram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   histograms_[name] = histogram;
 }
 
 MetricsSnapshot MetricsRegistry::SnapshotAll() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->value();

@@ -6,10 +6,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "obs/histogram.h"
+#include "util/mutex.h"
 
 namespace qikey {
 
@@ -118,12 +118,16 @@ class MetricsRegistry {
   std::string RenderJson() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, const Counter*> counters_;
-  std::map<std::string, std::function<uint64_t()>> counter_fns_;
-  std::map<std::string, const Gauge*> gauges_;
-  std::map<std::string, std::function<int64_t()>> gauge_fns_;
-  std::map<std::string, const LatencyHistogram*> histograms_;
+  /// Registry capability: guards the five name→instrument maps below.
+  /// Only registration and snapshotting take it — recording into an
+  /// instrument never does (the instruments are internally lock-free).
+  mutable Mutex mu_;
+  std::map<std::string, const Counter*> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::function<uint64_t()>> counter_fns_
+      GUARDED_BY(mu_);
+  std::map<std::string, const Gauge*> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::function<int64_t()>> gauge_fns_ GUARDED_BY(mu_);
+  std::map<std::string, const LatencyHistogram*> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace qikey

@@ -60,6 +60,10 @@ struct PendingLine {
 ///
 /// All state is touched only by the reactor thread; workers never see
 /// a connection, only copies of its request lines keyed by `id`.
+/// Deliberately unannotated: single-thread ownership is the invariant
+/// here, not a lock — there is no mutex a GUARDED_BY could name, and
+/// cross-thread handoff happens only via the server's annotated
+/// work/completion queues (`ServeServer::work_mu_`/`completion_mu_`).
 struct ServeConn {
   ServeConn(OwnedFd socket, uint64_t conn_id, size_t max_line_bytes)
       : fd(std::move(socket)), id(conn_id), splitter(max_line_bytes) {}

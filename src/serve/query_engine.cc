@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "core/anonymity.h"
 #include "core/separation.h"
+#include "util/mutex.h"
 
 namespace qikey {
 
@@ -165,7 +165,7 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
     size_t begin;
     std::vector<Miss> misses;
   };
-  std::mutex miss_mu;
+  Mutex miss_mu;
   std::vector<MissChunk> miss_chunks;
   ThreadPool::ParallelFor(
       pool_.get(), requests.size(),
@@ -195,7 +195,7 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
           }
         }
         if (!local.empty()) {
-          std::lock_guard<std::mutex> lock(miss_mu);
+          MutexLock lock(miss_mu);
           miss_chunks.push_back(MissChunk{begin, std::move(local)});
         }
       },

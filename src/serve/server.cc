@@ -267,10 +267,10 @@ void ServeServer::ReactorLoop() {
   // Stop the workers: they finish the queue (it is empty by the time
   // drain completes, non-empty only after a forced drain) and exit.
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(work_mu_);
     workers_stop_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   running_.store(false, std::memory_order_release);
 }
 
@@ -426,17 +426,17 @@ void ServeServer::SubmitBatchIfReady(ServeConn* conn) {
   }
   conn->inflight_lines = take;
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(work_mu_);
     work_queue_.push_back(std::move(work));
     work_queue_depth_.Set(static_cast<int64_t>(work_queue_.size()));
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
 }
 
 void ServeServer::ProcessCompletions() {
   std::vector<Completion> done;
   {
-    std::lock_guard<std::mutex> lock(completion_mu_);
+    MutexLock lock(completion_mu_);
     done.swap(completions_);
   }
   for (Completion& completion : done) {
@@ -576,9 +576,8 @@ void ServeServer::WorkerLoop() {
   while (true) {
     WorkItem work;
     {
-      std::unique_lock<std::mutex> lock(work_mu_);
-      work_ready_.wait(lock,
-                       [this] { return workers_stop_ || !work_queue_.empty(); });
+      MutexLock lock(work_mu_);
+      while (!workers_stop_ && work_queue_.empty()) work_ready_.Wait(work_mu_);
       if (work_queue_.empty()) return;  // stop requested and queue drained
       work = std::move(work_queue_.front());
       work_queue_.pop_front();
@@ -587,7 +586,7 @@ void ServeServer::WorkerLoop() {
     work.dequeue_ns = NowNs();
     Completion completion = ExecuteWork(std::move(work));
     {
-      std::lock_guard<std::mutex> lock(completion_mu_);
+      MutexLock lock(completion_mu_);
       completions_.push_back(std::move(completion));
     }
     uint64_t one = 1;

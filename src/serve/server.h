@@ -2,12 +2,10 @@
 #define QIKEY_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -18,6 +16,7 @@
 #include "serve/conn.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
+#include "util/mutex.h"
 #include "util/net.h"
 #include "util/status.h"
 
@@ -278,15 +277,18 @@ class ServeServer {
   bool draining_ = false;
   int64_t drain_deadline_ms_ = 0;
 
-  // Worker queue (mutex-guarded).
-  std::mutex work_mu_;
-  std::condition_variable work_ready_;
-  std::deque<WorkItem> work_queue_;
-  bool workers_stop_ = false;
+  // Work-queue capability: the reactor-to-worker handoff. Guards the
+  // batch queue and the stop flag the reactor raises at drain end.
+  Mutex work_mu_;
+  CondVar work_ready_;
+  std::deque<WorkItem> work_queue_ GUARDED_BY(work_mu_);
+  bool workers_stop_ GUARDED_BY(work_mu_) = false;
 
-  // Completion queue (mutex-guarded; reactor drains on wake_fd_).
-  std::mutex completion_mu_;
-  std::vector<Completion> completions_;
+  // Completion-queue capability: the worker-to-reactor handoff (the
+  // reactor drains it after a wake_fd_ tick). Never held together with
+  // work_mu_, so the two handoff locks cannot deadlock.
+  Mutex completion_mu_;
+  std::vector<Completion> completions_ GUARDED_BY(completion_mu_);
 
   // Observability. Counters/gauges are internally thread-safe; the
   // registry is set up in Start() before any server thread runs.

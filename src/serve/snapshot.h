@@ -162,6 +162,13 @@ class SnapshotStore {
   }
 
  private:
+  // Lock-free publication seam — deliberately no mutex capability
+  // here. `current_` is the atomically published pointer readers pin;
+  // `next_epoch_` advances by CAS (max-then-advance is not a single
+  // fetch_add); the two stat cells are relaxed. The thread-safety
+  // contract is "writers externally ordered, readers wait-free", which
+  // the annotations cannot express — the concurrency-* clang-tidy
+  // checks and the TSan job cover this file instead.
   std::atomic<std::shared_ptr<const ServeSnapshot>> current_;
   std::atomic<uint64_t> next_epoch_{0};
   std::atomic<uint64_t> publishes_{0};

@@ -26,7 +26,7 @@ bool VerdictCache::Lookup(uint64_t epoch, const AttributeSet& attrs,
     return false;
   }
   Shard& shard = ShardFor(epoch, attrs);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(Key{epoch, attrs});
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -42,7 +42,7 @@ void VerdictCache::Insert(uint64_t epoch, const AttributeSet& attrs,
                           FilterVerdict verdict) {
   if (!enabled()) return;
   Shard& shard = ShardFor(epoch, attrs);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   Key key{epoch, attrs};
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
@@ -50,19 +50,23 @@ void VerdictCache::Insert(uint64_t epoch, const AttributeSet& attrs,
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
+  EvictIfFullLocked(shard);
+  shard.lru.emplace_front(std::move(key), verdict);
+  shard.index.emplace(shard.lru.front().first, shard.lru.begin());
+}
+
+void VerdictCache::EvictIfFullLocked(Shard& shard) {
   if (shard.lru.size() >= per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.emplace_front(std::move(key), verdict);
-  shard.index.emplace(shard.lru.front().first, shard.lru.begin());
 }
 
 uint64_t VerdictCache::hits() const {
   uint64_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->hits;
   }
   return total;
@@ -71,7 +75,7 @@ uint64_t VerdictCache::hits() const {
 uint64_t VerdictCache::misses() const {
   uint64_t total = disabled_misses_.load(std::memory_order_relaxed);
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->misses;
   }
   return total;
@@ -80,7 +84,7 @@ uint64_t VerdictCache::misses() const {
 uint64_t VerdictCache::evictions() const {
   uint64_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->evictions;
   }
   return total;
@@ -89,7 +93,7 @@ uint64_t VerdictCache::evictions() const {
 size_t VerdictCache::size() const {
   size_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->lru.size();
   }
   return total;

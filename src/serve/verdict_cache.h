@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/attribute_set.h"
 #include "core/filter.h"
+#include "util/mutex.h"
 
 namespace qikey {
 
@@ -79,19 +79,26 @@ class VerdictCache {
     }
   };
   struct Shard {
-    std::mutex mu;
+    /// Shard capability: guards this shard's LRU list, its index, and
+    /// its counters — and nothing of any sibling shard, which is the
+    /// whole point of sharding the lock.
+    Mutex mu;
     /// Front = most recently used.
-    std::list<std::pair<Key, FilterVerdict>> lru;
+    std::list<std::pair<Key, FilterVerdict>> lru GUARDED_BY(mu);
     std::unordered_map<Key, std::list<std::pair<Key, FilterVerdict>>::iterator,
                        KeyHash>
-        index;
-    /// Guarded by `mu` (bumped while the shard lock is already held).
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+        index GUARDED_BY(mu);
+    /// Bumped while the shard lock is already held (no atomics needed).
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t epoch, const AttributeSet& attrs);
+
+  /// Evicts `shard`'s least-recently-used entry if it is at capacity.
+  /// Split out so the locking contract is explicit in the signature.
+  void EvictIfFullLocked(Shard& shard) REQUIRES(shard.mu);
 
   size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,17 +1,26 @@
-#ifndef QIKEY_TOOLS_FLAG_PARSE_H_
-#define QIKEY_TOOLS_FLAG_PARSE_H_
+#ifndef QIKEY_UTIL_FLAG_PARSE_H_
+#define QIKEY_UTIL_FLAG_PARSE_H_
 
-// Strict numeric flag parsing shared by the qikey tools. Everything
-// here uses strtoll/strtoull/strtod with end-pointer checks — never
-// atoi/atof — so garbage, trailing junk, out-of-range values, and NaN
-// are usage errors with a message on stderr, not silent zeros.
+// Strict numeric flag parsing shared by the qikey tools, benchmarks,
+// and examples. Everything here uses strtoll/strtoull/strtod with
+// end-pointer checks — never atoi/atof — so garbage, trailing junk,
+// out-of-range values, and NaN are usage errors with a message on
+// stderr, not silent zeros. tools/qikey_lint.py (QL001) bans the
+// atoi family and endptr-less strtol outside src/util/; this header
+// is the sanctioned way to parse a number from argv.
+//
+// Error output goes through WriteRawLine — the project's single-write
+// logging primitive — so a parse error cannot interleave with
+// concurrent log lines (QL005).
 
 #include <cctype>
 #include <cerrno>
 #include <cmath>
-#include <cstdio>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
+
+#include "util/logging.h"
 
 namespace qikey {
 
@@ -24,8 +33,8 @@ inline bool ParseIntFlag(const std::string& flag, const char* v,
   long long t = std::strtoll(v, &end, 10);
   if (end == v || *end != '\0' || errno == ERANGE || t < min || t > max ||
       std::isspace(static_cast<unsigned char>(v[0]))) {
-    std::fprintf(stderr, "%s must be an integer in [%lld, %lld], got %s\n",
-                 flag.c_str(), min, max, v);
+    WriteRawLine(flag + " must be an integer in [" + std::to_string(min) +
+                 ", " + std::to_string(max) + "], got " + v);
     return false;
   }
   *out = t;
@@ -43,8 +52,7 @@ inline bool ParseUint64Flag(const std::string& flag, const char* v,
   unsigned long long t = std::strtoull(v, &end, 10);
   if (!std::isdigit(static_cast<unsigned char>(v[0])) || end == v ||
       *end != '\0' || errno == ERANGE) {
-    std::fprintf(stderr, "%s must be a non-negative integer, got %s\n",
-                 flag.c_str(), v);
+    WriteRawLine(flag + " must be a non-negative integer, got " + v);
     return false;
   }
   *out = static_cast<uint64_t>(t);
@@ -64,8 +72,7 @@ inline bool ParseDoubleFlag(const std::string& flag, const char* v,
   bool in_range = min_exclusive ? t > min : t >= min;
   in_range = in_range && (max_exclusive ? t < max : t <= max);
   if (end == v || *end != '\0' || !std::isfinite(t) || !in_range) {
-    std::fprintf(stderr, "%s must be a number in %s, got %s\n", flag.c_str(),
-                 range, v);
+    WriteRawLine(flag + " must be a number in " + range + ", got " + v);
     return false;
   }
   *out = t;
@@ -74,4 +81,4 @@ inline bool ParseDoubleFlag(const std::string& flag, const char* v,
 
 }  // namespace qikey
 
-#endif  // QIKEY_TOOLS_FLAG_PARSE_H_
+#endif  // QIKEY_UTIL_FLAG_PARSE_H_

@@ -12,6 +12,11 @@ namespace qikey {
 
 namespace {
 
+// Logging configuration is two independent atomics, not a
+// mutex-guarded struct: writers are setup-time only (main, tests) and
+// every log statement reads them, so the read path must stay a plain
+// load. Torn cross-field views (new threshold with old format) are
+// harmless — each field is self-consistent.
 std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 std::atomic<bool> g_json_lines{false};
 

@@ -1,0 +1,103 @@
+#ifndef QIKEY_UTIL_THREAD_ANNOTATIONS_H_
+#define QIKEY_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros (no-ops on every other
+// compiler). Annotating a mutex-protected member with GUARDED_BY, and a
+// function's locking contract with REQUIRES/ACQUIRE/RELEASE/EXCLUDES,
+// turns the locking discipline into a compile-time contract: a clang
+// build with -Wthread-safety (cmake -DQIKEY_THREAD_SAFETY=ON promotes
+// it to an error) rejects any access to the member without the mutex
+// held, on every path, under every schedule — where TSan can only
+// catch the interleavings a test happens to provoke.
+//
+// The annotated wrappers living on top of these macros are
+// `qikey::Mutex` / `qikey::MutexLock` / `qikey::CondVar` in
+// util/mutex.h; annotate with:
+//
+//   Mutex mu_;
+//   std::deque<Task> queue_ GUARDED_BY(mu_);   // data behind the lock
+//   void DrainLocked() REQUIRES(mu_);          // caller must hold it
+//   void Drain() EXCLUDES(mu_);                // caller must NOT hold it
+//
+// See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for the
+// full attribute semantics.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define SCOPED_CAPABILITY QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Declares that the member it annotates is protected by the given
+/// capability: reads require the capability held (shared or exclusive),
+/// writes require it held exclusively.
+#define GUARDED_BY(x) QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Like GUARDED_BY, for the data POINTED TO by a pointer member (the
+/// pointer itself is not protected).
+#define PT_GUARDED_BY(x) QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Declares that the annotated function may only be called with the
+/// given capabilities held (and does not release them).
+#define REQUIRES(...) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the annotated function acquires the capability and
+/// holds it on return.
+#define ACQUIRE(...) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that the annotated function releases the capability (which
+/// must be held on entry).
+#define RELEASE(...) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Declares that the annotated function acquires the capability iff it
+/// returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Declares that the annotated function must NOT be called with the
+/// given capabilities held (deadlock guard for self-locking APIs).
+#define EXCLUDES(...) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (deadlock prevention across mutexes).
+#define ACQUIRED_BEFORE(...) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Declares that the annotated function returns a reference to the
+/// given capability (accessor for an embedded mutex).
+#define RETURN_CAPABILITY(x) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Runtime assertion that the capability is held; informs the analysis
+/// on paths it cannot see through (e.g. external synchronization).
+#define ASSERT_CAPABILITY(x) \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the contract cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  QIKEY_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // QIKEY_UTIL_THREAD_ANNOTATIONS_H_

@@ -27,10 +27,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -39,7 +39,7 @@ void ThreadPool::Submit(std::function<void()> task) {
       task_ns_.load(std::memory_order_acquire) != nullptr ? NowNs() : 0;
   Gauge* depth = queue_depth_.load(std::memory_order_acquire);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     QIKEY_CHECK(!shutdown_) << "Submit after shutdown";
     Task t;
     t.fn = std::move(task);
@@ -47,7 +47,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     tasks_.push(std::move(t));
     if (depth != nullptr) depth->Set(static_cast<int64_t>(tasks_.size()));
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::SubmitBatch(void (*raw_fn)(void*), std::shared_ptr<void> state,
@@ -57,7 +57,7 @@ void ThreadPool::SubmitBatch(void (*raw_fn)(void*), std::shared_ptr<void> state,
       task_ns_.load(std::memory_order_acquire) != nullptr ? NowNs() : 0;
   Gauge* depth = queue_depth_.load(std::memory_order_acquire);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     QIKEY_CHECK(!shutdown_) << "Submit after shutdown";
     for (size_t i = 0; i < copies; ++i) {
       Task t;
@@ -69,9 +69,9 @@ void ThreadPool::SubmitBatch(void (*raw_fn)(void*), std::shared_ptr<void> state,
     if (depth != nullptr) depth->Set(static_cast<int64_t>(tasks_.size()));
   }
   if (copies == 1) {
-    task_ready_.notify_one();
+    task_ready_.NotifyOne();
   } else {
-    task_ready_.notify_all();
+    task_ready_.NotifyAll();
   }
 }
 
@@ -81,22 +81,22 @@ void ThreadPool::AttachMetrics(Gauge* queue_depth, LatencyHistogram* task_ns) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
-  if (first_exception_) {
-    std::exception_ptr e = first_exception_;
+  std::exception_ptr e;
+  {
+    MutexLock lock(mu_);
+    while (!tasks_.empty() || active_ != 0) all_idle_.Wait(mu_);
+    e = first_exception_;
     first_exception_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(e);
   }
+  if (e) std::rethrow_exception(e);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && tasks_.empty()) task_ready_.Wait(mu_);
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -114,7 +114,7 @@ void ThreadPool::WorkerLoop() {
         task.fn();
       }
     } catch (...) {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!first_exception_) first_exception_ = std::current_exception();
     }
     if (task.submit_ns != 0) {
@@ -126,9 +126,9 @@ void ThreadPool::WorkerLoop() {
     // parked on the condvar.
     task = Task{};
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (tasks_.empty() && active_ == 0) all_idle_.notify_all();
+      if (tasks_.empty() && active_ == 0) all_idle_.NotifyAll();
     }
   }
 }
@@ -155,9 +155,9 @@ struct ParallelForState {
   size_t num_chunks = 0;
   std::atomic<size_t> next{0};
   std::atomic<size_t> chunks_done{0};
-  std::mutex mu;
-  std::condition_variable done;
-  std::exception_ptr first;  ///< Guarded by `mu`.
+  Mutex mu;
+  CondVar done;
+  std::exception_ptr first GUARDED_BY(mu);
 
   void Drain() {
     for (;;) {
@@ -168,15 +168,15 @@ struct ParallelForState {
       try {
         (*fn)(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (!first) first = std::current_exception();
       }
       if (chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           num_chunks) {
         // Lock before notifying so the waiter cannot check the
         // predicate and park between our load and our notify.
-        std::lock_guard<std::mutex> lock(mu);
-        done.notify_all();
+        MutexLock lock(mu);
+        done.NotifyAll();
       }
     }
   }
@@ -218,13 +218,15 @@ void ThreadPool::ParallelFor(ThreadPool* pool, size_t n,
   pool->SubmitBatch(&DrainParallelFor, state,
                     std::min(threads, num_chunks - 1));
   state->Drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&] {
-    return state->chunks_done.load(std::memory_order_acquire) ==
-           state->num_chunks;
-  });
-  std::exception_ptr first = state->first;
-  lock.unlock();
+  std::exception_ptr first;
+  {
+    MutexLock lock(state->mu);
+    while (state->chunks_done.load(std::memory_order_acquire) !=
+           state->num_chunks) {
+      state->done.Wait(state->mu);
+    }
+    first = state->first;
+  }
   if (first) std::rethrow_exception(first);
 }
 

@@ -2,18 +2,17 @@
 #define QIKEY_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 
 namespace qikey {
 
@@ -101,17 +100,23 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_idle_;
-  std::queue<Task> tasks_;
+  /// Queue capability: guards the task queue, the idle accounting, the
+  /// shutdown flag, and the captured exception below.
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_idle_;
+  std::queue<Task> tasks_ GUARDED_BY(mu_);
+  /// Borrowed instruments, atomically published by `AttachMetrics`
+  /// (release) and read by workers that may predate the attach
+  /// (acquire) — deliberately NOT behind `mu_`: the hot task path must
+  /// not take the queue lock to record a latency.
   std::atomic<Gauge*> queue_depth_{nullptr};
   std::atomic<LatencyHistogram*> task_ns_{nullptr};
-  size_t active_ = 0;
-  bool shutdown_ = false;
-  /// First exception thrown by a task since the last Wait() (guarded by
-  /// `mu_`); rethrown and cleared by Wait().
-  std::exception_ptr first_exception_;
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  /// First exception thrown by a task since the last Wait(); rethrown
+  /// and cleared by Wait().
+  std::exception_ptr first_exception_ GUARDED_BY(mu_);
 };
 
 }  // namespace qikey

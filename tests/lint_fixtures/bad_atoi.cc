@@ -1,0 +1,16 @@
+// LINT-PATH: examples/bad_atoi.cc
+// EXPECT-LINT: QL001
+// EXPECT-LINT: QL001
+//
+// Both failure modes of QL001: the atoi family (error == 0 == valid
+// input), and strtoull with a null end-pointer (trailing garbage
+// silently accepted).
+
+#include <cstdlib>
+
+int main(int argc, char** argv) {
+  int threads = argc > 1 ? std::atoi(argv[1]) : 0;
+  unsigned long long rows =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0;
+  return static_cast<int>(threads + rows);
+}

@@ -1,0 +1,20 @@
+// LINT-PATH: src/engine/bad_naked_new.cc
+// EXPECT-LINT: QL004
+//
+// A raw owning pointer: if anything between the new and the delete
+// throws, the allocation leaks. The adopted allocation below is the
+// sanctioned form and must NOT be flagged.
+
+#include <memory>
+
+struct Widget {
+  int value = 0;
+};
+
+Widget* MakeRaw() {
+  return new Widget();  // QL004: no owner
+}
+
+std::unique_ptr<Widget> MakeOwned() {
+  return std::unique_ptr<Widget>(new Widget());  // same-statement adoption
+}

@@ -1,0 +1,14 @@
+// LINT-PATH: src/core/bad_random.cc
+// EXPECT-LINT: QL002
+// EXPECT-LINT: QL002
+//
+// Unseeded randomness: results would differ run to run, so no bug
+// report or benchmark number could ever be reproduced from a seed.
+
+#include <cstdlib>
+#include <random>
+
+int Pick(int n) {
+  std::random_device entropy;
+  return static_cast<int>((entropy() + std::rand()) % n);
+}

@@ -1,0 +1,12 @@
+// LINT-PATH: src/serve/bad_stderr.cc
+// EXPECT-LINT: QL005
+//
+// Raw stderr from library code: concurrent writers interleave partial
+// lines (stderr is unbuffered but fprintf is not atomic across the
+// format expansion). WriteRawLine's single write(2) is.
+
+#include <cstdio>
+
+void ReportFailure(int code) {
+  std::fprintf(stderr, "request failed: %d\n", code);
+}

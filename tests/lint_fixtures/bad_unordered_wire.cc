@@ -1,0 +1,30 @@
+// LINT-PATH: src/data/bad_unordered_wire.cc
+// EXPECT-LINT: QL003
+//
+// Hash-order leaking into wire bytes: the serialize function iterates
+// an unordered_map directly, so two runs (or two standard libraries)
+// produce different byte streams for identical data.
+
+#include <cstdint>
+#include <unordered_map>
+
+class ByteWriter {
+ public:
+  void AppendU64(uint64_t v) { total_ += v; }
+
+ private:
+  uint64_t total_ = 0;
+};
+
+class CodeTable {
+ public:
+  void Serialize(ByteWriter* writer) const {
+    for (const auto& [code, count] : counts_) {
+      writer->AppendU64(code);
+      writer->AppendU64(count);
+    }
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> counts_;
+};

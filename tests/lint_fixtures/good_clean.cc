@@ -1,0 +1,52 @@
+// LINT-PATH: src/core/good_clean.cc
+//
+// Clean control fixture: every rule's sanctioned alternative in one
+// file. Nothing here may be flagged — strings and comments mentioning
+// atoi( or rand( included ("atoi(x)" is data, not a call).
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+class ByteWriter {
+ public:
+  void AppendU64(uint64_t v) { total_ += v; }
+
+ private:
+  uint64_t total_ = 0;
+};
+
+// QL001: strtoll with a checked end-pointer is the approved parse.
+bool ParseCount(const char* text, long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+// QL003: serialization iterates an ordered map — byte-stable.
+void SerializeCounts(const std::map<uint64_t, uint64_t>& counts,
+                     ByteWriter* writer) {
+  for (const auto& [code, count] : counts) {
+    writer->AppendU64(code);
+    writer->AppendU64(count);
+  }
+}
+
+// QL004: same-statement adoption, including the reset form.
+std::shared_ptr<std::string> MakeShared() {
+  std::shared_ptr<std::string> owned(new std::string("atoi(x) is banned"));
+  owned.reset(new std::string("rand() too"));
+  return owned;
+}
+
+// QL005 applies to stderr only; stdout reporting is fine.
+void PrintSummary(uint64_t rows) {
+  std::printf("rows=%llu\n", static_cast<unsigned long long>(rows));
+}

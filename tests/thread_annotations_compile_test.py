@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Negative-compile tests for the thread-safety annotations.
+
+The annotations in src/util/thread_annotations.h only do anything under
+clang's -Wthread-safety analysis, which gcc does not implement — so a
+green gcc build proves nothing about them. This test drives clang
+directly over small snippets built on qikey::Mutex:
+
+  * a positive control (correct locking) must compile cleanly, proving
+    the include paths and flags are right — without it, every violation
+    snippet could be "failing" on a typo and the test would pass;
+  * each violation snippet must FAIL to compile, and the diagnostic
+    must come from the thread-safety analysis (checked against stderr),
+    not from an unrelated error masquerading as a detection.
+
+Exits 77 (the CTest SKIP_RETURN_CODE) when no clang is on PATH: local
+gcc-only containers skip, the CI clang leg enforces.
+
+Usage: thread_annotations_compile_test.py <src-dir>
+"""
+
+import shutil
+import subprocess
+import sys
+
+CLANG_CANDIDATES = ["clang++"] + [f"clang++-{v}" for v in range(21, 13, -1)]
+
+PRELUDE = """
+#include "util/mutex.h"
+
+using qikey::CondVar;
+using qikey::Mutex;
+using qikey::MutexLock;
+
+struct Account {
+  Mutex mu;
+  CondVar changed;
+  int balance GUARDED_BY(mu) = 0;
+
+  void Deposit(int amount) REQUIRES(mu) { balance += amount; }
+};
+"""
+
+POSITIVE_CONTROL = PRELUDE + """
+int ReadBalance(Account& account) {
+  MutexLock lock(account.mu);
+  account.Deposit(1);
+  while (account.balance == 0) account.changed.Wait(account.mu);
+  return account.balance;
+}
+"""
+
+# name -> snippet that must be rejected by -Werror=thread-safety.
+VIOLATIONS = {
+    "read_guarded_without_lock": PRELUDE + """
+int ReadBalance(Account& account) {
+  return account.balance;  // no lock held
+}
+""",
+    "write_guarded_without_lock": PRELUDE + """
+void Overwrite(Account& account) {
+  account.balance = 7;  // no lock held
+}
+""",
+    "call_requires_without_lock": PRELUDE + """
+void DepositUnlocked(Account& account) {
+  account.Deposit(5);  // REQUIRES(mu) not satisfied
+}
+""",
+    "lock_not_released_on_return": PRELUDE + """
+void LeakLock(Account& account) {
+  account.mu.Lock();
+  account.balance = 1;
+  // missing Unlock: capability still held at end of function
+}
+""",
+    "condvar_wait_without_mutex": PRELUDE + """
+void WaitUnlocked(Account& account) {
+  account.changed.Wait(account.mu);  // Wait REQUIRES(mu)
+}
+""",
+}
+
+
+def find_clang():
+    for name in CLANG_CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def compile_snippet(clang, src_dir, code):
+    cmd = [
+        clang, "-std=c++20", "-fsyntax-only", "-I", src_dir,
+        "-Wthread-safety", "-Werror=thread-safety", "-x", "c++", "-",
+    ]
+    proc = subprocess.run(
+        cmd, input=code, capture_output=True, text=True, check=False
+    )
+    return proc.returncode, proc.stderr
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: thread_annotations_compile_test.py <src-dir>")
+        return 2
+    src_dir = sys.argv[1]
+
+    clang = find_clang()
+    if clang is None:
+        print("SKIP: no clang on PATH; thread-safety analysis needs clang")
+        return 77
+
+    failures = 0
+
+    rc, stderr = compile_snippet(clang, src_dir, POSITIVE_CONTROL)
+    if rc != 0:
+        print("FAIL positive_control: correct locking did not compile:")
+        print(stderr)
+        failures += 1
+    else:
+        print("PASS positive_control (compiles cleanly)")
+
+    for name, code in VIOLATIONS.items():
+        rc, stderr = compile_snippet(clang, src_dir, code)
+        if rc == 0:
+            print(f"FAIL {name}: violation compiled without a diagnostic")
+            failures += 1
+        elif "thread-safety" not in stderr and "thread safety" not in stderr:
+            print(f"FAIL {name}: rejected, but not by the thread-safety "
+                  "analysis:")
+            print(stderr)
+            failures += 1
+        else:
+            print(f"PASS {name} (rejected by -Wthread-safety)")
+
+    if failures:
+        print(f"{failures} case(s) failed")
+        return 1
+    print(f"all {1 + len(VIOLATIONS)} cases passed with {clang}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

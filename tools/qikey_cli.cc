@@ -97,7 +97,7 @@
 
 #include "qikey.h"
 
-#include "flag_parse.h"
+#include "util/flag_parse.h"
 
 #include "core/afd.h"
 #include "core/anonymity.h"

@@ -18,7 +18,7 @@
 #include <cstring>
 #include <string>
 
-#include "flag_parse.h"
+#include "util/flag_parse.h"
 
 #include "data/csv_loader.h"
 #include "data/generators/encoding_lb.h"
