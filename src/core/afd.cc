@@ -100,7 +100,7 @@ Result<std::vector<AfdCandidate>> DiscoverMinimalAfds(
         if (contains_found) continue;
         AfdError err = ComputeAfdError(dataset, lhs, rhs);
         if (err.conditional <= max_conditional_error) {
-          found.push_back(AfdCandidate{std::move(lhs), err});
+          found.emplace_back(std::move(lhs), err);
         } else {
           next.push_back(std::move(candidate));
         }

@@ -47,7 +47,7 @@ MaskingResult GreedyMask(const Dataset& eval, double eps,
     remaining.Remove(best_attr);
     result.masked.Add(best_attr);
     current = best_separated;
-    result.steps.push_back(MaskingStep{best_attr, best_separated});
+    result.steps.emplace_back(best_attr, best_separated);
   }
   result.achieved = static_cast<double>(current) <= max_separated;
   result.residual_separation =

@@ -184,7 +184,7 @@ RefineEngine::GreedyResult RefineEngine::RunGreedy(size_t max_attributes) {
     uint64_t applied = Apply(best_attr);
     QIKEY_DCHECK(applied == best_gain);
     result.chosen.Add(best_attr);
-    result.steps.push_back(Step{best_attr, applied, num_blocks_});
+    result.steps.emplace_back(best_attr, applied, num_blocks_);
   }
   result.is_sample_key = num_blocks_ == sample_.num_rows();
   result.remaining_unseparated = unseparated_pairs();

@@ -118,9 +118,9 @@ TabularSpec CovtypeLikeSpec() {
         {"wilderness_" + std::to_string(i), 2, 1.6, -1, 0.0});
   }
   for (int i = 0; i < 40; ++i) {
-    spec.attributes.push_back({"soil_" + std::to_string(i), 2, 2.4, -1, 0.0});
+    spec.attributes.emplace_back("soil_" + std::to_string(i), 2, 2.4, -1, 0.0);
   }
-  spec.attributes.push_back({"cover_type", 7, 0.9, -1, 0.0});
+  spec.attributes.emplace_back("cover_type", 7, 0.9, -1, 0.0);
   return spec;
 }
 

@@ -377,7 +377,7 @@ Result<PipelineResult> DiscoveryPipeline::FinishStages(
 
   out.filter_sample_size = filter->sample_size();
   out.filter_bytes = filter->MemoryBytes();
-  out.stages.push_back({"filter", filter_millis});
+  out.stages.emplace_back("filter", filter_millis);
   Timer timer;
 
   // Stage: greedy set cover on (R choose 2) by partition refinement.
@@ -389,7 +389,7 @@ Result<PipelineResult> DiscoveryPipeline::FinishStages(
   out.key = std::move(greedy.chosen);
   out.covered_sample = greedy.is_sample_key;
   out.steps = std::move(greedy.steps);
-  out.stages.push_back({"greedy", timer.ElapsedMillis()});
+  out.stages.emplace_back("greedy", timer.ElapsedMillis());
 
   // Stage: minimize. Greedy can leave an early pick redundant once
   // later attributes are in. Rejection is monotone under removal (a
@@ -432,7 +432,7 @@ Result<PipelineResult> DiscoveryPipeline::FinishStages(
       out.covered_sample = KeySeparatesSample(*sample, out.key);
     }
   }
-  out.stages.push_back({"minimize", timer.ElapsedMillis()});
+  out.stages.emplace_back("minimize", timer.ElapsedMillis());
 
   // Stage: verify the emitted key and surface a witness on rejection.
   timer.Restart();
@@ -440,7 +440,7 @@ Result<PipelineResult> DiscoveryPipeline::FinishStages(
   if (out.verdict == FilterVerdict::kReject) {
     out.witness = filter->QueryWitness(out.key);
   }
-  out.stages.push_back({"verify", timer.ElapsedMillis()});
+  out.stages.emplace_back("verify", timer.ElapsedMillis());
 
   for (const PipelineStage& s : out.stages) out.total_millis += s.millis;
   out.filter = std::move(filter);

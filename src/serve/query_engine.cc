@@ -196,7 +196,7 @@ std::vector<QueryResponse> QueryEngine::ExecuteBatch(
         }
         if (!local.empty()) {
           MutexLock lock(miss_mu);
-          miss_chunks.push_back(MissChunk{begin, std::move(local)});
+          miss_chunks.emplace_back(begin, std::move(local));
         }
       },
       options_.min_batch_grain);

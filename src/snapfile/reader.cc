@@ -238,7 +238,8 @@ Result<ServeSnapshot> SnapshotFromBytes(const uint8_t* data, size_t size,
     for (uint64_t w = 0; w < key_words; ++w) {
       uint64_t bits = key_data[k * key_words + w];
       while (bits != 0) {
-        const uint64_t j = w * 64 + std::countr_zero(bits);
+        const uint64_t j =
+            w * 64 + static_cast<uint64_t>(std::countr_zero(bits));
         bits &= bits - 1;
         if (j >= m) {
           return Status::InvalidArgument(

@@ -137,8 +137,8 @@ Result<std::string> SerializeSnapshot(const ServeSnapshot& snapshot) {
       AppendColumnMeta(pair_table.column(static_cast<AttributeIndex>(j)),
                        &meta);
     }
-    sections.push_back({SectionId::kPairCodes,
-                        PackCodesColumnMajor(pair_table)});
+    sections.emplace_back(SectionId::kPairCodes,
+                          PackCodesColumnMajor(pair_table));
   }
   if (bitset != nullptr) {
     header.backend = 2;
@@ -151,10 +151,10 @@ Result<std::string> SerializeSnapshot(const ServeSnapshot& snapshot) {
     meta.U64(evidence.source_pairs());
     std::span<const uint64_t> words = evidence.raw_words();
     std::span<const uint32_t> reps = evidence.raw_reps();
-    sections.push_back({SectionId::kEvidenceWords,
-                        BytesToString(words.data(), words.size_bytes())});
-    sections.push_back({SectionId::kEvidenceReps,
-                        BytesToString(reps.data(), reps.size_bytes())});
+    sections.emplace_back(SectionId::kEvidenceWords,
+                          BytesToString(words.data(), words.size_bytes()));
+    sections.emplace_back(SectionId::kEvidenceReps,
+                          BytesToString(reps.data(), reps.size_bytes()));
   }
 
   // Keys: ceil(m/64) packed words each, the AttributeSet layout.
@@ -176,14 +176,14 @@ Result<std::string> SerializeSnapshot(const ServeSnapshot& snapshot) {
     // The tuple filter evaluates over its own sample (monitor freezes
     // and merges can diverge from the snapshot sample); carry it as a
     // nested QIKD blob.
-    sections.push_back(
-        {SectionId::kFilterSampleBlob, SerializeDataset(tuple->sample())});
+    sections.emplace_back(SectionId::kFilterSampleBlob,
+                          SerializeDataset(tuple->sample()));
   }
 
   sections.insert(sections.begin(),
                   {SectionId::kSampleCodes, PackCodesColumnMajor(sample)});
   sections.insert(sections.begin(), {SectionId::kMeta, std::move(meta).Take()});
-  sections.push_back({SectionId::kKeys, std::move(keys_payload)});
+  sections.emplace_back(SectionId::kKeys, std::move(keys_payload));
 
   // Lay the sections out 64-byte aligned and stamp the table.
   header.section_count = static_cast<uint32_t>(sections.size());

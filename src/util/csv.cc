@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 namespace qikey {
 
@@ -91,7 +92,7 @@ std::vector<std::string> SplitCsvLine(std::string_view line,
       std::string_view t = Trim(current);
       fields.emplace_back(t);
     } else {
-      fields.push_back(current);
+      fields.push_back(std::move(current));
     }
     current.clear();
     was_quoted = false;
